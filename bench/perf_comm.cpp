@@ -1,0 +1,111 @@
+// P5 — transport headroom: the sensor links must carry the 100 Hz fusion
+// rate with margin. Measures CAN frame overhead/bus utilization, the
+// CAN->RS232 bridge, and the ADXL duty-cycle codec, and prints the margin
+// against the paper's sensor rates.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/bridge.hpp"
+#include "comm/can.hpp"
+#include "comm/codec.hpp"
+#include "comm/slip.hpp"
+#include "comm/uart.hpp"
+
+namespace {
+
+using namespace ob::comm;
+
+void BM_CanFrameWireBits(benchmark::State& state) {
+    CanFrame f;
+    f.id = 0x100;
+    f.dlc = 8;
+    for (std::uint8_t i = 0; i < 8; ++i) f.data[i] = i * 37;
+    std::size_t bits = 0;
+    for (auto _ : state) {
+        bits = can_wire_bits(f);
+        benchmark::DoNotOptimize(bits);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["wire_bits_per_frame"] = static_cast<double>(bits);
+    // Two frames per 100 Hz sample on a 500 kbit/s bus.
+    state.counters["bus_utilization_pct"] =
+        100.0 * (2.0 * static_cast<double>(bits) * 100.0) / 500000.0;
+}
+BENCHMARK(BM_CanFrameWireBits);
+
+void BM_DmuEncodeDecode(benchmark::State& state) {
+    DmuSample s;
+    s.seq = 1;
+    s.gyro = {100, 200, 300};
+    s.accel = {-100, -200, -300};
+    DmuCodec codec;
+    for (auto _ : state) {
+        const auto [gf, af] = DmuCodec::encode(s);
+        benchmark::DoNotOptimize(codec.feed(gf, 0.0));
+        benchmark::DoNotOptimize(codec.feed(af, 0.0));
+        ++s.seq;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DmuEncodeDecode);
+
+void BM_AdxlSerializeRoundTrip(benchmark::State& state) {
+    const AdxlConfig cfg;
+    AdxlDeserializer dec;
+    std::uint8_t seq = 0;
+    for (auto _ : state) {
+        const auto t = adxl_encode(1.5, -0.5, seq++, cfg);
+        for (const auto b : adxl_serialize(t)) {
+            benchmark::DoNotOptimize(dec.feed(b, 0.0));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    // 12-byte packet at 100 Hz on a 115200-baud line.
+    state.counters["acc_line_utilization_pct"] =
+        100.0 * (12.0 * 10.0 * 100.0) / 115200.0;
+}
+BENCHMARK(BM_AdxlSerializeRoundTrip);
+
+void BM_BridgeEndToEnd(benchmark::State& state) {
+    CanFrame f;
+    f.id = 0x100;
+    f.dlc = 8;
+    for (auto _ : state) {
+        state.PauseTiming();
+        UartLink uart(115200.0);
+        CanSerialBridge bridge(uart);
+        CanSerialDeframer deframer;
+        state.ResumeTiming();
+        bridge.forward(f, 0.0);
+        for (const auto& byte : uart.receive_until(1.0)) {
+            benchmark::DoNotOptimize(deframer.feed(byte));
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BridgeEndToEnd);
+
+void BM_CanBusSaturation(benchmark::State& state) {
+    // Worst-case latency when a full sample burst hits the bus at once.
+    double latency = 0.0;
+    for (auto _ : state) {
+        CanBus bus(500000.0);
+        int delivered = 0;
+        bus.on_delivery([&](const CanFrame&, double) { ++delivered; });
+        CanFrame f;
+        f.dlc = 8;
+        for (std::uint16_t id = 0; id < 16; ++id) {
+            f.id = static_cast<std::uint16_t>(0x100 + id);
+            bus.send(f, 0.0);
+        }
+        bus.advance_to(1.0);
+        latency = bus.max_latency();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.counters["burst16_worst_latency_us"] = latency * 1e6;
+}
+BENCHMARK(BM_CanBusSaturation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

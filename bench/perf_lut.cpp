@@ -1,0 +1,60 @@
+// P4 — the 1024-entry sine/cosine lookup table of §9: fast enough for a
+// per-pixel datapath and accurate enough for degree-class corrections.
+// Reports both speed vs libm and the worst-case absolute error.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "video/trig_lut.hpp"
+
+namespace {
+
+using ob::video::TrigLut;
+
+void BM_LutSin(benchmark::State& state) {
+    const TrigLut lut;
+    std::uint32_t idx = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lut.sin_at(idx));
+        idx = (idx + 7) & 1023;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["max_abs_error"] = lut.max_abs_error();
+}
+BENCHMARK(BM_LutSin);
+
+void BM_LutSinFromRadians(benchmark::State& state) {
+    const TrigLut lut;
+    double a = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lut.sin_rad(a));
+        a += 0.001;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LutSinFromRadians);
+
+void BM_LibmSin(benchmark::State& state) {
+    double a = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(std::sin(a));
+        a += 0.001;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LibmSin);
+
+void BM_LibmSinf(benchmark::State& state) {
+    float a = 0.0f;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(std::sin(a));
+        a += 0.001f;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LibmSinf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// P1b — soft-core execution characteristics: ISS throughput on the host,
+// plus the architectural cycle counts of representative workloads (what
+// the real fabric would spend).
+
+#include <benchmark/benchmark.h>
+
+#include "sabre/assembler.hpp"
+#include "sabre/cpu.hpp"
+#include "sabre/firmware.hpp"
+#include "sabre/peripherals.hpp"
+
+namespace {
+
+using namespace ob::sabre;
+
+const char* kDhrystoneish = R"(
+    ; integer-heavy inner loop: arithmetic, memory traffic, branching
+    addi r1, zero, 0      ; accumulator
+    addi r2, zero, 1000   ; iterations
+    addi r3, zero, 0x100  ; buffer base
+loop:
+    mul r4, r2, r2
+    add r1, r1, r4
+    sw r1, 0(r3)
+    lw r5, 0(r3)
+    xor r1, r1, r5
+    srli r6, r1, 3
+    or r1, r1, r6
+    addi r2, r2, -1
+    bne r2, zero, loop
+    halt
+)";
+
+void BM_IssIntegerLoop(benchmark::State& state) {
+    const Program program = assemble(kDhrystoneish);
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        SabreCpu cpu(program);
+        cpu.run(100'000'000);
+        cycles = cpu.cycles();
+        instructions = cpu.instructions();
+        benchmark::DoNotOptimize(cpu.reg(1));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(instructions));
+    state.counters["arch_cycles"] = static_cast<double>(cycles);
+    state.counters["arch_cpi"] =
+        static_cast<double>(cycles) / static_cast<double>(instructions);
+}
+BENCHMARK(BM_IssIntegerLoop);
+
+void BM_AssembleFirmware(benchmark::State& state) {
+    const std::string src = boresight_firmware_source();
+    std::size_t words = 0;
+    for (auto _ : state) {
+        const Program p = assemble(src);
+        words = p.words.size();
+        benchmark::DoNotOptimize(p.words.data());
+    }
+    state.counters["firmware_words"] = static_cast<double>(words);
+    state.counters["program_mem_used_pct"] =
+        100.0 * static_cast<double>(words) / kProgramWords;
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssembleFirmware);
+
+void BM_FpuPeripheralOp(benchmark::State& state) {
+    FpuPeripheral fpu;
+    fpu.write(0x0, 0x3FC00000);  // 1.5f
+    fpu.write(0x4, 0x40100000);  // 2.25f
+    for (auto _ : state) {
+        fpu.write(0x8, FpuPeripheral::kMul);
+        benchmark::DoNotOptimize(fpu.read(0xC));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FpuPeripheralOp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

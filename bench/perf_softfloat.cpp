@@ -1,0 +1,103 @@
+// P7 — cost of IEEE-754 emulation: the paper ran the filter's floating
+// point through the Berkeley Softfloat library because Sabre has no FPU.
+// This bench quantifies the emulation penalty per operation class against
+// the host's hardware FPU.
+
+#include <benchmark/benchmark.h>
+
+#include "softfloat/softfloat.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace sf = ob::softfloat;
+using ob::util::Rng;
+
+std::vector<std::pair<sf::F32, sf::F32>> operand_corpus() {
+    Rng rng(0xBEEF);
+    std::vector<std::pair<sf::F32, sf::F32>> ops;
+    ops.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+        // Finite, normal-range operands (the filter's working regime).
+        const float a = static_cast<float>(rng.gaussian(100.0));
+        const float b = static_cast<float>(rng.gaussian(100.0) + 1e-3);
+        ops.emplace_back(sf::from_host(a), sf::from_host(b));
+    }
+    return ops;
+}
+
+void BM_SoftfloatAdd(benchmark::State& state) {
+    const auto ops = operand_corpus();
+    sf::Context ctx;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& [a, b] = ops[i++ & 4095];
+        benchmark::DoNotOptimize(sf::add(a, b, ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftfloatAdd);
+
+void BM_SoftfloatMul(benchmark::State& state) {
+    const auto ops = operand_corpus();
+    sf::Context ctx;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& [a, b] = ops[i++ & 4095];
+        benchmark::DoNotOptimize(sf::mul(a, b, ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftfloatMul);
+
+void BM_SoftfloatDiv(benchmark::State& state) {
+    const auto ops = operand_corpus();
+    sf::Context ctx;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& [a, b] = ops[i++ & 4095];
+        benchmark::DoNotOptimize(sf::div(a, b, ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftfloatDiv);
+
+void BM_SoftfloatSqrt(benchmark::State& state) {
+    const auto ops = operand_corpus();
+    sf::Context ctx;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sf::sqrt(sf::abs(ops[i++ & 4095].first), ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftfloatSqrt);
+
+// Host-FPU reference points.
+void BM_HostAdd(benchmark::State& state) {
+    const auto ops = operand_corpus();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& [a, b] = ops[i++ & 4095];
+        volatile float r = sf::to_host(a) + sf::to_host(b);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostAdd);
+
+void BM_HostDiv(benchmark::State& state) {
+    const auto ops = operand_corpus();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto& [a, b] = ops[i++ & 4095];
+        volatile float r = sf::to_host(a) / sf::to_host(b);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostDiv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Reproduces Table 1 of the paper: "Results from Static (Top) & Dynamic
+// (Bottom) Tests" — alignment estimates vs injected truth per axis with
+// 3-sigma confidence, for static (level and tilted-platform) runs and two
+// repeated dynamic drives.
+//
+// Expected shape (paper §11): static estimates accurate on every
+// observable axis with tight 3-sigma; the two dynamic drives agree closely
+// with each other; accuracy at or beyond typical automotive alignment
+// requirements (~0.5 deg) with 3-sigma/99% confidence.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/alignment_report.hpp"
+#include "math/rotation.hpp"
+#include "system/experiment.hpp"
+
+namespace {
+
+using namespace ob;
+using math::EulerAngles;
+using math::rad2deg;
+using system::ExperimentConfig;
+using system::ExperimentOutcome;
+using system::run_experiment;
+
+ExperimentConfig static_level_cfg(const EulerAngles& truth) {
+    ExperimentConfig cfg;
+    cfg.label = "static level";
+    cfg.scenario = sim::ScenarioConfig::static_level(300.0, truth);
+    cfg.sensor_seed = 101;
+    cfg.filter.meas_noise_mps2 = 0.0075;  // paper: 0.003-0.01 static
+    return cfg;
+}
+
+ExperimentConfig static_tilted_cfg(const EulerAngles& truth) {
+    ExperimentConfig cfg;
+    cfg.label = "static tilted";
+    cfg.scenario = sim::ScenarioConfig::static_tilted(
+        300.0, truth, EulerAngles::from_deg(12.0, 8.0, 0.0));
+    cfg.sensor_seed = 102;
+    cfg.filter.meas_noise_mps2 = 0.0075;
+    return cfg;
+}
+
+ExperimentConfig dynamic_cfg(const EulerAngles& truth, std::uint64_t drive_seed,
+                             const char* label) {
+    ExperimentConfig cfg;
+    cfg.label = label;
+    cfg.scenario = sim::ScenarioConfig::dynamic_city(300.0, truth, drive_seed);
+    cfg.sensor_seed = 103;  // same physical instruments for both drives
+    cfg.filter.meas_noise_mps2 = 0.02;  // paper: >= 0.015 moving
+    return cfg;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("==========================================================\n");
+    std::printf("Table 1 — Results from Static (Top) & Dynamic (Bottom) Tests\n");
+    std::printf("(angles in degrees: true / estimated / 3-sigma)\n");
+    std::printf("==========================================================\n\n");
+
+    std::vector<ExperimentOutcome> outcomes;
+
+    // --- Static tests (paper §11.1) --------------------------------------
+    const EulerAngles static_truth = EulerAngles::from_deg(1.5, -2.0, 2.5);
+    outcomes.push_back(run_experiment(static_level_cfg(static_truth)));
+    outcomes.push_back(run_experiment(static_tilted_cfg(static_truth)));
+
+    // --- Dynamic tests (paper §11.2): two drives, same misalignment ------
+    const EulerAngles dyn_truth = EulerAngles::from_deg(1.2, -0.8, 1.5);
+    outcomes.push_back(run_experiment(dynamic_cfg(dyn_truth, 21, "dynamic drive 1")));
+    outcomes.push_back(run_experiment(dynamic_cfg(dyn_truth, 22, "dynamic drive 2")));
+
+    std::printf("%s\n", core::alignment_table_header().c_str());
+    for (const auto& o : outcomes)
+        std::printf("%s\n", core::alignment_table_row(o.result).c_str());
+
+    std::printf("\nNotes:\n");
+    std::printf(
+        "  * static level: yaw is NOT observable from gravity alone — its\n"
+        "    3-sigma stays wide (paper: static yaw tests need the platform\n"
+        "    oriented); the tilted-platform run recovers all three axes.\n");
+    std::printf(
+        "  * measurement noise: static %.4f m/s^2 (paper 0.003-0.01),\n"
+        "    dynamic %.4f m/s^2 (paper 0.015 or higher).\n",
+        outcomes[0].result.meas_noise, outcomes[2].result.meas_noise);
+
+    // --- Dynamic repeatability (paper: "very close agreement") -----------
+    const auto& d1 = outcomes[2].result.estimate;
+    const auto& d2 = outcomes[3].result.estimate;
+    std::printf("\nDynamic test agreement (drive 1 vs drive 2, degrees):\n");
+    std::printf("  droll=%.3f  dpitch=%.3f  dyaw=%.3f\n",
+                rad2deg(std::abs(d1.roll - d2.roll)),
+                rad2deg(std::abs(d1.pitch - d2.pitch)),
+                rad2deg(std::abs(d1.yaw - d2.yaw)));
+
+    // --- Verdict ----------------------------------------------------------
+    int failures = 0;
+    // Observable-axis accuracy: every axis except level-static yaw.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& r = outcomes[i].result;
+        for (int axis = 0; axis < 3; ++axis) {
+            if (i == 0 && axis == 2) continue;  // level-static yaw: skip
+            const double err = std::abs(r.error_deg(axis));
+            if (err > 0.5) {
+                std::printf("  !! %s axis %d error %.3f deg exceeds 0.5\n",
+                            r.label.c_str(), axis, err);
+                ++failures;
+            }
+        }
+    }
+    const double agree = rad2deg(std::max({std::abs(d1.roll - d2.roll),
+                                           std::abs(d1.pitch - d2.pitch),
+                                           std::abs(d1.yaw - d2.yaw)}));
+    if (agree > 0.6) {
+        std::printf("  !! dynamic drives disagree by %.3f deg\n", agree);
+        ++failures;
+    }
+    std::printf("\n%s: alignment accuracy %s the paper's reported class "
+                "(sub-0.5-degree, 3-sigma confidence)\n",
+                failures == 0 ? "PASS" : "FAIL",
+                failures == 0 ? "matches" : "misses");
+    return failures == 0 ? 0 : 1;
+}

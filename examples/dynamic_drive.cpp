@@ -1,0 +1,67 @@
+// Dynamic alignment during a city drive, through the complete transport
+// chain: DMU over CAN -> CAN/RS232 bridge -> serial deframing, ACC duty
+// cycle packets over their own serial line, adaptive measurement-noise
+// tuning, and a CSV trace for offline plotting.
+//
+// This is the paper's §11.2 dynamic test as a deployable program shape.
+
+#include <cstdio>
+
+#include "math/rotation.hpp"
+#include "sim/scenario.hpp"
+#include "system/boresight_system.hpp"
+#include "util/csv.hpp"
+
+using namespace ob;
+
+int main() {
+    const math::EulerAngles truth = math::EulerAngles::from_deg(1.2, -0.8, 1.5);
+
+    auto scenario_cfg = sim::ScenarioConfig::dynamic_city(300.0, truth, 21);
+    sim::Scenario scenario(scenario_cfg, /*sensor seed=*/103);
+
+    system::BoresightSystem::Config cfg;
+    cfg.filter.meas_noise_mps2 = 0.003;  // deliberately the static tuning...
+    cfg.use_adaptive_tuner = true;       // ...and let the tuner fix it
+    cfg.filter.nis_gate = 13.8;
+    system::BoresightSystem sys(cfg);
+
+    util::CsvWriter csv("dynamic_drive_trace.csv",
+                        {"t", "roll_deg", "pitch_deg", "yaw_deg",
+                         "roll_3sigma_deg", "meas_noise"});
+
+    std::printf("%8s | %8s %8s %8s | %10s | %8s\n", "t (s)", "roll", "pitch",
+                "yaw", "3s(yaw)", "R sigma");
+    while (auto s = scenario.next()) {
+        sys.feed(scenario, *s);
+        const auto st = sys.status();
+        if (s->dmu.seq == 0) {  // roughly every 2.56 s
+            csv.row({s->t, math::rad2deg(st.estimate.roll),
+                     math::rad2deg(st.estimate.pitch),
+                     math::rad2deg(st.estimate.yaw),
+                     math::rad2deg(st.sigma3[0]), st.measurement_noise});
+        }
+        if (static_cast<int>(s->t) % 60 == 0 && s->t - static_cast<int>(s->t) < 0.005) {
+            std::printf("%8.1f | %+8.3f %+8.3f %+8.3f | %10.4f | %8.4f\n",
+                        s->t, math::rad2deg(st.estimate.roll),
+                        math::rad2deg(st.estimate.pitch),
+                        math::rad2deg(st.estimate.yaw),
+                        math::rad2deg(st.sigma3[2]), st.measurement_noise);
+        }
+    }
+
+    const auto st = sys.status();
+    std::printf("\ntruth    : roll %+0.2f pitch %+0.2f yaw %+0.2f deg\n",
+                1.2, -0.8, 1.5);
+    std::printf("estimate : roll %+0.3f pitch %+0.3f yaw %+0.3f deg\n",
+                math::rad2deg(st.estimate.roll),
+                math::rad2deg(st.estimate.pitch),
+                math::rad2deg(st.estimate.yaw));
+    std::printf("fused %zu epochs; adaptive R settled at %.4f m/s^2 "
+                "(paper's manual retune: 0.015+)\n",
+                st.updates, st.measurement_noise);
+    std::printf("worst CAN queueing latency: %.2f us\n",
+                st.worst_transport_latency * 1e6);
+    std::printf("trace written to dynamic_drive_trace.csv\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// The paper's §12: "Future implementations will demonstrate ... alignment
+// for other sensor features such as headlights." Adaptive headlights need
+// the beam axis aligned to the vehicle; a bumper knock that tilts the
+// lamp pod dazzles oncoming traffic or shortens the lit range.
+//
+// The same fusion engine solves it: an accelerometer on the lamp pod vs
+// the vehicle IMU. Regulations (ECE R48-class) put initial aiming within
+// about 0.57 deg (1%): the filter must detect a knocked pod and deliver a
+// correction well inside that band, while the vehicle just drives.
+
+#include <cstdio>
+
+#include "core/boresight_ekf.hpp"
+#include "math/rotation.hpp"
+#include "sim/scenario.hpp"
+#include "system/experiment.hpp"
+
+using namespace ob;
+using math::EulerAngles;
+using math::rad2deg;
+
+int main() {
+    // Pod knocked 0.9 deg down and 0.5 deg right at the start of the run.
+    const EulerAngles pod_error = EulerAngles::from_deg(0.2, -0.9, 0.5);
+    const double aim_limit_deg = 0.57;  // ~1% beam aim band
+
+    auto scfg = sim::ScenarioConfig::dynamic_city(300.0, pod_error, 41);
+    scfg.acc_errors.bias_sigma = 0.0;  // pod sensor factory-calibrated
+    scfg.imu_errors.accel_bias_sigma = 0.0;
+    sim::Scenario sc(scfg, 99);
+
+    core::BoresightConfig fcfg;
+    fcfg.meas_noise_mps2 = 0.02;
+    core::BoresightEkf ekf(fcfg);
+
+    std::printf("%8s | %12s | %12s | %s\n", "t (s)", "pitch est", "3-sigma",
+                "verdict");
+    double detected_at = -1.0;
+    while (auto s = sc.next()) {
+        const auto d = system::decode_step(sc, *s);
+        (void)ekf.step(d.f_body, d.acc_xy);
+        const double pitch = rad2deg(ekf.misalignment().pitch);
+        const double s3 = rad2deg(ekf.misalignment_sigma3()[1]);
+        // Detection: the estimated pod pitch error exceeds its own 3-sigma
+        // AND the regulatory band is threatened.
+        if (detected_at < 0.0 && std::abs(pitch) > s3 &&
+            std::abs(pitch) > 0.5 * aim_limit_deg) {
+            detected_at = s->t;
+        }
+        if (static_cast<int>(s->t * 100) % 6000 == 0) {
+            std::printf("%8.0f | %+9.3f deg | %9.3f deg | %s\n", s->t, pitch,
+                        s3,
+                        std::abs(pitch) > aim_limit_deg
+                            ? "outside aim band -> re-level"
+                            : "within aim band");
+        }
+    }
+
+    const double final_pitch = rad2deg(ekf.misalignment().pitch);
+    std::printf("\npod pitch error: truth %+0.2f deg, estimated %+0.3f deg\n",
+                -0.9, final_pitch);
+    if (detected_at >= 0.0) {
+        std::printf("mis-aim detected %.1f s into the drive — the leveling "
+                    "actuator can correct by %+0.3f deg without a workshop "
+                    "visit.\n",
+                    detected_at, -final_pitch);
+    }
+    const double err = std::abs(final_pitch + 0.9);
+    return (err < 0.2 && detected_at >= 0.0) ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// The paper's concluding extension: one fusion engine aligning several
+// vehicle sensors (video, lidar, radar) against the common IMU at once,
+// yielding the mutual alignments that cross-sensor data fusion ("low-cost
+// situational awareness") needs — all during a normal drive, no optical
+// bench involved.
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/multi_aligner.hpp"
+#include "math/rotation.hpp"
+#include "sim/acc_model.hpp"
+#include "sim/trajectory.hpp"
+#include "util/rng.hpp"
+
+using namespace ob;
+using math::EulerAngles;
+using math::rad2deg;
+using math::Vec2;
+using math::Vec3;
+
+namespace {
+
+struct InstrumentedSensor {
+    const char* name;
+    EulerAngles truth;
+    sim::AccModel model;
+    std::size_t id = 0;
+};
+
+}  // namespace
+
+int main() {
+    // A city drive provides the excitation.
+    const auto profile = sim::DriveProfile::city(300.0, /*seed=*/77);
+
+    // Three sensors, each with its own MEMS accelerometer and mounting
+    // error; each gets an independent noise stream.
+    util::Rng rng(2026);
+    const sim::AccErrorConfig acc_err = [] {
+        sim::AccErrorConfig c;
+        c.bias_sigma = 0.0;  // instruments pre-calibrated per §11.1
+        return c;
+    }();
+    const sim::VibrationConfig vib;
+    std::vector<InstrumentedSensor> sensors;
+    sensors.push_back({"video", EulerAngles::from_deg(1.0, -2.0, 1.5),
+                       sim::AccModel(EulerAngles::from_deg(1.0, -2.0, 1.5),
+                                     acc_err, vib, rng.fork())});
+    sensors.push_back({"lidar", EulerAngles::from_deg(-0.5, 0.8, -1.0),
+                       sim::AccModel(EulerAngles::from_deg(-0.5, 0.8, -1.0),
+                                     acc_err, vib, rng.fork())});
+    sensors.push_back({"radar", EulerAngles::from_deg(2.2, 0.3, -0.7),
+                       sim::AccModel(EulerAngles::from_deg(2.2, 0.3, -0.7),
+                                     acc_err, vib, rng.fork())});
+
+    core::MultiSensorAligner aligner;
+    core::BoresightConfig fcfg;
+    fcfg.meas_noise_mps2 = 0.02;
+    for (auto& s : sensors) s.id = aligner.add_sensor(s.name, fcfg);
+
+    // Drive.
+    const double dt = 0.01;
+    for (double t = 0.0; t <= profile.duration(); t += dt) {
+        const auto state = profile.state_at(t);
+        const Vec3 f_body = state.specific_force_body();
+        std::vector<std::optional<Vec2>> readings;
+        readings.reserve(sensors.size());
+        for (auto& s : sensors) {
+            const auto timing = s.model.sample(f_body, state.omega_body,
+                                               Vec3{}, t, dt, state.speed);
+            const auto [ax, ay] =
+                comm::adxl_decode(timing, s.model.adxl_config());
+            readings.emplace_back(Vec2{ax, ay});
+        }
+        aligner.step(f_body, readings);
+    }
+
+    std::printf("per-sensor alignment vs vehicle body after a 300 s drive:\n");
+    std::printf("%-8s | %22s | %22s\n", "sensor", "truth (deg)",
+                "estimate (deg)");
+    double worst = 0.0;
+    for (const auto& s : sensors) {
+        const auto est = aligner.misalignment(s.id);
+        std::printf("%-8s | %+6.2f %+6.2f %+6.2f | %+6.3f %+6.3f %+6.3f\n",
+                    s.name, rad2deg(s.truth.roll), rad2deg(s.truth.pitch),
+                    rad2deg(s.truth.yaw), rad2deg(est.roll),
+                    rad2deg(est.pitch), rad2deg(est.yaw));
+        worst = std::max({worst, std::abs(rad2deg(est.roll - s.truth.roll)),
+                          std::abs(rad2deg(est.pitch - s.truth.pitch)),
+                          std::abs(rad2deg(est.yaw - s.truth.yaw))});
+    }
+
+    // The cross-sensor product: lidar-to-video mutual alignment.
+    const auto rel = aligner.relative_alignment(sensors[1].id, sensors[0].id);
+    const auto rel_truth = math::euler_from_dcm(
+        math::dcm_from_euler(sensors[0].truth) *
+        math::dcm_from_euler(sensors[1].truth).transposed());
+    std::printf("\nlidar->video mutual alignment (what lidar-on-video overlay"
+                " needs):\n  estimate %+6.3f %+6.3f %+6.3f deg"
+                " | truth %+6.3f %+6.3f %+6.3f deg\n",
+                rad2deg(rel.roll), rad2deg(rel.pitch), rad2deg(rel.yaw),
+                rad2deg(rel_truth.roll), rad2deg(rel_truth.pitch),
+                rad2deg(rel_truth.yaw));
+
+    std::printf("\nworst per-axis error: %.3f deg\n", worst);
+    return worst < 0.5 ? 0 : 1;
+}

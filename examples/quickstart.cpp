@@ -1,0 +1,44 @@
+// Quickstart: estimate the mounting misalignment of a camera-fixed
+// accelerometer against a vehicle IMU in a dozen lines of library code.
+//
+// What happens: a simulated vehicle sits on a tilt bench; the camera's ACC
+// is mounted 1.5/-2.0/2.5 degrees off in roll/pitch/yaw; the Kalman fusion
+// filter recovers those angles from the disagreement between the two
+// sensors' view of gravity, together with a 3-sigma confidence.
+
+#include <cstdio>
+
+#include "core/alignment_report.hpp"
+#include "math/rotation.hpp"
+#include "system/experiment.hpp"
+
+using namespace ob;
+
+int main() {
+    const math::EulerAngles true_misalignment =
+        math::EulerAngles::from_deg(1.5, -2.0, 2.5);
+
+    system::ExperimentConfig cfg;
+    cfg.label = "quickstart";
+    // 300 seconds on a tilt bench cycling through platform orientations so
+    // every axis is observable (see DESIGN.md on observability).
+    cfg.scenario = sim::ScenarioConfig::static_tilted(
+        300.0, true_misalignment, math::EulerAngles::from_deg(12.0, 8.0, 0.0));
+    cfg.sensor_seed = 42;
+    cfg.filter.meas_noise_mps2 = 0.0075;  // the paper's static tuning band
+
+    const auto outcome = system::run_experiment(cfg);
+
+    std::printf("calibration: bias=(%.4f, %.4f) m/s^2, noise=%.4f m/s^2\n",
+                outcome.calibrated_bias[0], outcome.calibrated_bias[1],
+                outcome.calibration_noise);
+    std::printf("%s\n", core::alignment_table_header().c_str());
+    std::printf("%s\n", core::alignment_table_row(outcome.result).c_str());
+    std::printf("\nmax error: %.3f deg (automotive requirement class: 0.5 deg)\n",
+                outcome.result.max_error_deg());
+    std::printf("note: the reported 3-sigma covers random error; at the "
+                "millidegree level the\nresidual systematic instrument errors "
+                "(scale factor, cross-axis) dominate,\nwhich is why the paper "
+                "quotes accuracy against requirements, not sigma alone.\n");
+    return outcome.result.max_error_deg() < 0.5 ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Video boresight correction: the paper's visualization demo. A camera
+// mounted a few degrees off produces a rotated/shifted image; the fusion
+// filter estimates the misalignment from inertial data alone, and the
+// fixed-point affine pipeline (Figures 3/5) re-aligns the video.
+//
+// Writes three PPM frames: the true scene, the misaligned camera view and
+// the corrected output, and reports PSNR before/after.
+
+#include <cstdio>
+
+#include "math/rotation.hpp"
+#include "system/experiment.hpp"
+#include "video/affine.hpp"
+#include "video/video_system.hpp"
+
+using namespace ob;
+
+int main() {
+    const math::EulerAngles truth = math::EulerAngles::from_deg(4.0, 1.0, -1.2);
+    const double focal_px = 300.0;
+
+    // --- Estimate the misalignment from inertial data (no vision used).
+    system::ExperimentConfig cfg;
+    cfg.label = "video demo";
+    cfg.scenario = sim::ScenarioConfig::static_tilted(
+        300.0, truth, math::EulerAngles::from_deg(12.0, 8.0, 0.0));
+    cfg.sensor_seed = 7;
+    cfg.filter.meas_noise_mps2 = 0.0075;
+    const auto outcome = system::run_experiment(cfg);
+    const math::EulerAngles est = outcome.result.estimate;
+    std::printf("estimated misalignment: roll %+0.3f pitch %+0.3f yaw %+0.3f "
+                "deg (truth %+0.1f %+0.1f %+0.1f)\n",
+                math::rad2deg(est.roll), math::rad2deg(est.pitch),
+                math::rad2deg(est.yaw), 4.0, 1.0, -1.2);
+
+    // --- Render the optical chain.
+    const video::Frame scene = video::make_test_pattern(320, 240);
+    const video::Frame camera =
+        video::simulate_misaligned_camera(scene, truth, focal_px);
+
+    video::VideoSystem vs({.width = 320, .height = 240, .focal_px = focal_px});
+    vs.set_angle_provider([&] { return est; });
+    const auto corrected = vs.process_frame(camera);
+
+    const double before = camera.psnr_against(scene);
+    const double after = corrected.display.psnr_against(scene);
+    std::printf("PSNR vs true scene: misaligned %.2f dB -> corrected %.2f dB\n",
+                before, after);
+    std::printf("video pipeline: %llu cycles/frame = %.1f fps at 25.175 MHz\n",
+                static_cast<unsigned long long>(corrected.timing.cycles),
+                corrected.timing.fps());
+
+    scene.write_ppm("video_scene.ppm");
+    camera.write_ppm("video_misaligned.ppm");
+    corrected.display.write_ppm("video_corrected.ppm");
+    std::printf("wrote video_scene.ppm, video_misaligned.ppm, "
+                "video_corrected.ppm\n");
+    return after > before + 3.0 ? 0 : 1;
+}

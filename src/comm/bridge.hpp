@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/can.hpp"
+#include "comm/slip.hpp"
+#include "comm/uart.hpp"
+
+namespace ob::comm {
+
+/// CAN→RS232 protocol converter. The paper's platform had only serial
+/// inputs, so the DMU's CAN traffic is tunnelled over a UART: each CAN
+/// frame is packed as [id_hi, id_lo, dlc, data...] and SLIP-framed.
+///
+/// The bridge owns neither endpoint: it reads delivered CAN frames (attach
+/// `forward` as a CanBus delivery callback) and writes into the UART link.
+class CanSerialBridge {
+public:
+    explicit CanSerialBridge(UartLink& uart) : uart_(uart) {}
+
+    /// Forward one CAN frame onto the serial line at time `t`.
+    void forward(const CanFrame& frame, double t);
+
+    [[nodiscard]] std::size_t frames_forwarded() const { return forwarded_; }
+
+private:
+    UartLink& uart_;
+    std::size_t forwarded_ = 0;
+};
+
+/// Receiving side of the bridge: reassembles CAN frames from the SLIP
+/// byte stream.
+class CanSerialDeframer {
+public:
+    /// Feed one serial byte; returns a frame when one completes. Bytes with
+    /// framing errors poison the current SLIP frame.
+    [[nodiscard]] std::optional<CanFrame> feed(const UartByte& byte);
+
+    [[nodiscard]] std::size_t malformed() const { return malformed_; }
+
+private:
+    slip::Decoder slip_;
+    bool poisoned_ = false;
+    std::size_t malformed_ = 0;
+};
+
+}  // namespace ob::comm

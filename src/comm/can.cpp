@@ -1,0 +1,112 @@
+#include "comm/can.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ob::comm {
+
+std::uint16_t can_crc15(std::span<const std::uint8_t> bits) {
+    // CRC-15/CAN: x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1.
+    constexpr std::uint16_t kPoly = 0x4599;
+    std::uint16_t crc = 0;
+    for (const bool bit : bits) {
+        const bool crc_nxt = bit != (((crc >> 14) & 1) != 0);
+        crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+        if (crc_nxt) crc ^= kPoly;
+    }
+    return crc;
+}
+
+std::vector<std::uint8_t> can_frame_bits(const CanFrame& f) {
+    if (!f.valid()) throw std::invalid_argument("can_frame_bits: invalid frame");
+    std::vector<std::uint8_t> bits;
+    bits.reserve(19 + 8u * f.dlc);
+    bits.push_back(false);  // SOF (dominant)
+    for (int i = 10; i >= 0; --i) bits.push_back(((f.id >> i) & 1) != 0);
+    bits.push_back(false);  // RTR: data frame
+    bits.push_back(false);  // IDE: standard identifier
+    bits.push_back(false);  // r0
+    for (int i = 3; i >= 0; --i) bits.push_back(((f.dlc >> i) & 1) != 0);
+    for (std::uint8_t b = 0; b < f.dlc; ++b)
+        for (int i = 7; i >= 0; --i) bits.push_back(((f.data[b] >> i) & 1) != 0);
+    return bits;
+}
+
+std::size_t can_stuff_bits(std::span<const std::uint8_t> bits) {
+    // A stuff bit (complement) is inserted after every 5 consecutive equal
+    // bits; the inserted bit participates in subsequent run counting.
+    std::size_t stuffed = 0;
+    int run = 0;
+    bool last = true;  // bus idle is recessive (1); SOF breaks it
+    bool first = true;
+    for (bool b : bits) {
+        if (!first && b == last) {
+            ++run;
+        } else {
+            run = 1;
+            last = b;
+        }
+        first = false;
+        if (run == 5) {
+            ++stuffed;
+            last = !last;  // the stuff bit itself
+            run = 1;
+        }
+    }
+    return stuffed;
+}
+
+std::size_t can_wire_bits(const CanFrame& f) {
+    auto bits = can_frame_bits(f);
+    const std::uint16_t crc = can_crc15(bits);
+    for (int i = 14; i >= 0; --i) bits.push_back(((crc >> i) & 1) != 0);
+    const std::size_t stuffed = can_stuff_bits(bits);
+    // Stuffed region + CRC delimiter + ACK slot/delimiter + EOF(7) + IFS(3).
+    return bits.size() + stuffed + 1 + 2 + 7 + 3;
+}
+
+void CanBus::send(const CanFrame& frame, double t_request) {
+    if (!frame.valid()) throw std::invalid_argument("CanBus::send: invalid frame");
+    queue_.push_back({frame, t_request});
+}
+
+void CanBus::advance_to(double t) {
+    for (;;) {
+        // Find the earliest time any queued frame could start.
+        double t_start = busy_until_;
+        double earliest_request = -1.0;
+        for (const auto& p : queue_) {
+            if (earliest_request < 0.0 || p.t_request < earliest_request)
+                earliest_request = p.t_request;
+        }
+        if (queue_.empty()) return;
+        t_start = std::max(t_start, earliest_request);
+        if (t_start >= t) return;
+
+        // Arbitration: among frames requested by t_start, lowest ID wins.
+        std::size_t winner = queue_.size();
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (queue_[i].t_request > t_start) continue;
+            if (winner == queue_.size() ||
+                queue_[i].frame.id < queue_[winner].frame.id)
+                winner = i;
+        }
+        if (winner == queue_.size()) return;  // nothing ready yet
+
+        const Pending p = queue_[winner];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(winner));
+        const double duration =
+            static_cast<double>(can_wire_bits(p.frame)) / bitrate_;
+        const double t_done = t_start + duration;
+        if (t_done > t) {
+            // Frame would finish after the horizon; put it back and stop.
+            queue_.push_back(p);
+            return;
+        }
+        busy_until_ = t_done;
+        max_latency_ = std::max(max_latency_, t_done - p.t_request);
+        for (const auto& cb : receivers_) cb(p.frame, t_done);
+    }
+}
+
+}  // namespace ob::comm

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace ob::comm {
+
+/// CAN 2.0A data frame (11-bit identifier, up to 8 data bytes) — the bus
+/// the paper's BAE DMU speaks before the CAN→RS232 converter.
+struct CanFrame {
+    std::uint16_t id = 0;  ///< 11-bit identifier; lower value wins arbitration
+    std::uint8_t dlc = 0;  ///< data length code, 0..8
+    std::array<std::uint8_t, 8> data{};
+
+    [[nodiscard]] bool valid() const { return id < 0x800 && dlc <= 8; }
+
+    friend bool operator==(const CanFrame&, const CanFrame&) = default;
+};
+
+/// CRC-15/CAN over the frame header+data bits (polynomial 0x4599), exactly
+/// as transmitted on the wire. Used both to model the wire format and to
+/// detect injected corruption in tests.
+[[nodiscard]] std::uint16_t can_crc15(std::span<const std::uint8_t> bits);
+
+/// Serialize the frame fields covered by the CRC (SOF..data) as bits,
+/// MSB-first, without stuffing.
+[[nodiscard]] std::vector<std::uint8_t> can_frame_bits(const CanFrame& f);
+
+/// Total on-wire bit count including stuff bits, CRC, ACK, EOF and
+/// interframe space; determines frame transmission time.
+[[nodiscard]] std::size_t can_wire_bits(const CanFrame& f);
+
+/// Count the stuff bits CAN bit-stuffing inserts (one after every run of
+/// five identical bits in SOF..CRC, applied iteratively).
+[[nodiscard]] std::size_t can_stuff_bits(std::span<const std::uint8_t> bits);
+
+/// Event-driven single-bus model with priority arbitration and 500 kbit/s
+/// (configurable) timing. Senders enqueue frames with a request timestamp;
+/// the bus serializes them in arbitration order and invokes the delivery
+/// callback at each frame's end-of-frame time.
+class CanBus {
+public:
+    using DeliveryCallback =
+        std::function<void(const CanFrame&, double t_delivered)>;
+
+    explicit CanBus(double bitrate_bps = 500000.0) : bitrate_(bitrate_bps) {}
+
+    /// Register a receiver; every delivered frame is fanned out to all.
+    void on_delivery(DeliveryCallback cb) { receivers_.push_back(std::move(cb)); }
+
+    /// Queue a frame for transmission at time `t_request` (seconds).
+    void send(const CanFrame& frame, double t_request);
+
+    /// Advance bus time, delivering everything that completes by `t`.
+    void advance_to(double t);
+
+    /// Frames currently queued but not yet delivered.
+    [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+    [[nodiscard]] double bitrate() const { return bitrate_; }
+
+    /// Worst observed queueing latency (request to delivery), seconds.
+    [[nodiscard]] double max_latency() const { return max_latency_; }
+
+private:
+    struct Pending {
+        CanFrame frame;
+        double t_request;
+    };
+
+    double bitrate_;
+    double busy_until_ = 0.0;
+    double max_latency_ = 0.0;
+    std::deque<Pending> queue_;
+    std::vector<DeliveryCallback> receivers_;
+};
+
+}  // namespace ob::comm

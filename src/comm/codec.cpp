@@ -1,0 +1,190 @@
+#include "comm/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ob::comm {
+
+namespace {
+
+/// 8-bit additive checksum over a byte range.
+[[nodiscard]] std::uint8_t sum8(const std::uint8_t* p, std::size_t n) {
+    unsigned s = 0;
+    for (std::size_t i = 0; i < n; ++i) s += p[i];
+    return static_cast<std::uint8_t>(s & 0xFF);
+}
+
+[[nodiscard]] std::int16_t saturate16(double v) {
+    return static_cast<std::int16_t>(
+        std::clamp(std::lround(v), -32768l, 32767l));
+}
+
+void put_i16le(std::uint8_t* p, std::int16_t v) {
+    const auto u = static_cast<std::uint16_t>(v);
+    p[0] = static_cast<std::uint8_t>(u & 0xFF);
+    p[1] = static_cast<std::uint8_t>(u >> 8);
+}
+
+[[nodiscard]] std::int16_t get_i16le(const std::uint8_t* p) {
+    return static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(p[0]) |
+        (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+void put_u24le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+}
+
+[[nodiscard]] std::uint32_t get_u24le(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16);
+}
+
+}  // namespace
+
+std::int16_t DmuScale::rate_to_raw(double rad_s) const {
+    return saturate16(rad_s / gyro_lsb_rad_s);
+}
+
+std::int16_t DmuScale::accel_to_raw(double mps2) const {
+    return saturate16(mps2 / accel_lsb_mps2);
+}
+
+std::pair<CanFrame, CanFrame> DmuCodec::encode(const DmuSample& s) {
+    CanFrame gyro;
+    gyro.id = kGyroFrameId;
+    gyro.dlc = 8;
+    gyro.data[0] = s.seq;
+    for (int i = 0; i < 3; ++i)
+        put_i16le(&gyro.data[1 + 2 * static_cast<std::size_t>(i)], s.gyro[static_cast<std::size_t>(i)]);
+    gyro.data[7] = sum8(gyro.data.data(), 7);
+
+    CanFrame accel;
+    accel.id = kAccelFrameId;
+    accel.dlc = 8;
+    accel.data[0] = s.seq;
+    for (int i = 0; i < 3; ++i)
+        put_i16le(&accel.data[1 + 2 * static_cast<std::size_t>(i)], s.accel[static_cast<std::size_t>(i)]);
+    accel.data[7] = sum8(accel.data.data(), 7);
+    return {gyro, accel};
+}
+
+std::optional<DmuSample> DmuCodec::feed(const CanFrame& f, double t) {
+    if (f.dlc != 8 || (f.id != kGyroFrameId && f.id != kAccelFrameId))
+        return std::nullopt;  // not ours
+    if (sum8(f.data.data(), 7) != f.data[7]) {
+        ++bad_checksum_;
+        return std::nullopt;
+    }
+    if (f.id == kGyroFrameId) {
+        if (pending_gyro_) ++seq_mismatch_;  // stale unpaired gyro frame
+        pending_gyro_ = f;
+        pending_t_ = t;
+        return std::nullopt;
+    }
+    // Accel frame: must pair with the stashed gyro frame by sequence.
+    if (!pending_gyro_ || pending_gyro_->data[0] != f.data[0]) {
+        ++seq_mismatch_;
+        pending_gyro_.reset();
+        return std::nullopt;
+    }
+    DmuSample s;
+    s.seq = f.data[0];
+    for (int i = 0; i < 3; ++i) {
+        s.gyro[static_cast<std::size_t>(i)] =
+            get_i16le(&pending_gyro_->data[1 + 2 * static_cast<std::size_t>(i)]);
+        s.accel[static_cast<std::size_t>(i)] =
+            get_i16le(&f.data[1 + 2 * static_cast<std::size_t>(i)]);
+    }
+    s.t = t;
+    pending_gyro_.reset();
+    return s;
+}
+
+AdxlTiming adxl_encode(double ax_mps2, double ay_mps2, std::uint8_t seq,
+                       const AdxlConfig& cfg) {
+    AdxlTiming out;
+    out.seq = seq;
+    out.t2 = cfg.t2_ticks();
+    const auto duty_ticks = [&cfg, &out](double a_mps2) {
+        double a_g = a_mps2 / cfg.g;
+        a_g = std::clamp(a_g, -cfg.range_g, cfg.range_g);
+        const double duty = cfg.zero_g_duty + a_g * cfg.duty_per_g;
+        const double ticks = duty * static_cast<double>(out.t2);
+        return static_cast<std::uint32_t>(std::lround(ticks));
+    };
+    out.t1x = duty_ticks(ax_mps2);
+    out.t1y = duty_ticks(ay_mps2);
+    return out;
+}
+
+std::pair<double, double> adxl_decode(const AdxlTiming& timing,
+                                      const AdxlConfig& cfg) {
+    const auto decode_axis = [&](std::uint32_t t1) {
+        const double duty =
+            static_cast<double>(t1) / static_cast<double>(timing.t2);
+        const double a_g = (duty - cfg.zero_g_duty) / cfg.duty_per_g;
+        return a_g * cfg.g;
+    };
+    return {decode_axis(timing.t1x), decode_axis(timing.t1y)};
+}
+
+bool adxl_plausible(const AdxlTiming& timing, const AdxlConfig& cfg) {
+    const double nominal_t2 = cfg.t2_ticks();
+    if (timing.t2 < 0.9 * nominal_t2 || timing.t2 > 1.1 * nominal_t2)
+        return false;
+    const double margin = 0.02;
+    const double lo =
+        cfg.zero_g_duty - cfg.range_g * cfg.duty_per_g - margin;
+    const double hi =
+        cfg.zero_g_duty + cfg.range_g * cfg.duty_per_g + margin;
+    for (const std::uint32_t t1 : {timing.t1x, timing.t1y}) {
+        const double duty =
+            static_cast<double>(t1) / static_cast<double>(timing.t2);
+        if (duty < lo || duty > hi) return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t> adxl_serialize(const AdxlTiming& t) {
+    std::vector<std::uint8_t> out;
+    out.reserve(kAdxlPacketSize);
+    out.push_back(kAdxlSync);
+    out.push_back(t.seq);
+    put_u24le(out, t.t1x);
+    put_u24le(out, t.t1y);
+    put_u24le(out, t.t2);
+    out.push_back(sum8(out.data(), out.size()));
+    return out;
+}
+
+std::optional<AdxlTiming> AdxlDeserializer::feed(std::uint8_t byte, double t) {
+    if (buf_.empty() && byte != kAdxlSync) {
+        ++resyncs_;
+        return std::nullopt;
+    }
+    buf_.push_back(byte);
+    if (buf_.size() < kAdxlPacketSize) return std::nullopt;
+
+    AdxlTiming out;
+    const bool ok = sum8(buf_.data(), kAdxlPacketSize - 1) == buf_.back();
+    if (ok) {
+        out.seq = buf_[1];
+        out.t1x = get_u24le(&buf_[2]);
+        out.t1y = get_u24le(&buf_[5]);
+        out.t2 = get_u24le(&buf_[8]);
+        out.t = t;
+        buf_.clear();
+        return out;
+    }
+    ++bad_checksum_;
+    // Resynchronize: search for the next sync byte inside the buffer.
+    auto next = std::find(buf_.begin() + 1, buf_.end(), kAdxlSync);
+    buf_.erase(buf_.begin(), next);
+    return std::nullopt;
+}
+
+}  // namespace ob::comm

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/can.hpp"
+
+namespace ob::comm {
+
+// ---------------------------------------------------------------------------
+// DMU (6-DOF IMU) wire protocol: two CAN frames per sample, gyro + accel,
+// paired by sequence number — the shape real automotive IMUs use since a
+// 6x16-bit sample does not fit one 8-byte CAN payload.
+// ---------------------------------------------------------------------------
+
+/// One full-rate DMU output sample in raw register units.
+struct DmuSample {
+    std::uint8_t seq = 0;
+    std::array<std::int16_t, 3> gyro{};   ///< angular rate, raw LSBs
+    std::array<std::int16_t, 3> accel{};  ///< specific force, raw LSBs
+    double t = 0.0;  ///< receive-side timestamp (filled by decoder)
+
+    friend bool operator==(const DmuSample& a, const DmuSample& b) {
+        return a.seq == b.seq && a.gyro == b.gyro && a.accel == b.accel;
+    }
+};
+
+/// Fixed-point scaling of the DMU registers, from the datasheet-style
+/// ranges: gyro +-100 deg/s, accel +-2 g over int16.
+struct DmuScale {
+    double gyro_lsb_rad_s = (100.0 * 3.14159265358979323846 / 180.0) / 32768.0;
+    double accel_lsb_mps2 = (2.0 * 9.80665) / 32768.0;
+
+    [[nodiscard]] std::int16_t rate_to_raw(double rad_s) const;
+    [[nodiscard]] std::int16_t accel_to_raw(double mps2) const;
+    [[nodiscard]] double raw_to_rate(std::int16_t raw) const {
+        return raw * gyro_lsb_rad_s;
+    }
+    [[nodiscard]] double raw_to_accel(std::int16_t raw) const {
+        return raw * accel_lsb_mps2;
+    }
+};
+
+/// Encoder/decoder for the DMU's two-frame CAN protocol.
+class DmuCodec {
+public:
+    static constexpr std::uint16_t kGyroFrameId = 0x100;
+    static constexpr std::uint16_t kAccelFrameId = 0x101;
+
+    /// Encode one sample as its gyro and accel frames.
+    [[nodiscard]] static std::pair<CanFrame, CanFrame> encode(const DmuSample& s);
+
+    /// Feed one received frame; returns a complete sample once both halves
+    /// with matching sequence numbers have arrived. Mismatched or corrupt
+    /// frames are dropped and counted.
+    [[nodiscard]] std::optional<DmuSample> feed(const CanFrame& f, double t);
+
+    [[nodiscard]] std::size_t bad_checksum() const { return bad_checksum_; }
+    [[nodiscard]] std::size_t seq_mismatches() const { return seq_mismatch_; }
+
+private:
+    std::optional<CanFrame> pending_gyro_;
+    double pending_t_ = 0.0;
+    std::size_t bad_checksum_ = 0;
+    std::size_t seq_mismatch_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ADXL202 two-axis accelerometer: the physical part outputs PWM duty cycle
+// (T1 high-time over period T2, 12.5% duty per g around 50%); a counter
+// samples the timings and ships them over RS232. This codec reproduces the
+// datasheet transfer function including counter quantization.
+// ---------------------------------------------------------------------------
+
+/// Static configuration of the duty-cycle measurement chain.
+struct AdxlConfig {
+    double timer_hz = 10e6;     ///< timing counter frequency
+    double t2_s = 0.01;         ///< PWM period (100 Hz sample rate)
+    double duty_per_g = 0.125;  ///< datasheet: 12.5% duty cycle per g
+    double zero_g_duty = 0.5;   ///< 50% duty at 0 g
+    double g = 9.80665;
+    double range_g = 2.0;       ///< clip beyond +-2 g
+
+    [[nodiscard]] std::uint32_t t2_ticks() const {
+        return static_cast<std::uint32_t>(timer_hz * t2_s + 0.5);
+    }
+};
+
+/// Raw timing observation for one ADXL202 PWM cycle.
+struct AdxlTiming {
+    std::uint8_t seq = 0;
+    std::uint32_t t1x = 0;  ///< x-axis high time, timer ticks
+    std::uint32_t t1y = 0;  ///< y-axis high time, timer ticks
+    std::uint32_t t2 = 0;   ///< shared period, timer ticks
+    double t = 0.0;         ///< receive-side timestamp (filled by decoder)
+
+    friend bool operator==(const AdxlTiming& a, const AdxlTiming& b) {
+        return a.seq == b.seq && a.t1x == b.t1x && a.t1y == b.t1y && a.t2 == b.t2;
+    }
+};
+
+/// Convert accelerations (m/s^2, sensor axes) to quantized PWM timings.
+[[nodiscard]] AdxlTiming adxl_encode(double ax_mps2, double ay_mps2,
+                                     std::uint8_t seq, const AdxlConfig& cfg);
+
+/// Invert the duty-cycle transfer function back to m/s^2.
+[[nodiscard]] std::pair<double, double> adxl_decode(const AdxlTiming& timing,
+                                                    const AdxlConfig& cfg);
+
+/// Plausibility filter for received timings: the PWM period must be near
+/// its configured nominal and the duty cycles inside the physical +-2g
+/// band (plus margin). Rejects the rare corrupted packet whose additive
+/// checksum still matched — without this, one wild sample (a flipped high
+/// bit reads as tens of g) can wreck the fusion filter.
+[[nodiscard]] bool adxl_plausible(const AdxlTiming& timing,
+                                  const AdxlConfig& cfg);
+
+/// Serial packet: [0xA5][seq][t1x 24-bit LE][t1y][t2][checksum].
+inline constexpr std::uint8_t kAdxlSync = 0xA5;
+inline constexpr std::size_t kAdxlPacketSize = 12;
+
+[[nodiscard]] std::vector<std::uint8_t> adxl_serialize(const AdxlTiming& t);
+
+/// Incremental deserializer with resynchronization on the 0xA5 marker.
+class AdxlDeserializer {
+public:
+    /// Feed one serial byte; yields a timing record when a packet with a
+    /// valid checksum completes.
+    [[nodiscard]] std::optional<AdxlTiming> feed(std::uint8_t byte, double t);
+
+    [[nodiscard]] std::size_t bad_checksum() const { return bad_checksum_; }
+    [[nodiscard]] std::size_t resyncs() const { return resyncs_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t bad_checksum_ = 0;
+    std::size_t resyncs_ = 0;
+};
+
+}  // namespace ob::comm

@@ -1,0 +1,53 @@
+#include "comm/slip.hpp"
+
+namespace ob::comm::slip {
+
+std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> out;
+    out.reserve(payload.size() + 2);
+    out.push_back(kEnd);
+    for (const std::uint8_t b : payload) {
+        if (b == kEnd) {
+            out.push_back(kEsc);
+            out.push_back(kEscEnd);
+        } else if (b == kEsc) {
+            out.push_back(kEsc);
+            out.push_back(kEscEsc);
+        } else {
+            out.push_back(b);
+        }
+    }
+    out.push_back(kEnd);
+    return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Decoder::feed(std::uint8_t byte) {
+    if (byte == kEnd) {
+        escaping_ = false;
+        if (buf_.empty()) return std::nullopt;  // back-to-back delimiters
+        std::vector<std::uint8_t> frame;
+        frame.swap(buf_);
+        return frame;
+    }
+    if (escaping_) {
+        escaping_ = false;
+        if (byte == kEscEnd) {
+            buf_.push_back(kEnd);
+        } else if (byte == kEscEsc) {
+            buf_.push_back(kEsc);
+        } else {
+            // Protocol violation: drop the partial frame.
+            buf_.clear();
+            ++malformed_;
+        }
+        return std::nullopt;
+    }
+    if (byte == kEsc) {
+        escaping_ = true;
+        return std::nullopt;
+    }
+    buf_.push_back(byte);
+    return std::nullopt;
+}
+
+}  // namespace ob::comm::slip

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ob::comm {
+
+/// SLIP (RFC 1055) byte-stuffing framer, used by the CAN→RS232 bridge to
+/// delimit CAN frames on the serial line.
+namespace slip {
+
+inline constexpr std::uint8_t kEnd = 0xC0;
+inline constexpr std::uint8_t kEsc = 0xDB;
+inline constexpr std::uint8_t kEscEnd = 0xDC;
+inline constexpr std::uint8_t kEscEsc = 0xDD;
+
+/// Encode one payload as a delimited SLIP frame (END payload END).
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const std::vector<std::uint8_t>& payload);
+
+/// Incremental decoder: feed bytes, collect complete frames.
+class Decoder {
+public:
+    /// Feed one byte; returns a complete payload when a frame closes.
+    [[nodiscard]] std::optional<std::vector<std::uint8_t>> feed(std::uint8_t byte);
+
+    /// Frames abandoned due to bad escape sequences.
+    [[nodiscard]] std::size_t malformed() const { return malformed_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+    bool escaping_ = false;
+    std::size_t malformed_ = 0;
+};
+
+}  // namespace slip
+}  // namespace ob::comm

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ob::comm {
+
+/// A byte received from a UART together with its completion timestamp and
+/// framing status.
+struct UartByte {
+    std::uint8_t value = 0;
+    double t = 0.0;
+    bool framing_error = false;
+};
+
+/// Fault-injection knobs for serial links; all probabilities are per byte.
+struct UartFaults {
+    double drop_probability = 0.0;      ///< byte silently lost
+    double bit_flip_probability = 0.0;  ///< one random data bit inverted
+    double framing_error_probability = 0.0;  ///< stop-bit violation flagged
+};
+
+/// Point-to-point asynchronous serial link (8N1 framing: 1 start, 8 data,
+/// 1 stop = 10 bit times per byte). Models transmission delay, sender
+/// back-pressure (bytes serialize after the previous byte finishes) and
+/// optional fault injection. The ACC in the paper talks RS232 directly; the
+/// DMU reaches RS232 through the CAN bridge.
+class UartLink {
+public:
+    explicit UartLink(double baud = 115200.0, UartFaults faults = {},
+                      std::uint64_t fault_seed = 1)
+        : baud_(baud), faults_(faults), rng_(fault_seed) {}
+
+    /// Queue one byte for transmission at time `t_request` (seconds). The
+    /// byte starts after both `t_request` and the previous byte's end.
+    void send(std::uint8_t byte, double t_request);
+
+    /// Queue a byte sequence back-to-back.
+    void send(const std::vector<std::uint8_t>& bytes, double t_request);
+
+    /// Pop every byte fully received by time `t`, in order.
+    [[nodiscard]] std::vector<UartByte> receive_until(double t);
+
+    /// Seconds to transmit one byte (10 bit times).
+    [[nodiscard]] double byte_time() const { return 10.0 / baud_; }
+
+    [[nodiscard]] double baud() const { return baud_; }
+    [[nodiscard]] std::size_t bytes_dropped() const { return dropped_; }
+    [[nodiscard]] std::size_t bytes_corrupted() const { return corrupted_; }
+
+private:
+    double baud_;
+    UartFaults faults_;
+    ob::util::Rng rng_;
+    double line_busy_until_ = 0.0;
+    std::deque<UartByte> in_flight_;
+    std::size_t dropped_ = 0;
+    std::size_t corrupted_ = 0;
+};
+
+}  // namespace ob::comm

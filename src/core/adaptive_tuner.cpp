@@ -1,0 +1,35 @@
+#include "core/adaptive_tuner.hpp"
+
+#include <algorithm>
+
+namespace ob::core {
+
+double AdaptiveNoiseTuner::observe(const math::Vec2& residual,
+                                   const math::Vec2& sigma3,
+                                   double current_sigma) {
+    monitor_.add(residual, sigma3);
+    ++since_change_;
+    if (since_change_ < cfg_.min_samples) return -1.0;
+
+    const double rate = monitor_.windowed_rate();
+    if (rate > cfg_.raise_threshold) {
+        const double next =
+            std::min(current_sigma * cfg_.raise_factor, cfg_.ceiling_mps2);
+        if (next > current_sigma) {
+            since_change_ = 0;
+            ++adjustments_;
+            return next;
+        }
+    } else if (rate < cfg_.lower_threshold) {
+        const double next =
+            std::max(current_sigma * cfg_.lower_factor, cfg_.floor_mps2);
+        if (next < current_sigma) {
+            since_change_ = 0;
+            ++adjustments_;
+            return next;
+        }
+    }
+    return -1.0;
+}
+
+}  // namespace ob::core

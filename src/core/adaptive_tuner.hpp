@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/residual_monitor.hpp"
+
+namespace ob::core {
+
+/// Automates the paper's manual retuning loop: §11 raised the assumed
+/// measurement noise from 0.003–0.01 m/s² to 0.015+ m/s² by inspecting
+/// residual exceedances when the vehicle started moving. This tuner
+/// watches the windowed 3-sigma exceedance rate and scales the filter's R
+/// accordingly, bounded to [floor, ceiling].
+struct AdaptiveTunerConfig {
+    double floor_mps2 = 0.003;     ///< paper's quietest static tuning
+    double ceiling_mps2 = 0.10;
+    double raise_threshold = 0.02; ///< windowed rate that triggers a raise
+    double lower_threshold = 1e-4; ///< windowed rate that permits a cut
+    double raise_factor = 1.5;
+    double lower_factor = 0.9;
+    std::size_t window = 1000;     ///< per-axis samples per decision window
+    std::size_t min_samples = 600; ///< don't act before this many samples
+};
+
+class AdaptiveNoiseTuner {
+public:
+    explicit AdaptiveNoiseTuner(AdaptiveTunerConfig cfg = {})
+        : cfg_(cfg), monitor_(cfg.window) {}
+
+    /// Feed one residual epoch; returns the recommended measurement noise
+    /// (1-sigma, m/s²) or a negative value when no change is advised.
+    [[nodiscard]] double observe(const math::Vec2& residual,
+                                 const math::Vec2& sigma3, double current_sigma);
+
+    [[nodiscard]] const ResidualMonitor& monitor() const { return monitor_; }
+    [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
+
+private:
+    AdaptiveTunerConfig cfg_;
+    ResidualMonitor monitor_;
+    std::size_t since_change_ = 0;
+    std::size_t adjustments_ = 0;
+};
+
+}  // namespace ob::core

@@ -1,0 +1,54 @@
+#include "core/alignment_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ob::core {
+
+double AlignmentResult::max_error_deg() const {
+    return std::max({std::abs(error_deg(0)), std::abs(error_deg(1)),
+                     std::abs(error_deg(2))});
+}
+
+bool AlignmentResult::within_confidence() const {
+    const auto t = truth.vec();
+    const auto e = estimate.vec();
+    for (std::size_t i = 0; i < 3; ++i) {
+        if (std::abs(e[i] - t[i]) > sigma3_rad[i]) return false;
+    }
+    return true;
+}
+
+std::string alignment_table_header() {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%-22s | %21s | %21s | %21s | %9s | %6s",
+                  "test", "roll true/est/3s", "pitch true/est/3s",
+                  "yaw true/est/3s", "res rms", ">3s %");
+    std::string s(buf);
+    s += '\n';
+    s += std::string(s.size() - 1, '-');
+    return s;
+}
+
+std::string alignment_table_row(const AlignmentResult& r) {
+    const auto fmt_axis = [](double truth_rad, double est_rad,
+                             double s3_rad) {
+        char b[64];
+        std::snprintf(b, sizeof b, "%+6.2f %+6.3f %6.3f",
+                      math::rad2deg(truth_rad), math::rad2deg(est_rad),
+                      math::rad2deg(s3_rad));
+        return std::string(b);
+    };
+    char buf[320];
+    std::snprintf(buf, sizeof buf, "%-22s | %s | %s | %s | %9.5f | %6.3f",
+                  r.label.c_str(),
+                  fmt_axis(r.truth.roll, r.estimate.roll, r.sigma3_rad[0]).c_str(),
+                  fmt_axis(r.truth.pitch, r.estimate.pitch, r.sigma3_rad[1]).c_str(),
+                  fmt_axis(r.truth.yaw, r.estimate.yaw, r.sigma3_rad[2]).c_str(),
+                  r.residual_rms, 100.0 * r.exceedance_rate);
+    return std::string(buf);
+}
+
+}  // namespace ob::core

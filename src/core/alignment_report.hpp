@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+
+namespace ob::core {
+
+/// Result summary of one alignment experiment, in the shape of a Table 1
+/// row of the paper: injected truth vs estimate per axis with 3-sigma
+/// confidence, plus filter health metrics.
+struct AlignmentResult {
+    std::string label;
+    math::EulerAngles truth{};
+    math::EulerAngles estimate{};
+    math::Vec3 sigma3_rad{};      ///< 3σ per angle (rad)
+    double residual_rms = 0.0;    ///< m/s²
+    double exceedance_rate = 0.0; ///< 3σ exceedances per axis-sample
+    double meas_noise = 0.0;      ///< final filter R 1-sigma (m/s²)
+    double duration_s = 0.0;
+
+    [[nodiscard]] double error_deg(int axis) const {
+        const auto t = truth.vec();
+        const auto e = estimate.vec();
+        return math::rad2deg(e[static_cast<std::size_t>(axis)] -
+                             t[static_cast<std::size_t>(axis)]);
+    }
+
+    /// Largest per-axis error magnitude in degrees.
+    [[nodiscard]] double max_error_deg() const;
+
+    /// True when every axis error is inside its reported 3σ bound.
+    [[nodiscard]] bool within_confidence() const;
+};
+
+/// Fixed-width table formatting shared by the Table 1 bench and examples.
+[[nodiscard]] std::string alignment_table_header();
+[[nodiscard]] std::string alignment_table_row(const AlignmentResult& r);
+
+}  // namespace ob::core

@@ -1,0 +1,88 @@
+#include "core/batch_aligner.hpp"
+
+#include <cmath>
+
+#include "core/boresight_ekf.hpp"
+
+namespace ob::core {
+
+using math::Mat;
+using math::Vec2;
+using math::Vec3;
+
+void BatchLeastSquaresAligner::add(const Vec3& f_body,
+                                   const Vec2& f_sensor_xy) {
+    f_body_.push_back(f_body);
+    z_.push_back(f_sensor_xy);
+}
+
+BatchLeastSquaresAligner::Solution BatchLeastSquaresAligner::solve(
+    int max_iterations, double tol_rad) const {
+    if (f_body_.empty()) throw std::domain_error("BatchAligner: no data");
+
+    math::Vec<5> x{};  // [rho; bias]
+    Solution sol;
+
+    for (int it = 0; it < max_iterations; ++it) {
+        Mat<5, 5> jtj;
+        math::Vec<5> jtr{};
+        double ssr = 0.0;
+
+        const Vec3 rho{x[0], x[1], x[2]};
+        const Vec2 bias{x[3], x[4]};
+        const math::Mat3 c =
+            math::dcm_from_euler(math::EulerAngles::from_vec(rho));
+
+        for (std::size_t k = 0; k < f_body_.size(); ++k) {
+            const Vec2 pred =
+                BoresightEkf::predict_measurement(rho, bias, f_body_[k]);
+            const Vec2 r = z_[k] - pred;
+            ssr += math::dot(r, r);
+
+            // Same first-order Jacobian as the EKF's analytic mode.
+            const math::Mat3 sk = math::skew(c * f_body_[k]);
+            Mat<2, 5> h;
+            for (std::size_t rr = 0; rr < 2; ++rr)
+                for (std::size_t cc = 0; cc < 3; ++cc) h(rr, cc) = sk(rr, cc);
+            h(0, 3) = 1.0;
+            h(1, 4) = 1.0;
+
+            jtj += h.transposed() * h;
+            jtr += h.transposed() * r;
+        }
+
+        if (!estimate_bias_) {
+            // Remove the bias block from the system: pin to zero with a
+            // dominant diagonal and zero gradient.
+            for (std::size_t i = 3; i < 5; ++i) {
+                for (std::size_t j = 0; j < 5; ++j) {
+                    jtj(i, j) = 0.0;
+                    jtj(j, i) = 0.0;
+                }
+                jtj(i, i) = 1.0;
+                jtr[i] = 0.0;
+            }
+        }
+
+        // Levenberg damping keeps the normal equations solvable when an
+        // axis is unobservable (level-static yaw): that axis simply stays
+        // at its prior (zero), mirroring what an optical one-shot alignment
+        // cannot even attempt.
+        const double damping = 1e-9 * (1.0 + jtj.trace());
+        for (std::size_t i = 0; i < 5; ++i) jtj(i, i) += damping;
+        const math::Vec<5> dx = math::solve(jtj, jtr);
+        x += dx;
+        sol.iterations = it + 1;
+        sol.rms_residual =
+            std::sqrt(ssr / (2.0 * static_cast<double>(f_body_.size())));
+        if (Vec3{dx[0], dx[1], dx[2]}.max_abs() < tol_rad) {
+            sol.converged = true;
+            break;
+        }
+    }
+    sol.misalignment = math::EulerAngles{x[0], x[1], x[2]};
+    sol.bias = Vec2{x[3], x[4]};
+    return sol;
+}
+
+}  // namespace ob::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+
+namespace ob::core {
+
+/// Baseline comparator: batch (Gauss-Newton) least-squares alignment over
+/// a full recorded run. This stands in for the state of the art the paper
+/// argues against — one-shot alignment (optical/mechanical, or offline
+/// post-processing) that produces a single estimate with no covariance
+/// tracking and no ability to follow in-service changes.
+///
+/// Solves min_x sum_k || z_k - h(x; f_k) ||² with the same measurement
+/// model as the EKF (misalignment Euler angles + optional ACC biases).
+class BatchLeastSquaresAligner {
+public:
+    explicit BatchLeastSquaresAligner(bool estimate_bias = false)
+        : estimate_bias_(estimate_bias) {}
+
+    /// Accumulate one epoch (IMU body specific force + ACC x'/y' reading).
+    void add(const math::Vec3& f_body, const math::Vec2& f_sensor_xy);
+
+    [[nodiscard]] std::size_t samples() const { return f_body_.size(); }
+
+    struct Solution {
+        math::EulerAngles misalignment{};
+        math::Vec2 bias{};
+        double rms_residual = 0.0;  ///< m/s² after convergence
+        int iterations = 0;
+        bool converged = false;
+    };
+
+    /// Run Gauss-Newton from zero initial guess. Throws std::domain_error
+    /// if the normal equations are singular (e.g. level-static data with
+    /// bias estimation on: yaw/bias unobservable).
+    [[nodiscard]] Solution solve(int max_iterations = 10,
+                                 double tol_rad = 1e-10) const;
+
+private:
+    bool estimate_bias_;
+    std::vector<math::Vec3> f_body_;
+    std::vector<math::Vec2> z_;
+};
+
+}  // namespace ob::core

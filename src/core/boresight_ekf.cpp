@@ -1,0 +1,144 @@
+#include "core/boresight_ekf.hpp"
+
+namespace ob::core {
+
+using math::EulerAngles;
+using math::Mat;
+using math::Vec2;
+using math::Vec3;
+
+namespace {
+
+[[nodiscard]] Mat<5, 5> initial_covariance(const BoresightConfig& cfg) {
+    Mat<5, 5> p;
+    for (std::size_t i = 0; i < 3; ++i)
+        p(i, i) = cfg.init_angle_sigma * cfg.init_angle_sigma;
+    const double bs = cfg.estimate_bias ? cfg.init_bias_sigma : 0.0;
+    for (std::size_t i = 3; i < 5; ++i) p(i, i) = bs * bs;
+    return p;
+}
+
+[[nodiscard]] Mat<5, 5> process_noise(const BoresightConfig& cfg) {
+    Mat<5, 5> q;
+    for (std::size_t i = 0; i < 3; ++i)
+        q(i, i) = cfg.angle_process_noise * cfg.angle_process_noise;
+    const double bq = cfg.estimate_bias ? cfg.bias_process_noise : 0.0;
+    for (std::size_t i = 3; i < 5; ++i) q(i, i) = bq * bq;
+    return q;
+}
+
+}  // namespace
+
+BoresightEkf::BoresightEkf(const BoresightConfig& cfg)
+    : cfg_(cfg),
+      meas_sigma_(cfg.meas_noise_mps2),
+      ekf_(math::Vec<5>{}, initial_covariance(cfg)) {}
+
+void BoresightEkf::reset() {
+    ekf_.set_state(math::Vec<5>{});
+    ekf_.set_covariance(initial_covariance(cfg_));
+    meas_sigma_ = cfg_.meas_noise_mps2;
+    updates_ = 0;
+}
+
+Vec2 BoresightEkf::predict_measurement(const Vec3& rho_euler, const Vec2& bias,
+                                       const Vec3& f_body) {
+    const math::Mat3 c =
+        math::dcm_from_euler(EulerAngles::from_vec(rho_euler));
+    const Vec3 f_sensor = c * f_body;
+    return Vec2{f_sensor[0] + bias[0], f_sensor[1] + bias[1]};
+}
+
+Mat<2, 5> BoresightEkf::jacobian(const Vec3& f_body) const {
+    Mat<2, 5> h;
+    const auto& x = ekf_.state();
+    const Vec3 rho{x[0], x[1], x[2]};
+    const Vec2 b{x[3], x[4]};
+
+    if (cfg_.jacobian == JacobianMode::kAnalyticSmallAngle) {
+        // Perturb the estimated rotation by a small rotation vector δ in
+        // the sensor frame: C(ρ⊕δ) ≈ (I - [δ×]) C(ρ), so
+        //   h(ρ⊕δ) ≈ h(ρ) + rows_xy(skew(C·f_b)) δ.
+        // For misalignments of a few degrees the Euler-angle state and the
+        // rotation-vector perturbation agree to first order.
+        const math::Mat3 c = math::dcm_from_euler(EulerAngles::from_vec(rho));
+        const math::Mat3 sk = math::skew(c * f_body);
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t ccol = 0; ccol < 3; ++ccol) h(r, ccol) = sk(r, ccol);
+    } else {
+        // Central differences on the exact model, per Euler component.
+        constexpr double kStep = 1e-6;
+        for (std::size_t j = 0; j < 3; ++j) {
+            Vec3 lo = rho, hi = rho;
+            lo[j] -= kStep;
+            hi[j] += kStep;
+            const Vec2 dlo = predict_measurement(lo, b, f_body);
+            const Vec2 dhi = predict_measurement(hi, b, f_body);
+            for (std::size_t r = 0; r < 2; ++r)
+                h(r, j) = (dhi[r] - dlo[r]) / (2.0 * kStep);
+        }
+    }
+    // Bias columns: identity into the matching measurement axis.
+    h(0, 3) = 1.0;
+    h(1, 4) = 1.0;
+    return h;
+}
+
+BoresightEkf::Update BoresightEkf::step_with_rates(const Vec3& f_body,
+                                                   const Vec3& omega,
+                                                   const Vec3& omega_dot,
+                                                   const Vec2& f_sensor_xy) {
+    const Vec3 lever = math::cross(omega_dot, cfg_.lever_arm) +
+                       math::cross(omega, math::cross(omega, cfg_.lever_arm));
+    return step(f_body + lever, f_sensor_xy);
+}
+
+BoresightEkf::Update BoresightEkf::step(const Vec3& f_body,
+                                        const Vec2& f_sensor_xy) {
+    ekf_.predict_static(process_noise(cfg_));
+
+    const auto& x = ekf_.state();
+    const Vec2 z_pred = predict_measurement(Vec3{x[0], x[1], x[2]},
+                                            Vec2{x[3], x[4]}, f_body);
+    const Mat<2, 5> h = jacobian(f_body);
+    Mat<2, 2> r;
+    r(0, 0) = meas_sigma_ * meas_sigma_;
+    r(1, 1) = meas_sigma_ * meas_sigma_;
+
+    const auto res =
+        ekf_.update(f_sensor_xy, z_pred, h, r, cfg_.nis_gate);
+    if (res.accepted) ++updates_;
+
+    Update out;
+    out.residual = res.innovation;
+    out.sigma3 = Vec2{3.0 * std::sqrt(res.s(0, 0)), 3.0 * std::sqrt(res.s(1, 1))};
+    out.nis = res.nis;
+    out.used = res.accepted;
+    return out;
+}
+
+EulerAngles BoresightEkf::misalignment() const {
+    const auto& x = ekf_.state();
+    return EulerAngles{x[0], x[1], x[2]};
+}
+
+Vec3 BoresightEkf::misalignment_sigma3() const {
+    return Vec3{3.0 * ekf_.sigma(0), 3.0 * ekf_.sigma(1), 3.0 * ekf_.sigma(2)};
+}
+
+Vec2 BoresightEkf::bias() const {
+    const auto& x = ekf_.state();
+    return Vec2{x[3], x[4]};
+}
+
+Vec2 BoresightEkf::bias_sigma3() const {
+    return Vec2{3.0 * ekf_.sigma(3), 3.0 * ekf_.sigma(4)};
+}
+
+void BoresightEkf::set_measurement_noise(double sigma_mps2) {
+    if (!(sigma_mps2 > 0.0))
+        throw std::invalid_argument("measurement noise must be positive");
+    meas_sigma_ = sigma_mps2;
+}
+
+}  // namespace ob::core

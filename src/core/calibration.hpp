@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/boresight_ekf.hpp"
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+
+namespace ob::core {
+
+/// The paper's pre-test procedure ("the instruments were calibrated using
+/// a level test platform", §11.1): with the sensor at a *known* alignment,
+/// the mean difference between the ACC reading and the prediction from the
+/// IMU is the combined instrument bias, which is then subtracted during
+/// the actual alignment run.
+///
+/// Accumulates z - h(known_misalignment, 0, f_body) and reports its mean
+/// and standard error.
+class CalibrationAccumulator {
+public:
+    explicit CalibrationAccumulator(
+        math::EulerAngles known_misalignment = {})
+        : known_(known_misalignment) {}
+
+    void add(const math::Vec3& f_body, const math::Vec2& z) {
+        const math::Vec2 pred = BoresightEkf::predict_measurement(
+            known_.vec(), math::Vec2{}, f_body);
+        const math::Vec2 d = z - pred;
+        for (std::size_t i = 0; i < 2; ++i) {
+            sum_[i] += d[i];
+            sumsq_[i] += d[i] * d[i];
+        }
+        ++n_;
+    }
+
+    [[nodiscard]] std::size_t samples() const { return n_; }
+
+    /// Estimated combined bias (subtract from subsequent ACC readings).
+    [[nodiscard]] math::Vec2 bias() const {
+        if (n_ == 0) return {};
+        return math::Vec2{sum_[0] / static_cast<double>(n_),
+                          sum_[1] / static_cast<double>(n_)};
+    }
+
+    /// Standard error of the bias estimate per axis.
+    [[nodiscard]] math::Vec2 bias_stderr() const {
+        if (n_ < 2) return {};
+        math::Vec2 out;
+        const auto n = static_cast<double>(n_);
+        for (std::size_t i = 0; i < 2; ++i) {
+            const double mean = sum_[i] / n;
+            const double var = (sumsq_[i] - n * mean * mean) / (n - 1.0);
+            out[i] = std::sqrt(std::max(var, 0.0) / n);
+        }
+        return out;
+    }
+
+    /// Observed per-sample measurement noise — a principled initial R for
+    /// the fusion filter (this is how the paper's "good measurement noise
+    /// value" was selected from residuals).
+    [[nodiscard]] double noise_sigma() const {
+        if (n_ < 2) return 0.0;
+        const auto n = static_cast<double>(n_);
+        double var = 0.0;
+        for (std::size_t i = 0; i < 2; ++i) {
+            const double mean = sum_[i] / n;
+            var += (sumsq_[i] - n * mean * mean) / (n - 1.0);
+        }
+        return std::sqrt(var / 2.0);
+    }
+
+private:
+    math::EulerAngles known_;
+    double sum_[2] = {0.0, 0.0};
+    double sumsq_[2] = {0.0, 0.0};
+    std::size_t n_ = 0;
+};
+
+}  // namespace ob::core

@@ -1,0 +1,165 @@
+#include "core/fixed_ekf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ob::core {
+
+namespace {
+// GCC/Clang 128-bit integer; the __extension__ marker silences -Wpedantic.
+__extension__ typedef __int128 i128;
+}  // namespace
+
+using math::Vec2;
+using math::Vec3;
+
+FixedBoresightEkf::Q FixedBoresightEkf::to_q(double v) {
+    const double scaled = v * 4294967296.0;  // 2^32
+    if (scaled >= 9.2e18 || scaled <= -9.2e18)
+        throw std::overflow_error("FixedBoresightEkf: Q32.32 overflow");
+    return static_cast<Q>(std::llround(scaled));
+}
+
+double FixedBoresightEkf::from_q(Q v) {
+    return static_cast<double>(v) / 4294967296.0;
+}
+
+FixedBoresightEkf::Q FixedBoresightEkf::qmul(Q a, Q b) {
+    i128 p = static_cast<i128>(a) * b;
+    p += static_cast<i128>(1) << (kFrac - 1);  // round half up
+    return static_cast<Q>(p >> kFrac);
+}
+
+FixedBoresightEkf::Q FixedBoresightEkf::qdiv(Q a, Q b) {
+    if (b == 0) throw std::domain_error("FixedBoresightEkf: divide by zero");
+    const i128 n = static_cast<i128>(a) << kFrac;
+    return static_cast<Q>(n / b);
+}
+
+FixedBoresightEkf::FixedBoresightEkf() : FixedBoresightEkf(Config{}) {}
+
+FixedBoresightEkf::FixedBoresightEkf(const Config& cfg) {
+    for (int i = 0; i < 3; ++i) {
+        x_[i] = 0;
+        for (int j = 0; j < 3; ++j) p_[i][j] = 0;
+        p_[i][i] = to_q(cfg.init_angle_sigma * cfg.init_angle_sigma);
+    }
+    q_proc_ = to_q(cfg.angle_process_noise * cfg.angle_process_noise);
+    r_meas_ = to_q(cfg.meas_noise_mps2 * cfg.meas_noise_mps2);
+}
+
+FixedBoresightEkf::Update FixedBoresightEkf::step(const Vec3& f_body,
+                                                  const Vec2& f_sensor_xy) {
+    // Boundary conversion: SI doubles -> Q32.32 (a deployed system would
+    // convert from the sensor registers' native fixed point directly).
+    const Q f0 = to_q(f_body[0]);
+    const Q f1 = to_q(f_body[1]);
+    const Q f2 = to_q(f_body[2]);
+    const Q z0 = to_q(f_sensor_xy[0]);
+    const Q z1 = to_q(f_sensor_xy[1]);
+
+    // Predict: P += Q.
+    for (int i = 0; i < 3; ++i) p_[i][i] += q_proc_;
+
+    // Small-angle measurement model, H = [[0,-f2,f1],[f2,0,-f0]]:
+    //   zp0 = f0 - f2*x1 + f1*x2;  zp1 = f1 + f2*x0 - f0*x2.
+    const Q zp0 = f0 - qmul(f2, x_[1]) + qmul(f1, x_[2]);
+    const Q zp1 = f1 + qmul(f2, x_[0]) - qmul(f0, x_[2]);
+    const Q h[2][3] = {{0, -f2, f1}, {f2, 0, -f0}};
+
+    // PHT = P * H^T (3x2).
+    Q pht[3][2];
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            i128 acc = 0;
+            for (int k = 0; k < 3; ++k)
+                acc += static_cast<i128>(p_[i][k]) * h[j][k];
+            acc += static_cast<i128>(1) << (kFrac - 1);
+            pht[i][j] = static_cast<Q>(acc >> kFrac);
+        }
+    }
+
+    // S = H*PHT + R*I (2x2), kept at full product precision (Q64.64 in
+    // 128 bits) until the inverse, so the small determinant at convergence
+    // doesn't drown in quantization.
+    i128 s[2][2];
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            i128 acc = 0;
+            for (int k = 0; k < 3; ++k)
+                acc += static_cast<i128>(h[i][k]) * pht[k][j];
+            if (i == j) acc += static_cast<i128>(r_meas_) << kFrac;
+            s[i][j] = acc;  // Q64.64
+        }
+    }
+
+    // K = PHT * S^-1 via the adjugate: K = PHT * adj(S) / det(S).
+    // det in Q128.128 would overflow; scale s back to Q32.32 first but
+    // keep the division exact with 128-bit dividends.
+    const Q s00 = static_cast<Q>(s[0][0] >> kFrac);
+    const Q s01 = static_cast<Q>(s[0][1] >> kFrac);
+    const Q s10 = static_cast<Q>(s[1][0] >> kFrac);
+    const Q s11 = static_cast<Q>(s[1][1] >> kFrac);
+    const i128 det128 = static_cast<i128>(s00) * s11 -
+                            static_cast<i128>(s01) * s10;  // Q64.64
+    if (det128 == 0)
+        throw std::domain_error("FixedBoresightEkf: singular innovation");
+
+    const Q nu0 = z0 - zp0;
+    const Q nu1 = z1 - zp1;
+
+    Q k_gain[3][2];
+    for (int i = 0; i < 3; ++i) {
+        // adj(S) rows applied to PHT row i: Q64.64 numerators.
+        const i128 n0 = static_cast<i128>(pht[i][0]) * s11 -
+                            static_cast<i128>(pht[i][1]) * s10;
+        const i128 n1 = static_cast<i128>(pht[i][1]) * s00 -
+                            static_cast<i128>(pht[i][0]) * s01;
+        // (Q64.64 / Q64.64) << 32 -> Q32.32.
+        k_gain[i][0] = static_cast<Q>((n0 << kFrac) / det128);
+        k_gain[i][1] = static_cast<Q>((n1 << kFrac) / det128);
+    }
+
+    // State update.
+    for (int i = 0; i < 3; ++i)
+        x_[i] += qmul(k_gain[i][0], nu0) + qmul(k_gain[i][1], nu1);
+
+    // Covariance update P -= K * PHT^T, then symmetrize.
+    Q newp[3][3];
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            const Q kpht =
+                qmul(k_gain[i][0], pht[j][0]) + qmul(k_gain[i][1], pht[j][1]);
+            newp[i][j] = p_[i][j] - kpht;
+        }
+    }
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            p_[i][j] = (newp[i][j] + newp[j][i]) / 2;
+        }
+    }
+    // Clamp the diagonal at one LSB: quantization must not produce a
+    // negative variance.
+    for (int i = 0; i < 3; ++i) {
+        if (p_[i][i] < 1) p_[i][i] = 1;
+    }
+
+    Update out;
+    out.residual = Vec2{from_q(nu0), from_q(nu1)};
+    const double s3x = 3.0 * std::sqrt(std::max(from_q(s00), 0.0));
+    const double s3y = 3.0 * std::sqrt(std::max(from_q(s11), 0.0));
+    out.sigma3 = Vec2{s3x, s3y};
+    return out;
+}
+
+math::EulerAngles FixedBoresightEkf::misalignment() const {
+    return math::EulerAngles{from_q(x_[0]), from_q(x_[1]), from_q(x_[2])};
+}
+
+Vec3 FixedBoresightEkf::misalignment_sigma3() const {
+    return Vec3{3.0 * std::sqrt(std::max(from_q(p_[0][0]), 0.0)),
+                3.0 * std::sqrt(std::max(from_q(p_[1][1]), 0.0)),
+                3.0 * std::sqrt(std::max(from_q(p_[2][2]), 0.0))};
+}
+
+}  // namespace ob::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+
+namespace ob::core {
+
+/// The paper's stated future work, §12: "a full fixed-point analysis and
+/// conversion of the Sensor Fusion Algorithm from float to fixed-point
+/// calculations is possible" — this class is that conversion.
+///
+/// A 3-state small-angle boresight EKF computed entirely in Q32.32 fixed
+/// point (64-bit raws, 128-bit intermediates), matching the datapath an
+/// all-fabric implementation would synthesize (64-bit adders, 64x64
+/// multipliers, one wide divider for the 2x2 innovation inverse). The
+/// format analysis behind Q32.32:
+///
+///   quantity          magnitude          Q32.32 headroom
+///   specific force    <= 16 m/s²          2^31 range, 2.3e-10 LSB
+///   angles            <= 0.2 rad          ample
+///   covariance P      7.6e-3 .. ~1e-8     ~43 LSB at convergence floor
+///   S^-1              <= ~1.8e4           ample
+///
+/// The convergence floor of P is the binding constraint: at ~1e-8 rad²
+/// the LSB costs ~2% relative error, which bounds how far the reported
+/// sigma can shrink — exactly the kind of finding a real fixed-point
+/// conversion study produces (see bench/ablation_fixedpoint).
+///
+/// Floating point appears only at the API boundary (SI inputs in, reports
+/// out); every filter-loop operation is integer arithmetic.
+class FixedBoresightEkf {
+public:
+    /// Q32.32 raw value.
+    using Q = std::int64_t;
+    static constexpr int kFrac = 32;
+
+    struct Config {
+        double meas_noise_mps2 = 0.01;
+        double angle_process_noise = 2e-7;  ///< per-step random walk (rad)
+        double init_angle_sigma = math::deg2rad(5.0);
+    };
+
+    explicit FixedBoresightEkf(const Config& cfg);
+    FixedBoresightEkf();  ///< default configuration
+
+    struct Update {
+        math::Vec2 residual{};  ///< m/s² (converted for reporting)
+        math::Vec2 sigma3{};
+        bool used = true;
+    };
+    Update step(const math::Vec3& f_body, const math::Vec2& f_sensor_xy);
+
+    [[nodiscard]] math::EulerAngles misalignment() const;
+    [[nodiscard]] math::Vec3 misalignment_sigma3() const;
+
+    /// Raw state access for numerical studies.
+    [[nodiscard]] Q state_raw(int i) const { return x_[i]; }
+    [[nodiscard]] Q covariance_raw(int i, int j) const { return p_[i][j]; }
+
+    // --- Q32.32 primitives (exposed for unit testing) ---
+    [[nodiscard]] static Q to_q(double v);
+    [[nodiscard]] static double from_q(Q v);
+    /// Rounded Q32.32 multiply through a 128-bit intermediate.
+    [[nodiscard]] static Q qmul(Q a, Q b);
+    /// Q32.32 divide (a/b) through a 128-bit shifted dividend.
+    [[nodiscard]] static Q qdiv(Q a, Q b);
+
+private:
+    Q x_[3];        // misalignment angles
+    Q p_[3][3];     // covariance
+    Q q_proc_;      // process noise variance per step
+    Q r_meas_;      // measurement noise variance
+};
+
+}  // namespace ob::core

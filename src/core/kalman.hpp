@@ -1,0 +1,92 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "math/matrix.hpp"
+
+namespace ob::core {
+
+/// Generic fixed-size extended Kalman filter kernel.
+///
+/// The template carries only the algebra — predict and update with explicit
+/// Jacobians — so it can be unit-tested against textbook cases
+/// independently of the boresight measurement model built on top of it.
+///
+/// The covariance update uses the Joseph stabilized form
+///   P <- (I-KH) P (I-KH)ᵀ + K R Kᵀ
+/// followed by forced symmetrization, which keeps P positive semi-definite
+/// over the paper's 30 000-update runs.
+template <std::size_t Nx, std::size_t Nz>
+class Ekf {
+public:
+    using StateVec = math::Vec<Nx>;
+    using StateCov = math::Mat<Nx, Nx>;
+    using MeasVec = math::Vec<Nz>;
+    using MeasCov = math::Mat<Nz, Nz>;
+    using MeasJac = math::Mat<Nz, Nx>;
+    using Gain = math::Mat<Nx, Nz>;
+
+    Ekf(const StateVec& x0, const StateCov& p0) : x_(x0), p_(p0) {}
+
+    /// Diagnostics of one measurement update.
+    struct UpdateResult {
+        MeasVec innovation{};   ///< z - h(x) before the update
+        MeasCov s{};            ///< innovation covariance H P Hᵀ + R
+        double nis = 0.0;       ///< normalized innovation squared νᵀS⁻¹ν
+        bool accepted = true;   ///< false if rejected by the NIS gate
+    };
+
+    /// Time update with explicit transition Jacobian F and process noise Q.
+    void predict(const math::Mat<Nx, Nx>& f, const StateCov& q) {
+        x_ = f * x_;
+        p_ = (f * p_ * f.transposed() + q).symmetrized();
+    }
+
+    /// Time update for a static state (F = I): only adds process noise.
+    /// This is the boresight case — the mount doesn't move, it only creeps.
+    void predict_static(const StateCov& q) { p_ = (p_ + q).symmetrized(); }
+
+    /// Measurement update. `z` is the observation, `z_pred` = h(x̂), `h` the
+    /// measurement Jacobian at x̂ and `r` the measurement covariance.
+    /// If `nis_gate > 0`, updates whose NIS exceeds the gate are rejected
+    /// (state untouched) but still reported — the outlier-robustness hook.
+    UpdateResult update(const MeasVec& z, const MeasVec& z_pred,
+                        const MeasJac& h, const MeasCov& r,
+                        double nis_gate = 0.0) {
+        UpdateResult out;
+        out.innovation = z - z_pred;
+        out.s = (h * p_ * h.transposed() + r).symmetrized();
+        const MeasCov s_inv = math::inverse(out.s);
+        out.nis = math::dot(out.innovation, s_inv * out.innovation);
+        if (nis_gate > 0.0 && out.nis > nis_gate) {
+            out.accepted = false;
+            return out;
+        }
+        const Gain k = p_ * h.transposed() * s_inv;
+        x_ += k * out.innovation;
+        const auto ikh = math::Mat<Nx, Nx>::identity() - k * h;
+        p_ = (ikh * p_ * ikh.transposed() + k * r * k.transposed()).symmetrized();
+        return out;
+    }
+
+    [[nodiscard]] const StateVec& state() const noexcept { return x_; }
+    [[nodiscard]] const StateCov& covariance() const noexcept { return p_; }
+
+    /// Overwrite the state estimate (used by calibration/reset flows).
+    void set_state(const StateVec& x) { x_ = x; }
+    void set_covariance(const StateCov& p) { p_ = p.symmetrized(); }
+
+    /// 1-sigma of state component i (sqrt of the diagonal).
+    [[nodiscard]] double sigma(std::size_t i) const {
+        if (i >= Nx) throw std::out_of_range("Ekf::sigma index");
+        const double v = p_(i, i);
+        return v > 0.0 ? std::sqrt(v) : 0.0;
+    }
+
+private:
+    StateVec x_;
+    StateCov p_;
+};
+
+}  // namespace ob::core

@@ -1,0 +1,59 @@
+#include "core/multi_aligner.hpp"
+
+#include <cmath>
+
+namespace ob::core {
+
+using math::EulerAngles;
+using math::Vec2;
+using math::Vec3;
+
+std::size_t MultiSensorAligner::add_sensor(const std::string& name,
+                                           const BoresightConfig& cfg) {
+    names_.push_back(name);
+    filters_.emplace_back(cfg);
+    return filters_.size() - 1;
+}
+
+void MultiSensorAligner::step(
+    const Vec3& f_body, const std::vector<std::optional<Vec2>>& readings) {
+    if (readings.size() != filters_.size())
+        throw std::invalid_argument(
+            "MultiSensorAligner: readings/sensor count mismatch");
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        if (readings[i]) (void)filters_[i].step(f_body, *readings[i]);
+    }
+}
+
+EulerAngles MultiSensorAligner::misalignment(std::size_t sensor) const {
+    return filter(sensor).misalignment();
+}
+
+Vec3 MultiSensorAligner::sigma3(std::size_t sensor) const {
+    return filter(sensor).misalignment_sigma3();
+}
+
+EulerAngles MultiSensorAligner::relative_alignment(std::size_t a,
+                                                   std::size_t b) const {
+    const math::Mat3 c_a = math::dcm_from_euler(filter(a).misalignment());
+    const math::Mat3 c_b = math::dcm_from_euler(filter(b).misalignment());
+    // Coordinates in a's frame -> body -> b's frame.
+    return math::euler_from_dcm(c_b * c_a.transposed());
+}
+
+Vec3 MultiSensorAligner::relative_sigma3(std::size_t a, std::size_t b) const {
+    const Vec3 sa = sigma3(a);
+    const Vec3 sb = sigma3(b);
+    Vec3 out;
+    for (std::size_t i = 0; i < 3; ++i)
+        out[i] = std::sqrt(sa[i] * sa[i] + sb[i] * sb[i]);
+    return out;
+}
+
+const BoresightEkf& MultiSensorAligner::filter(std::size_t sensor) const {
+    if (sensor >= filters_.size())
+        throw std::out_of_range("MultiSensorAligner: bad sensor index");
+    return filters_[sensor];
+}
+
+}  // namespace ob::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/boresight_ekf.hpp"
+
+namespace ob::core {
+
+/// The paper's §12 extension: "The fusion engine presented here provides
+/// self-boresighting functionality for individual sensors, but it can
+/// readily be extended to fuse data from multiple sensors together (eg.
+/// lidar and video) to provide low-cost situational awareness systems."
+///
+/// MultiSensorAligner maintains one boresight filter per instrumented
+/// sensor against the common vehicle IMU. Because every sensor references
+/// the same IMU epoch, one call fans the body measurement out to all
+/// filters; the result is a consistent set of mutual alignments — the
+/// relative orientation between any two sensors (what data-level fusion
+/// of lidar-on-video actually needs) comes out of the shared frame.
+class MultiSensorAligner {
+public:
+    /// Register a sensor by name with its filter tuning. Returns the
+    /// sensor's index for measurement feeds.
+    std::size_t add_sensor(const std::string& name,
+                           const BoresightConfig& cfg = {});
+
+    [[nodiscard]] std::size_t sensor_count() const { return filters_.size(); }
+    [[nodiscard]] const std::vector<std::string>& names() const {
+        return names_;
+    }
+
+    /// One synchronized epoch: the IMU body specific force and each
+    /// sensor's 2-axis ACC reading (indexed as registered). Sensors
+    /// without a fresh measurement this epoch may pass std::nullopt.
+    void step(const math::Vec3& f_body,
+              const std::vector<std::optional<math::Vec2>>& readings);
+
+    /// Per-sensor misalignment relative to the vehicle body frame.
+    [[nodiscard]] math::EulerAngles misalignment(std::size_t sensor) const;
+    [[nodiscard]] math::Vec3 sigma3(std::size_t sensor) const;
+
+    /// Relative orientation from sensor a's frame to sensor b's frame —
+    /// the quantity cross-sensor data fusion consumes. Computed through
+    /// the common body frame: C_b<-a' = C_b(b) * C_a(b)^T.
+    [[nodiscard]] math::EulerAngles relative_alignment(std::size_t a,
+                                                       std::size_t b) const;
+
+    /// Conservative 3-sigma on the relative alignment (root-sum-square of
+    /// both sensors' confidences; the filters are independent given the
+    /// shared, much-less-noisy IMU).
+    [[nodiscard]] math::Vec3 relative_sigma3(std::size_t a,
+                                             std::size_t b) const;
+
+    [[nodiscard]] const BoresightEkf& filter(std::size_t sensor) const;
+
+private:
+    std::vector<std::string> names_;
+    std::vector<BoresightEkf> filters_;
+};
+
+}  // namespace ob::core

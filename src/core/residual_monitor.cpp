@@ -1,0 +1,39 @@
+#include "core/residual_monitor.hpp"
+
+#include <cmath>
+
+namespace ob::core {
+
+void ResidualMonitor::add(const math::Vec2& residual,
+                          const math::Vec2& sigma3) {
+    const bool over[2] = {std::abs(residual[0]) > sigma3[0],
+                          std::abs(residual[1]) > sigma3[1]};
+    stats_x_.add(residual[0]);
+    stats_y_.add(residual[1]);
+    for (const bool o : over) {
+        ++total_;
+        if (o) ++exceeded_;
+        recent_.push_back(o);
+        if (o) ++recent_exceeded_;
+        if (recent_.size() > window_) {
+            if (recent_.front()) --recent_exceeded_;
+            recent_.pop_front();
+        }
+    }
+}
+
+double ResidualMonitor::exceedance_rate() const {
+    return total_ > 0 ? static_cast<double>(exceeded_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+}
+
+double ResidualMonitor::windowed_rate() const {
+    return recent_.empty() ? 0.0
+                           : static_cast<double>(recent_exceeded_) /
+                                 static_cast<double>(recent_.size());
+}
+
+void ResidualMonitor::reset() { *this = ResidualMonitor(window_); }
+
+}  // namespace ob::core

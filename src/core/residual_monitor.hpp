@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "math/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace ob::core {
+
+/// Tracks how often the fusion residuals exceed their 3-sigma envelope —
+/// the paper's §11 health criterion: "the residuals should only exceed the
+/// 3-sigma value about once every 100 samples". A well-tuned filter sits
+/// near that rate; an under-tuned one (static R while driving) far above.
+class ResidualMonitor {
+public:
+    /// `window` bounds the sliding-rate memory (samples per axis).
+    explicit ResidualMonitor(std::size_t window = 2000) : window_(window) {}
+
+    void add(const math::Vec2& residual, const math::Vec2& sigma3);
+
+    /// Lifetime exceedance rate (per axis-sample).
+    [[nodiscard]] double exceedance_rate() const;
+    /// Exceedance rate over the sliding window.
+    [[nodiscard]] double windowed_rate() const;
+    [[nodiscard]] std::size_t samples() const { return total_; }
+    [[nodiscard]] std::size_t exceedances() const { return exceeded_; }
+
+    /// Residual magnitude statistics (for Table/Figure harnesses).
+    [[nodiscard]] const util::RunningStats& stats_x() const { return stats_x_; }
+    [[nodiscard]] const util::RunningStats& stats_y() const { return stats_y_; }
+
+    /// Theoretical exceedance probability of |N(0,σ)| > 3σ.
+    [[nodiscard]] static constexpr double expected_rate() { return 0.0027; }
+
+    void reset();
+
+private:
+    std::size_t window_;
+    std::size_t total_ = 0;
+    std::size_t exceeded_ = 0;
+    std::deque<bool> recent_;
+    std::size_t recent_exceeded_ = 0;
+    util::RunningStats stats_x_;
+    util::RunningStats stats_y_;
+};
+
+}  // namespace ob::core

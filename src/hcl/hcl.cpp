@@ -1,0 +1,25 @@
+#include "hcl/hcl.hpp"
+
+namespace ob::hcl {
+
+void Simulation::step() {
+    for (Process* p : processes_) p->tick(cycle_);
+    for (auto& s : signals_) s->commit();
+    ++cycle_;
+}
+
+void Simulation::run(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) step();
+}
+
+std::size_t Simulation::run_until(const std::function<bool()>& done,
+                                  std::size_t max_cycles) {
+    std::size_t n = 0;
+    while (n < max_cycles && !done()) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace ob::hcl

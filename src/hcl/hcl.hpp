@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ob::hcl {
+
+// A minimal Handel-C-like cycle-based simulation kernel. The paper's FPGA
+// system is structured as `par { ... }` blocks of communicating processes
+// advanced by a common clock (Figure 4); this kernel reproduces those
+// semantics in C++: every registered process "ticks" once per cycle, and
+// `Signal<T>` values written during a cycle become visible only at the
+// next cycle (two-phase update), so tick ordering cannot introduce races.
+
+namespace detail {
+class SignalBase {
+public:
+    virtual ~SignalBase() = default;
+    virtual void commit() = 0;
+};
+}  // namespace detail
+
+class Simulation;
+
+/// A clocked register: reads return the value latched at the last clock
+/// edge; writes take effect at the next edge.
+template <typename T>
+class Signal final : public detail::SignalBase {
+public:
+    explicit Signal(T initial = T{}) : current_(initial), next_(initial) {}
+
+    [[nodiscard]] const T& read() const { return current_; }
+    void write(const T& v) { next_ = v; }
+    void commit() override { current_ = next_; }
+
+private:
+    T current_;
+    T next_;
+};
+
+/// One concurrently-running hardware process: `tick()` is the combinational
+/// work done each clock cycle.
+class Process {
+public:
+    virtual ~Process() = default;
+    virtual void tick(std::uint64_t cycle) = 0;
+    [[nodiscard]] virtual std::string name() const { return "process"; }
+};
+
+/// Convenience adaptor for lambda processes.
+class LambdaProcess final : public Process {
+public:
+    LambdaProcess(std::string name, std::function<void(std::uint64_t)> fn)
+        : name_(std::move(name)), fn_(std::move(fn)) {}
+    void tick(std::uint64_t cycle) override { fn_(cycle); }
+    [[nodiscard]] std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::function<void(std::uint64_t)> fn_;
+};
+
+/// The clocked `par { ... }` container: owns signals, runs all processes
+/// once per cycle, then commits every signal.
+class Simulation {
+public:
+    /// Register a process (non-owning; caller keeps it alive).
+    void add(Process& p) { processes_.push_back(&p); }
+
+    /// Create and own a signal.
+    template <typename T>
+    Signal<T>& signal(T initial = T{}) {
+        auto s = std::make_unique<Signal<T>>(initial);
+        Signal<T>& ref = *s;
+        signals_.push_back(std::move(s));
+        return ref;
+    }
+
+    /// Advance one clock cycle: tick all processes, then commit signals.
+    void step();
+
+    /// Advance n cycles.
+    void run(std::size_t n);
+
+    /// Run until `done()` returns true or `max_cycles` elapse; returns the
+    /// number of cycles executed.
+    std::size_t run_until(const std::function<bool()>& done,
+                          std::size_t max_cycles);
+
+    [[nodiscard]] std::uint64_t cycles() const { return cycle_; }
+
+private:
+    std::vector<Process*> processes_;
+    std::vector<std::unique_ptr<detail::SignalBase>> signals_;
+    std::uint64_t cycle_ = 0;
+};
+
+/// Handel-C `seq { ... }` helper: runs a list of steps, one per cycle.
+/// Each step returns true when it is finished (allowing multi-cycle steps).
+class Sequencer final : public Process {
+public:
+    using Step = std::function<bool(std::uint64_t cycle)>;
+
+    explicit Sequencer(std::string name = "seq") : name_(std::move(name)) {}
+
+    Sequencer& then(Step s) {
+        steps_.push_back(std::move(s));
+        return *this;
+    }
+
+    void tick(std::uint64_t cycle) override {
+        if (index_ >= steps_.size()) return;
+        if (steps_[index_](cycle)) ++index_;
+    }
+
+    [[nodiscard]] bool done() const { return index_ >= steps_.size(); }
+    [[nodiscard]] std::string name() const override { return name_; }
+    void restart() { index_ = 0; }
+
+private:
+    std::string name_;
+    std::vector<Step> steps_;
+    std::size_t index_ = 0;
+};
+
+}  // namespace ob::hcl

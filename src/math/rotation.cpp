@@ -1,0 +1,155 @@
+#include "math/rotation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ob::math {
+
+double wrap_angle(double a) {
+    a = std::fmod(a + kPi, 2.0 * kPi);
+    if (a <= 0.0) a += 2.0 * kPi;
+    return a - kPi;
+}
+
+Mat3 rot_x(double a) {
+    const double c = std::cos(a);
+    const double s = std::sin(a);
+    return Mat3{1, 0, 0,
+                0, c, s,
+                0, -s, c};
+}
+
+Mat3 rot_y(double a) {
+    const double c = std::cos(a);
+    const double s = std::sin(a);
+    return Mat3{c, 0, -s,
+                0, 1, 0,
+                s, 0, c};
+}
+
+Mat3 rot_z(double a) {
+    const double c = std::cos(a);
+    const double s = std::sin(a);
+    return Mat3{c, s, 0,
+                -s, c, 0,
+                0, 0, 1};
+}
+
+Mat3 dcm_from_euler(const EulerAngles& e) {
+    return rot_x(e.roll) * rot_y(e.pitch) * rot_z(e.yaw);
+}
+
+EulerAngles euler_from_dcm(const Mat3& c) {
+    // From C = Rx(phi)·Ry(theta)·Rz(psi):
+    //   C(0,2) = -sin(theta)
+    //   C(1,2) = sin(phi) cos(theta),  C(2,2) = cos(phi) cos(theta)
+    //   C(0,1) = cos(theta) sin(psi),  C(0,0) = cos(theta) cos(psi)
+    const double s_theta = std::clamp(-c(0, 2), -1.0, 1.0);
+    EulerAngles e;
+    e.pitch = std::asin(s_theta);
+    if (std::abs(s_theta) > 1.0 - 1e-12) {
+        // Gimbal lock: roll and yaw are degenerate; put it all in yaw.
+        e.roll = 0.0;
+        e.yaw = std::atan2(-c(1, 0), c(1, 1));
+    } else {
+        e.roll = std::atan2(c(1, 2), c(2, 2));
+        e.yaw = std::atan2(c(0, 1), c(0, 0));
+    }
+    return e;
+}
+
+Mat3 small_angle_dcm(const Vec3& rho) {
+    return Mat3::identity() - skew(rho);
+}
+
+Vec3 body_rates_from_euler_rates(const EulerAngles& e, const Vec3& euler_dot) {
+    // omega_b = E(phi,theta) * (phi_dot, theta_dot, psi_dot) for the 3-2-1
+    // sequence.
+    const double sphi = std::sin(e.roll), cphi = std::cos(e.roll);
+    const double stheta = std::sin(e.pitch), ctheta = std::cos(e.pitch);
+    const Mat3 em{1.0, 0.0, -stheta,
+                  0.0, cphi, sphi * ctheta,
+                  0.0, -sphi, cphi * ctheta};
+    return em * euler_dot;
+}
+
+Quaternion Quaternion::from_dcm(const Mat3& c) {
+    // Shepperd's method on the *active* rotation matrix R = C^T, which keeps
+    // the largest divisor and is numerically safe for all inputs.
+    const Mat3 r = c.transposed();
+    const double t = r.trace();
+    double w, x, y, z;
+    if (t > 0.0) {
+        const double s = std::sqrt(t + 1.0) * 2.0;
+        w = 0.25 * s;
+        x = (r(2, 1) - r(1, 2)) / s;
+        y = (r(0, 2) - r(2, 0)) / s;
+        z = (r(1, 0) - r(0, 1)) / s;
+    } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+        const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+        w = (r(2, 1) - r(1, 2)) / s;
+        x = 0.25 * s;
+        y = (r(0, 1) + r(1, 0)) / s;
+        z = (r(0, 2) + r(2, 0)) / s;
+    } else if (r(1, 1) > r(2, 2)) {
+        const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+        w = (r(0, 2) - r(2, 0)) / s;
+        x = (r(0, 1) + r(1, 0)) / s;
+        y = 0.25 * s;
+        z = (r(1, 2) + r(2, 1)) / s;
+    } else {
+        const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+        w = (r(1, 0) - r(0, 1)) / s;
+        x = (r(0, 2) + r(2, 0)) / s;
+        y = (r(1, 2) + r(2, 1)) / s;
+        z = 0.25 * s;
+    }
+    return Quaternion(w, x, y, z).normalized();
+}
+
+Quaternion Quaternion::from_euler(const EulerAngles& e) {
+    return from_dcm(dcm_from_euler(e));
+}
+
+Quaternion Quaternion::from_axis_angle(const Vec3& axis, double angle) {
+    const Vec3 u = ob::math::normalized(axis);
+    const double h = angle / 2.0;
+    const double s = std::sin(h);
+    return Quaternion(std::cos(h), u[0] * s, u[1] * s, u[2] * s);
+}
+
+double Quaternion::norm() const {
+    return std::sqrt(w_ * w_ + x_ * x_ + y_ * y_ + z_ * z_);
+}
+
+Quaternion Quaternion::normalized() const {
+    const double n = norm();
+    if (!(n > 0.0)) throw std::domain_error("Quaternion::normalized: zero norm");
+    return {w_ / n, x_ / n, y_ / n, z_ / n};
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+    return {w_ * o.w_ - x_ * o.x_ - y_ * o.y_ - z_ * o.z_,
+            w_ * o.x_ + x_ * o.w_ + y_ * o.z_ - z_ * o.y_,
+            w_ * o.y_ - x_ * o.z_ + y_ * o.w_ + z_ * o.x_,
+            w_ * o.z_ + x_ * o.y_ - y_ * o.x_ + z_ * o.w_};
+}
+
+Mat3 Quaternion::to_dcm() const {
+    // Active rotation R(q) = I + 2w[v×] + 2[v×]²; passive transform is Rᵀ.
+    const double ww = w_ * w_, xx = x_ * x_, yy = y_ * y_, zz = z_ * z_;
+    const double xy = x_ * y_, xz = x_ * z_, yz = y_ * z_;
+    const double wx = w_ * x_, wy = w_ * y_, wz = w_ * z_;
+    // Passive (coordinate transform) matrix, row-major.
+    return Mat3{ww + xx - yy - zz, 2.0 * (xy + wz), 2.0 * (xz - wy),
+                2.0 * (xy - wz), ww - xx + yy - zz, 2.0 * (yz + wx),
+                2.0 * (xz + wy), 2.0 * (yz - wx), ww - xx - yy + zz};
+}
+
+double Quaternion::angle_to(const Quaternion& o) const {
+    const Quaternion d = conjugate() * o;
+    const double c = std::clamp(std::abs(d.w()), 0.0, 1.0);
+    return 2.0 * std::acos(c);
+}
+
+}  // namespace ob::math

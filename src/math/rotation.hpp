@@ -1,0 +1,106 @@
+#pragma once
+
+#include "math/matrix.hpp"
+
+namespace ob::math {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+[[nodiscard]] constexpr double deg2rad(double d) { return d * kPi / 180.0; }
+[[nodiscard]] constexpr double rad2deg(double r) { return r * 180.0 / kPi; }
+
+/// Wrap an angle to (-pi, pi].
+[[nodiscard]] double wrap_angle(double a);
+
+/// Euler angle triple in radians using the aerospace 3-2-1 (yaw-pitch-roll)
+/// sequence. In this project the angles describe the *misalignment* of the
+/// boresighted sensor's frame relative to the vehicle body frame — exactly
+/// the roll/pitch/yaw values Table 1 of the paper reports.
+struct EulerAngles {
+    double roll = 0.0;   ///< rotation about x, radians
+    double pitch = 0.0;  ///< rotation about y, radians
+    double yaw = 0.0;    ///< rotation about z, radians
+
+    [[nodiscard]] static EulerAngles from_deg(double roll_deg, double pitch_deg,
+                                              double yaw_deg) {
+        return {deg2rad(roll_deg), deg2rad(pitch_deg), deg2rad(yaw_deg)};
+    }
+
+    [[nodiscard]] Vec3 vec() const { return Vec3{roll, pitch, yaw}; }
+
+    [[nodiscard]] static EulerAngles from_vec(const Vec3& v) {
+        return {v[0], v[1], v[2]};
+    }
+};
+
+/// Passive (coordinate-transform) elementary rotations. `rot_x(a)` maps the
+/// coordinates of a fixed vector from frame A to frame B, where B is A
+/// rotated by `a` about the shared x axis.
+[[nodiscard]] Mat3 rot_x(double a);
+[[nodiscard]] Mat3 rot_y(double a);
+[[nodiscard]] Mat3 rot_z(double a);
+
+/// Direction-cosine matrix transforming body-frame coordinates into the
+/// sensor frame: C_s←b = Rx(roll)·Ry(pitch)·Rz(yaw) (3-2-1 sequence).
+[[nodiscard]] Mat3 dcm_from_euler(const EulerAngles& e);
+
+/// Inverse of dcm_from_euler. Pitch is returned in [-pi/2, pi/2]; near
+/// gimbal lock (|pitch| -> pi/2) roll is forced to zero and yaw absorbs the
+/// remaining rotation.
+[[nodiscard]] EulerAngles euler_from_dcm(const Mat3& c);
+
+/// First-order DCM for a small rotation vector rho: C ≈ I - skew(rho).
+/// This is the linearization the boresight EKF's Jacobian is built from.
+[[nodiscard]] Mat3 small_angle_dcm(const Vec3& rho);
+
+/// Body angular rate from 3-2-1 Euler angles and their time derivatives
+/// (the strapdown kinematic relation used by the trajectory simulator).
+[[nodiscard]] Vec3 body_rates_from_euler_rates(const EulerAngles& e,
+                                               const Vec3& euler_dot);
+
+/// Unit quaternion (scalar-first, Hamilton convention).
+///
+/// `to_dcm()` returns the same passive transform as `dcm_from_euler`, i.e.
+/// it maps parent-frame coordinates into the rotated frame. Composition:
+/// to_dcm(a*b) == to_dcm(b) * to_dcm(a).
+class Quaternion {
+public:
+    constexpr Quaternion() = default;
+    constexpr Quaternion(double w, double x, double y, double z)
+        : w_(w), x_(x), y_(y), z_(z) {}
+
+    [[nodiscard]] static Quaternion identity() { return {1, 0, 0, 0}; }
+    [[nodiscard]] static Quaternion from_dcm(const Mat3& c);
+    [[nodiscard]] static Quaternion from_euler(const EulerAngles& e);
+    /// Axis-angle constructor; axis need not be normalized.
+    [[nodiscard]] static Quaternion from_axis_angle(const Vec3& axis, double angle);
+
+    [[nodiscard]] double w() const { return w_; }
+    [[nodiscard]] double x() const { return x_; }
+    [[nodiscard]] double y() const { return y_; }
+    [[nodiscard]] double z() const { return z_; }
+
+    [[nodiscard]] Quaternion conjugate() const { return {w_, -x_, -y_, -z_}; }
+    [[nodiscard]] double norm() const;
+    [[nodiscard]] Quaternion normalized() const;
+
+    /// Hamilton product.
+    [[nodiscard]] Quaternion operator*(const Quaternion& o) const;
+
+    [[nodiscard]] Mat3 to_dcm() const;
+    [[nodiscard]] EulerAngles to_euler() const { return euler_from_dcm(to_dcm()); }
+
+    /// Apply the passive transform to a vector (parent frame -> this frame).
+    [[nodiscard]] Vec3 transform(const Vec3& v) const { return to_dcm() * v; }
+
+    /// Smallest rotation angle (radians) taking this orientation to `o`.
+    [[nodiscard]] double angle_to(const Quaternion& o) const;
+
+private:
+    double w_ = 1.0;
+    double x_ = 0.0;
+    double y_ = 0.0;
+    double z_ = 0.0;
+};
+
+}  // namespace ob::math

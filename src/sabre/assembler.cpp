@@ -1,0 +1,367 @@
+#include "sabre/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+namespace ob::sabre {
+
+namespace {
+
+struct Token {
+    std::string text;
+};
+
+/// Strip comments, split a line into lowercase tokens on spaces/commas.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view line) {
+    std::string clean;
+    for (const char c : line) {
+        if (c == ';' || c == '#') break;
+        clean += c;
+    }
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : clean) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty()) out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+}
+
+[[nodiscard]] std::optional<std::uint8_t> parse_register(const std::string& t) {
+    if (t == "zero") return 0;
+    if (t == "lr" || t == "ra") return kLinkRegister;
+    if (t == "sp") return kStackRegister;
+    if (t.size() >= 2 && t[0] == 'r') {
+        int v = 0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+            v = v * 10 + (t[i] - '0');
+        }
+        if (v < static_cast<int>(kNumRegisters)) return static_cast<std::uint8_t>(v);
+    }
+    return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::int64_t> parse_number(const std::string& t) {
+    if (t.empty()) return std::nullopt;
+    std::size_t i = 0;
+    bool neg = false;
+    if (t[0] == '-' || t[0] == '+') {
+        neg = t[0] == '-';
+        i = 1;
+    }
+    if (i >= t.size()) return std::nullopt;
+    std::int64_t v = 0;
+    if (t.size() > i + 2 && t[i] == '0' && t[i + 1] == 'x') {
+        for (std::size_t k = i + 2; k < t.size(); ++k) {
+            const char c = t[k];
+            int d;
+            if (c >= '0' && c <= '9') d = c - '0';
+            else if (c >= 'a' && c <= 'f') d = 10 + c - 'a';
+            else return std::nullopt;
+            v = v * 16 + d;
+        }
+    } else {
+        for (std::size_t k = i; k < t.size(); ++k) {
+            if (!std::isdigit(static_cast<unsigned char>(t[k]))) return std::nullopt;
+            v = v * 10 + (t[k] - '0');
+        }
+    }
+    return neg ? -v : v;
+}
+
+struct PendingLine {
+    std::size_t source_line;
+    std::vector<std::string> tokens;
+};
+
+/// Ops that take "rd, rs1, rs2".
+[[nodiscard]] std::optional<Op> r_type_op(const std::string& m) {
+    if (m == "add") return Op::kAdd;
+    if (m == "sub") return Op::kSub;
+    if (m == "and") return Op::kAnd;
+    if (m == "or") return Op::kOr;
+    if (m == "xor") return Op::kXor;
+    if (m == "sll") return Op::kSll;
+    if (m == "srl") return Op::kSrl;
+    if (m == "sra") return Op::kSra;
+    if (m == "mul") return Op::kMul;
+    if (m == "slt") return Op::kSlt;
+    if (m == "sltu") return Op::kSltu;
+    return std::nullopt;
+}
+
+/// Ops that take "rd, rs1, imm".
+[[nodiscard]] std::optional<Op> i_type_op(const std::string& m) {
+    if (m == "addi") return Op::kAddi;
+    if (m == "andi") return Op::kAndi;
+    if (m == "ori") return Op::kOri;
+    if (m == "xori") return Op::kXori;
+    if (m == "slli") return Op::kSlli;
+    if (m == "srli") return Op::kSrli;
+    if (m == "srai") return Op::kSrai;
+    if (m == "slti") return Op::kSlti;
+    if (m == "jalr") return Op::kJalr;
+    return std::nullopt;
+}
+
+[[nodiscard]] std::optional<Op> branch_op(const std::string& m) {
+    if (m == "beq") return Op::kBeq;
+    if (m == "bne") return Op::kBne;
+    if (m == "blt") return Op::kBlt;
+    if (m == "bge") return Op::kBge;
+    if (m == "bltu") return Op::kBltu;
+    if (m == "bgeu") return Op::kBgeu;
+    return std::nullopt;
+}
+
+class Assembler {
+public:
+    [[nodiscard]] Program run(std::string_view source) {
+        first_pass(source);
+        second_pass();
+        return std::move(program_);
+    }
+
+private:
+    Program program_;
+    std::map<std::string, std::int64_t> equs_;
+    std::vector<PendingLine> lines_;
+
+    /// Number of words a tokenized instruction expands to.
+    [[nodiscard]] std::size_t width_of(const PendingLine& pl) const {
+        const std::string& m = pl.tokens[0];
+        if (m == "li" || m == "la") {
+            // May expand to 1 or 2; to keep label addresses stable we
+            // always expand to 2 words.
+            return 2;
+        }
+        return 1;
+    }
+
+    void first_pass(std::string_view source) {
+        std::size_t line_no = 0;
+        std::uint32_t pc = 0;
+        std::istringstream in{std::string(source)};
+        std::string raw;
+        while (std::getline(in, raw)) {
+            ++line_no;
+            auto tokens = tokenize(raw);
+            // Peel off any leading labels.
+            while (!tokens.empty() && tokens[0].back() == ':') {
+                const std::string label = tokens[0].substr(0, tokens[0].size() - 1);
+                if (label.empty())
+                    throw AssemblyError(line_no, "empty label");
+                if (program_.symbols.count(label) != 0)
+                    throw AssemblyError(line_no, "duplicate label '" + label + "'");
+                program_.symbols[label] = pc;
+                tokens.erase(tokens.begin());
+            }
+            if (tokens.empty()) continue;
+            if (tokens[0] == ".equ") {
+                if (tokens.size() != 3)
+                    throw AssemblyError(line_no, ".equ NAME value");
+                const auto v = parse_number(tokens[2]);
+                if (!v) throw AssemblyError(line_no, "bad .equ value");
+                equs_[tokens[1]] = *v;
+                continue;
+            }
+            PendingLine pl{line_no, std::move(tokens)};
+            pc += static_cast<std::uint32_t>(width_of(pl));
+            lines_.push_back(std::move(pl));
+        }
+    }
+
+    [[nodiscard]] std::int64_t resolve_value(const std::string& t,
+                                             std::size_t line) const {
+        if (const auto n = parse_number(t)) return *n;
+        if (const auto it = equs_.find(t); it != equs_.end()) return it->second;
+        if (const auto it = program_.symbols.find(t);
+            it != program_.symbols.end())
+            return it->second;
+        throw AssemblyError(line, "cannot resolve '" + t + "'");
+    }
+
+    [[nodiscard]] std::uint8_t need_register(const PendingLine& pl,
+                                             std::size_t idx) const {
+        if (idx >= pl.tokens.size())
+            throw AssemblyError(pl.source_line, "missing register operand");
+        const auto r = parse_register(pl.tokens[idx]);
+        if (!r)
+            throw AssemblyError(pl.source_line,
+                                "bad register '" + pl.tokens[idx] + "'");
+        return *r;
+    }
+
+    [[nodiscard]] std::int64_t need_value(const PendingLine& pl,
+                                          std::size_t idx) const {
+        if (idx >= pl.tokens.size())
+            throw AssemblyError(pl.source_line, "missing operand");
+        return resolve_value(pl.tokens[idx], pl.source_line);
+    }
+
+    void emit(const Instruction& ins, std::size_t line) {
+        try {
+            program_.words.push_back(encode(ins));
+        } catch (const std::invalid_argument& e) {
+            throw AssemblyError(line, e.what());
+        }
+        if (program_.words.size() > kProgramWords)
+            throw AssemblyError(line, "program exceeds 8KB program memory");
+    }
+
+    /// li expansion: always two words (lui+ori) so addresses from pass one
+    /// hold; when the constant fits we emit addi + nop.
+    void emit_li(std::uint8_t rd, std::int64_t value, std::size_t line) {
+        const auto v32 = static_cast<std::uint32_t>(value & 0xFFFFFFFF);
+        if (value >= -(1 << 17) && value < (1 << 17)) {
+            emit({Op::kAddi, rd, 0, 0, static_cast<std::int32_t>(value)}, line);
+            emit({Op::kAddi, 0, 0, 0, 0}, line);  // nop filler
+            return;
+        }
+        emit({Op::kLui, rd, 0, 0, static_cast<std::int32_t>(v32 >> 14)}, line);
+        emit({Op::kOri, rd, rd, 0, static_cast<std::int32_t>(v32 & 0x3FFF)},
+             line);
+    }
+
+    void second_pass() {
+        std::uint32_t pc = 0;
+        for (const auto& pl : lines_) {
+            const std::string& m = pl.tokens[0];
+            const std::size_t width = width_of(pl);
+            const auto next_pc = static_cast<std::int64_t>(pc + 1);
+
+            if (const auto op = r_type_op(m)) {
+                emit({*op, need_register(pl, 1), need_register(pl, 2),
+                      need_register(pl, 3), 0},
+                     pl.source_line);
+            } else if (const auto iop = i_type_op(m)) {
+                emit({*iop, need_register(pl, 1), need_register(pl, 2), 0,
+                      static_cast<std::int32_t>(need_value(pl, 3))},
+                     pl.source_line);
+            } else if (const auto bop = branch_op(m)) {
+                const std::int64_t target = need_value(pl, 3);
+                // Labels are absolute instruction indices -> pc-relative.
+                const bool is_label =
+                    program_.symbols.count(pl.tokens[3]) != 0;
+                const std::int64_t off = is_label ? target - next_pc : target;
+                emit({*bop, 0, need_register(pl, 1), need_register(pl, 2),
+                      static_cast<std::int32_t>(off)},
+                     pl.source_line);
+            } else if (m == "lw") {
+                // lw rd, offset(rs1)  |  lw rd, rs1, offset
+                if (pl.tokens.size() == 3) {
+                    const auto [off, base] = parse_mem_operand(pl, 2);
+                    emit({Op::kLw, need_register(pl, 1), base, 0, off},
+                         pl.source_line);
+                } else {
+                    emit({Op::kLw, need_register(pl, 1), need_register(pl, 2),
+                          0, static_cast<std::int32_t>(need_value(pl, 3))},
+                         pl.source_line);
+                }
+            } else if (m == "sw") {
+                if (pl.tokens.size() == 3) {
+                    const auto [off, base] = parse_mem_operand(pl, 2);
+                    emit({Op::kSw, need_register(pl, 1), base, 0, off},
+                         pl.source_line);
+                } else {
+                    emit({Op::kSw, need_register(pl, 1), need_register(pl, 2),
+                          0, static_cast<std::int32_t>(need_value(pl, 3))},
+                         pl.source_line);
+                }
+            } else if (m == "lui") {
+                emit({Op::kLui, need_register(pl, 1), 0, 0,
+                      static_cast<std::int32_t>(need_value(pl, 2))},
+                     pl.source_line);
+            } else if (m == "jal") {
+                // jal rd, target
+                const std::int64_t target = need_value(pl, 2);
+                const bool is_label = program_.symbols.count(pl.tokens[2]) != 0;
+                const std::int64_t off = is_label ? target - next_pc : target;
+                emit({Op::kJal, need_register(pl, 1), 0, 0,
+                      static_cast<std::int32_t>(off)},
+                     pl.source_line);
+            } else if (m == "halt") {
+                emit({Op::kHalt, 0, 0, 0, 0}, pl.source_line);
+            } else if (m == "nop") {
+                emit({Op::kAddi, 0, 0, 0, 0}, pl.source_line);
+            } else if (m == "mov") {
+                emit({Op::kAdd, need_register(pl, 1), need_register(pl, 2), 0,
+                      0},
+                     pl.source_line);
+            } else if (m == "li" || m == "la") {
+                emit_li(need_register(pl, 1), need_value(pl, 2), pl.source_line);
+            } else if (m == "j") {
+                const std::int64_t target = need_value(pl, 1);
+                const bool is_label = program_.symbols.count(pl.tokens[1]) != 0;
+                const std::int64_t off = is_label ? target - next_pc : target;
+                emit({Op::kJal, 0, 0, 0, static_cast<std::int32_t>(off)},
+                     pl.source_line);
+            } else if (m == "call") {
+                const std::int64_t target = need_value(pl, 1);
+                const bool is_label = program_.symbols.count(pl.tokens[1]) != 0;
+                const std::int64_t off = is_label ? target - next_pc : target;
+                emit({Op::kJal, kLinkRegister, 0, 0,
+                      static_cast<std::int32_t>(off)},
+                     pl.source_line);
+            } else if (m == "ret") {
+                emit({Op::kJalr, 0, kLinkRegister, 0, 0}, pl.source_line);
+            } else {
+                throw AssemblyError(pl.source_line,
+                                    "unknown mnemonic '" + m + "'");
+            }
+            pc += static_cast<std::uint32_t>(width);
+        }
+    }
+
+    /// Parse "offset(rN)" memory operands.
+    [[nodiscard]] std::pair<std::int32_t, std::uint8_t> parse_mem_operand(
+        const PendingLine& pl, std::size_t idx) const {
+        const std::string& t = pl.tokens[idx];
+        const auto open = t.find('(');
+        const auto close = t.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open)
+            throw AssemblyError(pl.source_line, "expected offset(reg)");
+        const std::string off_s = t.substr(0, open);
+        const std::string reg_s = t.substr(open + 1, close - open - 1);
+        const auto reg = parse_register(reg_s);
+        if (!reg) throw AssemblyError(pl.source_line, "bad base register");
+        const std::int64_t off =
+            off_s.empty() ? 0 : resolve_value(off_s, pl.source_line);
+        return {static_cast<std::int32_t>(off), *reg};
+    }
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) { return Assembler{}.run(source); }
+
+std::string disassemble(std::uint32_t word) {
+    const Instruction ins = decode(word);
+    std::ostringstream out;
+    out << mnemonic(ins.op);
+    if (is_r_type(ins.op)) {
+        out << " r" << int{ins.rd} << ", r" << int{ins.rs1} << ", r"
+            << int{ins.rs2};
+    } else if (ins.op == Op::kLw || ins.op == Op::kSw) {
+        out << " r" << int{ins.rd} << ", " << ins.imm << "(r" << int{ins.rs1}
+            << ")";
+    } else if (is_i_type(ins.op)) {
+        out << " r" << int{ins.rd} << ", r" << int{ins.rs1} << ", " << ins.imm;
+    } else if (is_b_type(ins.op)) {
+        out << " r" << int{ins.rs1} << ", r" << int{ins.rs2} << ", " << ins.imm;
+    } else if (is_j_type(ins.op)) {
+        out << " r" << int{ins.rd} << ", " << ins.imm;
+    }
+    return out.str();
+}
+
+}  // namespace ob::sabre

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sabre/isa.hpp"
+
+namespace ob::sabre {
+
+/// Error with the offending source line attached.
+class AssemblyError : public std::runtime_error {
+public:
+    AssemblyError(std::size_t line, const std::string& message)
+        : std::runtime_error("line " + std::to_string(line) + ": " + message),
+          line_(line) {}
+    [[nodiscard]] std::size_t line() const { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Assembled program image.
+struct Program {
+    std::vector<std::uint32_t> words;  ///< program memory image
+    std::map<std::string, std::uint32_t> symbols;  ///< label -> instr index
+};
+
+/// Two-pass assembler for Sabre-32 assembly.
+///
+/// Syntax:
+///   * one instruction per line; `;` or `#` start a comment
+///   * labels: `name:` (may share a line with an instruction)
+///   * registers: r0..r15, plus aliases zero (r0), lr (r14), sp (r15)
+///   * immediates: decimal or 0x hex, optionally negative
+///   * `.equ NAME value` defines a constant usable as an immediate
+///   * branch/jump targets may be labels (pc-relative encoding is
+///     computed) or numeric immediates (raw offsets)
+///
+/// Pseudo-instructions:
+///   nop                 -> addi r0, r0, 0
+///   mov rd, rs          -> add rd, rs, r0
+///   li  rd, imm32       -> addi (if it fits) or lui+ori pair
+///   la  rd, label       -> li with the label's instruction index
+///   j   label           -> jal r0, label
+///   call label          -> jal lr, label
+///   ret                 -> jalr r0, lr, 0
+[[nodiscard]] Program assemble(std::string_view source);
+
+/// Disassemble one instruction word (for traces and error messages).
+[[nodiscard]] std::string disassemble(std::uint32_t word);
+
+}  // namespace ob::sabre

@@ -1,0 +1,168 @@
+#include "sabre/cpu.hpp"
+
+#include <cstring>
+
+namespace ob::sabre {
+
+SabreCpu::SabreCpu(Program program) : program_(std::move(program.words)) {
+    if (program_.size() > kProgramWords)
+        throw std::invalid_argument("SabreCpu: program exceeds 8KB");
+}
+
+std::uint32_t SabreCpu::load_data(std::uint32_t addr) const {
+    if (addr % 4 != 0 || addr + 4 > kDataBytes)
+        throw SabreTrap(pc_, "host load_data fault");
+    std::uint32_t v;
+    std::memcpy(&v, &data_[addr], 4);
+    return v;
+}
+
+void SabreCpu::store_data(std::uint32_t addr, std::uint32_t value) {
+    if (addr % 4 != 0 || addr + 4 > kDataBytes)
+        throw SabreTrap(pc_, "host store_data fault");
+    std::memcpy(&data_[addr], &value, 4);
+}
+
+std::uint32_t SabreCpu::mem_read(std::uint32_t addr) {
+    if ((addr & kPeripheralBit) != 0) return bus_.read(addr & ~kPeripheralBit);
+    if (addr % 4 != 0) throw SabreTrap(pc_, "misaligned load");
+    if (addr + 4 > kDataBytes) throw SabreTrap(pc_, "load out of range");
+    std::uint32_t v;
+    std::memcpy(&v, &data_[addr], 4);
+    return v;
+}
+
+void SabreCpu::mem_write(std::uint32_t addr, std::uint32_t value) {
+    if ((addr & kPeripheralBit) != 0) {
+        bus_.write(addr & ~kPeripheralBit, value);
+        return;
+    }
+    if (addr % 4 != 0) throw SabreTrap(pc_, "misaligned store");
+    if (addr + 4 > kDataBytes) throw SabreTrap(pc_, "store out of range");
+    std::memcpy(&data_[addr], &value, 4);
+}
+
+bool SabreCpu::step() {
+    if (halted_) return false;
+    if (pc_ >= program_.size()) throw SabreTrap(pc_, "pc out of program");
+    const Instruction ins = decode(program_[pc_]);
+    if (trace_) trace_(pc_, ins);
+
+    cycles_ += base_cycles(ins.op);
+    ++retired_;
+    std::uint32_t next_pc = pc_ + 1;
+
+    const std::uint32_t a = regs_[ins.rs1];
+    const std::uint32_t b = regs_[ins.rs2];
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    std::uint32_t rd_value = 0;
+    bool writes_rd = true;
+
+    switch (ins.op) {
+        case Op::kAdd: rd_value = a + b; break;
+        case Op::kSub: rd_value = a - b; break;
+        case Op::kAnd: rd_value = a & b; break;
+        case Op::kOr: rd_value = a | b; break;
+        case Op::kXor: rd_value = a ^ b; break;
+        case Op::kSll: rd_value = a << (b & 31); break;
+        case Op::kSrl: rd_value = a >> (b & 31); break;
+        case Op::kSra:
+            rd_value = static_cast<std::uint32_t>(sa >> (b & 31));
+            break;
+        case Op::kMul:
+            rd_value = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(sa) * sb);
+            break;
+        case Op::kSlt: rd_value = sa < sb ? 1 : 0; break;
+        case Op::kSltu: rd_value = a < b ? 1 : 0; break;
+
+        case Op::kAddi:
+            rd_value = a + static_cast<std::uint32_t>(ins.imm);
+            break;
+        case Op::kAndi:
+            rd_value = a & static_cast<std::uint32_t>(ins.imm);
+            break;
+        case Op::kOri:
+            rd_value = a | static_cast<std::uint32_t>(ins.imm);
+            break;
+        case Op::kXori:
+            rd_value = a ^ static_cast<std::uint32_t>(ins.imm);
+            break;
+        case Op::kSlli: rd_value = a << (ins.imm & 31); break;
+        case Op::kSrli: rd_value = a >> (ins.imm & 31); break;
+        case Op::kSrai:
+            rd_value = static_cast<std::uint32_t>(sa >> (ins.imm & 31));
+            break;
+        case Op::kSlti: rd_value = sa < ins.imm ? 1 : 0; break;
+        case Op::kLui:
+            rd_value = static_cast<std::uint32_t>(ins.imm) << 14;
+            break;
+        case Op::kLw:
+            rd_value = mem_read(a + static_cast<std::uint32_t>(ins.imm));
+            break;
+        case Op::kSw:
+            mem_write(a + static_cast<std::uint32_t>(ins.imm), regs_[ins.rd]);
+            writes_rd = false;
+            break;
+
+        case Op::kBeq:
+        case Op::kBne:
+        case Op::kBlt:
+        case Op::kBge:
+        case Op::kBltu:
+        case Op::kBgeu: {
+            // B-type: comparands live in rs1/rs2 fields.
+            const std::uint32_t x = regs_[ins.rs1];
+            const std::uint32_t y = regs_[ins.rs2];
+            const auto sx = static_cast<std::int32_t>(x);
+            const auto sy = static_cast<std::int32_t>(y);
+            bool taken = false;
+            switch (ins.op) {
+                case Op::kBeq: taken = x == y; break;
+                case Op::kBne: taken = x != y; break;
+                case Op::kBlt: taken = sx < sy; break;
+                case Op::kBge: taken = sx >= sy; break;
+                case Op::kBltu: taken = x < y; break;
+                case Op::kBgeu: taken = x >= y; break;
+                default: break;
+            }
+            if (taken) {
+                next_pc = pc_ + 1 + static_cast<std::uint32_t>(ins.imm);
+                cycles_ += kBranchTakenExtra;
+            }
+            writes_rd = false;
+            break;
+        }
+
+        case Op::kJal:
+            rd_value = pc_ + 1;
+            next_pc = pc_ + 1 + static_cast<std::uint32_t>(ins.imm);
+            break;
+        case Op::kJalr:
+            rd_value = pc_ + 1;
+            next_pc = a + static_cast<std::uint32_t>(ins.imm);
+            break;
+
+        case Op::kHalt:
+            halted_ = true;
+            writes_rd = false;
+            break;
+    }
+
+    if (writes_rd && ins.rd != 0) regs_[ins.rd] = rd_value;
+    regs_[0] = 0;
+    pc_ = next_pc;
+    return !halted_;
+}
+
+std::size_t SabreCpu::run(std::uint64_t max_cycles) {
+    std::size_t n = 0;
+    while (!halted_ && cycles_ < max_cycles) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace ob::sabre

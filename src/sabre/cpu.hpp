@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sabre/assembler.hpp"
+#include "sabre/isa.hpp"
+#include "sabre/peripherals.hpp"
+
+namespace ob::sabre {
+
+/// Runtime fault raised by the ISS (misaligned access, out-of-range
+/// address, illegal instruction) — the model of a hardware bus error.
+class SabreTrap : public std::runtime_error {
+public:
+    SabreTrap(std::uint32_t pc, const std::string& message)
+        : std::runtime_error("pc=" + std::to_string(pc) + ": " + message),
+          pc_(pc) {}
+    [[nodiscard]] std::uint32_t pc() const { return pc_; }
+
+private:
+    std::uint32_t pc_;
+};
+
+/// Instruction-set simulator for the Sabre-32 core: Harvard memories
+/// (8 KB program BlockRAM, 64 KB data), 16 registers with r0 = 0, and the
+/// memory-mapped peripheral bus of Figure 6. Cycle accounting follows
+/// `base_cycles` plus the taken-branch penalty.
+class SabreCpu {
+public:
+    explicit SabreCpu(Program program);
+
+    /// Execute one instruction; returns false once halted.
+    bool step();
+
+    /// Run until HALT or the cycle budget is exhausted; returns the number
+    /// of instructions retired.
+    std::size_t run(std::uint64_t max_cycles = 10'000'000);
+
+    [[nodiscard]] bool halted() const { return halted_; }
+    [[nodiscard]] std::uint32_t pc() const { return pc_; }
+    [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+    [[nodiscard]] std::uint64_t instructions() const { return retired_; }
+
+    [[nodiscard]] std::uint32_t reg(std::size_t i) const { return regs_.at(i); }
+    void set_reg(std::size_t i, std::uint32_t v) {
+        if (i > 0 && i < kNumRegisters) regs_[i] = v;
+    }
+
+    /// Data-memory access for host-side setup/inspection (word aligned).
+    [[nodiscard]] std::uint32_t load_data(std::uint32_t addr) const;
+    void store_data(std::uint32_t addr, std::uint32_t value);
+
+    [[nodiscard]] SabreBus& bus() { return bus_; }
+
+    /// Optional per-instruction trace hook (pc, decoded instruction).
+    using TraceHook = std::function<void(std::uint32_t, const Instruction&)>;
+    void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+private:
+    [[nodiscard]] std::uint32_t mem_read(std::uint32_t addr);
+    void mem_write(std::uint32_t addr, std::uint32_t value);
+
+    std::vector<std::uint32_t> program_;
+    std::array<std::uint8_t, kDataBytes> data_{};
+    std::array<std::uint32_t, kNumRegisters> regs_{};
+    SabreBus bus_;
+    std::uint32_t pc_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t retired_ = 0;
+    bool halted_ = false;
+    TraceHook trace_;
+};
+
+}  // namespace ob::sabre

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ob::sabre {
+
+/// Data-memory layout shared between the generated firmware and the host
+/// that initializes it. All cells are 32-bit (floats unless noted).
+struct FirmwareLayout {
+    // Filter state.
+    std::uint32_t x = 0x000;  ///< 3 floats: roll, pitch, yaw estimate (rad)
+    std::uint32_t p = 0x010;  ///< 9 floats: covariance, row-major
+    // Tuning and constants (host-initialized).
+    std::uint32_t q = 0x040;           ///< angle process noise variance
+    std::uint32_t r = 0x044;           ///< measurement noise variance
+    std::uint32_t accel_lsb = 0x048;   ///< DMU accel scale (m/s^2 per LSB)
+    std::uint32_t duty_scale = 0x04C;  ///< g / duty_per_g (m/s^2 per duty)
+    std::uint32_t half = 0x050;        ///< 0.5f
+    std::uint32_t fix_one = 0x054;     ///< 65536.0f (Q16.16 scale)
+    std::uint32_t three = 0x058;       ///< 3.0f
+    // Working storage.
+    std::uint32_t f = 0x060;    ///< 3 floats: body specific force
+    std::uint32_t z = 0x070;    ///< 2 floats: ACC measurement
+    std::uint32_t zp = 0x078;   ///< 2 floats: predicted measurement
+    std::uint32_t nf = 0x080;   ///< 2 floats: -f2, -f0
+    std::uint32_t pht = 0x090;  ///< 6 floats: P*H^T
+    std::uint32_t s = 0x0B0;    ///< 4 floats: innovation covariance
+    std::uint32_t sinv = 0x0C0; ///< 4 floats
+    std::uint32_t k = 0x0D0;    ///< 6 floats: gain
+    std::uint32_t nu = 0x0E8;   ///< 2 floats: innovation
+    std::uint32_t tmp = 0x0F0;  ///< scratch floats
+    std::uint32_t newp = 0x110; ///< 9 floats: updated covariance
+};
+
+/// Generate the Sabre-32 assembly source of the boresight fusion firmware.
+///
+/// This generator plays the role of the paper's C-to-Sabre compilation
+/// flow (§10: "The Sabre program code was written in C and compiled to the
+/// Sabre Instruction Set Architecture"): the filter is described once in
+/// C++ emit-calls and lowered to the ISA. The generated program:
+///
+///   * polls the smart DMU/ACC ports for a synchronized sample pair,
+///   * converts raw register values to SI floats via the FPU peripheral,
+///   * runs one small-angle 3-state Kalman update per sample pair
+///     (z = f_xy + (skew(f)rho)_xy, H = rows of skew(f), simple-form
+///     covariance update),
+///   * publishes roll/pitch/yaw and their 3-sigma as Q16.16 to the
+///     control registers the video block reads, bumps the update counter,
+///   * loops forever.
+///
+/// All floating-point arithmetic goes through the memory-mapped softfloat
+/// FPU peripheral, so results are bit-faithful IEEE binary32.
+[[nodiscard]] std::string boresight_firmware_source(
+    const FirmwareLayout& layout = {});
+
+}  // namespace ob::sabre

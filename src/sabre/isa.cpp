@@ -1,0 +1,147 @@
+#include "sabre/isa.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ob::sabre {
+
+namespace {
+
+constexpr std::uint32_t kImm18Mask = 0x3FFFF;
+constexpr std::uint32_t kImm22Mask = 0x3FFFFF;
+
+void check_reg(std::uint8_t r, const char* what) {
+    if (r >= kNumRegisters)
+        throw std::invalid_argument(std::string("encode: bad register for ") +
+                                    what);
+}
+
+/// True when the op's 18-bit immediate is interpreted unsigned
+/// (logical immediates and LUI); everything else is sign-extended.
+[[nodiscard]] constexpr bool imm18_unsigned(Op op) {
+    return op == Op::kAndi || op == Op::kOri || op == Op::kXori ||
+           op == Op::kLui || op == Op::kSlli || op == Op::kSrli ||
+           op == Op::kSrai;
+}
+
+[[nodiscard]] std::int32_t sign_extend(std::uint32_t v, unsigned bits) {
+    const std::uint32_t m = 1u << (bits - 1);
+    return static_cast<std::int32_t>((v ^ m) - m);
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& ins) {
+    const auto opbits = static_cast<std::uint32_t>(ins.op) << 26;
+    if (is_r_type(ins.op)) {
+        check_reg(ins.rd, "rd");
+        check_reg(ins.rs1, "rs1");
+        check_reg(ins.rs2, "rs2");
+        return opbits | (std::uint32_t{ins.rd} << 22) |
+               (std::uint32_t{ins.rs1} << 18) | (std::uint32_t{ins.rs2} << 14);
+    }
+    if (is_i_type(ins.op)) {
+        check_reg(ins.rd, "rd");
+        check_reg(ins.rs1, "rs1");
+        if (imm18_unsigned(ins.op)) {
+            if (ins.imm < 0 || static_cast<std::uint32_t>(ins.imm) > kImm18Mask)
+                throw std::invalid_argument("encode: unsigned imm18 overflow");
+        } else if (ins.imm < -(1 << 17) || ins.imm >= (1 << 17)) {
+            throw std::invalid_argument("encode: signed imm18 overflow");
+        }
+        return opbits | (std::uint32_t{ins.rd} << 22) |
+               (std::uint32_t{ins.rs1} << 18) |
+               (static_cast<std::uint32_t>(ins.imm) & kImm18Mask);
+    }
+    if (is_b_type(ins.op)) {
+        check_reg(ins.rs1, "rs1");
+        check_reg(ins.rs2, "rs2");
+        if (ins.imm < -(1 << 17) || ins.imm >= (1 << 17))
+            throw std::invalid_argument("encode: branch offset overflow");
+        return opbits | (std::uint32_t{ins.rs1} << 22) |
+               (std::uint32_t{ins.rs2} << 18) |
+               (static_cast<std::uint32_t>(ins.imm) & kImm18Mask);
+    }
+    if (is_j_type(ins.op)) {
+        check_reg(ins.rd, "rd");
+        if (ins.imm < -(1 << 21) || ins.imm >= (1 << 21))
+            throw std::invalid_argument("encode: jump offset overflow");
+        return opbits | (std::uint32_t{ins.rd} << 22) |
+               (static_cast<std::uint32_t>(ins.imm) & kImm22Mask);
+    }
+    if (ins.op == Op::kHalt) return opbits;
+    throw std::invalid_argument("encode: unknown op");
+}
+
+Instruction decode(std::uint32_t word) {
+    Instruction ins;
+    const auto opv = static_cast<std::uint8_t>(word >> 26);
+    ins.op = static_cast<Op>(opv);
+    if (is_r_type(ins.op)) {
+        ins.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+        ins.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+        ins.rs2 = static_cast<std::uint8_t>((word >> 14) & 0xF);
+        return ins;
+    }
+    if (is_i_type(ins.op)) {
+        ins.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+        ins.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+        const std::uint32_t raw = word & kImm18Mask;
+        ins.imm = imm18_unsigned(ins.op) ? static_cast<std::int32_t>(raw)
+                                         : sign_extend(raw, 18);
+        return ins;
+    }
+    if (is_b_type(ins.op)) {
+        ins.rs1 = static_cast<std::uint8_t>((word >> 22) & 0xF);
+        ins.rs2 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+        ins.imm = sign_extend(word & kImm18Mask, 18);
+        return ins;
+    }
+    if (is_j_type(ins.op)) {
+        ins.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+        ins.imm = sign_extend(word & kImm22Mask, 22);
+        return ins;
+    }
+    if (ins.op == Op::kHalt) return ins;
+    throw std::invalid_argument("decode: unknown opcode " +
+                                std::to_string(opv));
+}
+
+std::string_view mnemonic(Op op) {
+    switch (op) {
+        case Op::kAdd: return "add";
+        case Op::kSub: return "sub";
+        case Op::kAnd: return "and";
+        case Op::kOr: return "or";
+        case Op::kXor: return "xor";
+        case Op::kSll: return "sll";
+        case Op::kSrl: return "srl";
+        case Op::kSra: return "sra";
+        case Op::kMul: return "mul";
+        case Op::kSlt: return "slt";
+        case Op::kSltu: return "sltu";
+        case Op::kAddi: return "addi";
+        case Op::kAndi: return "andi";
+        case Op::kOri: return "ori";
+        case Op::kXori: return "xori";
+        case Op::kSlli: return "slli";
+        case Op::kSrli: return "srli";
+        case Op::kSrai: return "srai";
+        case Op::kSlti: return "slti";
+        case Op::kLui: return "lui";
+        case Op::kLw: return "lw";
+        case Op::kSw: return "sw";
+        case Op::kBeq: return "beq";
+        case Op::kBne: return "bne";
+        case Op::kBlt: return "blt";
+        case Op::kBge: return "bge";
+        case Op::kBltu: return "bltu";
+        case Op::kBgeu: return "bgeu";
+        case Op::kJal: return "jal";
+        case Op::kJalr: return "jalr";
+        case Op::kHalt: return "halt";
+    }
+    return "?";
+}
+
+}  // namespace ob::sabre

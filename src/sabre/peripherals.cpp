@@ -1,0 +1,185 @@
+#include "sabre/peripherals.hpp"
+
+#include <stdexcept>
+
+namespace ob::sabre {
+
+void SabreBus::attach(std::uint32_t base, std::shared_ptr<Peripheral> dev) {
+    if (base % kWindowBytes != 0)
+        throw std::invalid_argument("SabreBus: window-misaligned base");
+    if (!devices_.emplace(base, std::move(dev)).second)
+        throw std::invalid_argument("SabreBus: base already occupied");
+}
+
+Peripheral& SabreBus::device_at(std::uint32_t address, std::uint32_t& offset) {
+    const std::uint32_t base = address & ~(kWindowBytes - 1);
+    const auto it = devices_.find(base);
+    if (it == devices_.end())
+        throw std::out_of_range("SabreBus: no device at address");
+    offset = address - base;
+    return *it->second;
+}
+
+std::uint32_t SabreBus::read(std::uint32_t address) {
+    std::uint32_t offset = 0;
+    return device_at(address, offset).read(offset);
+}
+
+void SabreBus::write(std::uint32_t address, std::uint32_t value) {
+    std::uint32_t offset = 0;
+    device_at(address, offset).write(offset, value);
+}
+
+std::uint32_t TouchscreenPeripheral::read(std::uint32_t offset) {
+    switch (offset) {
+        case 0: return x_;
+        case 4: return y_;
+        case 8: return pressed_;
+        default: return 0;
+    }
+}
+
+void TouchscreenPeripheral::touch(std::uint32_t x, std::uint32_t y,
+                                  bool pressed) {
+    x_ = x;
+    y_ = y;
+    pressed_ = pressed ? 1 : 0;
+}
+
+std::uint32_t GuiPeripheral::read(std::uint32_t offset) {
+    const std::uint32_t idx = offset / 4;
+    return idx < reg_.size() ? reg_[idx] : 0;
+}
+
+void GuiPeripheral::write(std::uint32_t offset, std::uint32_t value) {
+    const std::uint32_t idx = offset / 4;
+    if (idx < reg_.size()) {
+        reg_[idx] = value;
+        return;
+    }
+    if (offset == 0x14) {  // command strobe: latch a line
+        lines_.push_back(Line{static_cast<std::int32_t>(reg_[0]),
+                              static_cast<std::int32_t>(reg_[1]),
+                              static_cast<std::int32_t>(reg_[2]),
+                              static_cast<std::int32_t>(reg_[3]), reg_[4]});
+    }
+}
+
+std::uint32_t UartPeripheral::read(std::uint32_t offset) {
+    switch (offset) {
+        case 0:
+            return (rx_.empty() ? 0u : 1u) | 2u;  // tx always ready
+        case 4: {
+            if (rx_.empty()) return 0;
+            const std::uint8_t b = rx_.front();
+            rx_.pop_front();
+            return b;
+        }
+        default:
+            return 0;
+    }
+}
+
+void UartPeripheral::write(std::uint32_t offset, std::uint32_t value) {
+    if (offset == 8) tx_.push_back(static_cast<std::uint8_t>(value & 0xFF));
+}
+
+std::vector<std::uint8_t> UartPeripheral::host_drain() {
+    std::vector<std::uint8_t> out;
+    out.swap(tx_);
+    return out;
+}
+
+std::uint32_t ControlPeripheral::read(std::uint32_t offset) {
+    const std::uint32_t idx = offset / 4;
+    return idx < kRegisters ? regs_[idx] : 0;
+}
+
+void ControlPeripheral::write(std::uint32_t offset, std::uint32_t value) {
+    const std::uint32_t idx = offset / 4;
+    if (idx < kRegisters) regs_[idx] = value;
+}
+
+std::uint32_t FpuPeripheral::read(std::uint32_t offset) {
+    switch (offset) {
+        case 0x0: return a_;
+        case 0x4: return b_;
+        case 0xC: return result_;
+        case 0x10: return ctx_.flags;
+        default: return 0;
+    }
+}
+
+void FpuPeripheral::write(std::uint32_t offset, std::uint32_t value) {
+    namespace sf = ob::softfloat;
+    switch (offset) {
+        case 0x0: a_ = value; return;
+        case 0x4: b_ = value; return;
+        case 0x10: ctx_.flags = value; return;
+        case 0x8: break;  // command: fall through to execute
+        default: return;
+    }
+    const sf::F32 a{a_};
+    const sf::F32 b{b_};
+    ++ops_;
+    switch (static_cast<Cmd>(value)) {
+        case kAdd: result_ = sf::add(a, b, ctx_).bits; break;
+        case kSub: result_ = sf::sub(a, b, ctx_).bits; break;
+        case kMul: result_ = sf::mul(a, b, ctx_).bits; break;
+        case kDiv: result_ = sf::div(a, b, ctx_).bits; break;
+        case kSqrt: result_ = sf::sqrt(a, ctx_).bits; break;
+        case kI2F:
+            result_ = sf::from_i32(static_cast<std::int32_t>(a_), ctx_).bits;
+            break;
+        case kF2I:
+            result_ = static_cast<std::uint32_t>(sf::to_i32(a, ctx_));
+            break;
+        case kCmpLt: result_ = sf::lt(a, b, ctx_) ? 1 : 0; break;
+        case kCmpLe: result_ = sf::le(a, b, ctx_) ? 1 : 0; break;
+        case kCmpEq: result_ = sf::eq(a, b, ctx_) ? 1 : 0; break;
+        case kNeg: result_ = sf::neg(a).bits; break;
+        case kAbs: result_ = sf::abs(a).bits; break;
+        default:
+            --ops_;
+            throw std::invalid_argument("FpuPeripheral: unknown command");
+    }
+}
+
+std::uint32_t DmuPortPeripheral::read(std::uint32_t offset) {
+    if (offset == 0) return fifo_.empty() ? 0 : 1;
+    if (fifo_.empty()) return 0;
+    const Sample& s = fifo_.front();
+    switch (offset) {
+        case 4: return static_cast<std::uint32_t>(s.gyro[0]);
+        case 8: return static_cast<std::uint32_t>(s.gyro[1]);
+        case 12: return static_cast<std::uint32_t>(s.gyro[2]);
+        case 16: return static_cast<std::uint32_t>(s.accel[0]);
+        case 20: return static_cast<std::uint32_t>(s.accel[1]);
+        case 24: return static_cast<std::uint32_t>(s.accel[2]);
+        case 28: return s.seq;
+        default: return 0;
+    }
+}
+
+void DmuPortPeripheral::write(std::uint32_t offset, std::uint32_t) {
+    if (offset == 0 && !fifo_.empty()) fifo_.pop_front();
+}
+
+std::uint32_t AccPortPeripheral::read(std::uint32_t offset) {
+    if (offset == 0) return fifo_.empty() ? 0 : 1;
+    if (fifo_.empty()) return 0;
+    const Sample& s = fifo_.front();
+    switch (offset) {
+        case 4: return s.t1x;
+        case 8: return s.t1y;
+        case 12: return s.t2;
+        case 16: return s.seq;
+        default: return 0;
+    }
+}
+
+void AccPortPeripheral::write(std::uint32_t offset, std::uint32_t) {
+    if (offset == 0 && !fifo_.empty()) fifo_.pop_front();
+}
+
+}  // namespace ob::sabre

@@ -1,0 +1,54 @@
+#include "sim/acc_model.hpp"
+
+namespace ob::sim {
+
+using math::Vec2;
+using math::Vec3;
+
+AccModel::AccModel(math::EulerAngles true_misalignment,
+                   const AccErrorConfig& cfg, const VibrationConfig& vib_cfg,
+                   util::Rng rng, comm::AdxlConfig adxl, math::Vec3 lever_arm)
+    : misalignment_(true_misalignment),
+      c_sensor_body_(math::dcm_from_euler(true_misalignment)),
+      lever_arm_(lever_arm),
+      adxl_(adxl),
+      rng_(rng),
+      vibration_(vib_cfg, rng_.fork()),
+      cross_axis_(cfg.cross_axis),
+      noise_sigma_(cfg.noise_sigma) {
+    bias_[0] = rng_.gaussian(cfg.bias_sigma);
+    bias_[1] = rng_.gaussian(cfg.bias_sigma);
+    scale_[0] = rng_.gaussian(cfg.scale_sigma);
+    scale_[1] = rng_.gaussian(cfg.scale_sigma);
+}
+
+void AccModel::bump(const math::EulerAngles& delta) {
+    misalignment_.roll += delta.roll;
+    misalignment_.pitch += delta.pitch;
+    misalignment_.yaw += delta.yaw;
+    c_sensor_body_ = math::dcm_from_euler(misalignment_);
+}
+
+comm::AdxlTiming AccModel::sample(const Vec3& f_body, const Vec3& omega,
+                                  const Vec3& omega_dot, double t, double dt,
+                                  double speed) {
+    // Rigid-body kinematics: the ACC's mount point feels the IMU-site
+    // specific force plus the Euler (omega_dot x r) and centripetal
+    // (omega x (omega x r)) accelerations of its lever arm.
+    const Vec3 lever = math::cross(omega_dot, lever_arm_) +
+                       math::cross(omega, math::cross(omega, lever_arm_));
+    // Local mount vibration (does NOT cancel against the IMU's).
+    const Vec3 vib = vibration_.step_accel(t, dt, speed);
+    const Vec3 f_sensor = c_sensor_body_ * (f_body + lever + vib);
+
+    const double ax0 = f_sensor[0];
+    const double ay0 = f_sensor[1];
+    const double ax = ax0 * (1.0 + scale_[0]) + cross_axis_ * ay0 + bias_[0] +
+                      rng_.gaussian(noise_sigma_);
+    const double ay = ay0 * (1.0 + scale_[1]) + cross_axis_ * ax0 + bias_[1] +
+                      rng_.gaussian(noise_sigma_);
+
+    return comm::adxl_encode(ax, ay, seq_++, adxl_);
+}
+
+}  // namespace ob::sim

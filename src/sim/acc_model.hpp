@@ -1,0 +1,77 @@
+#pragma once
+
+#include "comm/codec.hpp"
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+#include "sim/vibration.hpp"
+#include "util/rng.hpp"
+
+namespace ob::sim {
+
+/// Error model for the sensor-mounted two-axis accelerometer (the paper's
+/// Analog Devices ADXL202). The ADXL202 is a coarser instrument than the
+/// DMU triad — larger bias and noise — which is exactly why the Kalman
+/// filter needs hundreds of seconds to squeeze sub-0.1-degree alignment
+/// out of it.
+struct AccErrorConfig {
+    double bias_sigma = 0.03;       ///< m/s² per-axis constant bias draw
+    double noise_sigma = 0.004;     ///< m/s² white per sample
+    double scale_sigma = 1500e-6;   ///< unitless scale-factor error
+    double cross_axis = 0.002;      ///< fraction of y sensed on x and v.v.
+};
+
+/// Simulated boresighted-sensor accelerometer. It is rigidly attached to
+/// the (misaligned) sensor, so it senses the body specific force rotated
+/// through the *true* misalignment DCM — the quantity the fusion algorithm
+/// estimates. Output is the quantized PWM timing packet of the ADXL202.
+class AccModel {
+public:
+    /// `lever_arm` is the ACC's mounting position relative to the IMU, in
+    /// body coordinates (meters): during rotation the ACC feels the extra
+    /// Euler + centripetal accelerations of its offset location.
+    AccModel(math::EulerAngles true_misalignment, const AccErrorConfig& cfg,
+             const VibrationConfig& vib_cfg, util::Rng rng,
+             comm::AdxlConfig adxl = {}, math::Vec3 lever_arm = {});
+
+    /// Sample at time t. `f_body` is the true specific force at the IMU's
+    /// location; `omega`/`omega_dot` the body angular rate and its
+    /// derivative (for the lever-arm terms). The model applies the
+    /// misalignment, local vibration, instrument errors and duty-cycle
+    /// quantization.
+    [[nodiscard]] comm::AdxlTiming sample(const math::Vec3& f_body,
+                                          const math::Vec3& omega,
+                                          const math::Vec3& omega_dot, double t,
+                                          double dt, double speed);
+
+    /// Convenience overload for rotation-free scenes.
+    [[nodiscard]] comm::AdxlTiming sample(const math::Vec3& f_body, double t,
+                                          double dt, double speed) {
+        return sample(f_body, math::Vec3{}, math::Vec3{}, t, dt, speed);
+    }
+
+    /// Re-seat the sensor (the paper's "car park bump"): adds a step change
+    /// to the true misalignment mid-run.
+    void bump(const math::EulerAngles& delta);
+
+    [[nodiscard]] const math::EulerAngles& true_misalignment() const {
+        return misalignment_;
+    }
+    [[nodiscard]] const comm::AdxlConfig& adxl_config() const { return adxl_; }
+    [[nodiscard]] double bias_x() const { return bias_[0]; }
+    [[nodiscard]] double bias_y() const { return bias_[1]; }
+
+private:
+    math::EulerAngles misalignment_;
+    math::Mat3 c_sensor_body_;
+    math::Vec3 lever_arm_;
+    comm::AdxlConfig adxl_;
+    util::Rng rng_;
+    VibrationModel vibration_;
+    math::Vec2 bias_{};
+    math::Vec2 scale_{};
+    double cross_axis_;
+    double noise_sigma_;
+    std::uint8_t seq_ = 0;
+};
+
+}  // namespace ob::sim

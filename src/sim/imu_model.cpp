@@ -1,0 +1,55 @@
+#include "sim/imu_model.hpp"
+
+#include <cmath>
+
+namespace ob::sim {
+
+using math::Vec3;
+
+ImuModel::ImuModel(const ImuErrorConfig& cfg, const VibrationConfig& vib_cfg,
+                   util::Rng rng)
+    : rng_(rng),
+      vibration_(vib_cfg, rng_.fork()),
+      bias_walk_sigma_(cfg.accel_bias_walk),
+      accel_noise_sigma_(cfg.accel_noise_sigma),
+      gyro_noise_sigma_(cfg.gyro_noise_sigma) {
+    for (std::size_t i = 0; i < 3; ++i) {
+        accel_bias_[i] = rng_.gaussian(cfg.accel_bias_sigma);
+        gyro_bias_[i] = rng_.gaussian(cfg.gyro_bias_sigma);
+        accel_scale_[i] = rng_.gaussian(cfg.accel_scale_sigma);
+        gyro_scale_[i] = rng_.gaussian(cfg.gyro_scale_sigma);
+    }
+    // Small random orthogonality error of the sensing triad.
+    const Vec3 mis{rng_.gaussian(cfg.internal_misalign_sigma),
+                   rng_.gaussian(cfg.internal_misalign_sigma),
+                   rng_.gaussian(cfg.internal_misalign_sigma)};
+    internal_misalign_ = math::small_angle_dcm(mis);
+}
+
+comm::DmuSample ImuModel::sample(const Vec3& f_body, const Vec3& omega,
+                                 double t, double dt, double speed) {
+    // Accelerometer bias random walk.
+    const double walk = bias_walk_sigma_ * std::sqrt(std::max(dt, 0.0));
+    for (std::size_t i = 0; i < 3; ++i) accel_bias_[i] += rng_.gaussian(walk);
+
+    const Vec3 vib_a = vibration_.step_accel(t, dt, speed);
+    const Vec3 vib_g = vibration_.step_gyro(dt, speed);
+
+    const Vec3 f_int = internal_misalign_ * (f_body + vib_a);
+    const Vec3 w_int = internal_misalign_ * (omega + vib_g);
+
+    comm::DmuSample s;
+    s.seq = seq_++;
+    s.t = t;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const double f = f_int[i] * (1.0 + accel_scale_[i]) + accel_bias_[i] +
+                         rng_.gaussian(accel_noise_sigma_);
+        const double w = w_int[i] * (1.0 + gyro_scale_[i]) + gyro_bias_[i] +
+                         rng_.gaussian(gyro_noise_sigma_);
+        s.accel[i] = scale_.accel_to_raw(f);
+        s.gyro[i] = scale_.rate_to_raw(w);
+    }
+    return s;
+}
+
+}  // namespace ob::sim

@@ -1,0 +1,218 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ob::sim {
+
+using math::EulerAngles;
+using math::Vec3;
+
+Vec3 VehicleState::specific_force_body() const {
+    const Vec3 g_nav{0.0, 0.0, kGravity};  // z down
+    const Vec3 f_nav = accel_nav - g_nav;
+    return math::dcm_from_euler(attitude) * f_nav;
+}
+
+VehicleState StaticProfile::state_at(double t) const {
+    VehicleState s;
+    s.t = t;
+    s.attitude = attitude_;
+    return s;  // zero acceleration, zero rates, zero speed
+}
+
+TiltSequenceProfile::TiltSequenceProfile(std::vector<Pose> poses,
+                                         double duration_s)
+    : poses_(std::move(poses)), cycle_s_(0.0), duration_(duration_s) {
+    if (poses_.empty())
+        throw std::invalid_argument("TiltSequenceProfile: no poses");
+    for (const auto& p : poses_) {
+        if (!(p.dwell_s > 0.0))
+            throw std::invalid_argument("TiltSequenceProfile: bad dwell");
+        cycle_s_ += p.dwell_s;
+    }
+}
+
+VehicleState TiltSequenceProfile::state_at(double t) const {
+    VehicleState s;
+    s.t = t;
+    double phase = std::fmod(std::max(t, 0.0), cycle_s_);
+    for (const auto& p : poses_) {
+        if (phase < p.dwell_s) {
+            s.attitude = p.attitude;
+            return s;
+        }
+        phase -= p.dwell_s;
+    }
+    s.attitude = poses_.back().attitude;
+    return s;
+}
+
+namespace {
+
+/// Cosine ramp from 0 to 1 over [0, ramp].
+[[nodiscard]] double smooth01(double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    return 0.5 * (1.0 - std::cos(x * math::kPi));
+}
+
+}  // namespace
+
+DriveProfile::DriveProfile(std::vector<DriveSegment> segments,
+                           DriveDynamics dyn, std::string name, double grid_dt)
+    : grid_dt_(grid_dt), duration_(0.0), name_(std::move(name)) {
+    if (segments.empty())
+        throw std::invalid_argument("DriveProfile: no segments");
+    for (const auto& s : segments) duration_ += s.duration_s;
+
+    const auto steps = static_cast<std::size_t>(duration_ / grid_dt_) + 1;
+    grid_.reserve(steps + 1);
+
+    double v = 0.0;
+    double psi = 0.0;
+    double roll = 0.0;
+    double pitch = 0.0;
+    double prev_roll = 0.0, prev_pitch = 0.0, prev_psi = 0.0;
+
+    // Segment lookup state.
+    std::size_t seg = 0;
+    double seg_start = 0.0;
+
+    for (std::size_t k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) * grid_dt_;
+        while (seg + 1 < segments.size() &&
+               t >= seg_start + segments[seg].duration_s) {
+            seg_start += segments[seg].duration_s;
+            ++seg;
+        }
+        const DriveSegment& s = segments[seg];
+        // Ramp the commanded values in and out at segment edges.
+        const double into = (t - seg_start) / dyn.ramp_s;
+        const double outof = (seg_start + s.duration_s - t) / dyn.ramp_s;
+        const double env = std::min(smooth01(into), smooth01(outof));
+
+        double a_lon = s.accel_mps2 * env;
+        double yaw_rate = s.yaw_rate_rps * env;
+        const double grade = s.grade * env;
+
+        // A stationary vehicle cannot brake backwards or yaw in place.
+        if (v <= 0.0 && a_lon < 0.0) a_lon = 0.0;
+        if (v < 0.5) yaw_rate *= v / 0.5;
+
+        v = std::max(0.0, v + a_lon * grid_dt_);
+        psi += yaw_rate * grid_dt_;
+        max_speed_ = std::max(max_speed_, v);
+
+        const double a_lat = v * yaw_rate;
+
+        // First-order suspension response to the commanded accelerations,
+        // plus the road slope: climbing pitches the whole vehicle nose-up,
+        // rotating gravity in the body frame (the classic grade/
+        // acceleration ambiguity the accelerometers then see).
+        const double slope_pitch = std::atan(grade);
+        const double alpha = grid_dt_ / (dyn.suspension_tau_s + grid_dt_);
+        roll += alpha * (dyn.roll_per_lat_accel * a_lat - roll);
+        pitch += alpha *
+                 (dyn.pitch_per_lon_accel * a_lon + slope_pitch - pitch);
+
+        Sample out;
+        out.speed = v;
+        out.attitude = EulerAngles{roll, pitch, psi};
+        const double cpsi = std::cos(psi), spsi = std::sin(psi);
+        out.accel_nav = Vec3{a_lon * cpsi - a_lat * spsi,
+                             a_lon * spsi + a_lat * cpsi, 0.0};
+        const Vec3 euler_dot =
+            k == 0 ? Vec3{0, 0, 0}
+                   : Vec3{(roll - prev_roll) / grid_dt_,
+                          (pitch - prev_pitch) / grid_dt_,
+                          (psi - prev_psi) / grid_dt_};
+        out.omega_body = math::body_rates_from_euler_rates(out.attitude, euler_dot);
+        prev_roll = roll;
+        prev_pitch = pitch;
+        prev_psi = psi;
+        grid_.push_back(out);
+    }
+}
+
+VehicleState DriveProfile::state_at(double t) const {
+    VehicleState s;
+    s.t = t;
+    const double clamped = std::clamp(t, 0.0, duration_);
+    const auto idx = std::min(
+        static_cast<std::size_t>(clamped / grid_dt_), grid_.size() - 1);
+    const Sample& g = grid_[idx];
+    s.accel_nav = g.accel_nav;
+    s.attitude = g.attitude;
+    s.omega_body = g.omega_body;
+    s.speed = g.speed;
+    return s;
+}
+
+DriveProfile DriveProfile::city(double duration_s, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<DriveSegment> segs;
+    double t = 0.0;
+    // Alternate stop-go blocks with turns, randomized but seeded.
+    while (t < duration_s) {
+        const std::size_t block_start = segs.size();
+        const double grade = rng.uniform(-0.04, 0.04);  // city hills
+        const double accel_t = rng.uniform(3.0, 6.0);
+        segs.push_back({accel_t, rng.uniform(1.5, 2.5), 0.0, grade});
+        const double cruise_t = rng.uniform(4.0, 10.0);
+        segs.push_back({cruise_t, 0.0, 0.0, grade});
+        if (rng.chance(0.6)) {
+            // 90-degree-ish corner at moderate yaw rate.
+            const double dir = rng.chance(0.5) ? 1.0 : -1.0;
+            segs.push_back({rng.uniform(3.0, 5.0), 0.0,
+                            dir * rng.uniform(0.25, 0.4), grade});
+        }
+        const double brake_t = rng.uniform(2.5, 4.5);
+        segs.push_back({brake_t, rng.uniform(-3.0, -2.0), 0.0, grade});
+        segs.push_back({rng.uniform(1.0, 3.0), 0.0, 0.0, 0.0});  // idle
+        for (std::size_t i = block_start; i < segs.size(); ++i)
+            t += segs[i].duration_s;
+    }
+    return DriveProfile(std::move(segs), {}, "city");
+}
+
+DriveProfile DriveProfile::highway(double duration_s, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<DriveSegment> segs;
+    segs.push_back({12.0, 2.2, 0.0});  // on-ramp to ~26 m/s
+    double t = 12.0;
+    while (t < duration_s) {
+        const double cruise_t = rng.uniform(8.0, 15.0);
+        segs.push_back({cruise_t, 0.0, 0.0});
+        t += cruise_t;
+        if (rng.chance(0.5)) {
+            // Lane change: S-shaped yaw wiggle.
+            const double dir = rng.chance(0.5) ? 1.0 : -1.0;
+            segs.push_back({1.5, 0.0, dir * 0.06});
+            segs.push_back({1.5, 0.0, -dir * 0.06});
+            t += 3.0;
+        } else {
+            // Gentle sweeping curve.
+            segs.push_back({rng.uniform(5.0, 9.0), 0.0,
+                            (rng.chance(0.5) ? 1.0 : -1.0) * 0.03});
+            t += segs.back().duration_s;
+        }
+    }
+    return DriveProfile(std::move(segs), {}, "highway");
+}
+
+DriveProfile DriveProfile::figure_eight(double duration_s) {
+    std::vector<DriveSegment> segs;
+    segs.push_back({6.0, 1.8, 0.0});  // get moving
+    double t = 6.0;
+    bool left = true;
+    while (t < duration_s) {
+        segs.push_back({12.0, 0.0, left ? 0.30 : -0.30});
+        left = !left;
+        t += 12.0;
+    }
+    return DriveProfile(std::move(segs), {}, "figure8");
+}
+
+}  // namespace ob::sim

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+#include "util/rng.hpp"
+
+namespace ob::sim {
+
+/// Kinematic truth at one instant: everything a perfect sensor suite could
+/// observe about the vehicle, in SI units.
+struct VehicleState {
+    double t = 0.0;
+    math::Vec3 accel_nav{};    ///< inertial acceleration, nav frame (z down)
+    math::EulerAngles attitude{};  ///< body orientation (roll, pitch, yaw=heading)
+    math::Vec3 omega_body{};   ///< angular rate, body frame (rad/s)
+    double speed = 0.0;        ///< ground speed (m/s), scales vibration
+
+    /// Specific force in the body frame: f_b = C_bn * (a_n - g_n), with
+    /// gravity +9.80665 along nav z (z-down convention). This is what ideal
+    /// accelerometers strapped to the body measure.
+    [[nodiscard]] math::Vec3 specific_force_body() const;
+};
+
+inline constexpr double kGravity = 9.80665;
+
+/// A driving (or parking) scenario's kinematic truth over time.
+class TrajectoryProfile {
+public:
+    virtual ~TrajectoryProfile() = default;
+    [[nodiscard]] virtual VehicleState state_at(double t) const = 0;
+    [[nodiscard]] virtual double duration() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Stationary vehicle on a (possibly tilted) platform — the paper's static
+/// tests. Tilting the platform is what makes roll/yaw observable from
+/// gravity alone (§11.1 of the paper).
+class StaticProfile final : public TrajectoryProfile {
+public:
+    StaticProfile(math::EulerAngles platform_attitude, double duration_s)
+        : attitude_(platform_attitude), duration_(duration_s) {}
+
+    [[nodiscard]] VehicleState state_at(double t) const override;
+    [[nodiscard]] double duration() const override { return duration_; }
+    [[nodiscard]] std::string name() const override { return "static"; }
+
+private:
+    math::EulerAngles attitude_;
+    double duration_;
+};
+
+/// Static boresight-bench procedure: the platform is dwelled at a sequence
+/// of orientations. Re-orienting is what makes all three misalignment axes
+/// observable from gravity alone — with a single pose the rotation about
+/// the gravity vector is unobservable (paper §11.1: "static roll and yaw
+/// tests are more difficult to perform since the platform must be
+/// oriented").
+class TiltSequenceProfile final : public TrajectoryProfile {
+public:
+    struct Pose {
+        math::EulerAngles attitude{};
+        double dwell_s = 10.0;
+    };
+
+    /// Cycles through `poses` until `duration_s` is exhausted.
+    TiltSequenceProfile(std::vector<Pose> poses, double duration_s);
+
+    [[nodiscard]] VehicleState state_at(double t) const override;
+    [[nodiscard]] double duration() const override { return duration_; }
+    [[nodiscard]] std::string name() const override { return "tilt-sequence"; }
+
+private:
+    std::vector<Pose> poses_;
+    double cycle_s_;
+    double duration_;
+};
+
+/// One commanded maneuver in a drive: longitudinal acceleration and yaw
+/// rate targets held for `duration_s`, cosine-ramped at the edges.
+struct DriveSegment {
+    double duration_s = 1.0;
+    double accel_mps2 = 0.0;     ///< longitudinal acceleration target
+    double yaw_rate_rps = 0.0;   ///< heading rate target (only when moving)
+    double grade = 0.0;          ///< road slope (rise/run); climbing > 0
+};
+
+/// Configuration of the suspension/attitude coupling that turns planar
+/// motion into the small roll/pitch responses real vehicles show.
+struct DriveDynamics {
+    double roll_per_lat_accel = -0.012;   ///< rad per m/s^2 (lean out of turns)
+    double pitch_per_lon_accel = -0.009;  ///< rad per m/s^2 (squat/dive)
+    double suspension_tau_s = 0.35;       ///< first-order response time
+    double ramp_s = 0.8;                  ///< maneuver ramp duration
+};
+
+/// Planar vehicle drive built from a segment list, integrated on a fine
+/// grid at construction. The dynamic tests of the paper ("standard private
+/// passenger vehicle ... during car motion") are instances of this.
+class DriveProfile final : public TrajectoryProfile {
+public:
+    DriveProfile(std::vector<DriveSegment> segments, DriveDynamics dynamics = {},
+                 std::string name = "drive", double grid_dt = 1e-3);
+
+    [[nodiscard]] VehicleState state_at(double t) const override;
+    [[nodiscard]] double duration() const override { return duration_; }
+    [[nodiscard]] std::string name() const override { return name_; }
+
+    /// Peak speed over the drive (sanity metric for tests).
+    [[nodiscard]] double max_speed() const { return max_speed_; }
+
+    // --- Preset drives used by the experiment harness ---
+
+    /// Stop-and-go urban profile: accelerations, braking, 90-degree turns.
+    /// Rich in longitudinal AND lateral excitation, so all three
+    /// misalignment axes are observable.
+    [[nodiscard]] static DriveProfile city(double duration_s,
+                                           std::uint64_t seed);
+
+    /// Motorway profile: sustained speed, lane changes, gentle curves.
+    [[nodiscard]] static DriveProfile highway(double duration_s,
+                                              std::uint64_t seed);
+
+    /// Calibration figure-eight: continuous turning at moderate speed.
+    [[nodiscard]] static DriveProfile figure_eight(double duration_s);
+
+private:
+    struct Sample {
+        math::Vec3 accel_nav{};
+        math::EulerAngles attitude{};
+        math::Vec3 omega_body{};
+        double speed = 0.0;
+    };
+
+    std::vector<Sample> grid_;
+    double grid_dt_;
+    double duration_;
+    double max_speed_ = 0.0;
+    std::string name_;
+};
+
+}  // namespace ob::sim

@@ -1,0 +1,48 @@
+#include "sim/vibration.hpp"
+
+#include <cmath>
+
+namespace ob::sim {
+
+using math::Vec3;
+
+Vec3 VibrationModel::step_accel(double t, double dt, double speed) {
+    const double engine_amp =
+        cfg_.engine_amp_idle + cfg_.engine_amp_per_mps * speed;
+    const double engine_freq =
+        cfg_.engine_freq_idle_hz + cfg_.engine_freq_per_mps * speed;
+
+    Vec3 out;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+        const double harmonic =
+            engine_amp *
+            std::sin(2.0 * math::kPi * engine_freq * t + phase_[axis]);
+
+        // Road noise: first-order low-pass filtered white noise whose
+        // steady-state standard deviation scales with sqrt(speed).
+        const double target_sigma =
+            cfg_.road_amp_per_sqrt_mps * std::sqrt(std::max(speed, 0.0));
+        const double alpha =
+            dt / (1.0 / (2.0 * math::kPi * cfg_.road_bandwidth_hz) + dt);
+        // Drive noise scaled so the filtered output has ~target_sigma.
+        const double drive =
+            target_sigma > 0.0
+                ? rng_.gaussian(target_sigma / std::sqrt(alpha / (2.0 - alpha)))
+                : 0.0;
+        road_state_[axis] += alpha * (drive - road_state_[axis]);
+
+        out[axis] = harmonic + road_state_[axis];
+    }
+    return out;
+}
+
+Vec3 VibrationModel::step_gyro(double dt, double speed) {
+    (void)dt;
+    const double amp =
+        cfg_.gyro_amp_factor *
+        (cfg_.engine_amp_idle + cfg_.engine_amp_per_mps * speed +
+         cfg_.road_amp_per_sqrt_mps * std::sqrt(std::max(speed, 0.0)));
+    return Vec3{rng_.gaussian(amp), rng_.gaussian(amp), rng_.gaussian(amp)};
+}
+
+}  // namespace ob::sim

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/softfloat.hpp"
+
+// Shared internals between the binary32 and binary64 translation units.
+// Not part of the public API.
+
+namespace ob::softfloat::detail {
+
+/// Right shift that ORs shifted-out bits into the LSB ("jamming").
+[[nodiscard]] std::uint32_t shift_right_jam32(std::uint32_t a,
+                                              std::int32_t count);
+[[nodiscard]] std::uint64_t shift_right_jam64(std::uint64_t a,
+                                              std::int32_t count);
+
+/// Round a 31-bit significand (MSB at bit 30, 7 round bits) per the
+/// context mode and pack a binary32.
+[[nodiscard]] F32 round_and_pack32(bool sign, std::int32_t exp,
+                                   std::uint32_t sig, Context& ctx);
+
+}  // namespace ob::softfloat::detail

@@ -1,0 +1,515 @@
+#include "softfloat/softfloat64.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "softfloat/internal.hpp"
+
+// IEEE-754 binary64, same Berkeley structure as the binary32 unit.
+// Working-significand convention: a `zSig` passed to round_and_pack64 is a
+// 63-bit quantity with its MSB at bit 62 and ten rounding bits at the
+// bottom; the represented value is zSig/2^62 * 2^(zExp+1-1023).
+
+namespace ob::softfloat {
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+constexpr std::uint64_t kSignMask64 = 0x8000000000000000ull;
+constexpr std::uint64_t kHiddenBit64 = 0x0010000000000000ull;
+
+using detail::shift_right_jam64;
+
+[[nodiscard]] std::uint64_t pack64(bool sign, std::int32_t exp,
+                                   std::uint64_t sig) {
+    return (sign ? kSignMask64 : 0ull) +
+           (static_cast<std::uint64_t>(exp) << 52) + sig;
+}
+
+struct Normalized64 {
+    std::int32_t exp;
+    std::uint64_t sig;
+};
+
+[[nodiscard]] Normalized64 normalize_subnormal64(std::uint64_t frac) {
+    const int shift = std::countl_zero(frac) - 11;
+    return {1 - shift, frac << shift};
+}
+
+[[nodiscard]] F64 propagate_nan64(F64 a, F64 b, Context& ctx) {
+    if (a.is_signaling_nan() || b.is_signaling_nan()) ctx.raise(kInvalid);
+    return F64::quiet_nan();
+}
+
+[[nodiscard]] F64 round_and_pack64(bool sign, std::int32_t exp,
+                                   std::uint64_t sig, Context& ctx) {
+    const bool nearest = ctx.rounding == Round::kNearestEven;
+    std::uint64_t increment = 0x200;
+    if (!nearest) {
+        if (ctx.rounding == Round::kTowardZero) {
+            increment = 0;
+        } else if (ctx.rounding == Round::kDown) {
+            increment = sign ? 0x3FF : 0;
+        } else {  // Round::kUp
+            increment = sign ? 0 : 0x3FF;
+        }
+    }
+    std::uint64_t round_bits = sig & 0x3FF;
+
+    if (exp >= 0x7FD) {
+        if (exp > 0x7FD ||
+            (exp == 0x7FD &&
+             static_cast<std::int64_t>(sig + increment) < 0)) {
+            ctx.raise(kOverflow | kInexact);
+            const std::uint64_t inf_bits = pack64(sign, 0x7FF, 0);
+            return F64{inf_bits - (increment == 0 ? 1ull : 0ull)};
+        }
+    }
+    if (exp < 0) {
+        sig = shift_right_jam64(sig, -exp);
+        exp = 0;
+        round_bits = sig & 0x3FF;
+        if (round_bits != 0) ctx.raise(kUnderflow);  // tiny (pre-round) + inexact
+    }
+    if (round_bits != 0) ctx.raise(kInexact);
+    sig = (sig + increment) >> 10;
+    if (nearest && round_bits == 0x200) sig &= ~1ull;  // ties to even
+    if (sig == 0) exp = 0;
+    return F64{pack64(sign, exp, sig)};
+}
+
+[[nodiscard]] F64 normalize_round_and_pack64(bool sign, std::int32_t exp,
+                                             std::uint64_t sig, Context& ctx) {
+    const int shift = std::countl_zero(sig) - 1;
+    return round_and_pack64(sign, exp - shift, sig << shift, ctx);
+}
+
+/// Magnitude addition, significands scaled by 2^9 (hidden bit 61).
+[[nodiscard]] F64 add_sigs64(F64 a, F64 b, bool z_sign, Context& ctx) {
+    std::int32_t a_exp = static_cast<std::int32_t>(a.exponent());
+    std::int32_t b_exp = static_cast<std::int32_t>(b.exponent());
+    std::uint64_t a_sig = a.fraction() << 9;
+    std::uint64_t b_sig = b.fraction() << 9;
+    const std::int32_t exp_diff = a_exp - b_exp;
+    std::int32_t z_exp;
+    std::uint64_t z_sig;
+    constexpr std::uint64_t kHidden9 = kHiddenBit64 << 9;
+
+    if (exp_diff > 0) {
+        if (a_exp == 0x7FF) {
+            if (a.fraction() != 0) return propagate_nan64(a, b, ctx);
+            return F64::inf(z_sign);
+        }
+        std::int32_t shift = exp_diff;
+        if (b_exp == 0) {
+            --shift;
+        } else {
+            b_sig |= kHidden9;
+        }
+        b_sig = shift_right_jam64(b_sig, shift);
+        z_exp = a_exp;
+    } else if (exp_diff < 0) {
+        if (b_exp == 0x7FF) {
+            if (b.fraction() != 0) return propagate_nan64(a, b, ctx);
+            return F64::inf(z_sign);
+        }
+        std::int32_t shift = -exp_diff;
+        if (a_exp == 0) {
+            --shift;
+        } else {
+            a_sig |= kHidden9;
+        }
+        a_sig = shift_right_jam64(a_sig, shift);
+        z_exp = b_exp;
+    } else {
+        if (a_exp == 0x7FF) {
+            if (a.fraction() != 0 || b.fraction() != 0)
+                return propagate_nan64(a, b, ctx);
+            return F64::inf(z_sign);
+        }
+        if (a_exp == 0) return F64{pack64(z_sign, 0, (a_sig + b_sig) >> 9)};
+        z_sig = (kHidden9 << 1) + a_sig + b_sig;
+        z_exp = a_exp;
+        return round_and_pack64(z_sign, z_exp, z_sig, ctx);
+    }
+    a_sig |= kHidden9;
+    z_sig = (a_sig + b_sig) << 1;
+    --z_exp;
+    if (static_cast<std::int64_t>(z_sig) < 0) {
+        z_sig = a_sig + b_sig;
+        ++z_exp;
+    }
+    return round_and_pack64(z_sign, z_exp, z_sig, ctx);
+}
+
+/// Magnitude subtraction, significands scaled by 2^10 (hidden bit 62).
+[[nodiscard]] F64 sub_sigs64(F64 a, F64 b, bool z_sign, Context& ctx) {
+    std::int32_t a_exp = static_cast<std::int32_t>(a.exponent());
+    std::int32_t b_exp = static_cast<std::int32_t>(b.exponent());
+    std::uint64_t a_sig = a.fraction() << 10;
+    std::uint64_t b_sig = b.fraction() << 10;
+    const std::int32_t exp_diff = a_exp - b_exp;
+    constexpr std::uint64_t kHidden10 = kHiddenBit64 << 10;
+
+    if (exp_diff == 0) {
+        if (a_exp == 0x7FF) {
+            if (a.fraction() != 0 || b.fraction() != 0)
+                return propagate_nan64(a, b, ctx);
+            ctx.raise(kInvalid);
+            return F64::quiet_nan();
+        }
+        if (a_exp == 0) {
+            a_exp = 1;
+            b_exp = 1;
+        }
+        if (b_sig < a_sig)
+            return normalize_round_and_pack64(z_sign, a_exp - 1, a_sig - b_sig,
+                                              ctx);
+        if (a_sig < b_sig)
+            return normalize_round_and_pack64(!z_sign, b_exp - 1, b_sig - a_sig,
+                                              ctx);
+        return F64::zero(ctx.rounding == Round::kDown);
+    }
+    if (exp_diff > 0) {
+        if (a_exp == 0x7FF) {
+            if (a.fraction() != 0) return propagate_nan64(a, b, ctx);
+            return F64::inf(z_sign);
+        }
+        std::int32_t shift = exp_diff;
+        if (b_exp == 0) {
+            --shift;
+        } else {
+            b_sig |= kHidden10;
+        }
+        b_sig = shift_right_jam64(b_sig, shift);
+        a_sig |= kHidden10;
+        return normalize_round_and_pack64(z_sign, a_exp - 1, a_sig - b_sig,
+                                          ctx);
+    }
+    if (b_exp == 0x7FF) {
+        if (b.fraction() != 0) return propagate_nan64(a, b, ctx);
+        return F64::inf(!z_sign);
+    }
+    std::int32_t shift = -exp_diff;
+    if (a_exp == 0) {
+        --shift;
+    } else {
+        a_sig |= kHidden10;
+    }
+    a_sig = shift_right_jam64(a_sig, shift);
+    b_sig |= kHidden10;
+    return normalize_round_and_pack64(!z_sign, b_exp - 1, b_sig - a_sig, ctx);
+}
+
+/// Integer square root of a 128-bit value (floor), digit-by-digit.
+[[nodiscard]] std::uint64_t isqrt128(u128 a) {
+    u128 rem = 0;
+    u128 root = 0;
+    for (int i = 0; i < 64; ++i) {
+        root <<= 1;
+        rem = (rem << 2) | (a >> 126);
+        a <<= 2;
+        if (root < rem) {
+            rem -= root | 1;
+            root += 2;
+        }
+    }
+    return static_cast<std::uint64_t>(root >> 1);
+}
+
+}  // namespace
+
+F64 from_host(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::memcpy(&bits, &d, sizeof bits);
+    return F64{bits};
+}
+
+double to_host(F64 a) {
+    double d;
+    std::memcpy(&d, &a.bits, sizeof d);
+    return d;
+}
+
+F64 add(F64 a, F64 b, Context& ctx) {
+    if (a.sign() == b.sign()) return add_sigs64(a, b, a.sign(), ctx);
+    return sub_sigs64(a, b, a.sign(), ctx);
+}
+
+F64 sub(F64 a, F64 b, Context& ctx) {
+    if (a.sign() == b.sign()) return sub_sigs64(a, b, a.sign(), ctx);
+    return add_sigs64(a, b, a.sign(), ctx);
+}
+
+F64 mul(F64 a, F64 b, Context& ctx) {
+    std::int32_t a_exp = static_cast<std::int32_t>(a.exponent());
+    std::int32_t b_exp = static_cast<std::int32_t>(b.exponent());
+    std::uint64_t a_sig = a.fraction();
+    std::uint64_t b_sig = b.fraction();
+    const bool z_sign = a.sign() != b.sign();
+
+    if (a_exp == 0x7FF) {
+        if (a_sig != 0 || (b_exp == 0x7FF && b_sig != 0))
+            return propagate_nan64(a, b, ctx);
+        if ((static_cast<std::uint32_t>(b_exp) | b_sig) == 0) {
+            ctx.raise(kInvalid);
+            return F64::quiet_nan();
+        }
+        return F64::inf(z_sign);
+    }
+    if (b_exp == 0x7FF) {
+        if (b_sig != 0) return propagate_nan64(a, b, ctx);
+        if ((static_cast<std::uint32_t>(a_exp) | a_sig) == 0) {
+            ctx.raise(kInvalid);
+            return F64::quiet_nan();
+        }
+        return F64::inf(z_sign);
+    }
+    if (a_exp == 0) {
+        if (a_sig == 0) return F64::zero(z_sign);
+        const auto n = normalize_subnormal64(a_sig);
+        a_exp = n.exp;
+        a_sig = n.sig;
+    }
+    if (b_exp == 0) {
+        if (b_sig == 0) return F64::zero(z_sign);
+        const auto n = normalize_subnormal64(b_sig);
+        b_exp = n.exp;
+        b_sig = n.sig;
+    }
+    std::int32_t z_exp = a_exp + b_exp - 0x3FF;
+    a_sig = (a_sig | kHiddenBit64) << 10;
+    b_sig = (b_sig | kHiddenBit64) << 11;
+    const u128 product = static_cast<u128>(a_sig) * b_sig;
+    std::uint64_t z_sig = static_cast<std::uint64_t>(product >> 64);
+    if (static_cast<std::uint64_t>(product) != 0) z_sig |= 1;  // sticky
+    if (static_cast<std::int64_t>(z_sig << 1) >= 0) {
+        z_sig <<= 1;
+        --z_exp;
+    }
+    return round_and_pack64(z_sign, z_exp, z_sig, ctx);
+}
+
+F64 div(F64 a, F64 b, Context& ctx) {
+    std::int32_t a_exp = static_cast<std::int32_t>(a.exponent());
+    std::int32_t b_exp = static_cast<std::int32_t>(b.exponent());
+    std::uint64_t a_sig = a.fraction();
+    std::uint64_t b_sig = b.fraction();
+    const bool z_sign = a.sign() != b.sign();
+
+    if (a_exp == 0x7FF) {
+        if (a_sig != 0) return propagate_nan64(a, b, ctx);
+        if (b_exp == 0x7FF) {
+            if (b_sig != 0) return propagate_nan64(a, b, ctx);
+            ctx.raise(kInvalid);
+            return F64::quiet_nan();
+        }
+        return F64::inf(z_sign);
+    }
+    if (b_exp == 0x7FF) {
+        if (b_sig != 0) return propagate_nan64(a, b, ctx);
+        return F64::zero(z_sign);
+    }
+    if (b_exp == 0) {
+        if (b_sig == 0) {
+            if ((static_cast<std::uint32_t>(a_exp) | a_sig) == 0) {
+                ctx.raise(kInvalid);
+                return F64::quiet_nan();
+            }
+            ctx.raise(kDivByZero);
+            return F64::inf(z_sign);
+        }
+        const auto n = normalize_subnormal64(b_sig);
+        b_exp = n.exp;
+        b_sig = n.sig;
+    }
+    if (a_exp == 0) {
+        if (a_sig == 0) return F64::zero(z_sign);
+        const auto n = normalize_subnormal64(a_sig);
+        a_exp = n.exp;
+        a_sig = n.sig;
+    }
+    std::int32_t z_exp = a_exp - b_exp + 0x3FD;
+    a_sig = (a_sig | kHiddenBit64) << 10;
+    b_sig = (b_sig | kHiddenBit64) << 11;
+    if (b_sig <= a_sig + a_sig) {
+        a_sig >>= 1;
+        ++z_exp;
+    }
+    const u128 numerator = static_cast<u128>(a_sig) << 64;
+    std::uint64_t z_sig = static_cast<std::uint64_t>(numerator / b_sig);
+    if ((z_sig & 0x1FF) == 0) {
+        const bool exact = static_cast<u128>(b_sig) * z_sig == numerator;
+        z_sig |= exact ? 0ull : 1ull;
+    }
+    return round_and_pack64(z_sign, z_exp, z_sig, ctx);
+}
+
+F64 sqrt(F64 a, Context& ctx) {
+    std::int32_t a_exp = static_cast<std::int32_t>(a.exponent());
+    std::uint64_t a_sig = a.fraction();
+
+    if (a_exp == 0x7FF) {
+        if (a_sig != 0) return propagate_nan64(a, a, ctx);
+        if (!a.sign()) return a;
+        ctx.raise(kInvalid);
+        return F64::quiet_nan();
+    }
+    if (a.sign()) {
+        if ((static_cast<std::uint32_t>(a_exp) | a_sig) == 0) return a;  // -0
+        ctx.raise(kInvalid);
+        return F64::quiet_nan();
+    }
+    if (a_exp == 0) {
+        if (a_sig == 0) return F64::zero(false);
+        const auto n = normalize_subnormal64(a_sig);
+        a_exp = n.exp;
+        a_sig = n.sig;
+    }
+    // value = M * 2^(E-52); scale so the integer root's MSB lands at bit
+    // 62: A = M << 72 (even E) or << 73 (odd E).
+    const std::int32_t e = a_exp - 0x3FF;
+    const u128 m = a_sig | kHiddenBit64;
+    const int k = (e & 1) != 0 ? 73 : 72;
+    const u128 big = m << k;
+    std::uint64_t z_sig = isqrt128(big);
+    if (static_cast<u128>(z_sig) * z_sig != big) z_sig |= 1;  // sticky
+    const std::int32_t z_exp = (e >> 1) + 0x3FE;
+    return round_and_pack64(false, z_exp, z_sig, ctx);
+}
+
+bool eq(F64 a, F64 b, Context& ctx) {
+    if (a.is_nan() || b.is_nan()) {
+        if (a.is_signaling_nan() || b.is_signaling_nan()) ctx.raise(kInvalid);
+        return false;
+    }
+    return a.bits == b.bits || ((a.bits | b.bits) << 1) == 0;
+}
+
+bool lt(F64 a, F64 b, Context& ctx) {
+    if (a.is_nan() || b.is_nan()) {
+        ctx.raise(kInvalid);
+        return false;
+    }
+    const bool a_sign = a.sign();
+    const bool b_sign = b.sign();
+    if (a_sign != b_sign) return a_sign && ((a.bits | b.bits) << 1) != 0;
+    return a.bits != b.bits && (a_sign != (a.bits < b.bits));
+}
+
+bool le(F64 a, F64 b, Context& ctx) {
+    if (a.is_nan() || b.is_nan()) {
+        ctx.raise(kInvalid);
+        return false;
+    }
+    const bool a_sign = a.sign();
+    const bool b_sign = b.sign();
+    if (a_sign != b_sign) return a_sign || ((a.bits | b.bits) << 1) == 0;
+    return a.bits == b.bits || (a_sign != (a.bits < b.bits));
+}
+
+F64 from_i32_f64(std::int32_t v) {
+    // Every int32 is exactly representable in binary64.
+    if (v == 0) return F64::zero(false);
+    const bool sign = v < 0;
+    std::uint64_t mag =
+        sign ? ~static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) + 1
+             : static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    mag &= 0xFFFFFFFFull;
+    // Left-align the hidden bit to position 52: value = (mag<<s)/2^52 *
+    // 2^(52-s), so the pre-hidden-bit exponent field is 1074 - s.
+    const int shift = std::countl_zero(mag) - 11;
+    return F64{pack64(sign, 1074 - shift, mag << shift)};
+}
+
+std::int32_t to_i32(F64 a, Context& ctx) {
+    const std::int32_t exp = static_cast<std::int32_t>(a.exponent());
+    const std::uint64_t frac = a.fraction();
+    if (exp == 0x7FF) {
+        ctx.raise(kInvalid);
+        if (frac != 0) return INT32_MAX;
+        return a.sign() ? INT32_MIN : INT32_MAX;
+    }
+    if (exp >= 0x41E) {  // |a| >= 2^31
+        if (a.sign() && exp == 0x41E && frac == 0) return INT32_MIN;
+        ctx.raise(kInvalid);
+        return a.sign() ? INT32_MIN : INT32_MAX;
+    }
+    std::uint64_t sig = frac;
+    if (exp != 0) sig |= kHiddenBit64;
+    // value = sig * 2^(exp-1075); Q7 magnitude = sig * 2^(exp-1068).
+    const std::int32_t shift = 0x42C - exp;  // 1068 - exp (always > 0 here)
+    const std::uint64_t q7 = shift_right_jam64(sig, shift);
+
+    const std::uint32_t round_bits = static_cast<std::uint32_t>(q7 & 0x7F);
+    std::uint64_t inc = 0;
+    switch (ctx.rounding) {
+        case Round::kNearestEven: inc = 0x40; break;
+        case Round::kTowardZero: inc = 0; break;
+        case Round::kDown: inc = a.sign() ? 0x7F : 0; break;
+        case Round::kUp: inc = a.sign() ? 0 : 0x7F; break;
+    }
+    std::uint64_t mag = (q7 + inc) >> 7;
+    if (ctx.rounding == Round::kNearestEven && round_bits == 0x40)
+        mag &= ~1ull;
+    if (round_bits != 0) ctx.raise(kInexact);
+    if (a.sign()) {
+        if (mag > 0x80000000ull) {
+            ctx.raise(kInvalid);
+            return INT32_MIN;
+        }
+        return static_cast<std::int32_t>(-static_cast<std::int64_t>(mag));
+    }
+    if (mag > 0x7FFFFFFFull) {
+        ctx.raise(kInvalid);
+        return INT32_MAX;
+    }
+    return static_cast<std::int32_t>(mag);
+}
+
+F64 f32_to_f64(F32 a, Context& ctx) {
+    std::int32_t exp = static_cast<std::int32_t>(a.exponent());
+    std::uint32_t frac = a.fraction();
+    if (exp == 0xFF) {
+        if (frac != 0) {
+            if (a.is_signaling_nan()) ctx.raise(kInvalid);
+            return F64::quiet_nan();
+        }
+        return F64::inf(a.sign());
+    }
+    if (exp == 0) {
+        if (frac == 0) return F64::zero(a.sign());
+        // Subnormal f32 becomes a normal f64.
+        const int shift = std::countl_zero(frac) - 8;
+        exp = 1 - shift;
+        frac = (frac << shift) & 0x007FFFFF;
+    }
+    return F64{pack64(a.sign(), exp + 0x380,  // 1023 - 127
+                      static_cast<std::uint64_t>(frac) << 29)};
+}
+
+F32 f64_to_f32(F64 a, Context& ctx) {
+    std::int32_t exp = static_cast<std::int32_t>(a.exponent());
+    std::uint64_t frac = a.fraction();
+    if (exp == 0x7FF) {
+        if (frac != 0) {
+            if (a.is_signaling_nan()) ctx.raise(kInvalid);
+            return F32::quiet_nan();
+        }
+        return F32::inf(a.sign());
+    }
+    if (exp == 0) {
+        if (frac == 0) return F32::zero(a.sign());
+        const auto n = normalize_subnormal64(frac);
+        exp = n.exp;
+        frac = n.sig & (kHiddenBit64 - 1);
+    }
+    // Significand with hidden bit at 52 -> jam down to MSB position 30.
+    const std::uint64_t sig64 = frac | kHiddenBit64;
+    const auto sig32 =
+        static_cast<std::uint32_t>(shift_right_jam64(sig64, 22));
+    return detail::round_and_pack32(a.sign(), exp - 0x381, sig32, ctx);
+}
+
+}  // namespace ob::softfloat

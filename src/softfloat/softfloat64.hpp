@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/softfloat.hpp"
+
+namespace ob::softfloat {
+
+/// IEEE-754 binary64 value carried as raw bits (companion to F32; §10 of
+/// the paper: "as a result of the dynamic range of the Kalman filter, it
+/// was necessary to use floating-point values for all intermediate
+/// stages" — double precision is what a desktop port of the same filter
+/// uses, so the emulation library covers it too).
+struct F64 {
+    std::uint64_t bits = 0;
+
+    friend constexpr bool operator==(F64 a, F64 b) = default;
+
+    [[nodiscard]] constexpr bool sign() const { return (bits >> 63) != 0; }
+    [[nodiscard]] constexpr std::uint32_t exponent() const {
+        return static_cast<std::uint32_t>((bits >> 52) & 0x7FF);
+    }
+    [[nodiscard]] constexpr std::uint64_t fraction() const {
+        return bits & 0x000FFFFFFFFFFFFFull;
+    }
+    [[nodiscard]] constexpr bool is_nan() const {
+        return exponent() == 0x7FF && fraction() != 0;
+    }
+    [[nodiscard]] constexpr bool is_signaling_nan() const {
+        return is_nan() && (bits & 0x0008000000000000ull) == 0;
+    }
+    [[nodiscard]] constexpr bool is_inf() const {
+        return exponent() == 0x7FF && fraction() == 0;
+    }
+    [[nodiscard]] constexpr bool is_zero() const {
+        return (bits & 0x7FFFFFFFFFFFFFFFull) == 0;
+    }
+    [[nodiscard]] constexpr bool is_subnormal() const {
+        return exponent() == 0 && fraction() != 0;
+    }
+
+    [[nodiscard]] static constexpr F64 zero(bool negative = false) {
+        return F64{negative ? 0x8000000000000000ull : 0ull};
+    }
+    [[nodiscard]] static constexpr F64 one() {
+        return F64{0x3FF0000000000000ull};
+    }
+    [[nodiscard]] static constexpr F64 inf(bool negative = false) {
+        return F64{negative ? 0xFFF0000000000000ull : 0x7FF0000000000000ull};
+    }
+    [[nodiscard]] static constexpr F64 quiet_nan() {
+        return F64{0xFFF8000000000000ull};
+    }
+};
+
+[[nodiscard]] F64 from_host(double d);
+[[nodiscard]] double to_host(F64 a);
+
+// Arithmetic.
+[[nodiscard]] F64 add(F64 a, F64 b, Context& ctx);
+[[nodiscard]] F64 sub(F64 a, F64 b, Context& ctx);
+[[nodiscard]] F64 mul(F64 a, F64 b, Context& ctx);
+[[nodiscard]] F64 div(F64 a, F64 b, Context& ctx);
+[[nodiscard]] F64 sqrt(F64 a, Context& ctx);
+[[nodiscard]] constexpr F64 neg(F64 a) {
+    return F64{a.bits ^ 0x8000000000000000ull};
+}
+[[nodiscard]] constexpr F64 abs(F64 a) {
+    return F64{a.bits & 0x7FFFFFFFFFFFFFFFull};
+}
+
+// Comparisons (same quiet/signaling split as the F32 set).
+[[nodiscard]] bool eq(F64 a, F64 b, Context& ctx);
+[[nodiscard]] bool lt(F64 a, F64 b, Context& ctx);
+[[nodiscard]] bool le(F64 a, F64 b, Context& ctx);
+
+// Conversions.
+[[nodiscard]] F64 from_i32_f64(std::int32_t v);  // always exact
+[[nodiscard]] std::int32_t to_i32(F64 a, Context& ctx);
+/// Exact widening.
+[[nodiscard]] F64 f32_to_f64(F32 a, Context& ctx);
+/// Narrowing with rounding per ctx.
+[[nodiscard]] F32 f64_to_f32(F64 a, Context& ctx);
+
+}  // namespace ob::softfloat

@@ -1,0 +1,113 @@
+#include "system/boresight_system.hpp"
+
+namespace ob::system {
+
+using math::Vec2;
+using math::Vec3;
+
+BoresightSystem::BoresightSystem(const Config& cfg)
+    : cfg_(cfg),
+      can_(cfg.can_bitrate),
+      dmu_uart_(cfg.uart_baud, cfg.dmu_link_faults, /*fault_seed=*/11),
+      acc_uart_(cfg.uart_baud, cfg.acc_link_faults, /*fault_seed=*/12),
+      bridge_(dmu_uart_),
+      tuner_(cfg.tuner) {
+    can_.on_delivery([this](const comm::CanFrame& f, double t) {
+        bridge_.forward(f, t);
+    });
+    if (cfg_.processor == Processor::kNative) {
+        native_ = std::make_unique<core::BoresightEkf>(cfg_.filter);
+    } else {
+        sabre_ = std::make_unique<SabreFusionSystem>(cfg_.sabre);
+    }
+}
+
+void BoresightSystem::feed(const sim::Scenario& sc,
+                           const sim::Scenario::Step& step) {
+    adxl_ = sc.adxl_config();
+    const double t = step.t;
+
+    // IMU -> two CAN frames onto the shared bus.
+    const auto [gyro_frame, accel_frame] = comm::DmuCodec::encode(step.dmu);
+    can_.send(gyro_frame, t);
+    can_.send(accel_frame, t);
+
+    // ACC -> duty-cycle packet straight onto its serial line.
+    acc_uart_.send(comm::adxl_serialize(step.adxl), t);
+    ++sent_epochs_;
+
+    // Advance the transport slightly past this epoch and drain arrivals.
+    const double horizon = t + 0.5 / sc.sample_rate_hz();
+    can_.advance_to(horizon);
+    for (const auto& byte : dmu_uart_.receive_until(horizon)) {
+        if (auto frame = deframer_.feed(byte)) {
+            if (auto sample = dmu_codec_.feed(*frame, byte.t)) {
+                pending_dmu_ = sample;
+            }
+        }
+    }
+    for (const auto& byte : acc_uart_.receive_until(horizon)) {
+        if (byte.framing_error) continue;
+        if (auto timing = acc_deser_.feed(byte.value, byte.t)) {
+            // Fabric-side plausibility gate: a corrupted packet can pass
+            // the additive checksum by accident; its timings cannot pass
+            // the physical duty-cycle band.
+            if (comm::adxl_plausible(*timing, adxl_)) {
+                pending_acc_ = timing;
+            } else {
+                ++implausible_acc_;
+            }
+        }
+    }
+
+    // Fuse whenever a synchronized pair is ready. (Pairs are matched by
+    // arrival; sequence slips from lost frames simply drop an epoch.)
+    if (pending_dmu_ && pending_acc_) {
+        process_pair(*pending_dmu_, *pending_acc_);
+        pending_dmu_.reset();
+        pending_acc_.reset();
+    }
+}
+
+void BoresightSystem::process_pair(const comm::DmuSample& dmu,
+                                   const comm::AdxlTiming& acc) {
+    ++updates_;
+    if (sabre_) {
+        sabre_->push(dmu, acc);
+        (void)sabre_->run_pending();
+        return;
+    }
+    Vec3 f_body;
+    for (std::size_t i = 0; i < 3; ++i)
+        f_body[i] = dmu_scale_.raw_to_accel(dmu.accel[i]);
+    const auto [ax, ay] = comm::adxl_decode(acc, adxl_);
+    const Vec2 z = Vec2{ax, ay} - cfg_.calibrated_bias;
+    const auto up = native_->step(f_body, z);
+    if (cfg_.use_adaptive_tuner) {
+        const double rec =
+            tuner_.observe(up.residual, up.sigma3, native_->measurement_noise());
+        if (rec > 0.0) native_->set_measurement_noise(rec);
+    }
+}
+
+BoresightSystem::Status BoresightSystem::status() const {
+    Status s;
+    if (native_) {
+        s.estimate = native_->misalignment();
+        s.sigma3 = native_->misalignment_sigma3();
+        s.measurement_noise = native_->measurement_noise();
+    } else {
+        const auto est = sabre_->estimate();
+        s.estimate = est.angles;
+        s.sigma3 = est.sigma3;
+        s.measurement_noise = cfg_.sabre.r_sigma;
+    }
+    s.updates = updates_;
+    s.dmu_frames_lost = dmu_codec_.seq_mismatches() + deframer_.malformed() +
+                        dmu_codec_.bad_checksum();
+    s.acc_packets_lost = acc_deser_.bad_checksum() + implausible_acc_;
+    s.worst_transport_latency = can_.max_latency();
+    return s;
+}
+
+}  // namespace ob::system

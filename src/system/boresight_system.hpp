@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "comm/bridge.hpp"
+#include "comm/can.hpp"
+#include "comm/codec.hpp"
+#include "comm/uart.hpp"
+#include "core/adaptive_tuner.hpp"
+#include "core/boresight_ekf.hpp"
+#include "math/rotation.hpp"
+#include "sim/scenario.hpp"
+#include "system/sabre_runner.hpp"
+
+namespace ob::system {
+
+/// The complete Figure 2 system with real transport:
+///
+///   IMU --CAN frames--> CanBus --bridge--> RS232 --deframe--> DmuCodec
+///   ACC ----------------duty-cycle packets over RS232--------> Adxl
+///                                 |
+///                                 v
+///            fusion processor (native EKF or Sabre firmware)
+///                                 |
+///                     roll/pitch/yaw + 3-sigma out
+///
+/// Unlike the transport-free `run_experiment` harness, every sensor sample
+/// crosses the byte-level links with realistic latency, and the fusion
+/// step runs only when both halves of an epoch have fully arrived —
+/// exactly the situation the deployed prototype faced.
+class BoresightSystem {
+public:
+    enum class Processor {
+        kNative,  ///< double-precision EKF on the host (fabric reference)
+        kSabre,   ///< generated firmware on the Sabre ISS + softfloat FPU
+    };
+
+    struct Config {
+        Processor processor = Processor::kNative;
+        core::BoresightConfig filter{};
+        SabreFusionSystem::Config sabre{};
+        double can_bitrate = 500000.0;
+        double uart_baud = 115200.0;
+        comm::UartFaults dmu_link_faults{};
+        comm::UartFaults acc_link_faults{};
+        bool use_adaptive_tuner = false;
+        core::AdaptiveTunerConfig tuner{};
+        math::Vec2 calibrated_bias{};  ///< subtracted from ACC readings
+    };
+
+    explicit BoresightSystem(const Config& cfg);
+
+    /// Feed one scenario epoch into the transport at its timestamp; runs
+    /// the bus/links forward and the fusion for every completed pair.
+    void feed(const sim::Scenario& sc, const sim::Scenario::Step& step);
+
+    struct Status {
+        math::EulerAngles estimate{};
+        math::Vec3 sigma3{};
+        std::size_t updates = 0;
+        std::size_t dmu_frames_lost = 0;
+        std::size_t acc_packets_lost = 0;
+        double worst_transport_latency = 0.0;  ///< seconds, CAN queueing
+        double measurement_noise = 0.0;        ///< current filter R sigma
+    };
+    [[nodiscard]] Status status() const;
+
+    /// Direct access for advanced inspection.
+    [[nodiscard]] const core::BoresightEkf* native_filter() const {
+        return native_ ? native_.get() : nullptr;
+    }
+    [[nodiscard]] SabreFusionSystem* sabre_system() {
+        return sabre_ ? sabre_.get() : nullptr;
+    }
+
+private:
+    void process_pair(const comm::DmuSample& dmu, const comm::AdxlTiming& acc);
+
+    Config cfg_;
+    const comm::DmuScale dmu_scale_{};
+    comm::AdxlConfig adxl_{};
+
+    // Transport chain.
+    comm::CanBus can_;
+    comm::UartLink dmu_uart_;
+    comm::UartLink acc_uart_;
+    comm::CanSerialBridge bridge_;
+    comm::CanSerialDeframer deframer_;
+    comm::DmuCodec dmu_codec_;
+    comm::AdxlDeserializer acc_deser_;
+    std::size_t implausible_acc_ = 0;
+    std::optional<comm::DmuSample> pending_dmu_;
+    std::optional<comm::AdxlTiming> pending_acc_;
+    std::uint8_t acc_seq_ = 0;
+    std::size_t sent_epochs_ = 0;
+
+    // Fusion processors.
+    std::unique_ptr<core::BoresightEkf> native_;
+    std::unique_ptr<SabreFusionSystem> sabre_;
+    core::AdaptiveNoiseTuner tuner_;
+    std::size_t updates_ = 0;
+};
+
+}  // namespace ob::system

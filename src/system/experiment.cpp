@@ -1,0 +1,108 @@
+#include "system/experiment.hpp"
+
+#include "core/calibration.hpp"
+#include "core/residual_monitor.hpp"
+
+namespace ob::system {
+
+using math::Vec2;
+using math::Vec3;
+
+DecodedMeasurement decode_step(const sim::Scenario& sc,
+                               const sim::Scenario::Step& step) {
+    DecodedMeasurement out;
+    for (std::size_t i = 0; i < 3; ++i) {
+        out.f_body[i] = sc.dmu_scale().raw_to_accel(step.dmu.accel[i]);
+        out.omega[i] = sc.dmu_scale().raw_to_rate(step.dmu.gyro[i]);
+    }
+    const auto [ax, ay] = comm::adxl_decode(step.adxl, sc.adxl_config());
+    out.acc_xy = Vec2{ax, ay};
+    return out;
+}
+
+ExperimentOutcome run_experiment(const ExperimentConfig& cfg) {
+    ExperimentOutcome out;
+
+    // --- Calibration pass (paper §11.1: level platform, known alignment).
+    if (cfg.calibrate) {
+        auto cal_cfg = sim::ScenarioConfig::static_level(
+            cfg.calibration_duration_s, math::EulerAngles{});
+        // Same error magnitudes and the same instruments (sensor seed).
+        cal_cfg.imu_errors = cfg.scenario.imu_errors;
+        cal_cfg.acc_errors = cfg.scenario.acc_errors;
+        cal_cfg.vibration = cfg.scenario.vibration;
+        cal_cfg.adxl = cfg.scenario.adxl;
+        sim::Scenario cal(cal_cfg, cfg.sensor_seed);
+        core::CalibrationAccumulator acc;
+        while (auto s = cal.next()) {
+            const auto d = decode_step(cal, *s);
+            acc.add(d.f_body, d.acc_xy);
+        }
+        out.calibrated_bias = acc.bias();
+        out.calibration_noise = acc.noise_sigma();
+    }
+
+    // --- Main run.
+    sim::Scenario sc(cfg.scenario, cfg.sensor_seed);
+    core::BoresightEkf ekf(cfg.filter);
+    core::AdaptiveNoiseTuner tuner(cfg.tuner);
+    core::ResidualMonitor monitor;
+
+    // Gyro-difference angular acceleration with a light low-pass, for the
+    // lever-arm terms (only consulted when the filter has a lever arm).
+    Vec3 prev_omega{};
+    Vec3 omega_dot_filt{};
+    bool have_prev = false;
+    const double dt = 1.0 / cfg.scenario.sample_rate_hz;
+
+    while (auto s = sc.next()) {
+        const auto d = decode_step(sc, *s);
+        if (have_prev) {
+            const Vec3 raw_dot = (d.omega - prev_omega) * (1.0 / dt);
+            omega_dot_filt += (raw_dot - omega_dot_filt) * 0.2;
+        }
+        prev_omega = d.omega;
+        have_prev = true;
+        const auto up = ekf.step_with_rates(d.f_body, d.omega, omega_dot_filt,
+                                            d.acc_xy - out.calibrated_bias);
+        monitor.add(up.residual, up.sigma3);
+        ++out.steps;
+
+        if (cfg.use_adaptive_tuner) {
+            const double rec =
+                tuner.observe(up.residual, up.sigma3, ekf.measurement_noise());
+            if (rec > 0.0) ekf.set_measurement_noise(rec);
+        }
+
+        if (cfg.record_traces) {
+            const double t = s->t;
+            out.trace.residual_x.push(t, up.residual[0]);
+            out.trace.residual_y.push(t, up.residual[1]);
+            out.trace.sigma3_x.push(t, up.sigma3[0]);
+            out.trace.sigma3_y.push(t, up.sigma3[1]);
+            const auto est = ekf.misalignment();
+            const auto s3 = ekf.misalignment_sigma3();
+            out.trace.roll_deg.push(t, math::rad2deg(est.roll));
+            out.trace.pitch_deg.push(t, math::rad2deg(est.pitch));
+            out.trace.yaw_deg.push(t, math::rad2deg(est.yaw));
+            out.trace.roll_s3_deg.push(t, math::rad2deg(s3[0]));
+            out.trace.pitch_s3_deg.push(t, math::rad2deg(s3[1]));
+            out.trace.yaw_s3_deg.push(t, math::rad2deg(s3[2]));
+            out.trace.noise_sigma.push(t, ekf.measurement_noise());
+        }
+    }
+
+    out.result.label = cfg.label;
+    out.result.truth = sc.true_misalignment();
+    out.result.estimate = ekf.misalignment();
+    out.result.sigma3_rad = ekf.misalignment_sigma3();
+    out.result.residual_rms = std::sqrt(
+        0.5 * (monitor.stats_x().rms() * monitor.stats_x().rms() +
+               monitor.stats_y().rms() * monitor.stats_y().rms()));
+    out.result.exceedance_rate = monitor.exceedance_rate();
+    out.result.meas_noise = ekf.measurement_noise();
+    out.result.duration_s = sc.duration();
+    return out;
+}
+
+}  // namespace ob::system

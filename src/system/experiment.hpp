@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/adaptive_tuner.hpp"
+#include "core/alignment_report.hpp"
+#include "core/boresight_ekf.hpp"
+#include "math/matrix.hpp"
+#include "sim/scenario.hpp"
+#include "util/time_series.hpp"
+
+namespace ob::system {
+
+/// Everything needed to run one of the paper's §11 experiments end to end:
+/// calibration pass, scenario, filter tuning and trace recording.
+struct ExperimentConfig {
+    std::string label = "experiment";
+    sim::ScenarioConfig scenario;
+    std::uint64_t sensor_seed = 1;  ///< identifies the physical instruments
+    core::BoresightConfig filter;
+    /// Run the paper's level-platform calibration before the experiment
+    /// and subtract the measured bias during the run.
+    bool calibrate = true;
+    double calibration_duration_s = 60.0;
+    /// Replace manual retuning with the adaptive noise tuner.
+    bool use_adaptive_tuner = false;
+    core::AdaptiveTunerConfig tuner;
+    /// Record full residual/estimate traces (Figures 8 and 9).
+    bool record_traces = false;
+};
+
+/// Time histories recorded during a run (only when record_traces is set).
+struct ExperimentTrace {
+    util::TimeSeries residual_x;  ///< m/s²
+    util::TimeSeries residual_y;
+    util::TimeSeries sigma3_x;    ///< 3σ innovation envelope, m/s²
+    util::TimeSeries sigma3_y;
+    util::TimeSeries roll_deg;    ///< estimate histories, degrees
+    util::TimeSeries pitch_deg;
+    util::TimeSeries yaw_deg;
+    util::TimeSeries roll_s3_deg;
+    util::TimeSeries pitch_s3_deg;
+    util::TimeSeries yaw_s3_deg;
+    util::TimeSeries noise_sigma; ///< filter R 1-sigma over time (tuner)
+};
+
+struct ExperimentOutcome {
+    core::AlignmentResult result;
+    ExperimentTrace trace;
+    math::Vec2 calibrated_bias{};     ///< bias subtracted during the run
+    double calibration_noise = 0.0;   ///< per-sample noise seen at calibration
+    std::size_t steps = 0;
+};
+
+/// Execute the full §11 procedure: calibrate on a level platform (same
+/// instruments, i.e. same sensor seed), then run the scenario through the
+/// fusion filter.
+[[nodiscard]] ExperimentOutcome run_experiment(const ExperimentConfig& cfg);
+
+/// Convenience: decode one scenario step into SI units the way the
+/// deployed firmware would (DMU register scaling + ADXL duty-cycle law).
+struct DecodedMeasurement {
+    math::Vec3 f_body{};
+    math::Vec3 omega{};  ///< gyro-measured body rate (rad/s)
+    math::Vec2 acc_xy{};
+};
+[[nodiscard]] DecodedMeasurement decode_step(const sim::Scenario& sc,
+                                             const sim::Scenario::Step& step);
+
+}  // namespace ob::system

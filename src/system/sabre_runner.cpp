@@ -1,0 +1,115 @@
+#include "system/sabre_runner.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sabre/assembler.hpp"
+
+namespace ob::system {
+
+namespace {
+
+[[nodiscard]] std::uint32_t fbits(double v) {
+    return std::bit_cast<std::uint32_t>(static_cast<float>(v));
+}
+
+}  // namespace
+
+SabreFusionSystem::SabreFusionSystem() : SabreFusionSystem(Config{}) {}
+
+SabreFusionSystem::SabreFusionSystem(const Config& cfg) : cfg_(cfg) {
+    const sabre::FirmwareLayout layout;
+    cpu_ = std::make_unique<sabre::SabreCpu>(
+        sabre::assemble(sabre::boresight_firmware_source(layout)));
+
+    control_ = std::make_shared<sabre::ControlPeripheral>();
+    fpu_ = std::make_shared<sabre::FpuPeripheral>();
+    dmu_port_ = std::make_shared<sabre::DmuPortPeripheral>();
+    acc_port_ = std::make_shared<sabre::AccPortPeripheral>();
+    auto& bus = cpu_->bus();
+    bus.attach(sabre::periph::kLeds, std::make_shared<sabre::LedsPeripheral>());
+    bus.attach(sabre::periph::kSwitches,
+               std::make_shared<sabre::SwitchesPeripheral>());
+    bus.attach(sabre::periph::kTouchscreen,
+               std::make_shared<sabre::TouchscreenPeripheral>());
+    bus.attach(sabre::periph::kGui, std::make_shared<sabre::GuiPeripheral>());
+    bus.attach(sabre::periph::kControl, control_);
+    bus.attach(sabre::periph::kFpu, fpu_);
+    bus.attach(sabre::periph::kDmuPort, dmu_port_);
+    bus.attach(sabre::periph::kAccPort, acc_port_);
+
+    // Host-side initialization of the firmware's constants and priors —
+    // the role the merged BlockRAM image played in the paper's flow.
+    cpu_->store_data(layout.q, fbits(cfg_.q_variance));
+    cpu_->store_data(layout.r, fbits(cfg_.r_sigma * cfg_.r_sigma));
+    cpu_->store_data(layout.accel_lsb, fbits(cfg_.dmu_scale.accel_lsb_mps2));
+    cpu_->store_data(layout.duty_scale,
+                     fbits(cfg_.adxl.g / cfg_.adxl.duty_per_g));
+    cpu_->store_data(layout.half, fbits(0.5));
+    cpu_->store_data(layout.fix_one, fbits(65536.0));
+    cpu_->store_data(layout.three, fbits(3.0));
+    for (int i = 0; i < 3; ++i) {
+        cpu_->store_data(layout.x + 4u * static_cast<unsigned>(i), fbits(0.0));
+        for (int j = 0; j < 3; ++j) {
+            const double pij =
+                i == j ? cfg_.p0_sigma * cfg_.p0_sigma : 0.0;
+            cpu_->store_data(
+                layout.p + 4u * static_cast<unsigned>(3 * i + j), fbits(pij));
+        }
+    }
+}
+
+void SabreFusionSystem::push(const comm::DmuSample& dmu,
+                             const comm::AdxlTiming& adxl) {
+    sabre::DmuPortPeripheral::Sample ds;
+    for (std::size_t i = 0; i < 3; ++i) {
+        ds.gyro[i] = dmu.gyro[i];
+        ds.accel[i] = dmu.accel[i];
+    }
+    ds.seq = dmu.seq;
+    dmu_port_->host_push(ds);
+
+    sabre::AccPortPeripheral::Sample as;
+    as.t1x = adxl.t1x;
+    as.t1y = adxl.t1y;
+    as.t2 = adxl.t2;
+    as.seq = adxl.seq;
+    acc_port_->host_push(as);
+    ++expected_updates_;
+}
+
+SabreFusionSystem::Estimate SabreFusionSystem::estimate() const {
+    Estimate out;
+    using CR = sabre::ControlPeripheral;
+    out.angles.roll = control_->angle(CR::kRoll);
+    out.angles.pitch = control_->angle(CR::kPitch);
+    out.angles.yaw = control_->angle(CR::kYaw);
+    out.sigma3 = math::Vec3{control_->angle(CR::kRollSigma3),
+                            control_->angle(CR::kPitchSigma3),
+                            control_->angle(CR::kYawSigma3)};
+    out.updates = control_->reg(CR::kUpdateCount);
+    out.residual = math::Vec2{control_->angle(CR::kResidualX),
+                              control_->angle(CR::kResidualY)};
+    return out;
+}
+
+SabreFusionSystem::Estimate SabreFusionSystem::run_pending(
+    std::uint64_t max_cycles) {
+    const std::uint64_t deadline = cpu_->cycles() + max_cycles;
+    while (control_->reg(sabre::ControlPeripheral::kUpdateCount) <
+           expected_updates_) {
+        if (cpu_->cycles() >= deadline)
+            throw std::runtime_error(
+                "SabreFusionSystem: cycle budget exhausted");
+        cpu_->step();
+    }
+    return estimate();
+}
+
+double SabreFusionSystem::cycles_per_update() const {
+    const auto updates = control_->reg(sabre::ControlPeripheral::kUpdateCount);
+    if (updates == 0) return 0.0;
+    return static_cast<double>(cpu_->cycles()) / updates;
+}
+
+}  // namespace ob::system

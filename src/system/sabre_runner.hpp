@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/codec.hpp"
+#include "math/rotation.hpp"
+#include "sabre/cpu.hpp"
+#include "sabre/firmware.hpp"
+#include "sabre/peripherals.hpp"
+
+namespace ob::system {
+
+/// The embedded half of the paper's architecture: the boresight fusion
+/// filter running as Sabre machine code on the instruction-set simulator,
+/// with all floating point through the softfloat FPU peripheral and the
+/// results published to the memory-mapped control registers (exactly the
+/// §10 arrangement).
+///
+/// The host pushes raw wire-format sensor samples into the smart ports and
+/// pumps the CPU until the firmware has folded them into its estimate.
+class SabreFusionSystem {
+public:
+    struct Config {
+        comm::DmuScale dmu_scale{};
+        comm::AdxlConfig adxl{};
+        double q_variance = 4e-14;      ///< per-step angle process noise
+        double r_sigma = 0.0075;        ///< measurement noise (m/s²)
+        double p0_sigma = math::deg2rad(5.0);
+    };
+
+    explicit SabreFusionSystem(const Config& cfg);
+    SabreFusionSystem();  ///< default configuration
+
+    /// Queue one synchronized sensor epoch for the firmware.
+    void push(const comm::DmuSample& dmu, const comm::AdxlTiming& adxl);
+
+    struct Estimate {
+        math::EulerAngles angles{};
+        math::Vec3 sigma3{};
+        std::uint32_t updates = 0;
+        math::Vec2 residual{};
+    };
+
+    /// Run the CPU until every queued sample has been consumed; throws
+    /// SabreTrap-derived errors on firmware faults and std::runtime_error
+    /// if the cycle budget expires first.
+    Estimate run_pending(std::uint64_t max_cycles = 100'000'000);
+
+    /// Current estimate without running (reads the control registers).
+    [[nodiscard]] Estimate estimate() const;
+
+    [[nodiscard]] std::uint64_t cycles() const { return cpu_->cycles(); }
+    [[nodiscard]] std::uint64_t instructions() const {
+        return cpu_->instructions();
+    }
+    [[nodiscard]] std::uint64_t fpu_operations() const {
+        return fpu_->operations();
+    }
+    /// Cycles consumed per filter update, averaged so far.
+    [[nodiscard]] double cycles_per_update() const;
+
+    [[nodiscard]] const sabre::ControlPeripheral& control() const {
+        return *control_;
+    }
+    [[nodiscard]] sabre::SabreCpu& cpu() { return *cpu_; }
+
+private:
+    Config cfg_;
+    std::unique_ptr<sabre::SabreCpu> cpu_;
+    std::shared_ptr<sabre::ControlPeripheral> control_;
+    std::shared_ptr<sabre::FpuPeripheral> fpu_;
+    std::shared_ptr<sabre::DmuPortPeripheral> dmu_port_;
+    std::shared_ptr<sabre::AccPortPeripheral> acc_port_;
+    std::uint32_t expected_updates_ = 0;
+};
+
+}  // namespace ob::system

@@ -1,0 +1,105 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ob::util {
+
+void AsciiPlot::add_series(std::string name, std::span<const double> ys, char glyph) {
+    series_.push_back(Series{std::move(name), {ys.begin(), ys.end()}, glyph});
+}
+
+void AsciiPlot::set_y_range(double lo, double hi) {
+    fixed_range_ = true;
+    y_lo_ = lo;
+    y_hi_ = hi;
+}
+
+std::string AsciiPlot::render() const {
+    double lo = y_lo_;
+    double hi = y_hi_;
+    if (!fixed_range_) {
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+        for (const auto& s : series_) {
+            for (const double y : s.ys) {
+                if (!std::isfinite(y)) continue;
+                lo = std::min(lo, y);
+                hi = std::max(hi, y);
+            }
+        }
+        if (!(hi > lo)) {  // flat or empty input: synthesize a window
+            const double mid = std::isfinite(lo) ? lo : 0.0;
+            lo = mid - 1.0;
+            hi = mid + 1.0;
+        }
+        const double pad = 0.05 * (hi - lo);
+        lo -= pad;
+        hi += pad;
+    }
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    // Draw a zero axis if visible.
+    if (lo < 0.0 && hi > 0.0) {
+        const double t0 = (0.0 - lo) / (hi - lo);
+        const auto r0 = static_cast<std::size_t>(
+            std::clamp((1.0 - t0) * static_cast<double>(height_ - 1), 0.0,
+                       static_cast<double>(height_ - 1)));
+        grid[r0].assign(width_, '-');
+    }
+
+    for (const auto& s : series_) {
+        if (s.ys.empty()) continue;
+        for (std::size_t col = 0; col < width_; ++col) {
+            // Resample: average over the slice of samples mapped to this column.
+            const double n = static_cast<double>(s.ys.size());
+            auto i0 = static_cast<std::size_t>(n * static_cast<double>(col) /
+                                               static_cast<double>(width_));
+            auto i1 = static_cast<std::size_t>(n * static_cast<double>(col + 1) /
+                                               static_cast<double>(width_));
+            i1 = std::max(i1, i0 + 1);
+            i1 = std::min(i1, s.ys.size());
+            if (i0 >= s.ys.size()) break;
+            double sum = 0.0;
+            std::size_t cnt = 0;
+            for (std::size_t i = i0; i < i1; ++i) {
+                if (std::isfinite(s.ys[i])) {
+                    sum += s.ys[i];
+                    ++cnt;
+                }
+            }
+            if (cnt == 0) continue;
+            const double y = sum / static_cast<double>(cnt);
+            const double t = (y - lo) / (hi - lo);
+            if (t < 0.0 || t > 1.0) continue;
+            const auto row = static_cast<std::size_t>(
+                std::clamp((1.0 - t) * static_cast<double>(height_ - 1), 0.0,
+                           static_cast<double>(height_ - 1)));
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    std::string out;
+    if (!title_.empty()) out += title_ + "\n";
+    char buf[64];
+    for (std::size_t r = 0; r < height_; ++r) {
+        const double y = hi - (hi - lo) * static_cast<double>(r) /
+                                  static_cast<double>(height_ - 1);
+        std::snprintf(buf, sizeof buf, "%10.4f |", y);
+        out += buf;
+        out += grid[r];
+        out += '\n';
+    }
+    out += std::string(11, ' ') + '+' + std::string(width_, '-') + '\n';
+    if (!x_label_.empty()) out += std::string(12, ' ') + x_label_ + '\n';
+    for (const auto& s : series_) {
+        out += "            [";
+        out += s.glyph;
+        out += "] " + s.name + "\n";
+    }
+    return out;
+}
+
+}  // namespace ob::util

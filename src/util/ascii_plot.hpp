@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ob::util {
+
+/// Terminal line-plot renderer used by the figure-reproduction benches.
+///
+/// The paper's Figures 8 and 9 are time-series plots (residuals vs 3-sigma
+/// envelopes, angle convergence). `AsciiPlot` renders one or more series on
+/// a shared axis into a character grid so the benches can regenerate the
+/// figures directly in their stdout.
+class AsciiPlot {
+public:
+    AsciiPlot(std::size_t width = 100, std::size_t height = 24)
+        : width_(width), height_(height) {}
+
+    /// Add a named series; `glyph` is the character used for its points.
+    /// Series are drawn in the order added, so later series overwrite
+    /// earlier ones where they collide.
+    void add_series(std::string name, std::span<const double> ys, char glyph);
+
+    /// Optional fixed y-range; by default the range spans all series.
+    void set_y_range(double lo, double hi);
+
+    /// X-axis label metadata (purely cosmetic; series are index-aligned and
+    /// resampled onto the plot width).
+    void set_x_label(std::string label) { x_label_ = std::move(label); }
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    /// Render to a multi-line string (includes axis ticks and a legend).
+    [[nodiscard]] std::string render() const;
+
+private:
+    struct Series {
+        std::string name;
+        std::vector<double> ys;
+        char glyph;
+    };
+
+    std::size_t width_;
+    std::size_t height_;
+    std::vector<Series> series_;
+    bool fixed_range_ = false;
+    double y_lo_ = 0.0;
+    double y_hi_ = 1.0;
+    std::string x_label_;
+    std::string title_;
+};
+
+}  // namespace ob::util

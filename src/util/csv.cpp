@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace ob::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << escape(columns[i]);
+    }
+    out_ << '\n';
+    out_ << std::setprecision(17);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+    row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+    if (values.size() != columns_)
+        throw std::invalid_argument("CsvWriter: row width mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void CsvWriter::close() {
+    if (out_.is_open()) out_.close();
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string_view::npos;
+    if (!needs_quotes) return std::string(field);
+    std::string out = "\"";
+    for (const char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace ob::util

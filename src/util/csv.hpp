@@ -1,0 +1,40 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ob::util {
+
+/// Minimal CSV emitter used by examples and benches to dump experiment
+/// traces (residuals, angle estimates, covariance) for offline plotting.
+///
+/// Values are written with full double precision; strings containing commas
+/// or quotes are quoted per RFC 4180.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header row.
+    CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+    /// Append one row; the number of values must equal the number of
+    /// columns declared at construction.
+    void row(std::initializer_list<double> values);
+    void row(const std::vector<double>& values);
+
+    /// Number of data rows written so far.
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+    /// Flush and close early (also happens on destruction).
+    void close();
+
+    static std::string escape(std::string_view field);
+
+private:
+    std::ofstream out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+}  // namespace ob::util

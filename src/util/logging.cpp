@@ -1,0 +1,11 @@
+#include "util/logging.hpp"
+
+namespace ob::util {
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+    std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+    out << '[' << name(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace ob::util

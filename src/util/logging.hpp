@@ -1,0 +1,70 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ob::util {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log threshold. Messages below the threshold are discarded.
+/// Tests set this to kOff (or kError) to keep output clean; examples use
+/// kInfo. Not thread safe by design — the simulator is single threaded.
+class Logger {
+public:
+    static LogLevel& threshold() {
+        static LogLevel level = LogLevel::kWarn;
+        return level;
+    }
+
+    static void log(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+    static constexpr std::string_view name(LogLevel level) {
+        switch (level) {
+            case LogLevel::kDebug: return "DEBUG";
+            case LogLevel::kInfo: return "INFO ";
+            case LogLevel::kWarn: return "WARN ";
+            case LogLevel::kError: return "ERROR";
+            case LogLevel::kOff: return "OFF  ";
+        }
+        return "?";
+    }
+};
+
+/// Stream-style log statement builder:
+///     OB_LOG(kInfo, "sabre") << "pc=" << pc;
+/// The message is assembled only if the level passes the threshold.
+class LogStatement {
+public:
+    LogStatement(LogLevel level, std::string_view component)
+        : level_(level), component_(component),
+          enabled_(level >= Logger::threshold() && level != LogLevel::kOff) {}
+
+    ~LogStatement() {
+        if (enabled_) Logger::log(level_, component_, stream_.str());
+    }
+
+    LogStatement(const LogStatement&) = delete;
+    LogStatement& operator=(const LogStatement&) = delete;
+
+    template <typename T>
+    LogStatement& operator<<(const T& value) {
+        if (enabled_) stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string component_;
+    bool enabled_;
+    std::ostringstream stream_;
+};
+
+}  // namespace ob::util
+
+#define OB_LOG(level, component) \
+    ::ob::util::LogStatement(::ob::util::LogLevel::level, component)

@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ob::util {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sumsq_ += x * x;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    sumsq_ += other.sumsq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::rms() const noexcept {
+    return n_ > 0 ? std::sqrt(sumsq_ / static_cast<double>(n_)) : 0.0;
+}
+
+void SampleSet::sort_if_needed() const {
+    if (!sorted_) {
+        std::sort(xs_.begin(), xs_.end());
+        sorted_ = true;
+    }
+}
+
+double SampleSet::percentile(double p) const {
+    if (xs_.empty()) throw std::domain_error("percentile of empty SampleSet");
+    sort_if_needed();
+    if (p <= 0.0) return xs_.front();
+    if (p >= 100.0) return xs_.back();
+    const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs_.size()) return xs_.back();
+    return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+    if (!(hi > lo) || bins == 0) throw std::invalid_argument("bad Histogram range");
+}
+
+void Histogram::add(double x) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins_.size()));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+}  // namespace ob::util

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ob::util {
+
+/// Single-pass mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs (the 300 s experiment traces are tens of
+/// thousands of samples); used by the residual monitor, the benchmark
+/// harnesses and the test suite.
+class RunningStats {
+public:
+    void add(double x);
+
+    /// Merge another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other);
+
+    void reset();
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    /// Population variance (divides by n).
+    [[nodiscard]] double variance() const noexcept;
+    /// Sample variance (divides by n-1); 0 for fewer than two samples.
+    [[nodiscard]] double sample_variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+    /// Root mean square of the samples.
+    [[nodiscard]] double rms() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;      // sum of squared deviations from the mean
+    double sumsq_ = 0.0;   // raw sum of squares, for rms()
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Retains all samples; offers exact percentiles. Use for latency
+/// distributions and figure benches where tail behaviour matters.
+class SampleSet {
+public:
+    void add(double x) { xs_.push_back(x); }
+    [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+    /// Exact percentile by linear interpolation; p in [0,100].
+    [[nodiscard]] double percentile(double p) const;
+    [[nodiscard]] double median() const { return percentile(50.0); }
+    [[nodiscard]] const std::vector<double>& samples() const noexcept { return xs_; }
+
+private:
+    mutable std::vector<double> xs_;
+    mutable bool sorted_ = false;
+    void sort_if_needed() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped to
+/// the edge bins so nothing is silently dropped.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    [[nodiscard]] std::size_t bin_count(std::size_t i) const { return bins_.at(i); }
+    [[nodiscard]] std::size_t bins() const noexcept { return bins_.size(); }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] double bin_low(std::size_t i) const;
+    [[nodiscard]] double bin_high(std::size_t i) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> bins_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace ob::util

@@ -1,0 +1,28 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+
+namespace ob::util {
+
+double TimeSeries::sample(double t) const {
+    if (t_.empty()) throw std::domain_error("TimeSeries::sample on empty series");
+    if (t <= t_.front()) return v_.front();
+    if (t >= t_.back()) return v_.back();
+    const auto it = std::lower_bound(t_.begin(), t_.end(), t);
+    const auto hi = static_cast<std::size_t>(it - t_.begin());
+    const std::size_t lo = hi - 1;
+    const double span = t_[hi] - t_[lo];
+    if (span <= 0.0) return v_[hi];
+    const double frac = (t - t_[lo]) / span;
+    return v_[lo] * (1.0 - frac) + v_[hi] * frac;
+}
+
+TimeSeries TimeSeries::window(double t0, double t1) const {
+    TimeSeries out;
+    for (std::size_t i = 0; i < t_.size(); ++i) {
+        if (t_[i] >= t0 && t_[i] <= t1) out.push(t_[i], v_[i]);
+    }
+    return out;
+}
+
+}  // namespace ob::util

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ob::util {
+
+/// A time-stamped scalar series. All experiment traces (residuals, angle
+/// estimates, 3-sigma envelopes) are recorded as `TimeSeries` so benches
+/// and tests can slice, window and compare them uniformly.
+class TimeSeries {
+public:
+    void push(double t, double value) {
+        if (!t_.empty() && t < t_.back())
+            throw std::invalid_argument("TimeSeries: non-monotonic time");
+        t_.push_back(t);
+        v_.push_back(value);
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return t_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return t_.empty(); }
+    [[nodiscard]] double time(std::size_t i) const { return t_.at(i); }
+    [[nodiscard]] double value(std::size_t i) const { return v_.at(i); }
+    [[nodiscard]] std::span<const double> times() const noexcept { return t_; }
+    [[nodiscard]] std::span<const double> values() const noexcept { return v_; }
+
+    /// Last value, or `fallback` when empty.
+    [[nodiscard]] double last_or(double fallback) const noexcept {
+        return v_.empty() ? fallback : v_.back();
+    }
+
+    /// Linear interpolation at time `t` (clamped to the series range).
+    [[nodiscard]] double sample(double t) const;
+
+    /// Sub-series with time in [t0, t1].
+    [[nodiscard]] TimeSeries window(double t0, double t1) const;
+
+private:
+    std::vector<double> t_;
+    std::vector<double> v_;
+};
+
+}  // namespace ob::util

@@ -1,0 +1,156 @@
+#include "video/affine.hpp"
+
+#include <cmath>
+
+namespace ob::video {
+
+AffineParams params_from_misalignment(const math::EulerAngles& misalignment,
+                                      double focal_px) {
+    AffineParams p;
+    // Camera looks along body x; image x spans body y (yaw shifts the
+    // image horizontally), image y spans body -z (pitch shifts vertically);
+    // roll about the optical axis rotates the image.
+    p.theta_rad = misalignment.roll;
+    p.bx_px = focal_px * std::tan(misalignment.yaw);
+    p.by_px = focal_px * std::tan(misalignment.pitch);
+    return p;
+}
+
+Frame affine_reference(const Frame& src, const AffineParams& p, bool bilinear,
+                       Pixel fill) {
+    Frame out(src.width(), src.height(), fill);
+    const double cx = static_cast<double>(src.width()) / 2.0;
+    const double cy = static_cast<double>(src.height()) / 2.0;
+    const double c = std::cos(p.theta_rad);
+    const double s = std::sin(p.theta_rad);
+    for (std::size_t oy = 0; oy < src.height(); ++oy) {
+        for (std::size_t ox = 0; ox < src.width(); ++ox) {
+            // Inverse map: undo translation, then rotate by -theta.
+            const double dx = static_cast<double>(ox) - cx - p.bx_px;
+            const double dy = static_cast<double>(oy) - cy - p.by_px;
+            const double sx = c * dx + s * dy + cx;
+            const double sy = -s * dx + c * dy + cy;
+            if (bilinear) {
+                const auto x0 = static_cast<std::int64_t>(std::floor(sx));
+                const auto y0 = static_cast<std::int64_t>(std::floor(sy));
+                if (!src.in_bounds(x0, y0) || !src.in_bounds(x0 + 1, y0 + 1))
+                    continue;
+                const double fx = sx - static_cast<double>(x0);
+                const double fy = sy - static_cast<double>(y0);
+                const Rgb p00 = unpack_rgb(src.at(static_cast<std::size_t>(x0),
+                                                  static_cast<std::size_t>(y0)));
+                const Rgb p10 = unpack_rgb(src.at(static_cast<std::size_t>(x0 + 1),
+                                                  static_cast<std::size_t>(y0)));
+                const Rgb p01 = unpack_rgb(src.at(static_cast<std::size_t>(x0),
+                                                  static_cast<std::size_t>(y0 + 1)));
+                const Rgb p11 = unpack_rgb(src.at(static_cast<std::size_t>(x0 + 1),
+                                                  static_cast<std::size_t>(y0 + 1)));
+                const auto lerp2 = [&](auto get) {
+                    const double top = get(p00) * (1 - fx) + get(p10) * fx;
+                    const double bot = get(p01) * (1 - fx) + get(p11) * fx;
+                    return top * (1 - fy) + bot * fy;
+                };
+                const auto r = static_cast<std::uint8_t>(
+                    lerp2([](Rgb q) { return static_cast<double>(q.r); }) + 0.5);
+                const auto g = static_cast<std::uint8_t>(
+                    lerp2([](Rgb q) { return static_cast<double>(q.g); }) + 0.5);
+                const auto b = static_cast<std::uint8_t>(
+                    lerp2([](Rgb q) { return static_cast<double>(q.b); }) + 0.5);
+                out.set(ox, oy, pack_rgb(r, g, b));
+            } else {
+                const auto xi = static_cast<std::int64_t>(std::lround(sx));
+                const auto yi = static_cast<std::int64_t>(std::lround(sy));
+                if (!src.in_bounds(xi, yi)) continue;
+                out.set(ox, oy, src.at(static_cast<std::size_t>(xi),
+                                       static_cast<std::size_t>(yi)));
+            }
+        }
+    }
+    return out;
+}
+
+Coord rotate_coordinates(const TrigLut& lut, std::uint32_t theta_bam, Coord in,
+                         Coord centre) {
+    // Pipeline steps of Figure 5, functionally:
+    // 1: LUT lookups.
+    const Fixed s = lut.sin_at(theta_bam);
+    const Fixed c = lut.cos_at(theta_bam);
+    // 2: re-centre and convert to fixed point.
+    const Fixed map_x = Fixed::from_int(in.x - centre.x);
+    const Fixed map_y = Fixed::from_int(in.y - centre.y);
+    // 3: the four FixedMults.
+    const Fixed t2 = map_y * -s;
+    const Fixed t3 = map_x * c;
+    const Fixed t4 = map_x * s;
+    const Fixed t5 = map_y * c;
+    // 4: accumulate and convert back to integers.
+    const std::int32_t x_back = (t2 + t3).to_int();
+    const std::int32_t y_back = (t4 + t5).to_int();
+    // 5: restore the centre offset.
+    return Coord{x_back + centre.x, y_back + centre.y};
+}
+
+Frame affine_fixed_forward(const Frame& src, const TrigLut& lut,
+                           const AffineParams& p, Pixel fill) {
+    Frame out(src.width(), src.height(), fill);
+    const std::uint32_t bam = TrigLut::index_from_radians(p.theta_rad);
+    const Coord centre{static_cast<std::int32_t>(src.width() / 2),
+                       static_cast<std::int32_t>(src.height() / 2)};
+    const auto bx = static_cast<std::int32_t>(std::lround(p.bx_px));
+    const auto by = static_cast<std::int32_t>(std::lround(p.by_px));
+    for (std::size_t iy = 0; iy < src.height(); ++iy) {
+        for (std::size_t ix = 0; ix < src.width(); ++ix) {
+            const Coord o = rotate_coordinates(
+                lut, bam,
+                Coord{static_cast<std::int32_t>(ix),
+                      static_cast<std::int32_t>(iy)},
+                centre);
+            const std::int64_t ox = o.x + bx;
+            const std::int64_t oy = o.y + by;
+            if (out.in_bounds(ox, oy))
+                out.set(static_cast<std::size_t>(ox),
+                        static_cast<std::size_t>(oy), src.at(ix, iy));
+        }
+    }
+    return out;
+}
+
+Frame affine_fixed_inverse(const Frame& src, const TrigLut& lut,
+                           const AffineParams& p, Pixel fill) {
+    Frame out(src.width(), src.height(), fill);
+    // Rotating by -theta inverts A; translation is removed beforehand.
+    const std::uint32_t bam =
+        TrigLut::index_from_radians(-p.theta_rad);
+    const Coord centre{static_cast<std::int32_t>(src.width() / 2),
+                       static_cast<std::int32_t>(src.height() / 2)};
+    const auto bx = static_cast<std::int32_t>(std::lround(p.bx_px));
+    const auto by = static_cast<std::int32_t>(std::lround(p.by_px));
+    for (std::size_t oy = 0; oy < src.height(); ++oy) {
+        for (std::size_t ox = 0; ox < src.width(); ++ox) {
+            const Coord s = rotate_coordinates(
+                lut, bam,
+                Coord{static_cast<std::int32_t>(ox) - bx,
+                      static_cast<std::int32_t>(oy) - by},
+                centre);
+            if (src.in_bounds(s.x, s.y))
+                out.set(ox, oy, src.at(static_cast<std::size_t>(s.x),
+                                       static_cast<std::size_t>(s.y)));
+        }
+    }
+    return out;
+}
+
+Frame simulate_misaligned_camera(const Frame& scene,
+                                 const math::EulerAngles& misalignment,
+                                 double focal_px) {
+    // The camera being rotated by +mis makes the image appear transformed
+    // by the inverse: reuse the reference engine with negated parameters.
+    const AffineParams p = params_from_misalignment(misalignment, focal_px);
+    AffineParams inv;
+    inv.theta_rad = -p.theta_rad;
+    inv.bx_px = -p.bx_px;
+    inv.by_px = -p.by_px;
+    return affine_reference(scene, inv, /*bilinear=*/true);
+}
+
+}  // namespace ob::video

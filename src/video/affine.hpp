@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "math/rotation.hpp"
+#include "video/fixed.hpp"
+#include "video/framebuffer.hpp"
+#include "video/trig_lut.hpp"
+
+namespace ob::video {
+
+/// Parameters of the paper's §6 correction: r' = A·r + B — an image-plane
+/// rotation by theta about the frame centre plus a translation (bx, by).
+struct AffineParams {
+    double theta_rad = 0.0;  ///< in-plane rotation (sensor roll)
+    double bx_px = 0.0;      ///< horizontal shift (sensor yaw)
+    double by_px = 0.0;      ///< vertical shift (sensor pitch)
+};
+
+/// Map the boresight misalignment onto image-plane correction parameters
+/// for a camera with the given focal length in pixels: roll rotates the
+/// image; yaw/pitch shift it by f*tan(angle).
+[[nodiscard]] AffineParams params_from_misalignment(
+    const math::EulerAngles& misalignment, double focal_px);
+
+/// Floating-point reference implementation (inverse mapping; bilinear or
+/// nearest sampling). This is the "ideal DSP" the fixed-point fabric
+/// implementation is judged against in bench/perf_affine.
+[[nodiscard]] Frame affine_reference(const Frame& src, const AffineParams& p,
+                                     bool bilinear = true,
+                                     Pixel fill = pack_rgb(0, 0, 0));
+
+/// Functional model of Figure 5's RotateCoordinates: rotate (in_x, in_y)
+/// about (cx, cy) by the LUT-quantized angle, in Q16.16 fixed point.
+struct Coord {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+};
+[[nodiscard]] Coord rotate_coordinates(const TrigLut& lut,
+                                       std::uint32_t theta_bam, Coord in,
+                                       Coord centre);
+
+/// The paper's §9 transform: *forward* mapping — "computes the rotated
+/// output location of each input pixel, copying the relevant pixels to
+/// output". Hardware-simple (one pass over the input, one write port) at
+/// the cost of leaving holes where the forward map is not surjective.
+[[nodiscard]] Frame affine_fixed_forward(const Frame& src, const TrigLut& lut,
+                                         const AffineParams& p,
+                                         Pixel fill = pack_rgb(0, 0, 0));
+
+/// Inverse-mapping variant of the same fixed-point datapath: every output
+/// pixel fetches its source coordinate (no holes) — the quality upgrade a
+/// second framebuffer pass buys.
+[[nodiscard]] Frame affine_fixed_inverse(const Frame& src, const TrigLut& lut,
+                                         const AffineParams& p,
+                                         Pixel fill = pack_rgb(0, 0, 0));
+
+/// Simulate the physical misaligned camera: the optical scene as seen by a
+/// camera rotated by `misalignment` (float path with bilinear sampling —
+/// this models physics, not the FPGA). The correction pipeline should undo
+/// this with the *estimated* angles.
+[[nodiscard]] Frame simulate_misaligned_camera(
+    const Frame& scene, const math::EulerAngles& misalignment,
+    double focal_px);
+
+}  // namespace ob::video

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ob::video {
+
+/// Q16.16 fixed-point number — the arithmetic the paper's video transform
+/// runs in FPGA fabric ("the transforms operate on 16-bit precision fixed
+/// point values"). Stored in 32 bits with 16 fractional bits; products use
+/// a 64-bit intermediate exactly like the DSP-block datapath would.
+class Fixed {
+public:
+    static constexpr int kFracBits = 16;
+    static constexpr std::int32_t kOne = 1 << kFracBits;
+
+    constexpr Fixed() = default;
+
+    [[nodiscard]] static constexpr Fixed from_raw(std::int32_t raw) {
+        Fixed f;
+        f.raw_ = raw;
+        return f;
+    }
+    /// Int2fixed of the paper's Figure 5.
+    [[nodiscard]] static constexpr Fixed from_int(std::int32_t v) {
+        return from_raw(v << kFracBits);
+    }
+    [[nodiscard]] static Fixed from_double(double v) {
+        const double scaled = v * kOne;
+        if (scaled >= 2147483647.0 || scaled <= -2147483648.0)
+            throw std::overflow_error("Fixed::from_double out of range");
+        return from_raw(static_cast<std::int32_t>(
+            scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+    }
+
+    [[nodiscard]] constexpr std::int32_t raw() const { return raw_; }
+    /// fixed2Int of the paper's Figure 5 (truncation toward -inf, which is
+    /// what an arithmetic right shift implements in hardware).
+    [[nodiscard]] constexpr std::int32_t to_int() const {
+        return raw_ >> kFracBits;
+    }
+    /// Rounded conversion (adds half an LSB first).
+    [[nodiscard]] constexpr std::int32_t to_int_round() const {
+        return (raw_ + (kOne >> 1)) >> kFracBits;
+    }
+    [[nodiscard]] constexpr double to_double() const {
+        return static_cast<double>(raw_) / kOne;
+    }
+
+    [[nodiscard]] friend constexpr Fixed operator+(Fixed a, Fixed b) {
+        return from_raw(a.raw_ + b.raw_);
+    }
+    [[nodiscard]] friend constexpr Fixed operator-(Fixed a, Fixed b) {
+        return from_raw(a.raw_ - b.raw_);
+    }
+    [[nodiscard]] friend constexpr Fixed operator-(Fixed a) {
+        return from_raw(-a.raw_);
+    }
+    /// FixedMult of the paper's Figure 5: 32x32 -> 64-bit product, then a
+    /// 16-bit arithmetic shift back down.
+    [[nodiscard]] friend constexpr Fixed operator*(Fixed a, Fixed b) {
+        const std::int64_t p =
+            static_cast<std::int64_t>(a.raw_) * static_cast<std::int64_t>(b.raw_);
+        return from_raw(static_cast<std::int32_t>(p >> kFracBits));
+    }
+
+    friend constexpr bool operator==(Fixed, Fixed) = default;
+    [[nodiscard]] friend constexpr bool operator<(Fixed a, Fixed b) {
+        return a.raw_ < b.raw_;
+    }
+
+private:
+    std::int32_t raw_ = 0;
+};
+
+}  // namespace ob::video

@@ -1,0 +1,106 @@
+#include "video/framebuffer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace ob::video {
+
+Frame::Frame(std::size_t width, std::size_t height, Pixel fill)
+    : w_(width), h_(height), px_(width * height, fill) {
+    if (width == 0 || height == 0)
+        throw std::invalid_argument("Frame: zero dimension");
+}
+
+void Frame::fill(Pixel p) {
+    for (auto& x : px_) x = p;
+}
+
+void Frame::write_ppm(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("Frame::write_ppm: cannot open " + path);
+    out << "P6\n" << w_ << ' ' << h_ << "\n255\n";
+    for (const Pixel p : px_) {
+        const Rgb c = unpack_rgb(p);
+        out.put(static_cast<char>(c.r));
+        out.put(static_cast<char>(c.g));
+        out.put(static_cast<char>(c.b));
+    }
+}
+
+double Frame::psnr_against(const Frame& ref) const {
+    if (ref.width() != w_ || ref.height() != h_)
+        throw std::invalid_argument("psnr: size mismatch");
+    double mse = 0.0;
+    for (std::size_t i = 0; i < px_.size(); ++i) {
+        const Rgb a = unpack_rgb(px_[i]);
+        const Rgb b = unpack_rgb(ref.px_[i]);
+        const double dr = static_cast<double>(a.r) - b.r;
+        const double dg = static_cast<double>(a.g) - b.g;
+        const double db = static_cast<double>(a.b) - b.b;
+        mse += dr * dr + dg * dg + db * db;
+    }
+    mse /= static_cast<double>(px_.size() * 3);
+    if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+Frame make_test_pattern(std::size_t width, std::size_t height) {
+    Frame f(width, height);
+    constexpr Pixel bars[] = {
+        pack_rgb(255, 255, 255), pack_rgb(255, 255, 0), pack_rgb(0, 255, 255),
+        pack_rgb(0, 255, 0),     pack_rgb(255, 0, 255), pack_rgb(255, 0, 0),
+        pack_rgb(0, 0, 255),     pack_rgb(32, 32, 32)};
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            Pixel p = bars[(x * 8) / width];
+            // Horizontal grid lines every 32 px.
+            if (y % 32 == 0 || x % 32 == 0) p = pack_rgb(90, 90, 90);
+            // Centred crosshair.
+            if (x == width / 2 || y == height / 2) p = pack_rgb(0, 0, 0);
+            // Main diagonal.
+            if (width > 1 && height > 1 &&
+                y == x * (height - 1) / (width - 1))
+                p = pack_rgb(255, 128, 0);
+            f.set(x, y, p);
+        }
+    }
+    return f;
+}
+
+ZbtSram::ZbtSram(std::size_t bytes) : mem_(bytes / 2, 0) {
+    if (bytes < 2) throw std::invalid_argument("ZbtSram: too small");
+}
+
+std::uint16_t ZbtSram::read(std::size_t addr) const {
+    if (addr >= mem_.size()) throw std::out_of_range("ZbtSram::read");
+    ++reads_;
+    return mem_[addr];
+}
+
+void ZbtSram::write(std::size_t addr, std::uint16_t value) {
+    if (addr >= mem_.size()) throw std::out_of_range("ZbtSram::write");
+    ++writes_;
+    mem_[addr] = value;
+}
+
+void ZbtSram::store_frame(const Frame& f, std::size_t base) {
+    if (base + f.pixels().size() > mem_.size())
+        throw std::out_of_range("ZbtSram::store_frame: does not fit");
+    for (std::size_t i = 0; i < f.pixels().size(); ++i)
+        write(base + i, f.pixels()[i]);
+}
+
+Frame ZbtSram::load_frame(std::size_t width, std::size_t height,
+                          std::size_t base) const {
+    if (base + width * height > mem_.size())
+        throw std::out_of_range("ZbtSram::load_frame: out of range");
+    Frame f(width, height);
+    for (std::size_t y = 0; y < height; ++y)
+        for (std::size_t x = 0; x < width; ++x)
+            f.set(x, y, read(base + y * width + x));
+    return f;
+}
+
+}  // namespace ob::video

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ob::video {
+
+/// RGB565 pixel — 16 bits, matching the RC200E's ZBT SRAM word width.
+using Pixel = std::uint16_t;
+
+[[nodiscard]] constexpr Pixel pack_rgb(std::uint8_t r, std::uint8_t g,
+                                       std::uint8_t b) {
+    return static_cast<Pixel>(((r >> 3) << 11) | ((g >> 2) << 5) | (b >> 3));
+}
+struct Rgb {
+    std::uint8_t r = 0, g = 0, b = 0;
+};
+[[nodiscard]] constexpr Rgb unpack_rgb(Pixel p) {
+    // Replicate high bits into low bits for a full-scale 8-bit expansion.
+    const auto r5 = static_cast<std::uint8_t>((p >> 11) & 0x1F);
+    const auto g6 = static_cast<std::uint8_t>((p >> 5) & 0x3F);
+    const auto b5 = static_cast<std::uint8_t>(p & 0x1F);
+    return Rgb{static_cast<std::uint8_t>((r5 << 3) | (r5 >> 2)),
+               static_cast<std::uint8_t>((g6 << 2) | (g6 >> 4)),
+               static_cast<std::uint8_t>((b5 << 3) | (b5 >> 2))};
+}
+
+/// A single video frame in RGB565.
+class Frame {
+public:
+    Frame(std::size_t width, std::size_t height, Pixel fill = 0);
+
+    [[nodiscard]] std::size_t width() const { return w_; }
+    [[nodiscard]] std::size_t height() const { return h_; }
+
+    [[nodiscard]] Pixel at(std::size_t x, std::size_t y) const {
+        return px_[y * w_ + x];
+    }
+    void set(std::size_t x, std::size_t y, Pixel p) { px_[y * w_ + x] = p; }
+    [[nodiscard]] bool in_bounds(std::int64_t x, std::int64_t y) const {
+        return x >= 0 && y >= 0 && x < static_cast<std::int64_t>(w_) &&
+               y < static_cast<std::int64_t>(h_);
+    }
+    [[nodiscard]] const std::vector<Pixel>& pixels() const { return px_; }
+    void fill(Pixel p);
+
+    /// Write as a binary PPM (P6) for eyeballing example outputs.
+    void write_ppm(const std::string& path) const;
+
+    /// Peak signal-to-noise ratio vs a reference frame, over the 8-bit
+    /// expanded channels. Identical frames return +infinity.
+    [[nodiscard]] double psnr_against(const Frame& ref) const;
+
+private:
+    std::size_t w_;
+    std::size_t h_;
+    std::vector<Pixel> px_;
+};
+
+/// Generates the synthetic camera scene used in tests and examples: color
+/// bars, a centred crosshair and a diagonal — features whose displacement
+/// under rotation is visually and numerically obvious.
+[[nodiscard]] Frame make_test_pattern(std::size_t width, std::size_t height);
+
+/// ZBT SRAM bank model (RC200E: two banks of 2 MByte, 16-bit words, one
+/// word per cycle with no turnaround penalty — that's what "zero bus
+/// turnaround" buys and why the double-buffered video path works at pixel
+/// rate). Tracks access counts so benches can report bandwidth.
+class ZbtSram {
+public:
+    explicit ZbtSram(std::size_t bytes = 2u * 1024 * 1024);
+
+    [[nodiscard]] std::size_t words() const { return mem_.size(); }
+    [[nodiscard]] std::uint16_t read(std::size_t addr) const;
+    void write(std::size_t addr, std::uint16_t value);
+
+    [[nodiscard]] std::uint64_t reads() const { return reads_; }
+    [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+    /// Frame-sized helper views: store/load a full frame at a base address.
+    void store_frame(const Frame& f, std::size_t base = 0);
+    [[nodiscard]] Frame load_frame(std::size_t width, std::size_t height,
+                                   std::size_t base = 0) const;
+
+private:
+    std::vector<std::uint16_t> mem_;
+    mutable std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+}  // namespace ob::video

@@ -1,0 +1,88 @@
+#include "video/pipeline.hpp"
+
+#include <cmath>
+
+namespace ob::video {
+
+void RotatePipeline::tick(std::uint64_t) {
+    // Advance back to front so each stage consumes its predecessor's
+    // registered value from the previous cycle.
+    // Stage 5: restore centre.
+    out_valid_ = s4_.valid;
+    if (s4_.valid) {
+        out_ = Coord{s4_.x_back + centre_.x, s4_.y_back + centre_.y};
+    }
+    // Stage 4: sums + fixed2int.
+    s4_.valid = s3_.valid;
+    if (s3_.valid) {
+        s4_.x_back = (s3_.t2 + s3_.t3).to_int();
+        s4_.y_back = (s3_.t4 + s3_.t5).to_int();
+    }
+    // Stage 3: four multipliers.
+    s3_.valid = s2_.valid;
+    if (s2_.valid) {
+        s3_.t2 = s2_.map_y * -s2_.sin;
+        s3_.t3 = s2_.map_x * s2_.cos;
+        s3_.t4 = s2_.map_x * s2_.sin;
+        s3_.t5 = s2_.map_y * s2_.cos;
+    }
+    // Stage 2: re-centre + int2fixed.
+    s2_.valid = s1_.valid;
+    if (s1_.valid) {
+        s2_.map_x = Fixed::from_int(s1_.in.x - centre_.x);
+        s2_.map_y = Fixed::from_int(s1_.in.y - centre_.y);
+        s2_.sin = s1_.sin;
+        s2_.cos = s1_.cos;
+    }
+    // Stage 1: trig lookup of the freshly fed coordinate.
+    s1_.valid = input_valid_;
+    if (input_valid_) {
+        s1_.in = input_;
+        s1_.sin = lut_->sin_at(theta_);
+        s1_.cos = lut_->cos_at(theta_);
+    }
+    input_valid_ = false;
+}
+
+PipelineFrameResult pipeline_transform_frame(const Frame& src,
+                                             const TrigLut& lut,
+                                             const AffineParams& params,
+                                             Pixel fill) {
+    const Coord centre{static_cast<std::int32_t>(src.width() / 2),
+                       static_cast<std::int32_t>(src.height() / 2)};
+    RotatePipeline pipe(lut, centre);
+    pipe.set_angle(TrigLut::index_from_radians(params.theta_rad));
+    hcl::Simulation sim;
+    sim.add(pipe);
+
+    const auto bx = static_cast<std::int32_t>(std::lround(params.bx_px));
+    const auto by = static_cast<std::int32_t>(std::lround(params.by_px));
+
+    PipelineFrameResult out{Frame(src.width(), src.height(), fill), {}};
+    const std::size_t total = src.width() * src.height();
+    std::size_t fed = 0;
+    std::size_t drained = 0;
+    const std::uint64_t start = sim.cycles();
+    while (drained < total) {
+        if (fed < total) {
+            pipe.feed(Coord{static_cast<std::int32_t>(fed % src.width()),
+                            static_cast<std::int32_t>(fed / src.width())});
+        }
+        sim.step();
+        if (const auto o = pipe.output()) {
+            const std::size_t ix = drained % src.width();
+            const std::size_t iy = drained / src.width();
+            const std::int64_t ox = o->x + bx;
+            const std::int64_t oy = o->y + by;
+            if (out.frame.in_bounds(ox, oy))
+                out.frame.set(static_cast<std::size_t>(ox),
+                              static_cast<std::size_t>(oy), src.at(ix, iy));
+            ++drained;
+        }
+        if (fed < total) ++fed;
+    }
+    out.timing.cycles = sim.cycles() - start;
+    return out;
+}
+
+}  // namespace ob::video

@@ -1,0 +1,38 @@
+#include "video/trig_lut.hpp"
+
+#include <cmath>
+
+namespace ob::video {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+TrigLut::TrigLut() {
+    for (std::size_t i = 0; i < kEntries; ++i) {
+        const double a = kTwoPi * static_cast<double>(i) /
+                         static_cast<double>(kEntries);
+        sin_[i] = Fixed::from_double(std::sin(a));
+    }
+}
+
+std::uint32_t TrigLut::index_from_radians(double angle) {
+    double turns = angle / kTwoPi;
+    turns -= std::floor(turns);
+    const auto idx = static_cast<std::uint32_t>(
+        std::lround(turns * static_cast<double>(kEntries)));
+    return idx & (kEntries - 1);
+}
+
+double TrigLut::max_abs_error() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < kEntries * 4; ++i) {
+        const double a = kTwoPi * static_cast<double>(i) /
+                         static_cast<double>(kEntries * 4);
+        const double err = std::abs(sin_rad(a).to_double() - std::sin(a));
+        worst = std::max(worst, err);
+    }
+    return worst;
+}
+
+}  // namespace ob::video

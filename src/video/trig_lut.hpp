@@ -1,0 +1,48 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "video/fixed.hpp"
+
+namespace ob::video {
+
+/// The paper's "sine and cosine angles stored in a 1024-element lookup
+/// table": angles are indexed in binary angle measurement (BAM) units,
+/// 1024 steps per full turn, and values are fixed point.
+class TrigLut {
+public:
+    static constexpr std::size_t kEntries = 1024;
+
+    TrigLut();
+
+    /// Sine/cosine by table index (wraps modulo 1024) — the
+    /// GenerateSine/GenerateCos of Figure 5.
+    [[nodiscard]] Fixed sin_at(std::uint32_t index) const {
+        return sin_[index & (kEntries - 1)];
+    }
+    [[nodiscard]] Fixed cos_at(std::uint32_t index) const {
+        return sin_[(index + kEntries / 4) & (kEntries - 1)];
+    }
+
+    /// Nearest-index conversion from radians to BAM units.
+    [[nodiscard]] static std::uint32_t index_from_radians(double angle);
+
+    /// Convenience: sine/cosine of an angle in radians through the table
+    /// (quantized to the 1024-step grid).
+    [[nodiscard]] Fixed sin_rad(double angle) const {
+        return sin_at(index_from_radians(angle));
+    }
+    [[nodiscard]] Fixed cos_rad(double angle) const {
+        return cos_at(index_from_radians(angle));
+    }
+
+    /// Worst-case absolute error of the table vs libm over a dense sweep
+    /// (used by the accuracy bench).
+    [[nodiscard]] double max_abs_error() const;
+
+private:
+    std::array<Fixed, kEntries> sin_;
+};
+
+}  // namespace ob::video

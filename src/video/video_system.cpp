@@ -1,0 +1,50 @@
+#include "video/video_system.hpp"
+
+#include <stdexcept>
+
+namespace ob::video {
+
+VideoSystem::VideoSystem(Config cfg) : cfg_(cfg) {
+    if (cfg_.width * cfg_.height * 2 > 2u * 1024 * 1024)
+        throw std::invalid_argument(
+            "VideoSystem: frame does not fit a 2MB ZBT bank");
+}
+
+VideoSystem::FrameResult VideoSystem::process_frame(const Frame& camera_frame) {
+    if (camera_frame.width() != cfg_.width ||
+        camera_frame.height() != cfg_.height)
+        throw std::invalid_argument("VideoSystem: frame size mismatch");
+
+    // VideoInProcess: capture into the back buffer.
+    ZbtSram& back = back_bank_ == 0 ? ram1_ : ram2_;
+    back.store_frame(camera_frame);
+
+    // Swap buffers (frame boundary).
+    const std::size_t front_bank = back_bank_;
+    back_bank_ = 1 - back_bank_;
+
+    // VideoOutProcess: read the front buffer through the affine engine
+    // with the current angle estimate.
+    const ZbtSram& front = front_bank == 0 ? ram1_ : ram2_;
+    const Frame stored = front.load_frame(cfg_.width, cfg_.height);
+    const AffineParams p =
+        params_from_misalignment(angles_(), cfg_.focal_px);
+
+    FrameResult out{Frame(cfg_.width, cfg_.height, cfg_.fill), {}, front_bank};
+    if (cfg_.mapping == Mapping::kForward) {
+        // Cycle-accurate pipeline path (also yields exact timing).
+        auto res = pipeline_transform_frame(stored, lut_, p, cfg_.fill);
+        out.display = std::move(res.frame);
+        out.timing = res.timing;
+    } else {
+        out.display = affine_fixed_inverse(stored, lut_, p, cfg_.fill);
+        // Same 5-stage pipeline structure run in the inverse direction:
+        // identical cycle cost model.
+        out.timing.cycles =
+            cfg_.width * cfg_.height + RotatePipeline::kLatency - 1;
+    }
+    ++frames_;
+    return out;
+}
+
+}  // namespace ob::video

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+
+#include "math/rotation.hpp"
+#include "video/affine.hpp"
+#include "video/framebuffer.hpp"
+#include "video/pipeline.hpp"
+#include "video/trig_lut.hpp"
+
+namespace ob::video {
+
+/// Figure 3's video datapath: VideoIn writes camera frames into one ZBT
+/// SRAM bank while VideoOut reads the other through the affine transform —
+/// the double-buffering scheme of §9 — with the correction angles supplied
+/// from outside (in the full system, from the Sabre control registers).
+class VideoSystem {
+public:
+    enum class Mapping {
+        kForward,  ///< paper-faithful §9 forward mapping (holes possible)
+        kInverse,  ///< inverse mapping (no holes), same fixed-point datapath
+    };
+
+    struct Config {
+        std::size_t width = 320;
+        std::size_t height = 240;
+        double focal_px = 300.0;
+        Mapping mapping = Mapping::kInverse;
+        Pixel fill = pack_rgb(0, 0, 0);
+    };
+
+    /// Supplies the current misalignment estimate each frame.
+    using AngleProvider = std::function<math::EulerAngles()>;
+
+    explicit VideoSystem(Config cfg);
+
+    void set_angle_provider(AngleProvider provider) {
+        angles_ = std::move(provider);
+    }
+
+    struct FrameResult {
+        Frame display;        ///< corrected output frame
+        FrameTiming timing;   ///< pixel-pipeline cycle cost of the frame
+        std::size_t front_bank = 0;  ///< bank VideoOut read this frame
+    };
+
+    /// One full VideoIn+VideoOut cycle: capture into the back buffer, swap,
+    /// transform the front buffer to the display.
+    [[nodiscard]] FrameResult process_frame(const Frame& camera_frame);
+
+    [[nodiscard]] const ZbtSram& ram(std::size_t bank) const {
+        return bank == 0 ? ram1_ : ram2_;
+    }
+    [[nodiscard]] std::size_t frames_processed() const { return frames_; }
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    TrigLut lut_;
+    ZbtSram ram1_;
+    ZbtSram ram2_;
+    std::size_t back_bank_ = 0;
+    std::size_t frames_ = 0;
+    AngleProvider angles_ = [] { return math::EulerAngles{}; };
+};
+
+}  // namespace ob::video

@@ -1,0 +1,571 @@
+#include <gtest/gtest.h>
+
+#include "comm/bridge.hpp"
+#include "comm/can.hpp"
+#include "comm/codec.hpp"
+#include "comm/slip.hpp"
+#include "comm/uart.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::comm;
+using ob::util::Rng;
+
+// --- CAN -------------------------------------------------------------------
+
+TEST(Can, FrameValidity) {
+    CanFrame f;
+    f.id = 0x7FF;
+    f.dlc = 8;
+    EXPECT_TRUE(f.valid());
+    f.id = 0x800;
+    EXPECT_FALSE(f.valid());
+    f.id = 0x100;
+    f.dlc = 9;
+    EXPECT_FALSE(f.valid());
+}
+
+TEST(Can, Crc15DetectsSingleBitFlips) {
+    CanFrame f;
+    f.id = 0x123;
+    f.dlc = 4;
+    f.data = {0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0};
+    auto bits = can_frame_bits(f);
+    const std::uint16_t crc = can_crc15(bits);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        bits[i] = !bits[i];
+        EXPECT_NE(can_crc15(bits), crc) << "flip at bit " << i;
+        bits[i] = !bits[i];
+    }
+}
+
+TEST(Can, Crc15IsDeterministicAndBounded) {
+    CanFrame f;
+    f.id = 0x001;
+    f.dlc = 1;
+    f.data[0] = 0x55;
+    const auto bits = can_frame_bits(f);
+    const std::uint16_t crc = can_crc15(bits);
+    EXPECT_EQ(crc, can_crc15(bits));
+    EXPECT_LT(crc, 0x8000) << "CRC-15 must fit in 15 bits";
+}
+
+TEST(Can, FrameBitsLayout) {
+    CanFrame f;
+    f.id = 0x555;  // 101 0101 0101
+    f.dlc = 0;
+    const auto bits = can_frame_bits(f);
+    ASSERT_EQ(bits.size(), 19u);  // SOF + 11 id + RTR + IDE + r0 + 4 dlc
+    EXPECT_FALSE(bits[0]);        // SOF dominant
+    EXPECT_TRUE(bits[1]);         // id MSB of 0x555
+    EXPECT_FALSE(bits[2]);
+}
+
+TEST(Can, StuffBitCounting) {
+    // 15 consecutive zeros -> stuff bits after each run of 5 -> 3 stuffs.
+    std::vector<std::uint8_t> bits(15, 0);
+    EXPECT_EQ(can_stuff_bits(bits), 3u);
+    // Alternating bits -> no stuffing.
+    std::vector<std::uint8_t> alt;
+    for (int i = 0; i < 32; ++i) alt.push_back(i % 2 == 0 ? 1 : 0);
+    EXPECT_EQ(can_stuff_bits(alt), 0u);
+    // Exactly 5 equal bits -> one stuff.
+    EXPECT_EQ(can_stuff_bits(std::vector<std::uint8_t>(5, 1)), 1u);
+    EXPECT_EQ(can_stuff_bits(std::vector<std::uint8_t>(4, 1)), 0u);
+}
+
+TEST(Can, WireBitsWithinProtocolBounds) {
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        CanFrame f;
+        f.id = static_cast<std::uint16_t>(rng.uniform_int(0, 0x7FF));
+        f.dlc = static_cast<std::uint8_t>(rng.uniform_int(0, 8));
+        for (auto& b : f.data)
+            b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        const std::size_t bits = can_wire_bits(f);
+        // Unstuffed frame + overhead: 19+8*dlc+15 data/crc bits + 13
+        // delimiter/ack/eof/ifs bits; stuffing adds at most 20%.
+        const std::size_t base = 19u + 8u * f.dlc + 15u + 13u;
+        EXPECT_GE(bits, base);
+        EXPECT_LE(bits, base + (19u + 8u * f.dlc + 15u) / 4u + 1u);
+    }
+}
+
+TEST(CanBus, SingleFrameTiming) {
+    CanBus bus(500000.0);
+    std::vector<std::pair<CanFrame, double>> rx;
+    bus.on_delivery([&](const CanFrame& f, double t) { rx.emplace_back(f, t); });
+    CanFrame f;
+    f.id = 0x100;
+    f.dlc = 8;
+    bus.send(f, 0.001);
+    bus.advance_to(0.0015);
+    // Frame takes can_wire_bits/500k seconds.
+    const double expect_t = 0.001 + static_cast<double>(can_wire_bits(f)) / 500000.0;
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_NEAR(rx[0].second, expect_t, 1e-12);
+}
+
+TEST(CanBus, ArbitrationLowestIdWins) {
+    CanBus bus;
+    std::vector<std::uint16_t> order;
+    bus.on_delivery([&](const CanFrame& f, double) { order.push_back(f.id); });
+    CanFrame hi, lo;
+    hi.id = 0x300;
+    lo.id = 0x100;
+    bus.send(hi, 0.0);
+    bus.send(lo, 0.0);
+    bus.advance_to(1.0);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0x100);
+    EXPECT_EQ(order[1], 0x300);
+}
+
+TEST(CanBus, BusySerializesFrames) {
+    CanBus bus(500000.0);
+    std::vector<double> times;
+    bus.on_delivery([&](const CanFrame&, double t) { times.push_back(t); });
+    CanFrame f;
+    f.id = 0x10;
+    f.dlc = 8;
+    bus.send(f, 0.0);
+    bus.send(f, 0.0);
+    bus.send(f, 0.0);
+    bus.advance_to(1.0);
+    ASSERT_EQ(times.size(), 3u);
+    const double frame_time = static_cast<double>(can_wire_bits(f)) / 500000.0;
+    EXPECT_NEAR(times[1] - times[0], frame_time, 1e-12);
+    EXPECT_NEAR(times[2] - times[1], frame_time, 1e-12);
+    EXPECT_GE(bus.max_latency(), 2.9 * frame_time);
+}
+
+TEST(CanBus, AdvanceHorizonHoldsUnfinishedFrame) {
+    CanBus bus(500000.0);
+    int delivered = 0;
+    bus.on_delivery([&](const CanFrame&, double) { ++delivered; });
+    CanFrame f;
+    f.id = 0x10;
+    bus.send(f, 0.0);
+    bus.advance_to(1e-6);  // far less than one frame time
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(bus.pending(), 1u);
+    bus.advance_to(1.0);
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(CanBus, RejectsInvalidFrame) {
+    CanBus bus;
+    CanFrame f;
+    f.id = 0x900;
+    EXPECT_THROW(bus.send(f, 0.0), std::invalid_argument);
+}
+
+// --- UART ------------------------------------------------------------------
+
+TEST(Uart, ByteTimingAndOrdering) {
+    UartLink link(115200.0);
+    link.send({0x01, 0x02, 0x03}, 0.0);
+    const double byte_t = 10.0 / 115200.0;
+    auto rx = link.receive_until(2.5 * byte_t);
+    ASSERT_EQ(rx.size(), 2u);  // third byte not finished yet
+    EXPECT_EQ(rx[0].value, 0x01);
+    EXPECT_NEAR(rx[0].t, byte_t, 1e-12);
+    EXPECT_NEAR(rx[1].t, 2 * byte_t, 1e-12);
+    rx = link.receive_until(10.0);
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_EQ(rx[0].value, 0x03);
+}
+
+TEST(Uart, LineBackPressure) {
+    UartLink link(9600.0);
+    link.send(0xAA, 0.0);
+    link.send(0xBB, 0.0);  // must wait for the first byte
+    auto rx = link.receive_until(1.0);
+    ASSERT_EQ(rx.size(), 2u);
+    EXPECT_NEAR(rx[1].t - rx[0].t, 10.0 / 9600.0, 1e-12);
+}
+
+TEST(Uart, DropFaultInjection) {
+    UartFaults faults;
+    faults.drop_probability = 0.5;
+    UartLink link(115200.0, faults, 99);
+    for (int i = 0; i < 1000; ++i) link.send(0x42, 0.0);
+    const auto rx = link.receive_until(1e9);
+    EXPECT_EQ(rx.size() + link.bytes_dropped(), 1000u);
+    EXPECT_GT(link.bytes_dropped(), 350u);
+    EXPECT_LT(link.bytes_dropped(), 650u);
+}
+
+TEST(Uart, BitFlipFaultInjection) {
+    UartFaults faults;
+    faults.bit_flip_probability = 1.0;
+    UartLink link(115200.0, faults, 7);
+    link.send(0x00, 0.0);
+    const auto rx = link.receive_until(1.0);
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_NE(rx[0].value, 0x00);  // exactly one bit flipped
+    unsigned v = rx[0].value;
+    int bits = 0;
+    while (v != 0u) {
+        bits += static_cast<int>(v & 1u);
+        v >>= 1;
+    }
+    EXPECT_EQ(bits, 1);
+    EXPECT_EQ(link.bytes_corrupted(), 1u);
+}
+
+// --- SLIP ------------------------------------------------------------------
+
+TEST(Slip, RoundTripPlain) {
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    slip::Decoder dec;
+    std::vector<std::uint8_t> got;
+    for (const auto b : slip::encode(payload)) {
+        if (auto f = dec.feed(b)) got = *f;
+    }
+    EXPECT_EQ(got, payload);
+}
+
+TEST(Slip, RoundTripSpecialBytes) {
+    const std::vector<std::uint8_t> payload = {slip::kEnd, slip::kEsc,
+                                               slip::kEnd, 0x00, slip::kEsc};
+    slip::Decoder dec;
+    std::vector<std::uint8_t> got;
+    for (const auto b : slip::encode(payload)) {
+        if (auto f = dec.feed(b)) got = *f;
+    }
+    EXPECT_EQ(got, payload);
+}
+
+TEST(Slip, MalformedEscapeDropsFrame) {
+    slip::Decoder dec;
+    EXPECT_FALSE(dec.feed(slip::kEnd).has_value());
+    EXPECT_FALSE(dec.feed(0x01).has_value());
+    EXPECT_FALSE(dec.feed(slip::kEsc).has_value());
+    EXPECT_FALSE(dec.feed(0x42).has_value());  // invalid escape code
+    EXPECT_EQ(dec.malformed(), 1u);
+    EXPECT_FALSE(dec.feed(slip::kEnd).has_value());  // poisoned frame gone
+}
+
+TEST(Slip, BackToBackDelimitersYieldNothing) {
+    slip::Decoder dec;
+    EXPECT_FALSE(dec.feed(slip::kEnd).has_value());
+    EXPECT_FALSE(dec.feed(slip::kEnd).has_value());
+}
+
+// --- DMU codec ---------------------------------------------------------------
+
+TEST(DmuCodec, RoundTrip) {
+    DmuSample s;
+    s.seq = 42;
+    s.gyro = {100, -200, 300};
+    s.accel = {-1000, 2000, -32768};
+    const auto [gf, af] = DmuCodec::encode(s);
+    EXPECT_EQ(gf.id, DmuCodec::kGyroFrameId);
+    EXPECT_EQ(af.id, DmuCodec::kAccelFrameId);
+
+    DmuCodec dec;
+    EXPECT_FALSE(dec.feed(gf, 0.1).has_value());
+    const auto out = dec.feed(af, 0.2);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, s);
+    EXPECT_DOUBLE_EQ(out->t, 0.2);
+}
+
+TEST(DmuCodec, ChecksumRejection) {
+    DmuSample s;
+    s.seq = 1;
+    auto [gf, af] = DmuCodec::encode(s);
+    gf.data[3] ^= 0x10;  // corrupt payload
+    DmuCodec dec;
+    EXPECT_FALSE(dec.feed(gf, 0.0).has_value());
+    EXPECT_FALSE(dec.feed(af, 0.0).has_value());
+    EXPECT_EQ(dec.bad_checksum(), 1u);
+}
+
+TEST(DmuCodec, SequenceMismatchDropsPair) {
+    DmuSample a, b;
+    a.seq = 1;
+    b.seq = 2;
+    const auto [gf_a, af_a] = DmuCodec::encode(a);
+    const auto [gf_b, af_b] = DmuCodec::encode(b);
+    (void)af_a;
+    (void)gf_b;
+    DmuCodec dec;
+    EXPECT_FALSE(dec.feed(gf_a, 0.0).has_value());
+    EXPECT_FALSE(dec.feed(af_b, 0.0).has_value());  // wrong pair
+    EXPECT_EQ(dec.seq_mismatches(), 1u);
+    // Recovery: a fresh matched pair still decodes.
+    const auto [gf_c, af_c] = DmuCodec::encode(b);
+    EXPECT_FALSE(dec.feed(gf_c, 0.0).has_value());
+    EXPECT_TRUE(dec.feed(af_c, 0.0).has_value());
+}
+
+TEST(DmuCodec, IgnoresForeignFrames) {
+    CanFrame f;
+    f.id = 0x222;
+    f.dlc = 8;
+    DmuCodec dec;
+    EXPECT_FALSE(dec.feed(f, 0.0).has_value());
+    EXPECT_EQ(dec.bad_checksum(), 0u);
+}
+
+TEST(DmuScale, ConversionAndSaturation) {
+    const DmuScale sc;
+    EXPECT_EQ(sc.accel_to_raw(0.0), 0);
+    // +-2 g range saturates.
+    EXPECT_EQ(sc.accel_to_raw(100.0), 32767);
+    EXPECT_EQ(sc.accel_to_raw(-100.0), -32768);
+    // Round-trip within one LSB.
+    const double a = 3.21;
+    EXPECT_NEAR(sc.raw_to_accel(sc.accel_to_raw(a)), a, sc.accel_lsb_mps2);
+    const double w = 0.5;
+    EXPECT_NEAR(sc.raw_to_rate(sc.rate_to_raw(w)), w, sc.gyro_lsb_rad_s);
+}
+
+// --- ADXL202 codec -----------------------------------------------------------
+
+TEST(Adxl, DutyCycleTransferFunction) {
+    const AdxlConfig cfg;
+    // 0 g -> 50% duty.
+    const auto t0 = adxl_encode(0.0, 0.0, 0, cfg);
+    EXPECT_EQ(t0.t1x, cfg.t2_ticks() / 2);
+    // +1 g -> 62.5% duty (datasheet: 12.5%/g).
+    const auto t1 = adxl_encode(cfg.g, -cfg.g, 0, cfg);
+    EXPECT_NEAR(static_cast<double>(t1.t1x) / cfg.t2_ticks(), 0.625, 1e-6);
+    EXPECT_NEAR(static_cast<double>(t1.t1y) / cfg.t2_ticks(), 0.375, 1e-6);
+}
+
+TEST(Adxl, EncodeDecodeRoundTripWithinQuantization) {
+    const AdxlConfig cfg;
+    Rng rng(3);
+    // One timer tick of duty maps to this acceleration quantum.
+    const double quantum = cfg.g / (cfg.duty_per_g * cfg.t2_ticks());
+    for (int i = 0; i < 500; ++i) {
+        const double ax = rng.uniform(-15.0, 15.0);
+        const double ay = rng.uniform(-15.0, 15.0);
+        const auto [dx, dy] = adxl_decode(adxl_encode(ax, ay, 0, cfg), cfg);
+        EXPECT_NEAR(dx, ax, quantum);
+        EXPECT_NEAR(dy, ay, quantum);
+    }
+}
+
+TEST(Adxl, ClipsAtRange) {
+    const AdxlConfig cfg;
+    const auto t = adxl_encode(10.0 * cfg.g, -10.0 * cfg.g, 0, cfg);
+    const auto [ax, ay] = adxl_decode(t, cfg);
+    EXPECT_NEAR(ax, cfg.range_g * cfg.g, 1e-3);
+    EXPECT_NEAR(ay, -cfg.range_g * cfg.g, 1e-3);
+}
+
+TEST(Adxl, SerializeDeserializeRoundTrip) {
+    AdxlTiming t;
+    t.seq = 9;
+    t.t1x = 50000;
+    t.t1y = 62500;
+    t.t2 = 100000;
+    const auto bytes = adxl_serialize(t);
+    ASSERT_EQ(bytes.size(), kAdxlPacketSize);
+    AdxlDeserializer dec;
+    std::optional<AdxlTiming> out;
+    for (const auto b : bytes) {
+        auto r = dec.feed(b, 1.5);
+        if (r) out = r;
+    }
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, t);
+    EXPECT_DOUBLE_EQ(out->t, 1.5);
+}
+
+TEST(Adxl, DeserializerResyncsAfterGarbage) {
+    AdxlTiming t;
+    t.seq = 1;
+    t.t1x = 1;
+    t.t1y = 2;
+    t.t2 = 3;
+    AdxlDeserializer dec;
+    // Garbage prefix, then a clean packet.
+    for (const std::uint8_t b : {0x00, 0xFF, 0x13}) {
+        EXPECT_FALSE(dec.feed(b, 0.0).has_value());
+    }
+    EXPECT_GE(dec.resyncs(), 3u);
+    std::optional<AdxlTiming> out;
+    for (const auto b : adxl_serialize(t)) {
+        auto r = dec.feed(b, 0.0);
+        if (r) out = r;
+    }
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, t);
+}
+
+TEST(Adxl, BadChecksumCountedAndRecovered) {
+    AdxlTiming t;
+    t.seq = 1;
+    t.t1x = 11;
+    t.t1y = 22;
+    t.t2 = 33;
+    auto bytes = adxl_serialize(t);
+    bytes[5] ^= 0x01;  // corrupt
+    AdxlDeserializer dec;
+    for (const auto b : bytes) EXPECT_FALSE(dec.feed(b, 0.0).has_value());
+    EXPECT_EQ(dec.bad_checksum(), 1u);
+    // Clean packet afterwards decodes fine.
+    std::optional<AdxlTiming> out;
+    for (const auto b : adxl_serialize(t)) {
+        auto r = dec.feed(b, 0.0);
+        if (r) out = r;
+    }
+    EXPECT_TRUE(out.has_value());
+}
+
+// --- CAN -> serial bridge ----------------------------------------------------
+
+TEST(Bridge, EndToEndRoundTrip) {
+    UartLink uart(115200.0);
+    CanSerialBridge bridge(uart);
+    CanSerialDeframer deframer;
+
+    CanFrame f;
+    f.id = 0x100;
+    f.dlc = 8;
+    for (std::uint8_t i = 0; i < 8; ++i) f.data[i] = static_cast<std::uint8_t>(0xC0 + i);
+    bridge.forward(f, 0.0);
+
+    std::optional<CanFrame> got;
+    for (const auto& b : uart.receive_until(1.0)) {
+        auto r = deframer.feed(b);
+        if (r) got = r;
+    }
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, f);
+    EXPECT_EQ(bridge.frames_forwarded(), 1u);
+}
+
+TEST(Bridge, FramingErrorPoisonsFrame) {
+    UartLink uart(115200.0);
+    CanSerialBridge bridge(uart);
+    CanSerialDeframer deframer;
+    CanFrame f;
+    f.id = 0x42;
+    f.dlc = 2;
+    f.data[0] = 1;
+    f.data[1] = 2;
+    bridge.forward(f, 0.0);
+    auto bytes = uart.receive_until(1.0);
+    ASSERT_FALSE(bytes.empty());
+    bytes[2].framing_error = true;
+    std::optional<CanFrame> got;
+    for (const auto& b : bytes) {
+        auto r = deframer.feed(b);
+        if (r) got = r;
+    }
+    EXPECT_FALSE(got.has_value());
+    EXPECT_EQ(deframer.malformed(), 1u);
+}
+
+TEST(Bridge, TruncatedPayloadRejected) {
+    CanSerialDeframer deframer;
+    // SLIP frame claiming dlc=8 but carrying 2 data bytes (+fake CRC).
+    const std::vector<std::uint8_t> payload = {0x01, 0x00, 0x08,
+                                               0xAA, 0xBB, 0x12, 0x34};
+    std::optional<CanFrame> got;
+    for (const auto raw : ob::comm::slip::encode(payload)) {
+        UartByte b;
+        b.value = raw;
+        auto r = deframer.feed(b);
+        if (r) got = r;
+    }
+    EXPECT_FALSE(got.has_value());
+    EXPECT_EQ(deframer.malformed(), 1u);
+}
+
+TEST(Bridge, CrcRejectsTamperedPayload) {
+    // Build a valid bridged payload, flip two compensating bits (which an
+    // additive checksum would miss), and verify the CRC-15 rejects it.
+    UartLink uart(115200.0);
+    CanSerialBridge bridge(uart);
+    CanFrame f;
+    f.id = 0x123;
+    f.dlc = 4;
+    f.data = {0x10, 0x20, 0x30, 0x40, 0, 0, 0, 0};
+    bridge.forward(f, 0.0);
+    auto bytes = uart.receive_until(1.0);
+    ASSERT_GT(bytes.size(), 8u);
+    // Payload layout inside SLIP: [END id_hi id_lo dlc d0 d1 d2 d3 crc...]
+    bytes[5].value ^= 0x04;  // +4 on one data byte
+    bytes[6].value ^= 0x04;  // bit flip on another (additive sum may survive)
+    CanSerialDeframer deframer;
+    std::optional<CanFrame> got;
+    for (const auto& b : bytes) {
+        if (auto r = deframer.feed(b)) got = r;
+    }
+    EXPECT_FALSE(got.has_value());
+    EXPECT_EQ(deframer.malformed(), 1u);
+}
+
+// Property sweep: random DMU samples and CAN frames survive the full
+// transport chain bit-exactly.
+class CommPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommPropertyTest, DmuSamplesSurviveCanAndBridge) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    CanBus bus;
+    UartLink uart(115200.0);
+    CanSerialBridge bridge(uart);
+    bus.on_delivery(
+        [&](const CanFrame& f, double t) { bridge.forward(f, t); });
+
+    std::vector<DmuSample> sent;
+    for (int i = 0; i < 20; ++i) {
+        DmuSample s;
+        s.seq = static_cast<std::uint8_t>(i);
+        for (auto& g : s.gyro)
+            g = static_cast<std::int16_t>(rng.uniform_int(-32768, 32767));
+        for (auto& a : s.accel)
+            a = static_cast<std::int16_t>(rng.uniform_int(-32768, 32767));
+        sent.push_back(s);
+        const auto [gf, af] = DmuCodec::encode(s);
+        bus.send(gf, i * 0.01);
+        bus.send(af, i * 0.01);
+    }
+    bus.advance_to(10.0);
+
+    CanSerialDeframer deframer;
+    DmuCodec codec;
+    std::vector<DmuSample> got;
+    for (const auto& b : uart.receive_until(10.0)) {
+        if (auto f = deframer.feed(b)) {
+            if (auto s = codec.feed(*f, b.t)) got.push_back(*s);
+        }
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(got[i], sent[i]);
+}
+
+TEST_P(CommPropertyTest, AdxlStreamSurvivesUart) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+    UartLink uart(115200.0);
+    AdxlDeserializer dec;
+    std::vector<AdxlTiming> sent;
+    for (int i = 0; i < 50; ++i) {
+        AdxlTiming t;
+        t.seq = static_cast<std::uint8_t>(i);
+        t.t1x = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFF));
+        t.t1y = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFF));
+        t.t2 = static_cast<std::uint32_t>(rng.uniform_int(1, 0xFFFFFF));
+        sent.push_back(t);
+        uart.send(adxl_serialize(t), i * 0.01);
+    }
+    std::vector<AdxlTiming> got;
+    for (const auto& b : uart.receive_until(10.0)) {
+        if (auto r = dec.feed(b.value, b.t)) got.push_back(*r);
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(got[i], sent[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alignment_report.hpp"
+#include "core/batch_aligner.hpp"
+#include "core/boresight_ekf.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::core;
+using ob::math::deg2rad;
+using ob::math::dcm_from_euler;
+using ob::math::EulerAngles;
+using ob::math::rad2deg;
+using ob::math::Vec2;
+using ob::math::Vec3;
+using ob::util::Rng;
+
+constexpr double kG = 9.80665;
+
+Vec2 ideal_acc(const EulerAngles& mis, const Vec3& f_body) {
+    const Vec3 f_s = dcm_from_euler(mis) * f_body;
+    return Vec2{f_s[0], f_s[1]};
+}
+
+Vec3 rich_excitation(int k) {
+    const double phase = 0.013 * k;
+    return Vec3{2.0 * std::sin(phase), 1.5 * std::cos(1.7 * phase), -kG};
+}
+
+TEST(BatchAligner, NoiseFreeExactRecovery) {
+    const EulerAngles truth = EulerAngles::from_deg(2.0, -1.5, 3.0);
+    BatchLeastSquaresAligner batch;
+    for (int k = 0; k < 2000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        batch.add(f, ideal_acc(truth, f));
+    }
+    const auto sol = batch.solve();
+    EXPECT_TRUE(sol.converged);
+    EXPECT_NEAR(rad2deg(sol.misalignment.roll), 2.0, 1e-6);
+    EXPECT_NEAR(rad2deg(sol.misalignment.pitch), -1.5, 1e-6);
+    EXPECT_NEAR(rad2deg(sol.misalignment.yaw), 3.0, 1e-6);
+    EXPECT_LT(sol.rms_residual, 1e-9);
+}
+
+TEST(BatchAligner, NoisyRecoveryScalesWithSampleCount) {
+    const EulerAngles truth = EulerAngles::from_deg(1.0, 1.0, -2.0);
+    Rng rng(3);
+    BatchLeastSquaresAligner small_batch, large_batch;
+    for (int k = 0; k < 20000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.02), rng.gaussian(0.02)};
+        if (k < 500) small_batch.add(f, z);
+        large_batch.add(f, z);
+    }
+    const auto s_small = small_batch.solve();
+    const auto s_large = large_batch.solve();
+    const auto err = [&](const BatchLeastSquaresAligner::Solution& s) {
+        return std::abs(s.misalignment.roll - truth.roll) +
+               std::abs(s.misalignment.pitch - truth.pitch) +
+               std::abs(s.misalignment.yaw - truth.yaw);
+    };
+    EXPECT_LT(err(s_large), err(s_small));
+    EXPECT_NEAR(rad2deg(s_large.misalignment.yaw), -2.0, 0.05);
+}
+
+TEST(BatchAligner, LevelStaticKeepsYawAtPrior) {
+    const EulerAngles truth = EulerAngles::from_deg(1.0, -1.0, 4.0);
+    BatchLeastSquaresAligner batch;
+    const Vec3 f{0.0, 0.0, -kG};
+    for (int k = 0; k < 500; ++k) batch.add(f, ideal_acc(truth, f));
+    const auto sol = batch.solve();
+    EXPECT_NEAR(rad2deg(sol.misalignment.roll), 1.0, 0.02);
+    EXPECT_NEAR(rad2deg(sol.misalignment.pitch), -1.0, 0.02);
+    // Unobservable yaw stays at the damped prior of zero.
+    EXPECT_NEAR(sol.misalignment.yaw, 0.0, 1e-6);
+}
+
+TEST(BatchAligner, BiasEstimationOnRichExcitation) {
+    const EulerAngles truth = EulerAngles::from_deg(0.5, 1.0, -1.0);
+    const Vec2 bias{0.04, -0.02};
+    BatchLeastSquaresAligner batch(/*estimate_bias=*/true);
+    for (int k = 0; k < 5000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        batch.add(f, ideal_acc(truth, f) + bias);
+    }
+    const auto sol = batch.solve();
+    EXPECT_NEAR(sol.bias[0], 0.04, 1e-4);
+    EXPECT_NEAR(sol.bias[1], -0.02, 1e-4);
+    EXPECT_NEAR(rad2deg(sol.misalignment.pitch), 1.0, 0.01);
+}
+
+TEST(BatchAligner, ThrowsWithoutData) {
+    const BatchLeastSquaresAligner batch;
+    EXPECT_THROW((void)batch.solve(), std::domain_error);
+}
+
+TEST(BatchAligner, StepChangeProducesAveragedEstimate) {
+    // The key weakness the EKF fixes: after a mid-run mount bump the batch
+    // solution lands between the two truths while the EKF tracks the new
+    // one. (The full comparison is bench/ablation_baseline.)
+    EulerAngles truth = EulerAngles::from_deg(0.0, 1.0, 0.0);
+    BatchLeastSquaresAligner batch;
+    BoresightConfig cfg;
+    cfg.angle_process_noise = 5e-6;
+    BoresightEkf ekf(cfg);
+    Rng rng(5);
+    for (int k = 0; k < 8000; ++k) {
+        if (k == 4000) truth.pitch = deg2rad(3.0);
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+        batch.add(f, z);
+        (void)ekf.step(f, z);
+    }
+    const auto sol = batch.solve();
+    // Batch: stuck near the average of 1 and 3 degrees.
+    EXPECT_GT(rad2deg(sol.misalignment.pitch), 1.5);
+    EXPECT_LT(rad2deg(sol.misalignment.pitch), 2.5);
+    // EKF: tracking the post-bump truth.
+    EXPECT_NEAR(rad2deg(ekf.misalignment().pitch), 3.0, 0.3);
+}
+
+// --- AlignmentResult ---------------------------------------------------------
+
+TEST(AlignmentReport, ErrorAndConfidence) {
+    AlignmentResult r;
+    r.truth = EulerAngles::from_deg(1.0, 2.0, 3.0);
+    r.estimate = EulerAngles::from_deg(1.1, 1.95, 3.0);
+    r.sigma3_rad = Vec3{deg2rad(0.2), deg2rad(0.2), deg2rad(0.2)};
+    EXPECT_NEAR(r.error_deg(0), 0.1, 1e-9);
+    EXPECT_NEAR(r.error_deg(1), -0.05, 1e-9);
+    EXPECT_NEAR(r.max_error_deg(), 0.1, 1e-9);
+    EXPECT_TRUE(r.within_confidence());
+    r.sigma3_rad = Vec3{deg2rad(0.05), deg2rad(0.2), deg2rad(0.2)};
+    EXPECT_FALSE(r.within_confidence());
+}
+
+TEST(AlignmentReport, TableFormatting) {
+    AlignmentResult r;
+    r.label = "static level";
+    r.truth = EulerAngles::from_deg(1.0, 2.0, 3.0);
+    r.estimate = EulerAngles::from_deg(1.0, 2.0, 3.0);
+    const std::string header = alignment_table_header();
+    const std::string row = alignment_table_row(r);
+    EXPECT_NE(header.find("roll"), std::string::npos);
+    EXPECT_NE(row.find("static level"), std::string::npos);
+    // Fixed-width: header and row columns align on '|'.
+    EXPECT_EQ(header.find('|'), row.find('|'));
+}
+
+}  // namespace

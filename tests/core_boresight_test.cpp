@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/batch_aligner.hpp"
+#include "core/boresight_ekf.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::core;
+using ob::math::deg2rad;
+using ob::math::dcm_from_euler;
+using ob::math::EulerAngles;
+using ob::math::rad2deg;
+using ob::math::Vec2;
+using ob::math::Vec3;
+using ob::util::Rng;
+
+constexpr double kG = 9.80665;
+
+/// Ideal ACC reading for a given true misalignment and body force.
+Vec2 ideal_acc(const EulerAngles& mis, const Vec3& f_body) {
+    const Vec3 f_s = dcm_from_euler(mis) * f_body;
+    return Vec2{f_s[0], f_s[1]};
+}
+
+/// Excitation generator: a cycle of body specific forces rich enough to
+/// observe all three axes (gravity + longitudinal + lateral components).
+Vec3 rich_excitation(int k) {
+    const double phase = 0.013 * k;
+    return Vec3{2.0 * std::sin(phase), 1.5 * std::cos(1.7 * phase), -kG};
+}
+
+TEST(BoresightEkf, PredictMeasurementKnownValues) {
+    // Zero misalignment: sensor sees the body force directly.
+    const Vec3 f{1.0, 2.0, -9.0};
+    const Vec2 z0 = BoresightEkf::predict_measurement(Vec3{}, Vec2{}, f);
+    EXPECT_DOUBLE_EQ(z0[0], 1.0);
+    EXPECT_DOUBLE_EQ(z0[1], 2.0);
+    // Pure pitch theta on static gravity: x' = g sin(theta).
+    const double th = deg2rad(3.0);
+    const Vec2 z1 = BoresightEkf::predict_measurement(
+        Vec3{0.0, th, 0.0}, Vec2{}, Vec3{0.0, 0.0, -kG});
+    EXPECT_NEAR(z1[0], kG * std::sin(th), 1e-12);
+    EXPECT_NEAR(z1[1], 0.0, 1e-12);
+    // Bias adds directly.
+    const Vec2 z2 =
+        BoresightEkf::predict_measurement(Vec3{}, Vec2{0.1, -0.2}, f);
+    EXPECT_DOUBLE_EQ(z2[0], 1.1);
+    EXPECT_DOUBLE_EQ(z2[1], 1.8);
+}
+
+TEST(BoresightEkf, NoiseFreeConvergenceToExactTruth) {
+    const EulerAngles truth = EulerAngles::from_deg(2.0, -3.0, 4.0);
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.01;
+    BoresightEkf ekf(cfg);
+    for (int k = 0; k < 4000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        (void)ekf.step(f, ideal_acc(truth, f));
+    }
+    const EulerAngles est = ekf.misalignment();
+    EXPECT_NEAR(rad2deg(est.roll), 2.0, 0.02);
+    EXPECT_NEAR(rad2deg(est.pitch), -3.0, 0.02);
+    EXPECT_NEAR(rad2deg(est.yaw), 4.0, 0.02);
+}
+
+TEST(BoresightEkf, LevelStaticLeavesYawUnobserved) {
+    // Only gravity along -z: yaw must stay at the prior with its 3-sigma
+    // essentially unshrunk — the paper's §11.1 observation.
+    const EulerAngles truth = EulerAngles::from_deg(1.0, -2.0, 5.0);
+    BoresightConfig cfg;
+    BoresightEkf ekf(cfg);
+    const Vec3 f{0.0, 0.0, -kG};
+    for (int k = 0; k < 3000; ++k) (void)ekf.step(f, ideal_acc(truth, f));
+
+    const EulerAngles est = ekf.misalignment();
+    const Vec3 s3 = ekf.misalignment_sigma3();
+    EXPECT_NEAR(rad2deg(est.roll), 1.0, 0.05);
+    EXPECT_NEAR(rad2deg(est.pitch), -2.0, 0.05);
+    // Yaw: essentially no information — the estimate stays near the prior
+    // (truth is 5 degrees away) and its 3-sigma stays more than an order
+    // of magnitude wider than the observable axes. (The EKF linearization
+    // lets a little phantom yaw information leak once roll/pitch are
+    // nonzero, so the bound is relative, not the untouched prior.)
+    EXPECT_LT(rad2deg(std::abs(est.yaw)), 0.5);
+    EXPECT_GT(s3[2], deg2rad(1.0));
+    EXPECT_GT(s3[2], 20.0 * s3[0]);
+    EXPECT_GT(s3[2], 20.0 * s3[1]);
+    // Roll/pitch 3-sigma must have collapsed by orders of magnitude.
+    EXPECT_LT(s3[0], 0.015 * 3.0 * cfg.init_angle_sigma);
+    EXPECT_LT(s3[1], 0.015 * 3.0 * cfg.init_angle_sigma);
+}
+
+TEST(BoresightEkf, TiltedPlatformMakesYawObservable) {
+    // Tilt the platform (paper: "the platform must be oriented... to
+    // generate components of acceleration"): gravity acquires x/y body
+    // components and yaw becomes observable.
+    const EulerAngles truth = EulerAngles::from_deg(1.0, -2.0, 3.0);
+    const EulerAngles tilt = EulerAngles::from_deg(0.0, 15.0, 0.0);
+    BoresightEkf ekf{BoresightConfig{}};
+    const Vec3 f = dcm_from_euler(tilt) * Vec3{0.0, 0.0, -kG};
+    // Two platform orientations are needed for full 3-axis observability;
+    // alternate tilt directions as the static procedure would.
+    const EulerAngles tilt2 = EulerAngles::from_deg(15.0, 0.0, 0.0);
+    const Vec3 f2 = dcm_from_euler(tilt2) * Vec3{0.0, 0.0, -kG};
+    for (int k = 0; k < 4000; ++k) {
+        const Vec3 fb = (k % 2 == 0) ? f : f2;
+        (void)ekf.step(fb, ideal_acc(truth, fb));
+    }
+    EXPECT_NEAR(rad2deg(ekf.misalignment().yaw), 3.0, 0.1);
+    EXPECT_LT(ekf.misalignment_sigma3()[2], deg2rad(1.0));
+}
+
+TEST(BoresightEkf, JacobianModesAgree) {
+    BoresightConfig analytic;
+    analytic.jacobian = JacobianMode::kAnalyticSmallAngle;
+    BoresightConfig numeric;
+    numeric.jacobian = JacobianMode::kNumeric;
+    const EulerAngles truth = EulerAngles::from_deg(1.5, -1.0, 2.0);
+
+    BoresightEkf a(analytic), n(numeric);
+    for (int k = 0; k < 3000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f);
+        (void)a.step(f, z);
+        (void)n.step(f, z);
+    }
+    EXPECT_NEAR(a.misalignment().roll, n.misalignment().roll, deg2rad(0.02));
+    EXPECT_NEAR(a.misalignment().pitch, n.misalignment().pitch, deg2rad(0.02));
+    EXPECT_NEAR(a.misalignment().yaw, n.misalignment().yaw, deg2rad(0.02));
+}
+
+TEST(BoresightEkf, BiasEstimationSeparatesBiasFromAngle) {
+    // With varying excitation a constant ACC bias is distinguishable from
+    // misalignment; the 5-state filter must recover both.
+    const EulerAngles truth = EulerAngles::from_deg(1.0, 2.0, -1.5);
+    const Vec2 true_bias{0.05, -0.03};
+    BoresightConfig cfg;
+    cfg.estimate_bias = true;
+    BoresightEkf ekf(cfg);
+    for (int k = 0; k < 30000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) + true_bias;
+        (void)ekf.step(f, z);
+    }
+    EXPECT_NEAR(rad2deg(ekf.misalignment().roll), 1.0, 0.1);
+    EXPECT_NEAR(rad2deg(ekf.misalignment().pitch), 2.0, 0.1);
+    EXPECT_NEAR(rad2deg(ekf.misalignment().yaw), -1.5, 0.1);
+    EXPECT_NEAR(ekf.bias()[0], 0.05, 0.01);
+    EXPECT_NEAR(ekf.bias()[1], -0.03, 0.01);
+}
+
+TEST(BoresightEkf, UncalibratedBiasAliasesIntoAnglesAtLevelStatic) {
+    // Without bias states and with only gravity excitation, a bias b_x is
+    // indistinguishable from pitch of asin(b_x/g) — which is exactly why
+    // the paper calibrates on a level platform first.
+    const Vec2 bias{0.05, 0.0};
+    BoresightEkf ekf{BoresightConfig{}};
+    const Vec3 f{0.0, 0.0, -kG};
+    for (int k = 0; k < 3000; ++k) {
+        (void)ekf.step(f, ideal_acc(EulerAngles{}, f) + bias);
+    }
+    const double aliased_pitch = std::asin(bias[0] / kG);
+    EXPECT_NEAR(ekf.misalignment().pitch, aliased_pitch, deg2rad(0.02));
+}
+
+TEST(BoresightEkf, ResidualEnvelopeMatchesNoise) {
+    // Correctly-tuned filter: ~0.27% of residuals outside 3-sigma.
+    const EulerAngles truth = EulerAngles::from_deg(1.0, 1.0, 1.0);
+    const double sigma = 0.01;
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = sigma;
+    BoresightEkf ekf(cfg);
+    Rng rng(7);
+    std::size_t over = 0, n = 0;
+    for (int k = 0; k < 20000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(sigma), rng.gaussian(sigma)};
+        const auto up = ekf.step(f, z);
+        if (k > 500) {  // after convergence
+            n += 2;
+            if (std::abs(up.residual[0]) > up.sigma3[0]) ++over;
+            if (std::abs(up.residual[1]) > up.sigma3[1]) ++over;
+        }
+    }
+    const double rate = static_cast<double>(over) / static_cast<double>(n);
+    EXPECT_GT(rate, 0.0005);
+    EXPECT_LT(rate, 0.008);
+}
+
+TEST(BoresightEkf, UnderTunedFilterShowsExcessExceedances) {
+    // R assumed 0.003 while the true noise is 0.02 (the paper's moving
+    // vehicle with static tuning): exceedance rate far above 1%.
+    const EulerAngles truth = EulerAngles::from_deg(1.0, 1.0, 1.0);
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.003;
+    BoresightEkf ekf(cfg);
+    Rng rng(8);
+    std::size_t over = 0, n = 0;
+    for (int k = 0; k < 10000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.02), rng.gaussian(0.02)};
+        const auto up = ekf.step(f, z);
+        if (k > 500) {
+            n += 2;
+            if (std::abs(up.residual[0]) > up.sigma3[0]) ++over;
+            if (std::abs(up.residual[1]) > up.sigma3[1]) ++over;
+        }
+    }
+    EXPECT_GT(static_cast<double>(over) / static_cast<double>(n), 0.05);
+}
+
+TEST(BoresightEkf, RetuningRestoresEnvelopeConsistency) {
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.003;
+    BoresightEkf ekf(cfg);
+    ekf.set_measurement_noise(0.02);
+    EXPECT_DOUBLE_EQ(ekf.measurement_noise(), 0.02);
+    EXPECT_THROW(ekf.set_measurement_noise(0.0), std::invalid_argument);
+    EXPECT_THROW(ekf.set_measurement_noise(-1.0), std::invalid_argument);
+}
+
+TEST(BoresightEkf, TracksStepChangeAfterBump) {
+    // Mount disturbance mid-run: the random-walk process noise lets the
+    // filter re-converge — the dynamic realignment capability the paper
+    // motivates with "car park bumps".
+    EulerAngles truth = EulerAngles::from_deg(1.0, 0.0, 0.0);
+    BoresightConfig cfg;
+    cfg.angle_process_noise = 5e-6;
+    BoresightEkf ekf(cfg);
+    Rng rng(9);
+    for (int k = 0; k < 6000; ++k) {
+        if (k == 3000) truth.pitch += deg2rad(1.5);  // the bump
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+        (void)ekf.step(f, z);
+    }
+    EXPECT_NEAR(ekf.misalignment().pitch, truth.pitch, deg2rad(0.25));
+}
+
+TEST(BoresightEkf, NisGateSurvivesMeasurementSpikes) {
+    const EulerAngles truth = EulerAngles::from_deg(2.0, -1.0, 1.0);
+    BoresightConfig cfg;
+    cfg.nis_gate = 13.8;  // ~0.1% false reject for 2 DOF
+    BoresightEkf gated(cfg);
+    BoresightConfig cfg_open = cfg;
+    cfg_open.nis_gate = 0.0;
+    BoresightEkf open(cfg_open);
+    Rng rng(10);
+    for (int k = 0; k < 8000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        Vec2 z = ideal_acc(truth, f) +
+                 Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+        if (k > 1000 && k % 100 == 0) z[0] += 5.0;  // gross spike
+        (void)gated.step(f, z);
+        (void)open.step(f, z);
+    }
+    const double gated_err =
+        std::abs(gated.misalignment().roll - truth.roll) +
+        std::abs(gated.misalignment().pitch - truth.pitch);
+    const double open_err = std::abs(open.misalignment().roll - truth.roll) +
+                            std::abs(open.misalignment().pitch - truth.pitch);
+    EXPECT_LT(gated_err, open_err)
+        << "gated filter must reject spikes the open filter absorbs";
+    EXPECT_NEAR(rad2deg(gated.misalignment().roll), 2.0, 0.1);
+}
+
+TEST(BoresightEkf, ResetRestoresPriors) {
+    BoresightEkf ekf{BoresightConfig{}};
+    const Vec3 f{1.0, 1.0, -kG};
+    for (int k = 0; k < 100; ++k)
+        (void)ekf.step(f, ideal_acc(EulerAngles::from_deg(2, 2, 2), f));
+    EXPECT_GT(std::abs(ekf.misalignment().pitch), 0.0);
+    ekf.reset();
+    EXPECT_DOUBLE_EQ(ekf.misalignment().roll, 0.0);
+    EXPECT_EQ(ekf.updates(), 0u);
+}
+
+// Statistical property: across random truths and noise seeds, the final
+// error must lie within the reported 3-sigma for (at least) ~99% of runs.
+class BoresightConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoresightConsistencyTest, ErrorWithinReportedConfidence) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+    const EulerAngles truth{rng.uniform(-0.08, 0.08), rng.uniform(-0.08, 0.08),
+                            rng.uniform(-0.08, 0.08)};
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.01;
+    // The numeric Jacobian is exact for the Euler parameterization; the
+    // analytic small-angle mode carries a ~1e-4 rad systematic bias at
+    // 4-degree misalignments, which a 5000-update covariance (sigma ~2e-5)
+    // would flag as inconsistent.
+    cfg.jacobian = JacobianMode::kNumeric;
+    BoresightEkf ekf(cfg);
+    for (int k = 0; k < 5000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+        (void)ekf.step(f, z);
+    }
+    const Vec3 s3 = ekf.misalignment_sigma3();
+    const EulerAngles est = ekf.misalignment();
+    // 4-sigma tolerance to keep the suite deterministic-stable across all
+    // seeds while still verifying covariance honesty.
+    EXPECT_LT(std::abs(est.roll - truth.roll), s3[0] * 4.0 / 3.0);
+    EXPECT_LT(std::abs(est.pitch - truth.pitch), s3[1] * 4.0 / 3.0);
+    EXPECT_LT(std::abs(est.yaw - truth.yaw), s3[2] * 4.0 / 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoresightConsistencyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace

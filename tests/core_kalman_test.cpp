@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive_tuner.hpp"
+#include "core/kalman.hpp"
+#include "core/residual_monitor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::core;
+using ob::math::Mat;
+using ob::math::Vec;
+using ob::math::Vec2;
+using ob::util::Rng;
+
+TEST(Ekf, ScalarConstantConvergesAtTheoreticalRate) {
+    // Estimating a constant from noisy measurements: after N updates the
+    // variance must be approximately sigma^2/N (with a loose prior).
+    Ekf<1, 1> kf(Vec<1>{0.0}, Mat<1, 1>{100.0});
+    const double truth = 3.7;
+    const double sigma = 0.5;
+    Rng rng(1);
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+        const Vec<1> z{truth + rng.gaussian(sigma)};
+        const Mat<1, 1> h{1.0};
+        (void)kf.update(z, Vec<1>{kf.state()[0]}, h, Mat<1, 1>{sigma * sigma});
+    }
+    EXPECT_NEAR(kf.state()[0], truth, 5.0 * sigma / std::sqrt(n));
+    EXPECT_NEAR(kf.covariance()(0, 0), sigma * sigma / n,
+                0.05 * sigma * sigma / n);
+}
+
+TEST(Ekf, PredictWithTransitionTracksRamp) {
+    // Constant-velocity model tracking position measurements of a ramp.
+    Ekf<2, 1> kf(Vec2{0.0, 0.0}, Mat<2, 2>{10.0, 0.0, 0.0, 10.0});
+    const Mat<2, 2> f{1.0, 0.1,   // dt = 0.1
+                      0.0, 1.0};
+    Mat<2, 2> q;
+    q(0, 0) = 1e-6;
+    q(1, 1) = 1e-6;
+    const double v_true = 2.0;
+    Rng rng(2);
+    for (int i = 1; i <= 300; ++i) {
+        kf.predict(f, q);
+        const double pos = v_true * 0.1 * i;
+        const Vec<1> z{pos + rng.gaussian(0.05)};
+        const Mat<1, 2> h{1.0, 0.0};
+        (void)kf.update(z, Vec<1>{kf.state()[0]}, h, Mat<1, 1>{0.0025});
+    }
+    EXPECT_NEAR(kf.state()[1], v_true, 0.05);
+}
+
+TEST(Ekf, NisGateRejectsOutliers) {
+    Ekf<1, 1> kf(Vec<1>{0.0}, Mat<1, 1>{1.0});
+    const Mat<1, 1> h{1.0};
+    const Mat<1, 1> r{0.01};
+    // A wild outlier with a 9-sigma innovation must be rejected by a
+    // chi-square gate of 6.6 (1% for 1 DOF).
+    const auto res =
+        kf.update(Vec<1>{50.0}, Vec<1>{kf.state()[0]}, h, r, 6.6);
+    EXPECT_FALSE(res.accepted);
+    EXPECT_DOUBLE_EQ(kf.state()[0], 0.0) << "state untouched on rejection";
+    // A sane measurement passes.
+    const auto ok = kf.update(Vec<1>{0.5}, Vec<1>{kf.state()[0]}, h, r, 6.6);
+    EXPECT_TRUE(ok.accepted);
+    EXPECT_GT(kf.state()[0], 0.0);
+}
+
+TEST(Ekf, InnovationStatisticsAreConsistent) {
+    // With a correctly-specified filter the NIS must average ~Nz.
+    Ekf<2, 2> kf(Vec2{0.0, 0.0}, Mat<2, 2>{1.0, 0.0, 0.0, 1.0});
+    Rng rng(3);
+    const Mat<2, 2> h = Mat<2, 2>::identity();
+    Mat<2, 2> r;
+    r(0, 0) = 0.04;
+    r(1, 1) = 0.04;
+    const Vec2 truth{0.3, -0.7};
+    double nis_sum = 0.0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        const Vec2 z{truth[0] + rng.gaussian(0.2), truth[1] + rng.gaussian(0.2)};
+        const auto res = kf.update(z, kf.state(), h, r);
+        nis_sum += res.nis;
+    }
+    EXPECT_NEAR(nis_sum / n, 2.0, 0.15);
+}
+
+TEST(Ekf, SigmaIndexValidation) {
+    Ekf<2, 1> kf(Vec2{}, Mat<2, 2>{4.0, 0.0, 0.0, 9.0});
+    EXPECT_DOUBLE_EQ(kf.sigma(0), 2.0);
+    EXPECT_DOUBLE_EQ(kf.sigma(1), 3.0);
+    EXPECT_THROW((void)kf.sigma(2), std::out_of_range);
+}
+
+// Joseph-form updates must keep the covariance symmetric positive definite
+// through long random-update sequences.
+class EkfStabilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EkfStabilityTest, CovarianceStaysPositiveDefinite) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Ekf<3, 2> kf(Vec<3>{}, Mat<3, 3>{1.0, 0.0, 0.0,
+                                     0.0, 1.0, 0.0,
+                                     0.0, 0.0, 1.0});
+    Mat<3, 3> q;
+    for (std::size_t i = 0; i < 3; ++i) q(i, i) = 1e-8;
+    for (int i = 0; i < 2000; ++i) {
+        kf.predict_static(q);
+        Mat<2, 3> h;
+        for (std::size_t r = 0; r < 2; ++r)
+            for (std::size_t c = 0; c < 3; ++c) h(r, c) = rng.gaussian();
+        Mat<2, 2> rr;
+        rr(0, 0) = 0.01;
+        rr(1, 1) = 0.01;
+        const Vec2 z{rng.gaussian(), rng.gaussian()};
+        (void)kf.update(z, h * kf.state(), h, rr);
+
+        const auto& p = kf.covariance();
+        EXPECT_LT((p - p.transposed()).max_abs(), 1e-12);
+        EXPECT_NO_THROW((void)ob::math::cholesky(
+            p + Mat<3, 3>::identity() * 1e-15));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EkfStabilityTest, ::testing::Range(0, 10));
+
+// --- ResidualMonitor ---------------------------------------------------------
+
+TEST(ResidualMonitor, CountsExceedancesPerAxis) {
+    ResidualMonitor m;
+    const Vec2 s3{3.0, 3.0};
+    m.add(Vec2{1.0, -1.0}, s3);   // neither exceeds
+    m.add(Vec2{4.0, 0.0}, s3);    // x exceeds
+    m.add(Vec2{-5.0, 5.0}, s3);   // both exceed
+    EXPECT_EQ(m.samples(), 6u);
+    EXPECT_EQ(m.exceedances(), 3u);
+    EXPECT_DOUBLE_EQ(m.exceedance_rate(), 0.5);
+}
+
+TEST(ResidualMonitor, WindowedRateForgetsOldHistory) {
+    ResidualMonitor m(10);
+    const Vec2 s3{1.0, 1.0};
+    for (int i = 0; i < 10; ++i) m.add(Vec2{5.0, 5.0}, s3);  // all exceed
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 1.0);
+    for (int i = 0; i < 10; ++i) m.add(Vec2{0.0, 0.0}, s3);  // none exceed
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);
+    EXPECT_NEAR(m.exceedance_rate(), 0.5, 1e-12);  // lifetime remembers
+}
+
+TEST(ResidualMonitor, GaussianInputsMatchTheoreticalRate) {
+    ResidualMonitor m;
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i) {
+        m.add(Vec2{rng.gaussian(), rng.gaussian()}, Vec2{3.0, 3.0});
+    }
+    EXPECT_NEAR(m.exceedance_rate(), ResidualMonitor::expected_rate(), 8e-4);
+}
+
+TEST(ResidualMonitor, ResetClearsEverything) {
+    ResidualMonitor m;
+    m.add(Vec2{9.0, 9.0}, Vec2{1.0, 1.0});
+    m.reset();
+    EXPECT_EQ(m.samples(), 0u);
+    EXPECT_EQ(m.exceedances(), 0u);
+}
+
+// --- AdaptiveNoiseTuner --------------------------------------------------------
+
+TEST(AdaptiveTuner, RaisesNoiseUnderExcessResiduals) {
+    AdaptiveTunerConfig cfg;
+    cfg.min_samples = 100;
+    cfg.window = 100;
+    AdaptiveNoiseTuner tuner(cfg);
+    double sigma = 0.003;
+    bool raised = false;
+    Rng rng(6);
+    for (int i = 0; i < 2000; ++i) {
+        // Residuals drawn with 5x the assumed sigma: heavy exceedance.
+        const Vec2 r{rng.gaussian(5.0 * sigma), rng.gaussian(5.0 * sigma)};
+        const Vec2 s3{3.0 * sigma, 3.0 * sigma};
+        const double rec = tuner.observe(r, s3, sigma);
+        if (rec > 0.0) {
+            EXPECT_GT(rec, sigma);
+            sigma = rec;
+            raised = true;
+        }
+    }
+    EXPECT_TRUE(raised);
+    EXPECT_GE(sigma, 0.01);
+    EXPECT_LE(sigma, cfg.ceiling_mps2);
+}
+
+TEST(AdaptiveTuner, LowersNoiseWhenResidualsAreQuiet) {
+    AdaptiveTunerConfig cfg;
+    cfg.min_samples = 100;
+    cfg.window = 100;
+    AdaptiveNoiseTuner tuner(cfg);
+    double sigma = 0.05;
+    bool lowered = false;
+    for (int i = 0; i < 3000; ++i) {
+        // Zero residuals: far quieter than assumed.
+        const double rec =
+            tuner.observe(Vec2{0.0, 0.0}, Vec2{3.0 * sigma, 3.0 * sigma}, sigma);
+        if (rec > 0.0) {
+            EXPECT_LT(rec, sigma);
+            sigma = rec;
+            lowered = true;
+        }
+    }
+    EXPECT_TRUE(lowered);
+    EXPECT_GE(sigma, cfg.floor_mps2);
+}
+
+TEST(AdaptiveTuner, RespectsFloorAndCeiling) {
+    AdaptiveTunerConfig cfg;
+    cfg.min_samples = 10;
+    cfg.window = 10;
+    AdaptiveNoiseTuner tuner(cfg);
+    // Hammer with exceedances: must never exceed ceiling.
+    double sigma = cfg.ceiling_mps2;
+    for (int i = 0; i < 500; ++i) {
+        const double rec =
+            tuner.observe(Vec2{1.0, 1.0}, Vec2{0.001, 0.001}, sigma);
+        if (rec > 0.0) sigma = rec;
+    }
+    EXPECT_LE(sigma, cfg.ceiling_mps2);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/multi_aligner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::core;
+using ob::math::dcm_from_euler;
+using ob::math::deg2rad;
+using ob::math::EulerAngles;
+using ob::math::rad2deg;
+using ob::math::Vec2;
+using ob::math::Vec3;
+using ob::util::Rng;
+
+constexpr double kG = 9.80665;
+
+Vec2 ideal_acc(const EulerAngles& mis, const Vec3& f_body) {
+    const Vec3 f_s = dcm_from_euler(mis) * f_body;
+    return Vec2{f_s[0], f_s[1]};
+}
+
+Vec3 rich_excitation(int k) {
+    const double phase = 0.013 * k;
+    return Vec3{2.0 * std::sin(phase), 1.5 * std::cos(1.7 * phase), -kG};
+}
+
+TEST(MultiAligner, AlignsSeveralSensorsSimultaneously) {
+    MultiSensorAligner aligner;
+    const auto cam = aligner.add_sensor("camera");
+    const auto lidar = aligner.add_sensor("lidar");
+    const auto radar = aligner.add_sensor("radar");
+    EXPECT_EQ(aligner.sensor_count(), 3u);
+
+    const EulerAngles cam_truth = EulerAngles::from_deg(1.0, -2.0, 1.5);
+    const EulerAngles lidar_truth = EulerAngles::from_deg(-0.5, 0.8, -1.0);
+    const EulerAngles radar_truth = EulerAngles::from_deg(2.0, 0.0, 0.5);
+
+    Rng rng(5);
+    for (int k = 0; k < 6000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const auto noisy = [&](const EulerAngles& t) {
+            return ideal_acc(t, f) +
+                   Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+        };
+        aligner.step(f, {noisy(cam_truth), noisy(lidar_truth),
+                         noisy(radar_truth)});
+    }
+
+    EXPECT_NEAR(rad2deg(aligner.misalignment(cam).pitch), -2.0, 0.1);
+    EXPECT_NEAR(rad2deg(aligner.misalignment(lidar).roll), -0.5, 0.1);
+    EXPECT_NEAR(rad2deg(aligner.misalignment(radar).roll), 2.0, 0.1);
+}
+
+TEST(MultiAligner, RelativeAlignmentMatchesTruth) {
+    MultiSensorAligner aligner;
+    const auto a = aligner.add_sensor("video");
+    const auto b = aligner.add_sensor("lidar");
+    const EulerAngles ta = EulerAngles::from_deg(1.0, -1.0, 2.0);
+    const EulerAngles tb = EulerAngles::from_deg(-1.5, 0.5, -0.5);
+
+    for (int k = 0; k < 5000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        aligner.step(f, {ideal_acc(ta, f), ideal_acc(tb, f)});
+    }
+
+    // Ground-truth relative DCM through the body frame.
+    const auto rel_truth = ob::math::euler_from_dcm(
+        dcm_from_euler(tb) * dcm_from_euler(ta).transposed());
+    const EulerAngles rel = aligner.relative_alignment(a, b);
+    EXPECT_NEAR(rel.roll, rel_truth.roll, deg2rad(0.05));
+    EXPECT_NEAR(rel.pitch, rel_truth.pitch, deg2rad(0.05));
+    EXPECT_NEAR(rel.yaw, rel_truth.yaw, deg2rad(0.05));
+    // Relative confidence is the RSS of the two sensors'.
+    const auto rs3 = aligner.relative_sigma3(a, b);
+    EXPECT_GE(rs3[0], aligner.sigma3(a)[0]);
+    EXPECT_GE(rs3[0], aligner.sigma3(b)[0]);
+}
+
+TEST(MultiAligner, ToleratesMissingReadings) {
+    MultiSensorAligner aligner;
+    (void)aligner.add_sensor("camera");
+    (void)aligner.add_sensor("lidar");
+    const EulerAngles truth = EulerAngles::from_deg(1.0, 1.0, 0.5);
+
+    for (int k = 0; k < 6000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        // The lidar reports at a third of the camera rate.
+        std::vector<std::optional<Vec2>> readings(2);
+        readings[0] = ideal_acc(truth, f);
+        if (k % 3 == 0) readings[1] = ideal_acc(truth, f);
+        aligner.step(f, readings);
+    }
+    EXPECT_NEAR(rad2deg(aligner.misalignment(0).roll), 1.0, 0.05);
+    EXPECT_NEAR(rad2deg(aligner.misalignment(1).roll), 1.0, 0.05);
+    // Fewer updates -> wider (or equal) confidence for the slower sensor.
+    EXPECT_GE(aligner.sigma3(1)[0], aligner.sigma3(0)[0] * 0.99);
+}
+
+TEST(MultiAligner, ValidatesInputs) {
+    MultiSensorAligner aligner;
+    (void)aligner.add_sensor("only");
+    EXPECT_THROW(aligner.step(Vec3{}, {}), std::invalid_argument);
+    EXPECT_THROW((void)aligner.misalignment(5), std::out_of_range);
+    EXPECT_THROW((void)aligner.relative_alignment(0, 3), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/boresight_ekf.hpp"
+#include "core/kalman.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+// Statistical-consistency properties of the filter: the quantities the
+// paper's §11 procedure relies on (residual envelopes, confidence levels)
+// must have the distributions the theory promises.
+
+namespace {
+
+using namespace ob::core;
+using ob::math::dcm_from_euler;
+using ob::math::EulerAngles;
+using ob::math::Mat;
+using ob::math::Vec;
+using ob::math::Vec2;
+using ob::math::Vec3;
+using ob::util::Rng;
+using ob::util::RunningStats;
+
+constexpr double kG = 9.80665;
+
+Vec2 ideal_acc(const EulerAngles& mis, const Vec3& f_body) {
+    const Vec3 f_s = dcm_from_euler(mis) * f_body;
+    return Vec2{f_s[0], f_s[1]};
+}
+
+Vec3 rich_excitation(int k) {
+    const double phase = 0.013 * k;
+    return Vec3{2.0 * std::sin(phase), 1.5 * std::cos(1.7 * phase), -kG};
+}
+
+TEST(FilterStatistics, NisFollowsChiSquare2) {
+    // After convergence the NIS of a consistent filter is chi-square with
+    // 2 DOF: mean 2, variance 4, P(NIS > 5.99) = 5%.
+    const EulerAngles truth = EulerAngles::from_deg(1.0, -1.0, 0.5);
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.01;
+    cfg.jacobian = JacobianMode::kNumeric;
+    BoresightEkf ekf(cfg);
+    Rng rng(11);
+    RunningStats nis;
+    int over_95 = 0;
+    int n = 0;
+    for (int k = 0; k < 30000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+        const auto up = ekf.step(f, z);
+        if (k > 2000) {
+            nis.add(up.nis);
+            ++n;
+            if (up.nis > 5.991) ++over_95;
+        }
+    }
+    EXPECT_NEAR(nis.mean(), 2.0, 0.1);
+    EXPECT_NEAR(nis.variance(), 4.0, 0.6);
+    EXPECT_NEAR(static_cast<double>(over_95) / n, 0.05, 0.012);
+}
+
+TEST(FilterStatistics, NormalizedResidualsAreStandardGaussian) {
+    // residual / (sigma3/3) must be ~N(0,1) for a consistent filter.
+    const EulerAngles truth = EulerAngles::from_deg(0.5, 0.5, 0.5);
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.0075;
+    BoresightEkf ekf(cfg);
+    Rng rng(13);
+    RunningStats norm_res;
+    for (int k = 0; k < 30000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(truth, f) +
+                       Vec2{rng.gaussian(0.0075), rng.gaussian(0.0075)};
+        const auto up = ekf.step(f, z);
+        if (k > 2000) {
+            norm_res.add(up.residual[0] / (up.sigma3[0] / 3.0));
+            norm_res.add(up.residual[1] / (up.sigma3[1] / 3.0));
+        }
+    }
+    EXPECT_NEAR(norm_res.mean(), 0.0, 0.02);
+    EXPECT_NEAR(norm_res.stddev(), 1.0, 0.03);
+}
+
+TEST(FilterStatistics, MonteCarloErrorMatchesReportedCovariance) {
+    // Over many independent runs, the empirical spread of the final
+    // estimate must match the filter's own reported sigma (the "filter
+    // consistency" property behind the paper's 99%-confidence claim).
+    const EulerAngles truth = EulerAngles::from_deg(1.0, -0.5, 0.8);
+    RunningStats roll_err_over_sigma;
+    for (std::uint64_t trial = 0; trial < 60; ++trial) {
+        BoresightConfig cfg;
+        cfg.meas_noise_mps2 = 0.01;
+        cfg.jacobian = JacobianMode::kNumeric;
+        BoresightEkf ekf(cfg);
+        Rng rng(trial * 31 + 7);
+        for (int k = 0; k < 2000; ++k) {
+            const Vec3 f = rich_excitation(k);
+            const Vec2 z = ideal_acc(truth, f) +
+                           Vec2{rng.gaussian(0.01), rng.gaussian(0.01)};
+            (void)ekf.step(f, z);
+        }
+        const double sigma_roll = ekf.misalignment_sigma3()[0] / 3.0;
+        roll_err_over_sigma.add(
+            (ekf.misalignment().roll - truth.roll) / sigma_roll);
+    }
+    // Normalized errors ~ N(0,1): mean near 0, stddev near 1 (loose
+    // bounds for 60 trials).
+    EXPECT_NEAR(roll_err_over_sigma.mean(), 0.0, 0.45);
+    EXPECT_GT(roll_err_over_sigma.stddev(), 0.6);
+    EXPECT_LT(roll_err_over_sigma.stddev(), 1.6);
+}
+
+TEST(FilterStatistics, CovarianceIsMonotoneInMeasurementNoise) {
+    // More assumed measurement noise -> slower covariance collapse. The
+    // ordering must hold at every step (same data, two filters).
+    BoresightConfig quiet;
+    quiet.meas_noise_mps2 = 0.005;
+    BoresightConfig loud;
+    loud.meas_noise_mps2 = 0.05;
+    BoresightEkf a(quiet), b(loud);
+    for (int k = 0; k < 2000; ++k) {
+        const Vec3 f = rich_excitation(k);
+        const Vec2 z = ideal_acc(EulerAngles{}, f);
+        (void)a.step(f, z);
+        (void)b.step(f, z);
+        EXPECT_LE(a.misalignment_sigma3()[0], b.misalignment_sigma3()[0]);
+        EXPECT_LE(a.misalignment_sigma3()[1], b.misalignment_sigma3()[1]);
+    }
+}
+
+TEST(FilterStatistics, ProcessNoiseSetsSteadyStateFloor) {
+    // With nonzero process noise the covariance cannot collapse to zero:
+    // it reaches a steady state balancing information gain and injection.
+    BoresightConfig cfg;
+    cfg.meas_noise_mps2 = 0.01;
+    cfg.angle_process_noise = 1e-5;
+    BoresightEkf ekf(cfg);
+    const Vec3 f{0.0, 0.0, -kG};
+    for (int k = 0; k < 20000; ++k) (void)ekf.step(f, Vec2{0.0, 0.0});
+    const double s3_20k = ekf.misalignment_sigma3()[0];
+    for (int k = 0; k < 10000; ++k) (void)ekf.step(f, Vec2{0.0, 0.0});
+    const double s3_30k = ekf.misalignment_sigma3()[0];
+    EXPECT_NEAR(s3_30k, s3_20k, 0.02 * s3_20k) << "steady state reached";
+    EXPECT_GT(s3_30k, 1e-5) << "process noise must floor the covariance";
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "hcl/hcl.hpp"
+
+namespace {
+
+using namespace ob::hcl;
+
+TEST(Signal, TwoPhaseUpdate) {
+    Simulation sim;
+    auto& s = sim.signal<int>(7);
+    LambdaProcess writer("w", [&](std::uint64_t) { s.write(42); });
+    sim.add(writer);
+    EXPECT_EQ(s.read(), 7);
+    sim.step();
+    EXPECT_EQ(s.read(), 42);
+}
+
+TEST(Signal, NoRaceBetweenProcesses) {
+    // A reader that samples a signal the writer updates in the same cycle
+    // must observe the OLD value regardless of registration order.
+    Simulation sim;
+    auto& s = sim.signal<int>(1);
+    int observed = -1;
+    LambdaProcess writer("w", [&](std::uint64_t) { s.write(2); });
+    LambdaProcess reader("r", [&](std::uint64_t) { observed = s.read(); });
+    sim.add(writer);
+    sim.add(reader);
+    sim.step();
+    EXPECT_EQ(observed, 1) << "reader must see pre-edge value";
+    sim.step();
+    EXPECT_EQ(observed, 2);
+}
+
+TEST(Simulation, CycleCounting) {
+    Simulation sim;
+    sim.run(10);
+    EXPECT_EQ(sim.cycles(), 10u);
+    sim.step();
+    EXPECT_EQ(sim.cycles(), 11u);
+}
+
+TEST(Simulation, RunUntilStopsOnPredicate) {
+    Simulation sim;
+    auto& counter = sim.signal<int>(0);
+    LambdaProcess inc("inc",
+                      [&](std::uint64_t) { counter.write(counter.read() + 1); });
+    sim.add(inc);
+    const std::size_t n =
+        sim.run_until([&] { return counter.read() >= 5; }, 1000);
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(counter.read(), 5);
+}
+
+TEST(Simulation, RunUntilHonorsMaxCycles) {
+    Simulation sim;
+    const std::size_t n = sim.run_until([] { return false; }, 37);
+    EXPECT_EQ(n, 37u);
+}
+
+TEST(Sequencer, StepsRunOnePerCycle) {
+    Simulation sim;
+    std::vector<int> order;
+    Sequencer seq("test");
+    seq.then([&](std::uint64_t) {
+           order.push_back(1);
+           return true;
+       })
+        .then([&](std::uint64_t) {
+            order.push_back(2);
+            return true;
+        })
+        .then([&](std::uint64_t) {
+            order.push_back(3);
+            return true;
+        });
+    sim.add(seq);
+    sim.run(2);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(seq.done());
+    sim.run(1);
+    EXPECT_TRUE(seq.done());
+    sim.run(5);  // no further effect
+    EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Sequencer, MultiCycleStepHoldsUntilFinished) {
+    Simulation sim;
+    int polls = 0;
+    Sequencer seq;
+    seq.then([&](std::uint64_t) { return ++polls == 3; });
+    sim.add(seq);
+    sim.run(2);
+    EXPECT_FALSE(seq.done());
+    sim.run(1);
+    EXPECT_TRUE(seq.done());
+    EXPECT_EQ(polls, 3);
+}
+
+TEST(Sequencer, RestartReplays) {
+    Simulation sim;
+    int runs = 0;
+    Sequencer seq;
+    seq.then([&](std::uint64_t) {
+        ++runs;
+        return true;
+    });
+    sim.add(seq);
+    sim.run(1);
+    seq.restart();
+    sim.run(1);
+    EXPECT_EQ(runs, 2);
+}
+
+}  // namespace

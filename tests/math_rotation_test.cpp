@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::math;
+using ob::util::Rng;
+
+bool is_orthonormal(const Mat3& m, double tol = 1e-12) {
+    return ((m * m.transposed()) - Mat3::identity()).max_abs() < tol;
+}
+
+TEST(Rotation, WrapAngle) {
+    EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(wrap_angle(kPi), kPi, 1e-15);          // pi maps to itself
+    EXPECT_NEAR(wrap_angle(-kPi), kPi, 1e-15);         // -pi maps to +pi
+    EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);
+    EXPECT_NEAR(wrap_angle(2.0 * kPi + 0.25), 0.25, 1e-12);
+    EXPECT_NEAR(wrap_angle(-2.0 * kPi - 0.25), -0.25, 1e-12);
+}
+
+TEST(Rotation, ElementaryRotationsAreOrthonormal) {
+    for (const double a : {-2.0, -0.5, 0.0, 0.7, 3.0}) {
+        EXPECT_TRUE(is_orthonormal(rot_x(a)));
+        EXPECT_TRUE(is_orthonormal(rot_y(a)));
+        EXPECT_TRUE(is_orthonormal(rot_z(a)));
+    }
+}
+
+TEST(Rotation, PassiveConvention) {
+    // Frame B is frame A rotated +90 deg about z. The A-frame vector
+    // (1,0,0) has B-frame coordinates (0,-1,0): B's x axis points along
+    // A's y, so A's x axis is along B's -y.
+    const Mat3 c = rot_z(deg2rad(90.0));
+    const Vec3 v = c * Vec3{1, 0, 0};
+    EXPECT_NEAR(v[0], 0.0, 1e-15);
+    EXPECT_NEAR(v[1], -1.0, 1e-15);
+    EXPECT_NEAR(v[2], 0.0, 1e-15);
+}
+
+TEST(Rotation, DcmGravityExample) {
+    // A sensor pitched up by +theta sees gravity (0,0,-g) acquire a
+    // positive x' component... verify against first principles:
+    // C = Ry(theta) passive; (C*g)_x = -sin(theta)*(-g)*... compute directly.
+    const double theta = deg2rad(5.0);
+    const Vec3 g_body{0, 0, -9.81};
+    const Vec3 g_sensor = rot_y(theta) * g_body;
+    EXPECT_NEAR(g_sensor[0], 9.81 * std::sin(theta), 1e-12);
+    EXPECT_NEAR(g_sensor[2], -9.81 * std::cos(theta), 1e-12);
+}
+
+TEST(Rotation, EulerDcmRoundTripKnown) {
+    const EulerAngles e = EulerAngles::from_deg(3.0, -2.0, 5.0);
+    const EulerAngles back = euler_from_dcm(dcm_from_euler(e));
+    EXPECT_NEAR(back.roll, e.roll, 1e-12);
+    EXPECT_NEAR(back.pitch, e.pitch, 1e-12);
+    EXPECT_NEAR(back.yaw, e.yaw, 1e-12);
+}
+
+TEST(Rotation, GimbalLockDoesNotBlowUp) {
+    const EulerAngles e{0.3, kPi / 2.0, -0.2};
+    const Mat3 c = dcm_from_euler(e);
+    const EulerAngles back = euler_from_dcm(c);
+    // Representation is degenerate; the recovered DCM must still match.
+    EXPECT_LT((dcm_from_euler(back) - c).max_abs(), 1e-9);
+}
+
+TEST(Rotation, SmallAngleDcmFirstOrderAccuracy) {
+    const Vec3 rho{0.01, -0.02, 0.015};
+    const Mat3 exact = dcm_from_euler(EulerAngles::from_vec(rho));
+    const Mat3 approx = small_angle_dcm(rho);
+    // Error should be second order: ~|rho|^2.
+    EXPECT_LT((exact - approx).max_abs(), 2.0 * 0.02 * 0.02);
+}
+
+TEST(Quaternion, IdentityAndNormalization) {
+    const auto q = Quaternion::identity();
+    EXPECT_LT((q.to_dcm() - Mat3::identity()).max_abs(), 1e-15);
+    EXPECT_THROW((void)Quaternion(0, 0, 0, 0).normalized(), std::domain_error);
+}
+
+TEST(Quaternion, AxisAngleMatchesElementary) {
+    const double a = 0.7;
+    const auto q = Quaternion::from_axis_angle(Vec3{0, 0, 1}, a);
+    EXPECT_LT((q.to_dcm() - rot_z(a)).max_abs(), 1e-12);
+}
+
+TEST(Quaternion, CompositionConvention) {
+    // Documented: to_dcm(a*b) == to_dcm(b) * to_dcm(a).
+    const auto qa = Quaternion::from_euler(EulerAngles::from_deg(10, 0, 0));
+    const auto qb = Quaternion::from_euler(EulerAngles::from_deg(0, 20, 5));
+    const Mat3 lhs = (qa * qb).to_dcm();
+    const Mat3 rhs = qb.to_dcm() * qa.to_dcm();
+    EXPECT_LT((lhs - rhs).max_abs(), 1e-12);
+}
+
+TEST(Quaternion, AngleToSelfIsZero) {
+    const auto q = Quaternion::from_euler(EulerAngles::from_deg(1, 2, 3));
+    EXPECT_NEAR(q.angle_to(q), 0.0, 1e-7);
+}
+
+TEST(Quaternion, AngleToKnownRotation) {
+    const auto qa = Quaternion::identity();
+    const auto qb = Quaternion::from_axis_angle(Vec3{1, 0, 0}, 0.5);
+    EXPECT_NEAR(qa.angle_to(qb), 0.5, 1e-12);
+}
+
+// Property sweeps over random orientations.
+class RotationPropertyTest : public ::testing::TestWithParam<int> {};
+
+EulerAngles random_euler(Rng& rng) {
+    return {rng.uniform(-kPi, kPi), rng.uniform(-kPi / 2 + 0.05, kPi / 2 - 0.05),
+            rng.uniform(-kPi, kPi)};
+}
+
+TEST_P(RotationPropertyTest, DcmIsOrthonormalWithUnitDeterminant) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Mat3 c = dcm_from_euler(random_euler(rng));
+    EXPECT_TRUE(is_orthonormal(c));
+    EXPECT_NEAR(determinant(c), 1.0, 1e-12);
+}
+
+TEST_P(RotationPropertyTest, EulerRoundTrip) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+    const EulerAngles e = random_euler(rng);
+    const EulerAngles back = euler_from_dcm(dcm_from_euler(e));
+    EXPECT_NEAR(back.roll, e.roll, 1e-10);
+    EXPECT_NEAR(back.pitch, e.pitch, 1e-10);
+    EXPECT_NEAR(back.yaw, e.yaw, 1e-10);
+}
+
+TEST_P(RotationPropertyTest, QuaternionDcmRoundTrip) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+    const Mat3 c = dcm_from_euler(random_euler(rng));
+    const Mat3 back = Quaternion::from_dcm(c).to_dcm();
+    EXPECT_LT((back - c).max_abs(), 1e-12);
+}
+
+TEST_P(RotationPropertyTest, QuaternionEulerRoundTrip) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+    const EulerAngles e = random_euler(rng);
+    const EulerAngles back = Quaternion::from_euler(e).to_euler();
+    EXPECT_NEAR(back.roll, e.roll, 1e-10);
+    EXPECT_NEAR(back.pitch, e.pitch, 1e-10);
+    EXPECT_NEAR(back.yaw, e.yaw, 1e-10);
+}
+
+TEST_P(RotationPropertyTest, TransformPreservesNorm) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+    const auto q = Quaternion::from_euler(random_euler(rng));
+    const Vec3 v{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    EXPECT_NEAR(norm(q.transform(v)), norm(v), 1e-12);
+}
+
+TEST_P(RotationPropertyTest, ConjugateInvertsTransform) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+    const auto q = Quaternion::from_euler(random_euler(rng));
+    const Vec3 v{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const Vec3 back = q.conjugate().transform(q.transform(v));
+    EXPECT_LT((back - v).max_abs(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RotationPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "sabre/assembler.hpp"
+#include "sabre/cpu.hpp"
+#include "sabre/peripherals.hpp"
+
+namespace {
+
+using namespace ob::sabre;
+
+SabreCpu make_cpu(const char* src) { return SabreCpu(assemble(src)); }
+
+TEST(SabreCpu, ArithmeticBasics) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 5
+        addi r2, zero, -3
+        add r3, r1, r2
+        sub r4, r1, r2
+        mul r5, r1, r2
+        and r6, r1, r2
+        or r7, r1, r2
+        xor r8, r1, r2
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(3), 2u);
+    EXPECT_EQ(cpu.reg(4), 8u);
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(5)), -15);
+    EXPECT_EQ(cpu.reg(6), 5u & static_cast<std::uint32_t>(-3));
+    EXPECT_EQ(cpu.reg(7), 5u | static_cast<std::uint32_t>(-3));
+    EXPECT_TRUE(cpu.halted());
+}
+
+TEST(SabreCpu, RegisterZeroIsHardwired) {
+    auto cpu = make_cpu(R"(
+        addi r0, zero, 42
+        add r1, zero, zero
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(1), 0u);
+}
+
+TEST(SabreCpu, ShiftsSignedAndUnsigned) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, -16
+        srai r2, r1, 2
+        srli r3, r1, 2
+        slli r4, r1, 1
+        addi r5, zero, 2
+        sra r6, r1, r5
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(2)), -4);
+    EXPECT_EQ(cpu.reg(3), 0xFFFFFFF0u >> 2);
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(4)), -32);
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(6)), -4);
+}
+
+TEST(SabreCpu, ComparisonsAndSlt) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, -1
+        addi r2, zero, 1
+        slt r3, r1, r2     ; signed: -1 < 1 -> 1
+        sltu r4, r1, r2    ; unsigned: 0xFFFFFFFF < 1 -> 0
+        slti r5, r2, 100
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(3), 1u);
+    EXPECT_EQ(cpu.reg(4), 0u);
+    EXPECT_EQ(cpu.reg(5), 1u);
+}
+
+TEST(SabreCpu, LoadStoreDataMemory) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 0x100
+        addi r2, zero, 1234
+        sw r2, 4(r1)
+        lw r3, 4(r1)
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(3), 1234u);
+    EXPECT_EQ(cpu.load_data(0x104), 1234u);
+}
+
+TEST(SabreCpu, LoopComputesFibonacci) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 0   ; fib(0)
+        addi r2, zero, 1   ; fib(1)
+        addi r3, zero, 10  ; counter
+    loop:
+        add r4, r1, r2
+        mov r1, r2
+        mov r2, r4
+        addi r3, r3, -1
+        bne r3, zero, loop
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(2), 89u);  // fib(11)
+}
+
+TEST(SabreCpu, CallAndReturn) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 20
+        call double_it
+        call double_it
+        halt
+    double_it:
+        add r1, r1, r1
+        ret
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(1), 80u);
+}
+
+TEST(SabreCpu, BranchVariants) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, -5
+        addi r2, zero, 5
+        addi r10, zero, 0
+        bge r1, r2, skip1     ; signed: not taken
+        addi r10, r10, 1
+    skip1:
+        bgeu r1, r2, skip2    ; unsigned: 0xFFFFFFFB >= 5 -> taken
+        addi r10, r10, 100
+    skip2:
+        blt r1, r2, skip3     ; taken
+        addi r10, r10, 100
+    skip3:
+        bltu r1, r2, skip4    ; not taken
+        addi r10, r10, 10
+    skip4:
+        halt
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.reg(10), 11u);
+}
+
+TEST(SabreCpu, CycleAccounting) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 1   ; 1 cycle
+        lw r2, 0(zero)     ; 2 cycles
+        sw r2, 4(zero)     ; 2 cycles
+        mul r3, r1, r1     ; 3 cycles
+        beq r1, r1, next   ; 1 + 1 taken
+    next:
+        halt               ; 1
+    )");
+    cpu.run();
+    EXPECT_EQ(cpu.cycles(), 1u + 2 + 2 + 3 + 2 + 1);
+    EXPECT_EQ(cpu.instructions(), 6u);
+}
+
+TEST(SabreCpu, TrapsOnBadAccess) {
+    auto misaligned = make_cpu(R"(
+        addi r1, zero, 2
+        lw r2, 0(r1)
+        halt
+    )");
+    EXPECT_THROW(misaligned.run(), SabreTrap);
+
+    auto out_of_range = make_cpu(R"(
+        lui r1, 0x1
+        lw r2, 0(r1)   ; address 0x4000 << ... = 16384? within 64KB; use bigger
+        halt
+    )");
+    // 0x1 << 14 = 16384: valid. Build a really bad one:
+    auto really_bad = make_cpu(R"(
+        lui r1, 0x1F
+        lw r2, 0(r1)   ; 0x7C000 = 507904 > 64KB
+        halt
+    )");
+    EXPECT_THROW(really_bad.run(), SabreTrap);
+    out_of_range.run();  // should be fine
+}
+
+TEST(SabreCpu, TrapOnRunawayPc) {
+    // No halt: pc runs off the end of the program.
+    auto cpu = make_cpu("addi r1, zero, 1");
+    EXPECT_THROW(cpu.run(), SabreTrap);
+}
+
+TEST(SabreCpu, TraceHookObservesExecution) {
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 1
+        addi r2, zero, 2
+        halt
+    )");
+    std::vector<std::uint32_t> pcs;
+    cpu.set_trace([&](std::uint32_t pc, const Instruction&) {
+        pcs.push_back(pc);
+    });
+    cpu.run();
+    EXPECT_EQ(pcs, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+// --- Peripherals ---------------------------------------------------------------
+
+TEST(SabrePeripherals, LedsAndSwitches) {
+    auto cpu = make_cpu(R"(
+        lui r1, 0x20000       ; peripheral base
+        lw r2, 0x100(r1)      ; read switches
+        sw r2, 0(r1)          ; echo to LEDs
+        halt
+    )");
+    auto leds = std::make_shared<LedsPeripheral>();
+    auto sw = std::make_shared<SwitchesPeripheral>();
+    cpu.bus().attach(periph::kLeds, leds);
+    cpu.bus().attach(periph::kSwitches, sw);
+    sw->set(0xA5);
+    cpu.run();
+    EXPECT_EQ(leds->state(), 0xA5u);
+}
+
+TEST(SabrePeripherals, UnmappedAddressTraps) {
+    auto cpu = make_cpu(R"(
+        lui r1, 0x20000
+        lw r2, 0x700(r1)
+        halt
+    )");
+    EXPECT_THROW(cpu.run(), std::out_of_range);
+}
+
+TEST(SabrePeripherals, UartLoopback) {
+    auto cpu = make_cpu(R"(
+        lui r1, 0x20000
+    poll:
+        lw r2, 0x400(r1)      ; status
+        andi r2, r2, 1
+        beq r2, zero, poll
+        lw r3, 0x404(r1)      ; rx byte
+        addi r3, r3, 1
+        sw r3, 0x408(r1)      ; tx byte+1
+        halt
+    )");
+    auto uart = std::make_shared<UartPeripheral>();
+    cpu.bus().attach(periph::kUartDmu, uart);
+    uart->host_push(0x41);
+    cpu.run();
+    const auto tx = uart->host_drain();
+    ASSERT_EQ(tx.size(), 1u);
+    EXPECT_EQ(tx[0], 0x42);
+}
+
+TEST(SabrePeripherals, ControlRegistersQ16) {
+    ControlPeripheral ctrl;
+    // 1.5 rad in Q16.16.
+    ctrl.write(4 * ControlPeripheral::kRoll, 98304);
+    EXPECT_DOUBLE_EQ(ctrl.angle(ControlPeripheral::kRoll), 1.5);
+    // Negative angles come back signed.
+    ctrl.write(4 * ControlPeripheral::kPitch,
+               static_cast<std::uint32_t>(-32768));
+    EXPECT_DOUBLE_EQ(ctrl.angle(ControlPeripheral::kPitch), -0.5);
+}
+
+TEST(SabrePeripherals, FpuAddMatchesSoftfloat) {
+    FpuPeripheral fpu;
+    const auto bits = [](float f) { return std::bit_cast<std::uint32_t>(f); };
+    fpu.write(0x0, bits(1.5f));
+    fpu.write(0x4, bits(2.25f));
+    fpu.write(0x8, FpuPeripheral::kAdd);
+    EXPECT_EQ(fpu.read(0xC), bits(3.75f));
+    fpu.write(0x8, FpuPeripheral::kMul);
+    EXPECT_EQ(fpu.read(0xC), bits(1.5f * 2.25f));
+    fpu.write(0x8, FpuPeripheral::kDiv);
+    EXPECT_EQ(fpu.read(0xC), bits(1.5f / 2.25f));
+    EXPECT_EQ(fpu.operations(), 3u);
+}
+
+TEST(SabrePeripherals, FpuConversionAndCompare) {
+    FpuPeripheral fpu;
+    const auto bits = [](float f) { return std::bit_cast<std::uint32_t>(f); };
+    fpu.write(0x0, static_cast<std::uint32_t>(-7));
+    fpu.write(0x8, FpuPeripheral::kI2F);
+    EXPECT_EQ(fpu.read(0xC), bits(-7.0f));
+
+    fpu.write(0x0, bits(2.5f));
+    fpu.write(0x8, FpuPeripheral::kF2I);
+    EXPECT_EQ(static_cast<std::int32_t>(fpu.read(0xC)), 2);  // ties to even
+
+    fpu.write(0x0, bits(1.0f));
+    fpu.write(0x4, bits(2.0f));
+    fpu.write(0x8, FpuPeripheral::kCmpLt);
+    EXPECT_EQ(fpu.read(0xC), 1u);
+}
+
+TEST(SabrePeripherals, FpuSqrtViaProgram) {
+    auto cpu = make_cpu(R"(
+        lui r1, 0x20000
+        li r2, 0x41100000     ; 9.0f
+        sw r2, 0x700(r1)      ; operand A
+        addi r2, zero, 4      ; sqrt
+        sw r2, 0x708(r1)
+        lw r3, 0x70C(r1)
+        halt
+    )");
+    auto fpu = std::make_shared<FpuPeripheral>();
+    cpu.bus().attach(periph::kFpu, fpu);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(3), std::bit_cast<std::uint32_t>(3.0f));
+}
+
+TEST(SabrePeripherals, DmuAndAccPorts) {
+    DmuPortPeripheral dmu;
+    EXPECT_EQ(dmu.read(0), 0u);
+    DmuPortPeripheral::Sample s;
+    s.gyro = {1, -2, 3};
+    s.accel = {-100, 200, -300};
+    s.seq = 9;
+    dmu.host_push(s);
+    EXPECT_EQ(dmu.read(0), 1u);
+    EXPECT_EQ(static_cast<std::int32_t>(dmu.read(8)), -2);
+    EXPECT_EQ(static_cast<std::int32_t>(dmu.read(16)), -100);
+    EXPECT_EQ(dmu.read(28), 9u);
+    dmu.write(0, 0);  // pop
+    EXPECT_EQ(dmu.read(0), 0u);
+
+    AccPortPeripheral acc;
+    AccPortPeripheral::Sample a;
+    a.t1x = 50000;
+    a.t1y = 51000;
+    a.t2 = 100000;
+    acc.host_push(a);
+    EXPECT_EQ(acc.read(0), 1u);
+    EXPECT_EQ(acc.read(4), 50000u);
+    EXPECT_EQ(acc.read(12), 100000u);
+    acc.write(0, 0);
+    EXPECT_EQ(acc.read(0), 0u);
+}
+
+TEST(SabrePeripherals, GuiDisplayList) {
+    GuiPeripheral gui;
+    gui.write(0x0, 10);
+    gui.write(0x4, 20);
+    gui.write(0x8, 110);
+    gui.write(0xC, 120);
+    gui.write(0x10, 0xFFFF);
+    gui.write(0x14, 1);  // strobe
+    ASSERT_EQ(gui.lines().size(), 1u);
+    EXPECT_EQ(gui.lines()[0].x0, 10);
+    EXPECT_EQ(gui.lines()[0].y1, 120);
+}
+
+TEST(SabrePeripherals, BusValidation) {
+    SabreBus bus;
+    EXPECT_THROW(bus.attach(0x42, std::make_shared<LedsPeripheral>()),
+                 std::invalid_argument);
+    bus.attach(0x100, std::make_shared<LedsPeripheral>());
+    EXPECT_THROW(bus.attach(0x100, std::make_shared<LedsPeripheral>()),
+                 std::invalid_argument);
+    EXPECT_THROW((void)bus.read(0x900), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "sabre/assembler.hpp"
+#include "sabre/isa.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ob::sabre;
+using ob::util::Rng;
+
+TEST(Isa, EncodeDecodeKnownValues) {
+    const Instruction add{Op::kAdd, 1, 2, 3, 0};
+    EXPECT_EQ(decode(encode(add)), add);
+
+    const Instruction addi{Op::kAddi, 4, 5, 0, -17};
+    EXPECT_EQ(decode(encode(addi)), addi);
+
+    const Instruction lui{Op::kLui, 7, 0, 0, 0x20000};
+    EXPECT_EQ(decode(encode(lui)), lui);
+
+    const Instruction beq{Op::kBeq, 0, 2, 3, -100};
+    EXPECT_EQ(decode(encode(beq)), beq);
+
+    const Instruction jal{Op::kJal, 14, 0, 0, 12345};
+    EXPECT_EQ(decode(encode(jal)), jal);
+
+    const Instruction halt{Op::kHalt, 0, 0, 0, 0};
+    EXPECT_EQ(decode(encode(halt)), halt);
+}
+
+TEST(Isa, EncodeValidatesFields) {
+    EXPECT_THROW((void)encode({Op::kAdd, 16, 0, 0, 0}), std::invalid_argument);
+    EXPECT_THROW((void)encode({Op::kAddi, 1, 0, 0, 1 << 18}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)encode({Op::kAddi, 1, 0, 0, -(1 << 18)}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)encode({Op::kOri, 1, 0, 0, -1}), std::invalid_argument)
+        << "logical immediates are unsigned";
+    EXPECT_THROW((void)encode({Op::kJal, 1, 0, 0, 1 << 22}),
+                 std::invalid_argument);
+}
+
+TEST(Isa, DecodeRejectsUnknownOpcode) {
+    EXPECT_THROW((void)decode(0x3Eu << 26), std::invalid_argument);
+}
+
+TEST(Isa, CycleModel) {
+    EXPECT_EQ(base_cycles(Op::kAdd), 1u);
+    EXPECT_EQ(base_cycles(Op::kLw), 2u);
+    EXPECT_EQ(base_cycles(Op::kSw), 2u);
+    EXPECT_EQ(base_cycles(Op::kMul), 3u);
+    EXPECT_EQ(base_cycles(Op::kJal), 2u);
+}
+
+class IsaRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsaRoundTripTest, RandomInstructionsSurviveEncodeDecode) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+    const Op all_ops[] = {Op::kAdd, Op::kSub, Op::kAnd, Op::kOr, Op::kXor,
+                          Op::kSll, Op::kSrl, Op::kSra, Op::kMul, Op::kSlt,
+                          Op::kSltu, Op::kAddi, Op::kAndi, Op::kOri, Op::kXori,
+                          Op::kSlli, Op::kSrli, Op::kSrai, Op::kSlti, Op::kLui,
+                          Op::kLw, Op::kSw, Op::kBeq, Op::kBne, Op::kBlt,
+                          Op::kBge, Op::kBltu, Op::kBgeu, Op::kJal, Op::kJalr};
+    for (int i = 0; i < 2000; ++i) {
+        Instruction ins;
+        ins.op = all_ops[rng.uniform_int(0, 29)];
+        ins.rd = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+        ins.rs1 = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+        ins.rs2 = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+        if (is_r_type(ins.op)) {
+            ins.imm = 0;
+        } else if (ins.op == Op::kAndi || ins.op == Op::kOri ||
+                   ins.op == Op::kXori || ins.op == Op::kLui ||
+                   ins.op == Op::kSlli || ins.op == Op::kSrli ||
+                   ins.op == Op::kSrai) {
+            ins.imm = static_cast<std::int32_t>(rng.uniform_int(0, 0x3FFFF));
+        } else if (is_j_type(ins.op)) {
+            ins.imm = static_cast<std::int32_t>(
+                rng.uniform_int(-(1 << 21), (1 << 21) - 1));
+        } else {
+            ins.imm = static_cast<std::int32_t>(
+                rng.uniform_int(-(1 << 17), (1 << 17) - 1));
+        }
+        if (is_b_type(ins.op)) ins.rd = 0;
+        if (is_j_type(ins.op)) {
+            ins.rs1 = 0;
+            ins.rs2 = 0;
+        }
+        if (is_i_type(ins.op)) ins.rs2 = 0;
+        const Instruction back = decode(encode(ins));
+        EXPECT_EQ(back, ins) << mnemonic(ins.op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsaRoundTripTest, ::testing::Range(0, 5));
+
+// --- Assembler -----------------------------------------------------------------
+
+TEST(Assembler, BasicProgram) {
+    const Program p = assemble(R"(
+        ; simple add program
+        addi r1, zero, 5
+        addi r2, zero, 7
+        add r3, r1, r2
+        halt
+    )");
+    ASSERT_EQ(p.words.size(), 4u);
+    EXPECT_EQ(decode(p.words[2]), (Instruction{Op::kAdd, 3, 1, 2, 0}));
+}
+
+TEST(Assembler, LabelsAndBranches) {
+    const Program p = assemble(R"(
+        addi r1, zero, 3
+    loop:
+        addi r1, r1, -1
+        bne r1, zero, loop
+        halt
+    )");
+    ASSERT_EQ(p.words.size(), 4u);
+    EXPECT_EQ(p.symbols.at("loop"), 1u);
+    // bne at index 2, target 1 -> offset = 1 - 3 = -2.
+    EXPECT_EQ(decode(p.words[2]).imm, -2);
+}
+
+TEST(Assembler, MemoryOperandSyntax) {
+    const Program p = assemble(R"(
+        lw r2, 8(r3)
+        sw r2, 12(sp)
+        lw r4, r5, 16
+    )");
+    EXPECT_EQ(decode(p.words[0]), (Instruction{Op::kLw, 2, 3, 0, 8}));
+    EXPECT_EQ(decode(p.words[1]),
+              (Instruction{Op::kSw, 2, kStackRegister, 0, 12}));
+    EXPECT_EQ(decode(p.words[2]), (Instruction{Op::kLw, 4, 5, 0, 16}));
+}
+
+TEST(Assembler, PseudoInstructions) {
+    const Program p = assemble(R"(
+        nop
+        mov r1, r2
+        li r3, 0x12345678
+        li r4, 100
+        j end
+        call end
+        ret
+    end:
+        halt
+    )");
+    // li always expands to two words; check the big-constant pair.
+    const Instruction lui = decode(p.words[2]);
+    const Instruction ori = decode(p.words[3]);
+    EXPECT_EQ(lui.op, Op::kLui);
+    EXPECT_EQ(ori.op, Op::kOri);
+    EXPECT_EQ((static_cast<std::uint32_t>(lui.imm) << 14) |
+                  static_cast<std::uint32_t>(ori.imm),
+              0x12345678u);
+    EXPECT_EQ(decode(p.words[8]).op, Op::kJalr);  // ret
+    EXPECT_EQ(p.symbols.at("end"), 9u);
+}
+
+TEST(Assembler, EquConstants) {
+    const Program p = assemble(R"(
+        .equ BASE 0x40
+        lw r1, BASE(zero)
+        addi r2, zero, BASE
+    )");
+    EXPECT_EQ(decode(p.words[0]).imm, 0x40);
+    EXPECT_EQ(decode(p.words[1]).imm, 0x40);
+}
+
+TEST(Assembler, Errors) {
+    EXPECT_THROW((void)assemble("bogus r1, r2"), AssemblyError);
+    EXPECT_THROW((void)assemble("add r1, r2"), AssemblyError);
+    EXPECT_THROW((void)assemble("addi r1, zero, nolabel"), AssemblyError);
+    EXPECT_THROW((void)assemble("x: halt\nx: halt"), AssemblyError);
+    EXPECT_THROW((void)assemble("add r99, r0, r0"), AssemblyError);
+    try {
+        (void)assemble("nop\nbadmnemonic");
+    } catch (const AssemblyError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+TEST(Assembler, ProgramSizeLimit) {
+    std::string big;
+    for (std::size_t i = 0; i < kProgramWords + 1; ++i) big += "nop\n";
+    EXPECT_THROW((void)assemble(big), AssemblyError);
+}
+
+TEST(Assembler, DisassembleFormats) {
+    EXPECT_EQ(disassemble(encode({Op::kAdd, 1, 2, 3, 0})), "add r1, r2, r3");
+    EXPECT_EQ(disassemble(encode({Op::kLw, 2, 3, 0, 8})), "lw r2, 8(r3)");
+    EXPECT_EQ(disassemble(encode({Op::kBeq, 0, 1, 2, -4})), "beq r1, r2, -4");
+    EXPECT_EQ(disassemble(encode({Op::kHalt, 0, 0, 0, 0})), "halt");
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "sabre/assembler.hpp"
+#include "sabre/cpu.hpp"
+#include "util/rng.hpp"
+
+// Program-level Sabre tests: recursion, stack discipline, memory-mapped
+// polling patterns, and assembler/disassembler fuzz round-trips — the
+// behaviours real firmware depends on beyond single-instruction semantics.
+
+namespace {
+
+using namespace ob::sabre;
+using ob::util::Rng;
+
+TEST(SabreProgram, RecursiveFactorialViaStack) {
+    // Classic stack-frame recursion: factorial(8) with lr/arg saved on a
+    // descending stack.
+    SabreCpu cpu(assemble(R"(
+        li sp, 0x10000        ; top of data memory
+        addi r1, zero, 8      ; argument
+        call fact
+        halt
+    fact:
+        addi r2, zero, 1
+        bgeu r2, r1, base     ; n <= 1 -> return 1
+        addi sp, sp, -8
+        sw lr, 0(sp)
+        sw r1, 4(sp)
+        addi r1, r1, -1
+        call fact             ; r1 = fact(n-1)
+        lw r2, 4(sp)          ; reload n
+        lw lr, 0(sp)
+        addi sp, sp, 8
+        mul r1, r1, r2
+        ret
+    base:
+        addi r1, zero, 1
+        ret
+    )"));
+    cpu.run();
+    EXPECT_EQ(cpu.reg(1), 40320u);  // 8!
+    EXPECT_EQ(cpu.reg(static_cast<std::size_t>(kStackRegister)), 0x10000u)
+        << "stack must be balanced on return";
+}
+
+TEST(SabreProgram, MemcpyLoop) {
+    SabreCpu cpu(assemble(R"(
+        ; copy 16 words from 0x100 to 0x200
+        addi r1, zero, 0x100
+        addi r2, zero, 0x200
+        addi r3, zero, 16
+    copy:
+        lw r4, 0(r1)
+        sw r4, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, -1
+        bne r3, zero, copy
+        halt
+    )"));
+    for (std::uint32_t i = 0; i < 16; ++i)
+        cpu.store_data(0x100 + 4 * i, 0xA0000000u + i);
+    cpu.run();
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(cpu.load_data(0x200 + 4 * i), 0xA0000000u + i);
+}
+
+TEST(SabreProgram, BubbleSortWords) {
+    SabreCpu cpu(assemble(R"(
+        .equ BASE 0x400
+        .equ N 8
+    outer:
+        addi r1, zero, 0      ; swapped flag
+        addi r2, zero, BASE   ; ptr
+        addi r3, zero, 7      ; N-1 comparisons
+    inner:
+        lw r4, 0(r2)
+        lw r5, 4(r2)
+        bge r5, r4, noswap    ; signed compare
+        sw r5, 0(r2)
+        sw r4, 4(r2)
+        addi r1, zero, 1
+    noswap:
+        addi r2, r2, 4
+        addi r3, r3, -1
+        bne r3, zero, inner
+        bne r1, zero, outer
+        halt
+    )"));
+    const std::int32_t input[8] = {42, -7, 0, 99, -100, 7, 7, 1};
+    for (std::uint32_t i = 0; i < 8; ++i)
+        cpu.store_data(0x400 + 4 * i, static_cast<std::uint32_t>(input[i]));
+    cpu.run(10'000'000);
+    std::int32_t prev = INT32_MIN;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        const auto v = static_cast<std::int32_t>(cpu.load_data(0x400 + 4 * i));
+        EXPECT_GE(v, prev) << "position " << i;
+        prev = v;
+    }
+}
+
+TEST(SabreProgram, PollingLoopConsumesFifo) {
+    // The firmware's core idiom: poll a smart-port status register, drain
+    // samples, accumulate.
+    SabreCpu cpu(assemble(R"(
+        lui r1, 0x20000
+        addi r5, zero, 0      ; sum of samples
+        addi r6, zero, 5      ; expected count
+    wait:
+        lw r2, 0x900(r1)      ; DMU status
+        beq r2, zero, wait
+        lw r3, 0x910(r1)      ; accel x register
+        add r5, r5, r3
+        sw zero, 0x900(r1)    ; pop
+        addi r6, r6, -1
+        bne r6, zero, wait
+        halt
+    )"));
+    auto port = std::make_shared<DmuPortPeripheral>();
+    cpu.bus().attach(periph::kDmuPort, port);
+    for (int i = 1; i <= 5; ++i) {
+        DmuPortPeripheral::Sample s;
+        s.accel[0] = i * 10;
+        port->host_push(s);
+    }
+    cpu.run();
+    EXPECT_EQ(cpu.reg(5), 10u + 20 + 30 + 40 + 50);
+    EXPECT_EQ(port->pending(), 0u);
+}
+
+TEST(SabreProgram, CycleBudgetStopsRunawayLoop) {
+    SabreCpu cpu(assemble(R"(
+    spin:
+        j spin
+    )"));
+    const std::size_t executed = cpu.run(/*max_cycles=*/1000);
+    EXPECT_FALSE(cpu.halted());
+    EXPECT_GE(cpu.cycles(), 1000u);
+    EXPECT_GT(executed, 0u);
+}
+
+// Assembler/disassembler fuzz: assemble a random-but-valid program, then
+// verify every word disassembles and re-encodes to the identical bits.
+class SabreFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SabreFuzzTest, DisassembleReassembleRoundTrip) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    std::string src;
+    const char* templates[] = {
+        "add r%d, r%d, r%d",  "sub r%d, r%d, r%d",  "mul r%d, r%d, r%d",
+        "and r%d, r%d, r%d",  "xor r%d, r%d, r%d",
+    };
+    char line[64];
+    for (int i = 0; i < 200; ++i) {
+        if (rng.chance(0.3)) {
+            std::snprintf(line, sizeof line, "addi r%d, r%d, %d",
+                          static_cast<int>(rng.uniform_int(0, 15)),
+                          static_cast<int>(rng.uniform_int(0, 15)),
+                          static_cast<int>(rng.uniform_int(-1000, 1000)));
+        } else if (rng.chance(0.2)) {
+            std::snprintf(line, sizeof line, "lw r%d, %d(r%d)",
+                          static_cast<int>(rng.uniform_int(0, 15)),
+                          static_cast<int>(rng.uniform_int(0, 256) * 4),
+                          static_cast<int>(rng.uniform_int(0, 15)));
+        } else {
+            std::snprintf(line, sizeof line,
+                          templates[rng.uniform_int(0, 4)],
+                          static_cast<int>(rng.uniform_int(0, 15)),
+                          static_cast<int>(rng.uniform_int(0, 15)),
+                          static_cast<int>(rng.uniform_int(0, 15)));
+        }
+        src += line;
+        src += '\n';
+    }
+    src += "halt\n";
+
+    const Program p1 = assemble(src);
+    // Disassemble everything and assemble the disassembly.
+    std::string round;
+    for (const auto w : p1.words) round += disassemble(w) + "\n";
+    const Program p2 = assemble(round);
+    ASSERT_EQ(p2.words.size(), p1.words.size());
+    for (std::size_t i = 0; i < p1.words.size(); ++i)
+        EXPECT_EQ(p2.words[i], p1.words[i]) << "word " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SabreFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace

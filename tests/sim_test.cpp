@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/acc_model.hpp"
+#include "sim/imu_model.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/vibration.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ob::sim;
+using ob::math::deg2rad;
+using ob::math::EulerAngles;
+using ob::math::Vec3;
+using ob::util::Rng;
+using ob::util::RunningStats;
+
+ImuErrorConfig perfect_imu() {
+    ImuErrorConfig c;
+    c.accel_bias_sigma = 0.0;
+    c.accel_noise_sigma = 0.0;
+    c.accel_scale_sigma = 0.0;
+    c.accel_bias_walk = 0.0;
+    c.gyro_bias_sigma = 0.0;
+    c.gyro_noise_sigma = 0.0;
+    c.gyro_scale_sigma = 0.0;
+    c.internal_misalign_sigma = 0.0;
+    return c;
+}
+
+AccErrorConfig perfect_acc() {
+    AccErrorConfig c;
+    c.bias_sigma = 0.0;
+    c.noise_sigma = 0.0;
+    c.scale_sigma = 0.0;
+    c.cross_axis = 0.0;
+    return c;
+}
+
+VibrationConfig no_vibration() {
+    VibrationConfig v;
+    v.engine_amp_idle = 0.0;
+    v.engine_amp_per_mps = 0.0;
+    v.road_amp_per_sqrt_mps = 0.0;
+    v.gyro_amp_factor = 0.0;
+    return v;
+}
+
+// --- Trajectory --------------------------------------------------------------
+
+TEST(StaticProfile, LevelSpecificForceIsMinusG) {
+    const StaticProfile p(EulerAngles{}, 10.0);
+    const auto s = p.state_at(5.0);
+    const Vec3 f = s.specific_force_body();
+    EXPECT_NEAR(f[0], 0.0, 1e-12);
+    EXPECT_NEAR(f[1], 0.0, 1e-12);
+    EXPECT_NEAR(f[2], -kGravity, 1e-12);
+    EXPECT_DOUBLE_EQ(s.speed, 0.0);
+    EXPECT_NEAR(ob::math::norm(s.omega_body), 0.0, 1e-15);
+}
+
+TEST(StaticProfile, TiltedPlatformProjectsGravity) {
+    const double theta = deg2rad(10.0);
+    const StaticProfile p(EulerAngles{0.0, theta, 0.0}, 10.0);
+    const Vec3 f = p.state_at(0.0).specific_force_body();
+    EXPECT_NEAR(f[0], kGravity * std::sin(theta), 1e-12);
+    EXPECT_NEAR(f[2], -kGravity * std::cos(theta), 1e-12);
+}
+
+TEST(VehicleState, ForwardAccelerationShowsOnBodyX) {
+    VehicleState s;
+    s.accel_nav = Vec3{2.5, 0.0, 0.0};
+    s.attitude = EulerAngles{};  // facing north (x)
+    const Vec3 f = s.specific_force_body();
+    EXPECT_NEAR(f[0], 2.5, 1e-12);
+    EXPECT_NEAR(f[2], -kGravity, 1e-12);
+}
+
+TEST(DriveProfile, CityDrivePhysicalSanity) {
+    const auto p = DriveProfile::city(120.0, 7);
+    EXPECT_GE(p.duration(), 120.0);
+    EXPECT_GT(p.max_speed(), 3.0);
+    EXPECT_LT(p.max_speed(), 30.0);
+    for (double t = 0.0; t <= p.duration(); t += 0.25) {
+        const auto s = p.state_at(t);
+        EXPECT_GE(s.speed, 0.0);
+        EXPECT_LT(std::abs(s.attitude.roll), deg2rad(6.0));
+        EXPECT_LT(std::abs(s.attitude.pitch), deg2rad(6.0));
+        EXPECT_NEAR(s.accel_nav[2], 0.0, 1e-12);  // planar motion
+        EXPECT_TRUE(std::isfinite(ob::math::norm(s.omega_body)));
+    }
+}
+
+TEST(DriveProfile, HighwayReachesCruisingSpeed) {
+    const auto p = DriveProfile::highway(120.0, 3);
+    EXPECT_GT(p.max_speed(), 20.0);
+    EXPECT_LT(p.max_speed(), 45.0);
+}
+
+TEST(DriveProfile, StartsAtRest) {
+    const auto p = DriveProfile::city(60.0, 1);
+    EXPECT_NEAR(p.state_at(0.0).speed, 0.0, 1e-9);
+}
+
+TEST(DriveProfile, DeterministicForSeed) {
+    const auto a = DriveProfile::city(60.0, 5);
+    const auto b = DriveProfile::city(60.0, 5);
+    for (double t = 0.0; t < 60.0; t += 1.0) {
+        EXPECT_DOUBLE_EQ(a.state_at(t).speed, b.state_at(t).speed);
+        EXPECT_DOUBLE_EQ(a.state_at(t).attitude.yaw, b.state_at(t).attitude.yaw);
+    }
+}
+
+TEST(DriveProfile, FigureEightAlternatesTurns) {
+    const auto p = DriveProfile::figure_eight(60.0);
+    RunningStats yaw_rate;
+    double min_wz = 0.0, max_wz = 0.0;
+    for (double t = 10.0; t < 60.0; t += 0.1) {
+        const double wz = p.state_at(t).omega_body[2];
+        min_wz = std::min(min_wz, wz);
+        max_wz = std::max(max_wz, wz);
+    }
+    EXPECT_GT(max_wz, 0.15);
+    EXPECT_LT(min_wz, -0.15);
+}
+
+TEST(DriveProfile, RoadGradePitchesVehicle) {
+    // A sustained 5% climb must settle the vehicle pitch near atan(0.05)
+    // and put ~g*sin(pitch) on the body x accelerometer at cruise.
+    std::vector<DriveSegment> segs;
+    segs.push_back({8.0, 2.0, 0.0, 0.0});    // get moving on the flat
+    segs.push_back({30.0, 0.0, 0.0, 0.05});  // long climb
+    const DriveProfile p(std::move(segs), {}, "hill");
+    const auto s = p.state_at(25.0);  // mid-climb, cruising
+    EXPECT_NEAR(s.attitude.pitch, std::atan(0.05), 0.01);
+    const auto f = s.specific_force_body();
+    EXPECT_NEAR(f[0], kGravity * std::sin(s.attitude.pitch), 0.15);
+}
+
+TEST(DriveProfile, CityDriveIncludesGradeVariation) {
+    const auto p = DriveProfile::city(180.0, 3);
+    double min_pitch = 0.0, max_pitch = 0.0;
+    for (double t = 0.0; t < p.duration(); t += 0.5) {
+        const double pitch = p.state_at(t).attitude.pitch;
+        min_pitch = std::min(min_pitch, pitch);
+        max_pitch = std::max(max_pitch, pitch);
+    }
+    // Hills up to +-4% -> pitch excursions of a degree-plus each way.
+    EXPECT_GT(max_pitch, deg2rad(0.8));
+    EXPECT_LT(min_pitch, -deg2rad(0.8));
+}
+
+TEST(DriveProfile, CentripetalAccelerationInTurns) {
+    // During a steady turn |a_nav| should be about v * yaw_rate.
+    const auto p = DriveProfile::figure_eight(40.0);
+    const auto s = p.state_at(12.0);  // mid-turn
+    if (s.speed > 1.0 && std::abs(s.omega_body[2]) > 0.1) {
+        const double a_lat_expected = s.speed * std::abs(s.omega_body[2]);
+        const double a_mag = ob::math::norm(s.accel_nav);
+        EXPECT_NEAR(a_mag, a_lat_expected, 0.5 + 0.2 * a_lat_expected);
+    }
+}
+
+// --- Vibration ---------------------------------------------------------------
+
+TEST(Vibration, GrowsWithSpeed) {
+    const VibrationConfig cfg;
+    VibrationModel still(cfg, Rng(1));
+    VibrationModel moving(cfg, Rng(1));
+    RunningStats s_still, s_moving;
+    const double dt = 0.01;
+    for (int i = 0; i < 20000; ++i) {
+        const double t = i * dt;
+        s_still.add(still.step_accel(t, dt, 0.0)[0]);
+        s_moving.add(moving.step_accel(t, dt, 15.0)[0]);
+    }
+    EXPECT_GT(s_moving.stddev(), 2.0 * s_still.stddev());
+}
+
+TEST(Vibration, ZeroConfigIsSilent) {
+    VibrationModel v(no_vibration(), Rng(2));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(ob::math::norm(v.step_accel(i * 0.01, 0.01, 20.0)), 0.0);
+        EXPECT_EQ(ob::math::norm(v.step_gyro(0.01, 20.0)), 0.0);
+    }
+}
+
+TEST(Vibration, StaticLevelIsSmall) {
+    // At standstill the paper could use R as low as 0.003 m/s^2; engine
+    // idle vibration must stay in that ballpark.
+    VibrationModel v(VibrationConfig{}, Rng(3));
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(v.step_accel(i * 0.01, 0.01, 0.0)[0]);
+    EXPECT_LT(s.stddev(), 0.01);
+}
+
+// --- IMU model ---------------------------------------------------------------
+
+TEST(ImuModel, PerfectSensorMatchesTruthWithinQuantization) {
+    ImuModel imu(perfect_imu(), no_vibration(), Rng(1));
+    const Vec3 f{1.5, -0.5, -9.5};
+    const Vec3 w{0.1, -0.2, 0.3};
+    const auto s = imu.sample(f, w, 0.0, 0.01, 0.0);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(imu.scale().raw_to_accel(s.accel[i]), f[i],
+                    imu.scale().accel_lsb_mps2);
+        EXPECT_NEAR(imu.scale().raw_to_rate(s.gyro[i]), w[i],
+                    imu.scale().gyro_lsb_rad_s);
+    }
+}
+
+TEST(ImuModel, SequenceNumbersIncrement) {
+    ImuModel imu(perfect_imu(), no_vibration(), Rng(1));
+    const Vec3 z{};
+    EXPECT_EQ(imu.sample(z, z, 0.0, 0.01, 0.0).seq, 0);
+    EXPECT_EQ(imu.sample(z, z, 0.01, 0.01, 0.0).seq, 1);
+    EXPECT_EQ(imu.sample(z, z, 0.02, 0.01, 0.0).seq, 2);
+}
+
+TEST(ImuModel, BiasDrawnWithinConfiguredMagnitude) {
+    // Across many instantiations the bias spread matches the config sigma.
+    ImuErrorConfig cfg = perfect_imu();
+    cfg.accel_bias_sigma = 0.02;
+    RunningStats biases;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+        ImuModel imu(cfg, no_vibration(), Rng(seed));
+        biases.add(imu.accel_bias()[0]);
+    }
+    EXPECT_NEAR(biases.stddev(), 0.02, 0.004);
+    EXPECT_NEAR(biases.mean(), 0.0, 0.004);
+}
+
+TEST(ImuModel, NoiseShowsInSampleSpread) {
+    ImuErrorConfig cfg = perfect_imu();
+    cfg.accel_noise_sigma = 0.05;
+    ImuModel imu(cfg, no_vibration(), Rng(4));
+    RunningStats s;
+    const Vec3 f{0.0, 0.0, -9.80665};
+    for (int i = 0; i < 5000; ++i) {
+        const auto smp = imu.sample(f, Vec3{}, i * 0.01, 0.01, 0.0);
+        s.add(imu.scale().raw_to_accel(smp.accel[0]));
+    }
+    EXPECT_NEAR(s.stddev(), 0.05, 0.01);
+}
+
+// --- ACC model ---------------------------------------------------------------
+
+TEST(AccModel, MisalignmentRotatesGravity) {
+    const double pitch = deg2rad(3.0);
+    AccModel acc(EulerAngles{0.0, pitch, 0.0}, perfect_acc(), no_vibration(),
+                 Rng(1));
+    const Vec3 f{0.0, 0.0, -kGravity};  // static, level vehicle
+    const auto timing = acc.sample(f, 0.0, 0.01, 0.0);
+    const auto [ax, ay] = adxl_decode(timing, acc.adxl_config());
+    EXPECT_NEAR(ax, kGravity * std::sin(pitch), 2e-3);
+    EXPECT_NEAR(ay, 0.0, 2e-3);
+}
+
+TEST(AccModel, RollMisalignmentShowsOnY) {
+    const double roll = deg2rad(2.0);
+    AccModel acc(EulerAngles{roll, 0.0, 0.0}, perfect_acc(), no_vibration(),
+                 Rng(1));
+    const Vec3 f{0.0, 0.0, -kGravity};
+    const auto [ax, ay] = adxl_decode(acc.sample(f, 0.0, 0.01, 0.0),
+                                      acc.adxl_config());
+    EXPECT_NEAR(ax, 0.0, 2e-3);
+    EXPECT_NEAR(ay, -kGravity * std::sin(roll), 2e-3);
+}
+
+TEST(AccModel, YawMisalignmentInvisibleAtLevelRest) {
+    AccModel acc(EulerAngles{0.0, 0.0, deg2rad(5.0)}, perfect_acc(),
+                 no_vibration(), Rng(1));
+    const Vec3 f{0.0, 0.0, -kGravity};
+    const auto [ax, ay] = adxl_decode(acc.sample(f, 0.0, 0.01, 0.0),
+                                      acc.adxl_config());
+    // Gravity along z is invariant under z-rotation: yaw unobservable.
+    EXPECT_NEAR(ax, 0.0, 2e-3);
+    EXPECT_NEAR(ay, 0.0, 2e-3);
+}
+
+TEST(AccModel, BumpShiftsTrueMisalignment) {
+    AccModel acc(EulerAngles{}, perfect_acc(), no_vibration(), Rng(1));
+    acc.bump(EulerAngles::from_deg(0.0, 1.0, 0.0));
+    EXPECT_NEAR(acc.true_misalignment().pitch, deg2rad(1.0), 1e-12);
+    const Vec3 f{0.0, 0.0, -kGravity};
+    const auto [ax, ay] = adxl_decode(acc.sample(f, 0.0, 0.01, 0.0),
+                                      acc.adxl_config());
+    (void)ay;
+    EXPECT_NEAR(ax, kGravity * std::sin(deg2rad(1.0)), 2e-3);
+}
+
+// --- Scenario ----------------------------------------------------------------
+
+TEST(Scenario, StepCountMatchesDurationAndRate) {
+    auto cfg = ScenarioConfig::static_level(10.0, EulerAngles{});
+    Scenario sc(cfg, 1);
+    std::size_t n = 0;
+    while (sc.next()) ++n;
+    EXPECT_EQ(n, 1001u);  // t = 0..10 inclusive at 100 Hz
+}
+
+TEST(Scenario, DeterministicForSeed) {
+    auto cfg = ScenarioConfig::dynamic_city(20.0, EulerAngles::from_deg(1, 2, 3),
+                                            11);
+    Scenario a(cfg, 42);
+    Scenario b(cfg, 42);
+    for (int i = 0; i < 500; ++i) {
+        const auto sa = a.next();
+        const auto sb = b.next();
+        ASSERT_TRUE(sa && sb);
+        EXPECT_EQ(sa->dmu, sb->dmu);
+        EXPECT_EQ(sa->adxl, sb->adxl);
+    }
+}
+
+TEST(Scenario, TruthTracksProfile) {
+    // static_tilted cycles poses: level first, then the requested tilt.
+    auto cfg = ScenarioConfig::static_tilted(40.0, EulerAngles{},
+                                             EulerAngles::from_deg(0, 10, 0));
+    Scenario sc(cfg, 1);
+    const auto s = sc.next();
+    ASSERT_TRUE(s);
+    EXPECT_NEAR(s->f_body_true[0], 0.0, 1e-9);  // pose 0 is level
+    // Pose 1 (t in [10,20)) carries the tilt.
+    const auto mid = cfg.profile->state_at(15.0);
+    EXPECT_NEAR(mid.specific_force_body()[0],
+                kGravity * std::sin(deg2rad(10.0)), 1e-9);
+}
+
+TEST(TiltSequence, CyclesPosesAndValidates) {
+    using Pose = TiltSequenceProfile::Pose;
+    const TiltSequenceProfile p(
+        {Pose{EulerAngles{}, 5.0}, Pose{EulerAngles::from_deg(10, 0, 0), 5.0}},
+        30.0);
+    EXPECT_NEAR(p.state_at(2.0).attitude.roll, 0.0, 1e-15);
+    EXPECT_NEAR(p.state_at(7.0).attitude.roll, deg2rad(10.0), 1e-12);
+    EXPECT_NEAR(p.state_at(12.0).attitude.roll, 0.0, 1e-15);  // cycle wraps
+    EXPECT_THROW(TiltSequenceProfile({}, 10.0), std::invalid_argument);
+    EXPECT_THROW(TiltSequenceProfile({Pose{EulerAngles{}, 0.0}}, 10.0),
+                 std::invalid_argument);
+}
+
+TEST(Scenario, BumpChangesTruth) {
+    auto cfg = ScenarioConfig::static_level(5.0, EulerAngles{});
+    Scenario sc(cfg, 1);
+    EXPECT_NEAR(sc.true_misalignment().pitch, 0.0, 1e-15);
+    sc.bump(EulerAngles::from_deg(0.0, 2.0, 0.0));
+    EXPECT_NEAR(sc.true_misalignment().pitch, deg2rad(2.0), 1e-12);
+}
+
+TEST(Scenario, RejectsBadConfig) {
+    ScenarioConfig cfg;  // null profile
+    EXPECT_THROW(Scenario(cfg, 1), std::invalid_argument);
+    cfg = ScenarioConfig::static_level(1.0, EulerAngles{});
+    cfg.sample_rate_hz = 0.0;
+    EXPECT_THROW(Scenario(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <cstring>
+
+#include "softfloat/softfloat64.hpp"
+#include "util/rng.hpp"
+
+// binary64 conformance vs the host FPU, using the same noinline/volatile
+// oracle strategy as the binary32 suite.
+
+namespace {
+
+namespace sf = ob::softfloat;
+using ob::util::Rng;
+
+[[gnu::noinline]] double host_add(double a, double b) {
+    volatile double x = a, y = b;
+    return x + y;
+}
+[[gnu::noinline]] double host_sub(double a, double b) {
+    volatile double x = a, y = b;
+    return x - y;
+}
+[[gnu::noinline]] double host_mul(double a, double b) {
+    volatile double x = a, y = b;
+    return x * y;
+}
+[[gnu::noinline]] double host_div(double a, double b) {
+    volatile double x = a, y = b;
+    return x / y;
+}
+[[gnu::noinline]] double host_sqrt(double a) {
+    volatile double x = a;
+    return std::sqrt(x);
+}
+[[gnu::noinline]] float host_narrow(double a) {
+    // The call boundary pins the conversion inside the fesetround window
+    // (inlined casts can be scheduled outside it).
+    volatile double x = a;
+    return static_cast<float>(x);
+}
+
+int host_mode(sf::Round r) {
+    switch (r) {
+        case sf::Round::kNearestEven: return FE_TONEAREST;
+        case sf::Round::kTowardZero: return FE_TOWARDZERO;
+        case sf::Round::kDown: return FE_DOWNWARD;
+        case sf::Round::kUp: return FE_UPWARD;
+    }
+    return FE_TONEAREST;
+}
+
+constexpr unsigned kComparedFlags =
+    sf::kInvalid | sf::kDivByZero | sf::kOverflow | sf::kInexact;
+
+unsigned host_flags() {
+    unsigned f = 0;
+    if (std::fetestexcept(FE_INVALID)) f |= sf::kInvalid;
+    if (std::fetestexcept(FE_DIVBYZERO)) f |= sf::kDivByZero;
+    if (std::fetestexcept(FE_OVERFLOW)) f |= sf::kOverflow;
+    if (std::fetestexcept(FE_INEXACT)) f |= sf::kInexact;
+    return f;
+}
+
+std::pair<sf::F64, sf::F64> random_pair64(Rng& rng) {
+    sf::F64 a{rng.bits64()};
+    sf::F64 b{rng.bits64()};
+    if (rng.chance(0.5)) {
+        const std::int32_t ea = static_cast<std::int32_t>(a.exponent());
+        std::int32_t eb = ea + static_cast<std::int32_t>(rng.uniform_int(-2, 2));
+        eb = std::max(0, std::min(0x7FE, eb));
+        b.bits = (b.bits & 0x800FFFFFFFFFFFFFull) |
+                 (static_cast<std::uint64_t>(eb) << 52);
+    }
+    return {a, b};
+}
+
+enum class Op { kAdd, kSub, kMul, kDiv };
+
+struct Fuzz64Case {
+    Op op;
+    sf::Round mode;
+    int iterations;
+};
+
+class SoftFloat64Fuzz : public ::testing::TestWithParam<Fuzz64Case> {};
+
+TEST_P(SoftFloat64Fuzz, MatchesHostBitExactly) {
+    const auto& p = GetParam();
+    Rng rng(0xD00Dull + static_cast<std::uint64_t>(p.op) * 31 +
+            static_cast<std::uint64_t>(p.mode) * 131);
+    for (int i = 0; i < p.iterations; ++i) {
+        const auto [a, b] = random_pair64(rng);
+        sf::Context ctx;
+        ctx.rounding = p.mode;
+        sf::F64 mine;
+        switch (p.op) {
+            case Op::kAdd: mine = sf::add(a, b, ctx); break;
+            case Op::kSub: mine = sf::sub(a, b, ctx); break;
+            case Op::kMul: mine = sf::mul(a, b, ctx); break;
+            case Op::kDiv: mine = sf::div(a, b, ctx); break;
+        }
+        std::feclearexcept(FE_ALL_EXCEPT);
+        std::fesetround(host_mode(p.mode));
+        double host_r = 0.0;
+        switch (p.op) {
+            case Op::kAdd: host_r = host_add(sf::to_host(a), sf::to_host(b)); break;
+            case Op::kSub: host_r = host_sub(sf::to_host(a), sf::to_host(b)); break;
+            case Op::kMul: host_r = host_mul(sf::to_host(a), sf::to_host(b)); break;
+            case Op::kDiv: host_r = host_div(sf::to_host(a), sf::to_host(b)); break;
+        }
+        const unsigned hflags = host_flags();
+        std::fesetround(FE_TONEAREST);
+        const sf::F64 href = sf::from_host(host_r);
+        if (mine.is_nan() || href.is_nan()) {
+            ASSERT_EQ(mine.is_nan(), href.is_nan())
+                << std::hex << "a=0x" << a.bits << " b=0x" << b.bits;
+        } else {
+            ASSERT_EQ(mine.bits, href.bits)
+                << std::hex << "op=" << static_cast<int>(p.op) << " a=0x"
+                << a.bits << " b=0x" << b.bits << " mine=0x" << mine.bits
+                << " host=0x" << href.bits;
+        }
+        if (!a.is_nan() && !b.is_nan()) {
+            ASSERT_EQ(ctx.flags & kComparedFlags, hflags & kComparedFlags)
+                << std::hex << "a=0x" << a.bits << " b=0x" << b.bits;
+        }
+    }
+}
+
+std::string fuzz64_name(const ::testing::TestParamInfo<Fuzz64Case>& info) {
+    const char* ops[] = {"Add", "Sub", "Mul", "Div"};
+    const char* modes[] = {"Nearest", "TowardZero", "Down", "Up"};
+    return std::string(ops[static_cast<int>(info.param.op)]) +
+           modes[static_cast<int>(info.param.mode)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpsAllModes, SoftFloat64Fuzz,
+    ::testing::Values(Fuzz64Case{Op::kAdd, sf::Round::kNearestEven, 60000},
+                      Fuzz64Case{Op::kSub, sf::Round::kNearestEven, 60000},
+                      Fuzz64Case{Op::kMul, sf::Round::kNearestEven, 60000},
+                      Fuzz64Case{Op::kDiv, sf::Round::kNearestEven, 60000},
+                      Fuzz64Case{Op::kAdd, sf::Round::kTowardZero, 15000},
+                      Fuzz64Case{Op::kSub, sf::Round::kDown, 15000},
+                      Fuzz64Case{Op::kMul, sf::Round::kUp, 15000},
+                      Fuzz64Case{Op::kDiv, sf::Round::kTowardZero, 15000},
+                      Fuzz64Case{Op::kAdd, sf::Round::kUp, 15000},
+                      Fuzz64Case{Op::kMul, sf::Round::kDown, 15000}),
+    fuzz64_name);
+
+TEST(SoftFloat64Sqrt, MatchesHost) {
+    for (const sf::Round mode :
+         {sf::Round::kNearestEven, sf::Round::kTowardZero, sf::Round::kDown,
+          sf::Round::kUp}) {
+        Rng rng(0xABBA + static_cast<std::uint64_t>(mode));
+        for (int i = 0; i < 30000; ++i) {
+            const sf::F64 a{rng.bits64()};
+            sf::Context ctx;
+            ctx.rounding = mode;
+            const sf::F64 mine = sf::sqrt(a, ctx);
+            std::fesetround(host_mode(mode));
+            const double hr = host_sqrt(sf::to_host(a));
+            std::fesetround(FE_TONEAREST);
+            const sf::F64 href = sf::from_host(hr);
+            if (mine.is_nan() || href.is_nan()) {
+                ASSERT_EQ(mine.is_nan(), href.is_nan())
+                    << std::hex << "a=0x" << a.bits;
+            } else {
+                ASSERT_EQ(mine.bits, href.bits)
+                    << std::hex << "a=0x" << a.bits << " mode="
+                    << static_cast<int>(mode);
+            }
+        }
+    }
+}
+
+TEST(SoftFloat64Directed, SpecialValues) {
+    sf::Context ctx;
+    EXPECT_TRUE(sf::add(sf::F64::inf(false), sf::F64::inf(true), ctx).is_nan());
+    EXPECT_TRUE(ctx.any(sf::kInvalid));
+    ctx.clear();
+    EXPECT_TRUE(sf::div(sf::F64::one(), sf::F64::zero(false), ctx).is_inf());
+    EXPECT_TRUE(ctx.any(sf::kDivByZero));
+    ctx.clear();
+    EXPECT_TRUE(sf::mul(sf::F64::inf(false), sf::F64::zero(true), ctx).is_nan());
+    EXPECT_TRUE(ctx.any(sf::kInvalid));
+    ctx.clear();
+    EXPECT_TRUE(sf::sqrt(sf::neg(sf::F64::one()), ctx).is_nan());
+    EXPECT_TRUE(ctx.any(sf::kInvalid));
+    // Exact arithmetic raises nothing.
+    ctx.clear();
+    const sf::F64 two = sf::add(sf::F64::one(), sf::F64::one(), ctx);
+    EXPECT_EQ(sf::to_host(two), 2.0);
+    EXPECT_EQ(ctx.flags, 0u);
+}
+
+TEST(SoftFloat64Compare, FuzzAgainstHost) {
+    Rng rng(0xCAFE);
+    sf::Context ctx;
+    for (int i = 0; i < 60000; ++i) {
+        const sf::F64 a{rng.bits64()};
+        const sf::F64 b{rng.bits64()};
+        const double fa = sf::to_host(a);
+        const double fb = sf::to_host(b);
+        EXPECT_EQ(sf::eq(a, b, ctx), fa == fb);
+        EXPECT_EQ(sf::lt(a, b, ctx), fa < fb);
+        EXPECT_EQ(sf::le(a, b, ctx), fa <= fb);
+    }
+}
+
+TEST(SoftFloat64Convert, FromI32IsExact) {
+    Rng rng(0x1111);
+    for (int i = 0; i < 30000; ++i) {
+        const auto v = static_cast<std::int32_t>(rng.bits32());
+        const sf::F64 mine = sf::from_i32_f64(v);
+        EXPECT_EQ(sf::to_host(mine), static_cast<double>(v)) << v;
+    }
+    EXPECT_EQ(sf::to_host(sf::from_i32_f64(0)), 0.0);
+    EXPECT_EQ(sf::to_host(sf::from_i32_f64(INT32_MIN)), -2147483648.0);
+    EXPECT_EQ(sf::to_host(sf::from_i32_f64(INT32_MAX)), 2147483647.0);
+}
+
+TEST(SoftFloat64Convert, ToI32RoundingAndSaturation) {
+    sf::Context ctx;
+    EXPECT_EQ(sf::to_i32(sf::from_host(2.5), ctx), 2);   // ties to even
+    EXPECT_EQ(sf::to_i32(sf::from_host(3.5), ctx), 4);
+    EXPECT_EQ(sf::to_i32(sf::from_host(-2147483648.0), ctx), INT32_MIN);
+    EXPECT_FALSE(ctx.any(sf::kInvalid));
+    ctx.clear();
+    EXPECT_EQ(sf::to_i32(sf::from_host(2147483648.0), ctx), INT32_MAX);
+    EXPECT_TRUE(ctx.any(sf::kInvalid));
+    ctx.clear();
+    EXPECT_EQ(sf::to_i32(sf::F64::quiet_nan(), ctx), INT32_MAX);
+    EXPECT_TRUE(ctx.any(sf::kInvalid));
+    // Round-trip of representable ints.
+    Rng rng(0x2222);
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = static_cast<std::int32_t>(rng.bits32());
+        ctx.clear();
+        EXPECT_EQ(sf::to_i32(sf::from_i32_f64(v), ctx), v);
+        EXPECT_FALSE(ctx.any(sf::kInexact));
+    }
+}
+
+TEST(SoftFloat64Convert, WideningIsExactNarrowingRounds) {
+    Rng rng(0x3333);
+    sf::Context ctx;
+    // f32 -> f64 is exact for every input.
+    for (int i = 0; i < 60000; ++i) {
+        const sf::F32 a{rng.bits32()};
+        const sf::F64 wide = sf::f32_to_f64(a, ctx);
+        const float fa = sf::to_host(a);
+        if (a.is_nan()) {
+            EXPECT_TRUE(wide.is_nan());
+        } else {
+            EXPECT_EQ(sf::to_host(wide), static_cast<double>(fa))
+                << std::hex << a.bits;
+        }
+    }
+    // f64 -> f32 matches the host's cast in every rounding mode.
+    for (const sf::Round mode :
+         {sf::Round::kNearestEven, sf::Round::kTowardZero, sf::Round::kDown,
+          sf::Round::kUp}) {
+        for (int i = 0; i < 30000; ++i) {
+            const sf::F64 a{rng.bits64()};
+            sf::Context c2;
+            c2.rounding = mode;
+            const sf::F32 mine = sf::f64_to_f32(a, c2);
+            std::fesetround(host_mode(mode));
+            const float hr = host_narrow(sf::to_host(a));
+            std::fesetround(FE_TONEAREST);
+            const sf::F32 href = sf::from_host(hr);
+            if (mine.is_nan() || href.is_nan()) {
+                ASSERT_EQ(mine.is_nan(), href.is_nan());
+            } else {
+                ASSERT_EQ(mine.bits, href.bits)
+                    << std::hex << "a=0x" << a.bits << " mode="
+                    << static_cast<int>(mode);
+            }
+        }
+    }
+}
+
+TEST(SoftFloat64Properties, KahanSummationWorksInEmulation) {
+    // A numerical-behaviour smoke test: compensated summation of 1e5
+    // small values through the emulated arithmetic matches the host.
+    sf::Context ctx;
+    sf::F64 sum = sf::F64::zero();
+    sf::F64 c = sf::F64::zero();
+    const sf::F64 tiny = sf::from_host(0.1);
+    for (int i = 0; i < 100000; ++i) {
+        const sf::F64 y = sf::sub(tiny, c, ctx);
+        const sf::F64 t = sf::add(sum, y, ctx);
+        c = sf::sub(sf::sub(t, sum, ctx), y, ctx);
+        sum = t;
+    }
+    EXPECT_NEAR(sf::to_host(sum), 10000.0, 1e-9);
+}
+
+}  // namespace

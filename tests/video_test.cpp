@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "math/rotation.hpp"
+#include "video/affine.hpp"
+#include "video/fixed.hpp"
+#include "video/framebuffer.hpp"
+#include "video/pipeline.hpp"
+#include "video/trig_lut.hpp"
+#include "video/video_system.hpp"
+
+namespace {
+
+using namespace ob::video;
+using ob::math::deg2rad;
+using ob::math::EulerAngles;
+
+// --- Fixed point -------------------------------------------------------------
+
+TEST(Fixed, IntRoundTrip) {
+    for (int v : {-1000, -1, 0, 1, 7, 32767}) {
+        EXPECT_EQ(Fixed::from_int(v).to_int(), v);
+    }
+}
+
+TEST(Fixed, ArithmeticMatchesDouble) {
+    const Fixed a = Fixed::from_double(3.25);
+    const Fixed b = Fixed::from_double(-1.5);
+    EXPECT_DOUBLE_EQ((a + b).to_double(), 1.75);
+    EXPECT_DOUBLE_EQ((a - b).to_double(), 4.75);
+    EXPECT_NEAR((a * b).to_double(), -4.875, 1.0 / Fixed::kOne);
+    EXPECT_DOUBLE_EQ((-a).to_double(), -3.25);
+}
+
+TEST(Fixed, MultiplicationPrecision) {
+    // Error sources: each operand quantizes to half an LSB, which the
+    // product scales by the other operand's magnitude, plus one LSB of
+    // result truncation: |err| <= (|x| + |y| + 2) * LSB.
+    for (double x : {0.1, 0.5, 0.99, -0.7, 123.456}) {
+        for (double y : {0.9999, -0.333, 2.5}) {
+            const double got =
+                (Fixed::from_double(x) * Fixed::from_double(y)).to_double();
+            const double bound =
+                (std::abs(x) + std::abs(y) + 2.0) / Fixed::kOne;
+            EXPECT_NEAR(got, x * y, bound) << x << "*" << y;
+        }
+    }
+}
+
+TEST(Fixed, TruncationTowardNegativeInfinity) {
+    EXPECT_EQ(Fixed::from_double(1.75).to_int(), 1);
+    EXPECT_EQ(Fixed::from_double(-1.25).to_int(), -2);  // arithmetic shift
+    EXPECT_EQ(Fixed::from_double(1.75).to_int_round(), 2);
+    EXPECT_EQ(Fixed::from_double(-1.25).to_int_round(), -1);
+}
+
+TEST(Fixed, FromDoubleRangeCheck) {
+    EXPECT_THROW((void)Fixed::from_double(40000.0), std::overflow_error);
+    EXPECT_THROW((void)Fixed::from_double(-40000.0), std::overflow_error);
+    EXPECT_NO_THROW((void)Fixed::from_double(32000.0));
+}
+
+// --- Trig LUT ------------------------------------------------------------------
+
+TEST(TrigLut, KnownAngles) {
+    const TrigLut lut;
+    EXPECT_NEAR(lut.sin_at(0).to_double(), 0.0, 1e-4);
+    EXPECT_NEAR(lut.sin_at(256).to_double(), 1.0, 1e-4);   // pi/2
+    EXPECT_NEAR(lut.sin_at(512).to_double(), 0.0, 1e-4);   // pi
+    EXPECT_NEAR(lut.cos_at(0).to_double(), 1.0, 1e-4);
+    EXPECT_NEAR(lut.cos_at(512).to_double(), -1.0, 1e-4);
+}
+
+TEST(TrigLut, IndexWrapsAndNegatives) {
+    const TrigLut lut;
+    EXPECT_EQ(lut.sin_at(1024).raw(), lut.sin_at(0).raw());
+    EXPECT_EQ(TrigLut::index_from_radians(0.0), 0u);
+    EXPECT_EQ(TrigLut::index_from_radians(2.0 * ob::math::kPi), 0u);
+    // -pi/2 wraps to 3/4 of the table.
+    EXPECT_EQ(TrigLut::index_from_radians(-ob::math::kPi / 2.0), 768u);
+}
+
+TEST(TrigLut, AccuracyBound) {
+    // 1024 entries -> worst-case error ~ pi/1024 (nearest-entry rounding)
+    // plus the Q16.16 quantization.
+    const TrigLut lut;
+    EXPECT_LT(lut.max_abs_error(), ob::math::kPi / 1024.0 + 2e-4);
+}
+
+TEST(TrigLut, PythagoreanIdentityHolds) {
+    const TrigLut lut;
+    for (std::uint32_t i = 0; i < 1024; i += 17) {
+        const double s = lut.sin_at(i).to_double();
+        const double c = lut.cos_at(i).to_double();
+        EXPECT_NEAR(s * s + c * c, 1.0, 5e-4) << "index " << i;
+    }
+}
+
+// --- Framebuffer ---------------------------------------------------------------
+
+TEST(Framebuffer, PackUnpackRoundTrip) {
+    const Rgb c = unpack_rgb(pack_rgb(255, 128, 64));
+    EXPECT_EQ(c.r, 255);  // 5-bit channel, replicated expansion
+    EXPECT_NEAR(c.g, 128, 4);
+    EXPECT_NEAR(c.b, 64, 8);
+}
+
+TEST(Framebuffer, PsnrIdenticalIsInfinite) {
+    const Frame f = make_test_pattern(64, 48);
+    EXPECT_TRUE(std::isinf(f.psnr_against(f)));
+}
+
+TEST(Framebuffer, PsnrDetectsCorruption) {
+    const Frame f = make_test_pattern(64, 48);
+    Frame g = f;
+    for (std::size_t x = 0; x < 64; ++x) g.set(x, 10, pack_rgb(1, 2, 3));
+    const double psnr = g.psnr_against(f);
+    EXPECT_GT(psnr, 10.0);
+    EXPECT_LT(psnr, 40.0);
+}
+
+TEST(Framebuffer, PpmWriterProducesValidHeader) {
+    const Frame f = make_test_pattern(16, 8);
+    const std::string path = ::testing::TempDir() + "/ob_frame.ppm";
+    f.write_ppm(path);
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int w = 0, h = 0, maxv = 0;
+    in >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P6");
+    EXPECT_EQ(w, 16);
+    EXPECT_EQ(h, 8);
+    EXPECT_EQ(maxv, 255);
+    in.get();  // single whitespace
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(data.size(), 16u * 8u * 3u);
+    std::remove(path.c_str());
+}
+
+TEST(ZbtSram, ReadWriteAndAccounting) {
+    ZbtSram ram(1024);
+    ram.write(5, 0xBEEF);
+    EXPECT_EQ(ram.read(5), 0xBEEF);
+    EXPECT_EQ(ram.reads(), 1u);
+    EXPECT_EQ(ram.writes(), 1u);
+    EXPECT_THROW((void)ram.read(512), std::out_of_range);
+    EXPECT_THROW(ram.write(512, 0), std::out_of_range);
+}
+
+TEST(ZbtSram, FrameStoreLoadRoundTrip) {
+    ZbtSram ram;
+    const Frame f = make_test_pattern(320, 240);
+    ram.store_frame(f);
+    const Frame g = ram.load_frame(320, 240);
+    EXPECT_TRUE(std::isinf(g.psnr_against(f)));
+}
+
+TEST(ZbtSram, RejectsOversizedFrame) {
+    ZbtSram ram(1024);  // 512 words
+    const Frame f(32, 32);  // 1024 words
+    EXPECT_THROW(ram.store_frame(f), std::out_of_range);
+}
+
+// --- Affine transforms -----------------------------------------------------------
+
+TEST(Affine, RotateCoordinatesMatchesFloatMath) {
+    const TrigLut lut;
+    const Coord centre{160, 120};
+    for (const double deg : {0.0, 3.0, -5.0, 45.0, 90.0, 180.0}) {
+        const std::uint32_t bam = TrigLut::index_from_radians(deg2rad(deg));
+        // Quantized angle actually applied by the LUT:
+        const double q = 2.0 * ob::math::kPi * bam / 1024.0;
+        for (const Coord in : {Coord{0, 0}, Coord{319, 239}, Coord{200, 100}}) {
+            const Coord got = rotate_coordinates(lut, bam, in, centre);
+            const double dx = in.x - centre.x;
+            const double dy = in.y - centre.y;
+            const double ex = dx * std::cos(q) - dy * std::sin(q) + centre.x;
+            const double ey = dx * std::sin(q) + dy * std::cos(q) + centre.y;
+            EXPECT_NEAR(got.x, ex, 1.1) << deg << " deg";
+            EXPECT_NEAR(got.y, ey, 1.1) << deg << " deg";
+        }
+    }
+}
+
+TEST(Affine, ZeroParamsIsIdentity) {
+    const TrigLut lut;
+    const Frame f = make_test_pattern(80, 60);
+    const AffineParams p{};
+    EXPECT_TRUE(std::isinf(affine_fixed_inverse(f, lut, p).psnr_against(f)));
+    EXPECT_TRUE(std::isinf(affine_fixed_forward(f, lut, p).psnr_against(f)));
+    EXPECT_TRUE(std::isinf(affine_reference(f, p, false).psnr_against(f)));
+}
+
+TEST(Affine, PureTranslationShiftsPixels) {
+    const TrigLut lut;
+    Frame f(40, 30, pack_rgb(0, 0, 0));
+    f.set(10, 10, pack_rgb(255, 255, 255));
+    AffineParams p;
+    p.bx_px = 5;
+    p.by_px = -3;
+    const Frame out = affine_fixed_forward(f, lut, p);
+    EXPECT_EQ(out.at(15, 7), pack_rgb(255, 255, 255));
+}
+
+TEST(Affine, FixedInverseTracksFloatReference) {
+    const TrigLut lut;
+    const Frame f = make_test_pattern(160, 120);
+    AffineParams p;
+    // Use an angle the 1024-entry LUT represents exactly (a whole BAM
+    // step) so the comparison isolates the fixed-point datapath from the
+    // angle quantization (which TrigLut.AccuracyBound covers separately).
+    p.theta_rad = 2.0 * ob::math::kPi * 12.0 / 1024.0;  // ~4.2 deg
+    p.bx_px = 6.0;
+    p.by_px = -4.0;
+    const Frame fixed = affine_fixed_inverse(f, lut, p);
+    const Frame ref = affine_reference(f, p, /*bilinear=*/false);
+    // Same mapping, nearest sampling: residual differences are +-1 px
+    // coordinate rounding (truncation vs round-to-nearest) on feature
+    // edges. The overwhelming majority of pixels must agree exactly.
+    std::size_t same = 0;
+    for (std::size_t y = 0; y < f.height(); ++y)
+        for (std::size_t x = 0; x < f.width(); ++x)
+            if (fixed.at(x, y) == ref.at(x, y)) ++same;
+    const double frac =
+        static_cast<double>(same) / static_cast<double>(f.width() * f.height());
+    EXPECT_GT(frac, 0.85);
+    EXPECT_GT(fixed.psnr_against(ref), 14.0);
+}
+
+TEST(Affine, ForwardMappingLeavesHolesInverseDoesNot) {
+    const TrigLut lut;
+    Frame f(100, 100, pack_rgb(255, 255, 255));  // solid white
+    AffineParams p;
+    p.theta_rad = deg2rad(10.0);
+    const Pixel fill = pack_rgb(0, 0, 0);
+    const Frame fwd = affine_fixed_forward(f, lut, p, fill);
+    const Frame inv = affine_fixed_inverse(f, lut, p, fill);
+    // Count interior fill pixels (holes), away from rotation borders.
+    std::size_t fwd_holes = 0, inv_holes = 0;
+    for (std::size_t y = 30; y < 70; ++y) {
+        for (std::size_t x = 30; x < 70; ++x) {
+            if (fwd.at(x, y) == fill) ++fwd_holes;
+            if (inv.at(x, y) == fill) ++inv_holes;
+        }
+    }
+    EXPECT_GT(fwd_holes, 0u) << "forward mapping must show dropout holes";
+    EXPECT_EQ(inv_holes, 0u) << "inverse mapping fills every output pixel";
+}
+
+TEST(Affine, MisalignmentCorrectionImprovesPsnr) {
+    // The headline video demo: a camera misaligned by (roll,pitch,yaw)
+    // produces a transformed image; correcting with the estimated angles
+    // must bring it substantially closer to the true scene.
+    const TrigLut lut;
+    const Frame scene = make_test_pattern(160, 120);
+    const EulerAngles mis = EulerAngles::from_deg(5.0, 1.0, -1.5);
+    const double focal = 150.0;
+    const Frame camera = simulate_misaligned_camera(scene, mis, focal);
+    const double before = camera.psnr_against(scene);
+
+    const AffineParams correction = params_from_misalignment(mis, focal);
+    const Frame corrected = affine_fixed_inverse(camera, lut, correction);
+    // Compare interior region (borders lose pixels to the rotation).
+    double after = corrected.psnr_against(scene);
+    EXPECT_GT(after, before + 3.0)
+        << "correction must improve PSNR (before=" << before
+        << " after=" << after << ")";
+}
+
+TEST(Affine, ParamsFromMisalignmentGeometry) {
+    const AffineParams p =
+        params_from_misalignment(EulerAngles::from_deg(2.0, 1.0, -1.0), 300.0);
+    EXPECT_NEAR(p.theta_rad, deg2rad(2.0), 1e-12);
+    EXPECT_NEAR(p.bx_px, 300.0 * std::tan(deg2rad(-1.0)), 1e-9);
+    EXPECT_NEAR(p.by_px, 300.0 * std::tan(deg2rad(1.0)), 1e-9);
+}
+
+// --- Cycle-accurate pipeline ------------------------------------------------------
+
+TEST(Pipeline, LatencyIsExactlyFiveCycles) {
+    const TrigLut lut;
+    RotatePipeline pipe(lut, Coord{50, 50});
+    pipe.set_angle(0);
+    ob::hcl::Simulation sim;
+    sim.add(pipe);
+    pipe.feed(Coord{10, 20});
+    for (int cycle = 1; cycle <= RotatePipeline::kLatency; ++cycle) {
+        sim.step();
+        if (cycle < RotatePipeline::kLatency) {
+            EXPECT_FALSE(pipe.output().has_value()) << "cycle " << cycle;
+        } else {
+            ASSERT_TRUE(pipe.output().has_value());
+            EXPECT_EQ(pipe.output()->x, 10);
+            EXPECT_EQ(pipe.output()->y, 20);
+        }
+    }
+    // No further output without new input.
+    sim.step();
+    EXPECT_FALSE(pipe.output().has_value());
+}
+
+TEST(Pipeline, ThroughputOnePixelPerCycle) {
+    const TrigLut lut;
+    RotatePipeline pipe(lut, Coord{0, 0});
+    pipe.set_angle(TrigLut::index_from_radians(deg2rad(30.0)));
+    ob::hcl::Simulation sim;
+    sim.add(pipe);
+    int outputs = 0;
+    for (int i = 0; i < 100; ++i) {
+        pipe.feed(Coord{i, -i});
+        sim.step();
+        if (pipe.output()) ++outputs;
+    }
+    EXPECT_EQ(outputs, 100 - RotatePipeline::kLatency + 1);
+}
+
+TEST(Pipeline, MatchesFunctionalModel) {
+    const TrigLut lut;
+    const Coord centre{160, 120};
+    const std::uint32_t bam = TrigLut::index_from_radians(deg2rad(7.0));
+    RotatePipeline pipe(lut, centre);
+    pipe.set_angle(bam);
+    ob::hcl::Simulation sim;
+    sim.add(pipe);
+
+    std::vector<Coord> fed;
+    std::vector<Coord> got;
+    for (int i = 0; i < 64 + RotatePipeline::kLatency; ++i) {
+        if (i < 64) {
+            const Coord in{i * 5, 240 - i};
+            pipe.feed(in);
+            fed.push_back(in);
+        }
+        sim.step();
+        if (const auto o = pipe.output()) got.push_back(*o);
+    }
+    ASSERT_EQ(got.size(), fed.size());
+    for (std::size_t i = 0; i < fed.size(); ++i) {
+        const Coord expect = rotate_coordinates(lut, bam, fed[i], centre);
+        EXPECT_EQ(got[i].x, expect.x);
+        EXPECT_EQ(got[i].y, expect.y);
+    }
+}
+
+TEST(Pipeline, FrameCycleCountIsPixelsPlusLatency) {
+    const TrigLut lut;
+    const Frame f = make_test_pattern(64, 48);
+    AffineParams p;
+    p.theta_rad = deg2rad(3.0);
+    const auto res = pipeline_transform_frame(f, lut, p);
+    EXPECT_EQ(res.timing.cycles, 64u * 48u + RotatePipeline::kLatency - 1);
+}
+
+TEST(Pipeline, FrameMatchesDirectForwardMapping) {
+    const TrigLut lut;
+    const Frame f = make_test_pattern(64, 48);
+    AffineParams p;
+    p.theta_rad = deg2rad(-6.0);
+    p.bx_px = 3;
+    p.by_px = 2;
+    const auto piped = pipeline_transform_frame(f, lut, p);
+    const Frame direct = affine_fixed_forward(f, lut, p);
+    EXPECT_TRUE(std::isinf(piped.frame.psnr_against(direct)));
+}
+
+// --- VideoSystem -------------------------------------------------------------------
+
+TEST(VideoSystem, DoubleBufferingAlternatesBanks) {
+    VideoSystem vs({.width = 64, .height = 48});
+    const Frame f = make_test_pattern(64, 48);
+    const auto r1 = vs.process_frame(f);
+    const auto r2 = vs.process_frame(f);
+    const auto r3 = vs.process_frame(f);
+    EXPECT_NE(r1.front_bank, r2.front_bank);
+    EXPECT_EQ(r1.front_bank, r3.front_bank);
+    EXPECT_EQ(vs.frames_processed(), 3u);
+}
+
+TEST(VideoSystem, IdentityAnglesPassThrough) {
+    VideoSystem vs({.width = 64, .height = 48});
+    const Frame f = make_test_pattern(64, 48);
+    const auto r = vs.process_frame(f);
+    EXPECT_TRUE(std::isinf(r.display.psnr_against(f)));
+}
+
+TEST(VideoSystem, AngleProviderDrivesCorrection) {
+    VideoSystem vs({.width = 128, .height = 96, .focal_px = 120.0});
+    const EulerAngles mis = EulerAngles::from_deg(4.0, 0.5, -0.5);
+    vs.set_angle_provider([&] { return mis; });
+    const Frame scene = make_test_pattern(128, 96);
+    const Frame camera = simulate_misaligned_camera(scene, mis, 120.0);
+    const auto r = vs.process_frame(camera);
+    EXPECT_GT(r.display.psnr_against(scene),
+              camera.psnr_against(scene) + 3.0);
+}
+
+TEST(VideoSystem, TimingSupportsRealTimeRates) {
+    // 320x240 at the VGA pixel clock: comfortably beyond 60 fps — the
+    // paper's point that the fabric handles video in real time.
+    VideoSystem vs({.width = 320, .height = 240});
+    const auto r = vs.process_frame(make_test_pattern(320, 240));
+    EXPECT_GT(r.timing.fps(), 60.0);
+}
+
+TEST(VideoSystem, RejectsMismatchedFrame) {
+    VideoSystem vs({.width = 64, .height = 48});
+    EXPECT_THROW((void)vs.process_frame(Frame(32, 32)), std::invalid_argument);
+}
+
+TEST(VideoSystem, RejectsOversizedConfig) {
+    EXPECT_THROW(VideoSystem({.width = 2048, .height = 1024}),
+                 std::invalid_argument);
+}
+
+}  // namespace
