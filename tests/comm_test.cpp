@@ -387,7 +387,8 @@ TEST(Adxl, DeserializerResyncsAfterGarbage) {
     t.t2 = 3;
     AdxlDeserializer dec;
     // Garbage prefix, then a clean packet.
-    for (const std::uint8_t b : {0x00, 0xFF, 0x13}) {
+    for (const std::uint8_t b : {std::uint8_t{0x00}, std::uint8_t{0xFF},
+                                 std::uint8_t{0x13}}) {
         EXPECT_FALSE(dec.feed(b, 0.0).has_value());
     }
     EXPECT_GE(dec.resyncs(), 3u);

@@ -113,8 +113,9 @@ TEST(FixedEkf, CovarianceStaysPositiveAndShrinks) {
     for (int k = 0; k < 3000; ++k)
         (void)ekf.step(f, ideal_acc(EulerAngles::from_deg(1, 1, 0), f));
     const auto s3 = ekf.misalignment_sigma3();
-    for (int i = 0; i < 3; ++i) {
-        EXPECT_GE(ekf.covariance_raw(i, i), 1);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const int ii = static_cast<int>(i);
+        EXPECT_GE(ekf.covariance_raw(ii, ii), 1);
         EXPECT_LE(s3[i], s3_start[i] * 1.0001);
     }
     // Observable axes collapse by orders of magnitude.

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "math/matrix.hpp"
+#include "math/rotation.hpp"
+#include "util/rng.hpp"
+
+// Randomized property tests for the math layer: rotation representation
+// round-trips (Euler <-> DCM <-> quaternion), group structure (orthonormality
+// under composition, inverse = transpose), and matrix algebra identities.
+// Seeded draws make every case a deterministic regression; the EKF Jacobians
+// and the video affine path both sit directly on these invariants.
+
+namespace {
+
+using namespace ob;
+using math::EulerAngles;
+using math::Mat3;
+using math::Quaternion;
+using math::Vec3;
+
+EulerAngles random_euler(util::Rng& rng, double pitch_limit_deg = 85.0) {
+    // Keep pitch away from the +-90 deg gimbal-lock singularity where the
+    // Euler round-trip is legitimately non-unique.
+    return EulerAngles{rng.uniform(-math::kPi, math::kPi),
+                       math::deg2rad(rng.uniform(-pitch_limit_deg,
+                                                 pitch_limit_deg)),
+                       rng.uniform(-math::kPi, math::kPi)};
+}
+
+void expect_orthonormal(const Mat3& c, double tol) {
+    const Mat3 should_be_i = c * c.transposed();
+    EXPECT_LT((should_be_i - Mat3::identity()).max_abs(), tol);
+    EXPECT_NEAR(math::determinant(c), 1.0, tol);
+}
+
+TEST(RotationProperty, EulerDcmRoundTrip) {
+    util::Rng rng(0xE01);
+    for (int i = 0; i < 1000; ++i) {
+        const auto e = random_euler(rng);
+        const auto back = math::euler_from_dcm(math::dcm_from_euler(e));
+        EXPECT_NEAR(back.roll, e.roll, 1e-9) << "iter " << i;
+        EXPECT_NEAR(back.pitch, e.pitch, 1e-9) << "iter " << i;
+        EXPECT_NEAR(back.yaw, e.yaw, 1e-9) << "iter " << i;
+    }
+}
+
+TEST(RotationProperty, DcmIsOrthonormalAndComposes) {
+    util::Rng rng(0xE02);
+    for (int i = 0; i < 500; ++i) {
+        const Mat3 a = math::dcm_from_euler(random_euler(rng));
+        const Mat3 b = math::dcm_from_euler(random_euler(rng));
+        expect_orthonormal(a, 1e-12);
+        expect_orthonormal(a * b, 1e-11);  // closed under composition
+        // Inverse of a rotation is its transpose.
+        EXPECT_LT((math::inverse(a) - a.transposed()).max_abs(), 1e-12);
+    }
+}
+
+TEST(RotationProperty, QuaternionDcmRoundTrip) {
+    util::Rng rng(0xE03);
+    for (int i = 0; i < 1000; ++i) {
+        const auto e = random_euler(rng);
+        const Mat3 c = math::dcm_from_euler(e);
+        const auto q = Quaternion::from_dcm(c);
+        EXPECT_NEAR(q.norm(), 1.0, 1e-12);
+        EXPECT_LT((q.to_dcm() - c).max_abs(), 1e-9) << "iter " << i;
+        // from_euler must agree with the DCM path.
+        const auto qe = Quaternion::from_euler(e);
+        EXPECT_LT((qe.to_dcm() - c).max_abs(), 1e-9) << "iter " << i;
+    }
+}
+
+TEST(RotationProperty, QuaternionCompositionMatchesDcmProduct) {
+    // Documented convention: to_dcm(a*b) == to_dcm(b) * to_dcm(a).
+    util::Rng rng(0xE04);
+    for (int i = 0; i < 500; ++i) {
+        const auto qa = Quaternion::from_euler(random_euler(rng));
+        const auto qb = Quaternion::from_euler(random_euler(rng));
+        EXPECT_LT(((qa * qb).to_dcm() - qb.to_dcm() * qa.to_dcm()).max_abs(),
+                  1e-12)
+            << "iter " << i;
+        // Conjugate is the inverse rotation.
+        EXPECT_NEAR((qa * qa.conjugate()).w(), 1.0, 1e-12);
+        EXPECT_NEAR(qa.angle_to(qa), 0.0, 1e-9);
+    }
+}
+
+TEST(RotationProperty, TransformPreservesLengthAndAngles) {
+    util::Rng rng(0xE05);
+    for (int i = 0; i < 500; ++i) {
+        const auto q = Quaternion::from_euler(random_euler(rng));
+        const Vec3 u{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                     rng.uniform(-10, 10)};
+        const Vec3 v{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                     rng.uniform(-10, 10)};
+        const Vec3 tu = q.transform(u), tv = q.transform(v);
+        EXPECT_NEAR(math::norm(tu), math::norm(u), 1e-9);
+        EXPECT_NEAR(math::dot(tu, tv), math::dot(u, v), 1e-8);
+        // Rotations preserve orientation: cross products map through.
+        const Vec3 txu = q.transform(math::cross(u, v));
+        const Vec3 direct = math::cross(tu, tv);
+        EXPECT_LT(math::norm(txu - direct), 1e-7);
+    }
+}
+
+TEST(RotationProperty, SmallAngleDcmMatchesExactToFirstOrder) {
+    util::Rng rng(0xE06);
+    for (int i = 0; i < 200; ++i) {
+        const double mag = rng.uniform(1e-6, 1e-3);
+        const Vec3 rho = mag * math::normalized(Vec3{rng.uniform(-1, 1),
+                                                     rng.uniform(-1, 1),
+                                                     rng.uniform(-1, 1)});
+        const Mat3 approx = math::small_angle_dcm(rho);
+        const Mat3 exact = math::dcm_from_euler(
+            Quaternion::from_axis_angle(rho, math::norm(rho)).to_euler());
+        // First-order model: error is O(|rho|^2).
+        EXPECT_LT((approx - exact).max_abs(), 10.0 * mag * mag) << "iter " << i;
+    }
+}
+
+TEST(RotationProperty, WrapAngleIsIdempotentAndBounded) {
+    util::Rng rng(0xE07);
+    for (int i = 0; i < 1000; ++i) {
+        const double a = rng.uniform(-50.0, 50.0);
+        const double w = math::wrap_angle(a);
+        EXPECT_GT(w, -math::kPi - 1e-12);
+        EXPECT_LE(w, math::kPi + 1e-12);
+        EXPECT_NEAR(math::wrap_angle(w), w, 1e-12);
+        // Same point on the circle.
+        EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+        EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+    }
+}
+
+TEST(MatrixProperty, InverseAndDeterminantIdentities) {
+    util::Rng rng(0xE08);
+    int tested = 0;
+    for (int i = 0; i < 500; ++i) {
+        Mat3 m;
+        for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 3; ++c)
+                m(r, c) = rng.uniform(-5.0, 5.0);
+        const double det = math::determinant(m);
+        if (std::abs(det) < 0.1) continue;  // skip ill-conditioned draws
+        ++tested;
+        const Mat3 inv = math::inverse(m);
+        EXPECT_LT((m * inv - Mat3::identity()).max_abs(), 1e-9) << "iter " << i;
+        EXPECT_LT((inv * m - Mat3::identity()).max_abs(), 1e-9) << "iter " << i;
+        EXPECT_NEAR(math::determinant(inv), 1.0 / det,
+                    1e-6 * std::abs(1.0 / det));
+        // det(A^T) == det(A).
+        EXPECT_NEAR(math::determinant(m.transposed()), det,
+                    1e-9 * std::abs(det));
+    }
+    EXPECT_GT(tested, 400);
+}
+
+TEST(MatrixProperty, SkewEncodesCrossProduct) {
+    util::Rng rng(0xE09);
+    for (int i = 0; i < 500; ++i) {
+        const Vec3 a{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3)};
+        const Vec3 b{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3)};
+        EXPECT_LT(math::norm(Vec3{math::skew(a) * b} - math::cross(a, b)),
+                  1e-12);
+        // skew is antisymmetric with zero trace.
+        EXPECT_LT((math::skew(a) + math::skew(a).transposed()).max_abs(),
+                  1e-15);
+        EXPECT_EQ(math::skew(a).trace(), 0.0);
+    }
+}
+
+TEST(MatrixProperty, SymmetrizedAndOuterIdentities) {
+    util::Rng rng(0xE0A);
+    for (int i = 0; i < 200; ++i) {
+        Mat3 m;
+        for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 3; ++c)
+                m(r, c) = rng.uniform(-5.0, 5.0);
+        const Mat3 s = m.symmetrized();
+        EXPECT_LT((s - s.transposed()).max_abs(), 1e-15);
+        EXPECT_NEAR(s.trace(), m.trace(), 1e-12);
+
+        const Vec3 a{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3)};
+        const Vec3 b{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3)};
+        // outer(a,b) * x == a * dot(b,x)
+        const Vec3 x{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3)};
+        const Vec3 lhs = math::outer(a, b) * x;
+        const Vec3 rhs = math::dot(b, x) * a;
+        EXPECT_LT(math::norm(lhs - rhs), 1e-12);
+    }
+}
+
+}  // namespace

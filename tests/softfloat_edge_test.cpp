@@ -140,7 +140,7 @@ TEST(SoftFloatEdge, CancellationIsExact) {
     for (int i = 0; i < 50000; ++i) {
         const float fa = static_cast<float>(rng.uniform(0.5, 100.0));
         const float fb = static_cast<float>(
-            fa * rng.uniform(0.5, 2.0));
+            static_cast<double>(fa) * rng.uniform(0.5, 2.0));
         ctx.clear();
         const sf::F32 r =
             sf::sub(sf::from_host(fa), sf::from_host(fb), ctx);
