@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "math/rotation.hpp"
+#include "sim/scenario_library.hpp"
 #include "system/experiment.hpp"
 #include "util/ascii_plot.hpp"
 
@@ -30,11 +31,9 @@ ExperimentOutcome run_case(const char* label, bool dynamic, double r_sigma,
     ExperimentConfig cfg;
     cfg.label = label;
     const EulerAngles truth = EulerAngles::from_deg(1.0, -1.0, 1.0);
-    if (dynamic) {
-        cfg.scenario = sim::ScenarioConfig::dynamic_city(300.0, truth, 9);
-    } else {
-        cfg.scenario = sim::ScenarioConfig::static_level(300.0, truth);
-    }
+    const auto& spec = sim::ScenarioLibrary::instance().at(
+        dynamic ? "city-drive" : "static-level");
+    cfg.scenario = spec.build(300.0, truth, 9);
     cfg.sensor_seed = 2112;
     cfg.filter.meas_noise_mps2 = r_sigma;
     cfg.record_traces = true;

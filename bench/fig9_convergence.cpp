@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "math/rotation.hpp"
+#include "sim/scenario_library.hpp"
 #include "system/experiment.hpp"
 #include "util/ascii_plot.hpp"
 
@@ -29,9 +30,10 @@ int main() {
     system::ExperimentConfig cfg;
     cfg.label = "fig9 dynamic";
     const EulerAngles truth = EulerAngles::from_deg(2.0, -1.5, 1.0);
-    cfg.scenario = sim::ScenarioConfig::dynamic_city(300.0, truth, 17);
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    cfg.scenario = spec.build(300.0, truth, 17);
     cfg.sensor_seed = 424242;
-    cfg.filter.meas_noise_mps2 = 0.02;
+    cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
     cfg.record_traces = true;
 
     const auto o = system::run_experiment(cfg);

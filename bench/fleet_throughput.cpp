@@ -1,0 +1,161 @@
+// Fleet-scale scenario sweep: every library scenario end to end through the
+// full-transport BoresightSystem, on the native EKF and on the Sabre
+// firmware, dispatched across a thread pool. Reports wall-clock throughput
+// (scenarios/sec, epochs/sec), a per-stage cost breakdown, and the envelope
+// verdict per run — and writes the whole thing to BENCH_fleet.json so the
+// perf trajectory of the fleet path is machine-trackable from this PR on.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/boresight_ekf.hpp"
+#include "math/rotation.hpp"
+#include "sim/scenario_library.hpp"
+#include "system/boresight_system.hpp"
+#include "system/experiment.hpp"
+#include "system/fleet.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ob;
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Per-stage cost on the representative city drive: raw scenario synthesis,
+/// full transport feed, and the bare fusion update.
+struct StageCosts {
+    double sim_epoch_us = 0.0;
+    double transport_feed_us = 0.0;
+    double fusion_update_us = 0.0;
+    std::size_t epochs = 0;
+};
+
+StageCosts measure_stages() {
+    StageCosts out;
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 7);
+
+    {  // scenario synthesis alone
+        sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
+        const auto t0 = Clock::now();
+        while (auto s = sc.next()) ++out.epochs;
+        out.sim_epoch_us =
+            1e6 * seconds_since(t0) / static_cast<double>(out.epochs);
+    }
+    {  // transport + fusion via the full system
+        sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
+        system::BoresightSystem::Config cfg;
+        cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
+        system::BoresightSystem sys(cfg);
+        std::vector<sim::Scenario::Step> steps;
+        while (auto s = sc.next()) steps.push_back(*s);
+        const auto t0 = Clock::now();
+        for (const auto& s : steps) sys.feed(sc, s);
+        out.transport_feed_us =
+            1e6 * seconds_since(t0) / static_cast<double>(steps.size());
+    }
+    {  // bare fusion update on decoded measurements
+        sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
+        core::BoresightConfig fcfg;
+        fcfg.meas_noise_mps2 = spec.meas_noise_mps2;
+        core::BoresightEkf ekf(fcfg);
+        std::vector<system::DecodedMeasurement> ms;
+        while (auto s = sc.next()) ms.push_back(system::decode_step(sc, *s));
+        const auto t0 = Clock::now();
+        for (const auto& m : ms) (void)ekf.step(m.f_body, m.acc_xy);
+        out.fusion_update_us =
+            1e6 * seconds_since(t0) / static_cast<double>(ms.size());
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    const system::FleetRunner runner;
+    std::printf("fleet runner: %zu worker thread(s)\n\n", runner.threads());
+
+    auto jobs =
+        system::full_library_jobs(system::BoresightSystem::Processor::kNative);
+    const auto sabre_jobs =
+        system::full_library_jobs(system::BoresightSystem::Processor::kSabre);
+    jobs.insert(jobs.end(), sabre_jobs.begin(), sabre_jobs.end());
+
+    const auto t0 = Clock::now();
+    const auto results = runner.run(jobs);
+    const double elapsed = seconds_since(t0);
+
+    std::size_t total_epochs = 0;
+    int failures = 0;
+    std::printf("%-20s %-7s %7s | %7s %7s %7s | %9s | %s\n", "scenario",
+                "proc", "epochs", "roll", "pitch", "yaw", "resid", "verdict");
+    std::printf("%-20s %-7s %7s | %21s | %9s |\n", "", "", "",
+                "worst post-settle err (deg)", "rms m/s^2");
+    for (const auto& r : results) {
+        total_epochs += r.trace.epochs;
+        if (!r.within_envelope) ++failures;
+        std::printf("%-20s %-7s %7zu | %7.3f %7.3f %7.3f | %9.4f | %s\n",
+                    r.scenario.c_str(), system::processor_name(r.processor),
+                    r.trace.epochs, r.trace.worst_roll_err_deg,
+                    r.trace.worst_pitch_err_deg, r.trace.worst_yaw_err_deg,
+                    r.result.residual_rms,
+                    r.within_envelope ? "ok" : "OUTSIDE ENVELOPE");
+    }
+
+    const auto stages = measure_stages();
+    const double scen_per_s = static_cast<double>(results.size()) / elapsed;
+    std::printf("\n%zu scenario runs in %.2f s: %.2f scenarios/s, "
+                "%.0f epochs/s\n",
+                results.size(), elapsed, scen_per_s,
+                static_cast<double>(total_epochs) / elapsed);
+    std::printf("per-stage cost (city drive): sim %.2f us/epoch, "
+                "transport+fusion %.2f us/epoch, bare EKF %.2f us/update\n",
+                stages.sim_epoch_us, stages.transport_feed_us,
+                stages.fusion_update_us);
+
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("fleet");
+    w.key("threads").value(runner.threads());
+    w.key("scenarios").value(sim::ScenarioLibrary::instance().all().size());
+    w.key("jobs").value(results.size());
+    w.key("elapsed_s").value(elapsed);
+    w.key("scenarios_per_sec").value(scen_per_s);
+    w.key("epochs_per_sec").value(static_cast<double>(total_epochs) / elapsed);
+    w.key("per_stage_us").begin_object();
+    w.key("sim_epoch").value(stages.sim_epoch_us);
+    w.key("transport_feed").value(stages.transport_feed_us);
+    w.key("fusion_update").value(stages.fusion_update_us);
+    w.end_object();
+    w.key("runs").begin_array();
+    for (const auto& r : results) {
+        w.begin_object();
+        w.key("scenario").value(r.scenario);
+        w.key("processor").value(system::processor_name(r.processor));
+        w.key("epochs").value(r.trace.epochs);
+        w.key("updates").value(r.final_status.updates);
+        w.key("worst_roll_err_deg").value(r.trace.worst_roll_err_deg);
+        w.key("worst_pitch_err_deg").value(r.trace.worst_pitch_err_deg);
+        w.key("worst_yaw_err_deg").value(r.trace.worst_yaw_err_deg);
+        w.key("residual_rms").value(r.result.residual_rms);
+        w.key("within_envelope").value(r.within_envelope);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    util::write_file("BENCH_fleet.json", w.str());
+    std::printf("wrote BENCH_fleet.json\n");
+
+    if (failures != 0) {
+        std::printf("FAIL: %d run(s) outside their envelope\n", failures);
+        return 1;
+    }
+    std::printf("PASS: every library scenario inside its envelope on both "
+                "processors\n");
+    return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "core/alignment_report.hpp"
 #include "math/rotation.hpp"
+#include "sim/scenario_library.hpp"
 #include "system/experiment.hpp"
 
 namespace {
@@ -25,33 +26,36 @@ using system::ExperimentConfig;
 using system::ExperimentOutcome;
 using system::run_experiment;
 
-ExperimentConfig static_level_cfg(const EulerAngles& truth) {
+/// All scenario shapes and filter tunings come from the scenario library;
+/// the bench only chooses the injected truths and sensor seeds, matching
+/// the paper's experiment plan.
+ExperimentConfig library_cfg(const char* scenario, const char* label,
+                             const EulerAngles& truth,
+                             std::uint64_t sensor_seed,
+                             std::uint64_t drive_seed = 0) {
+    const auto& spec = sim::ScenarioLibrary::instance().at(scenario);
     ExperimentConfig cfg;
-    cfg.label = "static level";
-    cfg.scenario = sim::ScenarioConfig::static_level(300.0, truth);
-    cfg.sensor_seed = 101;
-    cfg.filter.meas_noise_mps2 = 0.0075;  // paper: 0.003-0.01 static
+    cfg.label = label;
+    cfg.scenario = spec.build(300.0, truth, drive_seed);
+    cfg.sensor_seed = sensor_seed;
+    cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
     return cfg;
 }
 
+ExperimentConfig static_level_cfg(const EulerAngles& truth) {
+    // paper: 0.003-0.01 m/s² static tuning, from the library spec
+    return library_cfg("static-level", "static level", truth, 101);
+}
+
 ExperimentConfig static_tilted_cfg(const EulerAngles& truth) {
-    ExperimentConfig cfg;
-    cfg.label = "static tilted";
-    cfg.scenario = sim::ScenarioConfig::static_tilted(
-        300.0, truth, EulerAngles::from_deg(12.0, 8.0, 0.0));
-    cfg.sensor_seed = 102;
-    cfg.filter.meas_noise_mps2 = 0.0075;
-    return cfg;
+    return library_cfg("static-tilted", "static tilted", truth, 102);
 }
 
 ExperimentConfig dynamic_cfg(const EulerAngles& truth, std::uint64_t drive_seed,
                              const char* label) {
-    ExperimentConfig cfg;
-    cfg.label = label;
-    cfg.scenario = sim::ScenarioConfig::dynamic_city(300.0, truth, drive_seed);
-    cfg.sensor_seed = 103;  // same physical instruments for both drives
-    cfg.filter.meas_noise_mps2 = 0.02;  // paper: >= 0.015 moving
-    return cfg;
+    // paper: >= 0.015 m/s² moving; sensor seed 103 keeps the same physical
+    // instruments for both drives
+    return library_cfg("city-drive", label, truth, 103, drive_seed);
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "math/rotation.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_library.hpp"
 #include "system/boresight_system.hpp"
 #include "util/csv.hpp"
 
@@ -17,7 +17,8 @@ using namespace ob;
 int main() {
     const math::EulerAngles truth = math::EulerAngles::from_deg(1.2, -0.8, 1.5);
 
-    auto scenario_cfg = sim::ScenarioConfig::dynamic_city(300.0, truth, 21);
+    auto scenario_cfg = sim::ScenarioLibrary::instance().at("city-drive")
+                            .build(300.0, truth, 21);
     sim::Scenario scenario(scenario_cfg, /*sensor seed=*/103);
 
     system::BoresightSystem::Config cfg;

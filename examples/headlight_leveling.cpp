@@ -12,7 +12,7 @@
 
 #include "core/boresight_ekf.hpp"
 #include "math/rotation.hpp"
-#include "sim/scenario.hpp"
+#include "sim/scenario_library.hpp"
 #include "system/experiment.hpp"
 
 using namespace ob;
@@ -20,17 +20,18 @@ using math::EulerAngles;
 using math::rad2deg;
 
 int main() {
-    // Pod knocked 0.9 deg down and 0.5 deg right at the start of the run.
-    const EulerAngles pod_error = EulerAngles::from_deg(0.2, -0.9, 0.5);
+    // Pod knocked 0.9 deg down and 0.5 deg right at the start of the run —
+    // the library spec's default truth. Its builder zeroes the instrument
+    // biases (pod sensor and IMU are factory-calibrated).
+    const auto& spec = sim::ScenarioLibrary::instance().at("headlight-leveling");
+    const EulerAngles pod_error = spec.misalignment;
     const double aim_limit_deg = 0.57;  // ~1% beam aim band
 
-    auto scfg = sim::ScenarioConfig::dynamic_city(300.0, pod_error, 41);
-    scfg.acc_errors.bias_sigma = 0.0;  // pod sensor factory-calibrated
-    scfg.imu_errors.accel_bias_sigma = 0.0;
+    auto scfg = spec.build(300.0, pod_error, 41);
     sim::Scenario sc(scfg, 99);
 
     core::BoresightConfig fcfg;
-    fcfg.meas_noise_mps2 = 0.02;
+    fcfg.meas_noise_mps2 = spec.meas_noise_mps2;
     core::BoresightEkf ekf(fcfg);
 
     std::printf("%8s | %12s | %12s | %s\n", "t (s)", "pitch est", "3-sigma",
@@ -57,14 +58,15 @@ int main() {
     }
 
     const double final_pitch = rad2deg(ekf.misalignment().pitch);
+    const double truth_pitch = rad2deg(pod_error.pitch);
     std::printf("\npod pitch error: truth %+0.2f deg, estimated %+0.3f deg\n",
-                -0.9, final_pitch);
+                truth_pitch, final_pitch);
     if (detected_at >= 0.0) {
         std::printf("mis-aim detected %.1f s into the drive — the leveling "
                     "actuator can correct by %+0.3f deg without a workshop "
                     "visit.\n",
                     detected_at, -final_pitch);
     }
-    const double err = std::abs(final_pitch + 0.9);
+    const double err = std::abs(final_pitch - truth_pitch);
     return (err < 0.2 && detected_at >= 0.0) ? 0 : 1;
 }

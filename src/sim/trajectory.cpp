@@ -96,6 +96,7 @@ DriveProfile::DriveProfile(std::vector<DriveSegment> segments,
         double a_lon = s.accel_mps2 * env;
         double yaw_rate = s.yaw_rate_rps * env;
         const double grade = s.grade * env;
+        const double bank = s.bank * env;
 
         // A stationary vehicle cannot brake backwards or yaw in place.
         if (v <= 0.0 && a_lon < 0.0) a_lon = 0.0;
@@ -112,8 +113,9 @@ DriveProfile::DriveProfile(std::vector<DriveSegment> segments,
         // rotating gravity in the body frame (the classic grade/
         // acceleration ambiguity the accelerometers then see).
         const double slope_pitch = std::atan(grade);
+        const double bank_roll = std::atan(bank);
         const double alpha = grid_dt_ / (dyn.suspension_tau_s + grid_dt_);
-        roll += alpha * (dyn.roll_per_lat_accel * a_lat - roll);
+        roll += alpha * (dyn.roll_per_lat_accel * a_lat + bank_roll - roll);
         pitch += alpha *
                  (dyn.pitch_per_lon_accel * a_lon + slope_pitch - pitch);
 

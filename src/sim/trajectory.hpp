@@ -86,6 +86,11 @@ struct DriveSegment {
     double accel_mps2 = 0.0;     ///< longitudinal acceleration target
     double yaw_rate_rps = 0.0;   ///< heading rate target (only when moving)
     double grade = 0.0;          ///< road slope (rise/run); climbing > 0
+    /// Road superelevation (rise/run across the lane); banking into a left
+    /// turn > 0. Rolls the whole vehicle the way grade pitches it, rotating
+    /// gravity laterally in the body frame — the classic bank/lateral-
+    /// acceleration ambiguity a banked curve presents to the accelerometers.
+    double bank = 0.0;
 };
 
 /// Configuration of the suspension/attitude coupling that turns planar

@@ -1,12 +1,60 @@
 #include "system/boresight_system.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace ob::system {
 
 using math::Vec2;
 using math::Vec3;
 
+namespace {
+
+void require(bool ok, const char* what) {
+    if (!ok) {
+        throw std::invalid_argument(std::string("BoresightSystem: ") + what);
+    }
+}
+
+void require_probability(double p, const char* what) {
+    require(p >= 0.0 && p <= 1.0, what);
+}
+
+}  // namespace
+
+void BoresightSystem::Config::validate() const {
+    require(can_bitrate > 0.0, "CAN bitrate must be positive");
+    require(uart_baud > 0.0, "UART baud rate must be positive");
+    require(filter.meas_noise_mps2 > 0.0,
+            "filter measurement noise must be positive");
+    require(filter.angle_process_noise >= 0.0,
+            "filter angle process noise must be non-negative");
+    require(filter.init_angle_sigma > 0.0,
+            "filter initial angle sigma must be positive");
+    require(filter.init_bias_sigma > 0.0,
+            "filter initial bias sigma must be positive");
+    require(filter.bias_process_noise >= 0.0,
+            "filter bias process noise must be non-negative");
+    require(filter.nis_gate >= 0.0, "filter NIS gate must be non-negative");
+    require(sabre.r_sigma > 0.0, "Sabre measurement noise must be positive");
+    require(sabre.q_variance >= 0.0,
+            "Sabre process noise variance must be non-negative");
+    require(sabre.p0_sigma > 0.0, "Sabre initial sigma must be positive");
+    require(tuner.floor_mps2 > 0.0, "tuner noise floor must be positive");
+    require(tuner.ceiling_mps2 >= tuner.floor_mps2,
+            "tuner ceiling must be at or above its floor");
+    for (const auto* faults : {&dmu_link_faults, &acc_link_faults}) {
+        require_probability(faults->drop_probability,
+                            "link drop probability must be in [0, 1]");
+        require_probability(faults->bit_flip_probability,
+                            "link bit-flip probability must be in [0, 1]");
+        require_probability(faults->framing_error_probability,
+                            "link framing-error probability must be in [0, 1]");
+    }
+}
+
 BoresightSystem::BoresightSystem(const Config& cfg)
-    : cfg_(cfg),
+    : cfg_((cfg.validate(), cfg)),
       can_(cfg.can_bitrate),
       dmu_uart_(cfg.uart_baud, cfg.dmu_link_faults, /*fault_seed=*/11),
       acc_uart_(cfg.uart_baud, cfg.acc_link_faults, /*fault_seed=*/12),
@@ -74,7 +122,9 @@ void BoresightSystem::process_pair(const comm::DmuSample& dmu,
     ++updates_;
     if (sabre_) {
         sabre_->push(dmu, acc);
-        (void)sabre_->run_pending();
+        const auto est = sabre_->run_pending();
+        residual_stats_.add(est.residual[0]);
+        residual_stats_.add(est.residual[1]);
         return;
     }
     Vec3 f_body;
@@ -83,6 +133,8 @@ void BoresightSystem::process_pair(const comm::DmuSample& dmu,
     const auto [ax, ay] = comm::adxl_decode(acc, adxl_);
     const Vec2 z = Vec2{ax, ay} - cfg_.calibrated_bias;
     const auto up = native_->step(f_body, z);
+    residual_stats_.add(up.residual[0]);
+    residual_stats_.add(up.residual[1]);
     if (cfg_.use_adaptive_tuner) {
         const double rec =
             tuner_.observe(up.residual, up.sigma3, native_->measurement_noise());
@@ -107,6 +159,7 @@ BoresightSystem::Status BoresightSystem::status() const {
                         dmu_codec_.bad_checksum();
     s.acc_packets_lost = acc_deser_.bad_checksum() + implausible_acc_;
     s.worst_transport_latency = can_.max_latency();
+    s.residual_rms = residual_stats_.rms();
     return s;
 }
 

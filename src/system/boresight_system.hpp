@@ -12,6 +12,7 @@
 #include "math/rotation.hpp"
 #include "sim/scenario.hpp"
 #include "system/sabre_runner.hpp"
+#include "util/stats.hpp"
 
 namespace ob::system {
 
@@ -47,6 +48,12 @@ public:
         bool use_adaptive_tuner = false;
         core::AdaptiveTunerConfig tuner{};
         math::Vec2 calibrated_bias{};  ///< subtracted from ACC readings
+
+        /// Throws std::invalid_argument naming the first bad field. Called
+        /// by the BoresightSystem constructor: a zero bitrate or a
+        /// non-positive filter noise would otherwise only show up as NaN
+        /// estimates thousands of epochs later.
+        void validate() const;
     };
 
     explicit BoresightSystem(const Config& cfg);
@@ -63,6 +70,7 @@ public:
         std::size_t acc_packets_lost = 0;
         double worst_transport_latency = 0.0;  ///< seconds, CAN queueing
         double measurement_noise = 0.0;        ///< current filter R sigma
+        double residual_rms = 0.0;  ///< innovation RMS over both axes (m/s²)
     };
     [[nodiscard]] Status status() const;
 
@@ -99,6 +107,7 @@ private:
     std::unique_ptr<core::BoresightEkf> native_;
     std::unique_ptr<SabreFusionSystem> sabre_;
     core::AdaptiveNoiseTuner tuner_;
+    util::RunningStats residual_stats_;  ///< innovation samples, both axes
     std::size_t updates_ = 0;
 };
 

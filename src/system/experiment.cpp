@@ -1,5 +1,8 @@
 #include "system/experiment.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "core/calibration.hpp"
 #include "core/residual_monitor.hpp"
 
@@ -7,6 +10,28 @@ namespace ob::system {
 
 using math::Vec2;
 using math::Vec3;
+
+void ExperimentConfig::validate() const {
+    const auto fail = [](const char* what) {
+        throw std::invalid_argument(std::string("ExperimentConfig: ") + what);
+    };
+    if (label.empty()) fail("label must not be empty");
+    if (!scenario.profile) fail("scenario has no trajectory profile");
+    if (!(scenario.profile->duration() > 0.0))
+        fail("scenario duration must be positive");
+    if (!(scenario.sample_rate_hz > 0.0))
+        fail("scenario sample rate must be positive");
+    if (calibrate && !(calibration_duration_s > 0.0))
+        fail("calibration duration must be positive");
+    if (!(filter.meas_noise_mps2 > 0.0))
+        fail("filter measurement noise must be positive");
+    if (filter.angle_process_noise < 0.0)
+        fail("filter angle process noise must be non-negative");
+    if (!(filter.init_angle_sigma > 0.0))
+        fail("filter initial angle sigma must be positive");
+    if (use_adaptive_tuner && !(tuner.floor_mps2 > 0.0))
+        fail("tuner noise floor must be positive");
+}
 
 DecodedMeasurement decode_step(const sim::Scenario& sc,
                                const sim::Scenario::Step& step) {
@@ -21,6 +46,7 @@ DecodedMeasurement decode_step(const sim::Scenario& sc,
 }
 
 ExperimentOutcome run_experiment(const ExperimentConfig& cfg) {
+    cfg.validate();
     ExperimentOutcome out;
 
     // --- Calibration pass (paper §11.1: level platform, known alignment).

@@ -28,6 +28,11 @@ struct ExperimentConfig {
     core::AdaptiveTunerConfig tuner;
     /// Record full residual/estimate traces (Figures 8 and 9).
     bool record_traces = false;
+
+    /// Throws std::invalid_argument naming the first bad field (empty
+    /// scenario, non-positive durations or rates, bad filter tuning).
+    /// `run_experiment` calls this before touching any state.
+    void validate() const;
 };
 
 /// Time histories recorded during a run (only when record_traces is set).

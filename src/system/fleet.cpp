@@ -1,0 +1,197 @@
+#include "system/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace ob::system {
+
+using math::EulerAngles;
+using math::rad2deg;
+
+namespace {
+
+/// Salt separating the sensor-instrument RNG stream from the drive-layout
+/// stream that `spec.build` consumes directly.
+constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
+
+}  // namespace
+
+const char* processor_name(BoresightSystem::Processor p) {
+    return p == BoresightSystem::Processor::kNative ? "native" : "sabre";
+}
+
+void FleetJob::validate() const {
+    if (scenario.empty()) {
+        throw std::invalid_argument("FleetJob: scenario name must not be empty");
+    }
+    if (!sim::ScenarioLibrary::instance().find(scenario)) {
+        throw std::invalid_argument("FleetJob: unknown scenario '" + scenario +
+                                    "'");
+    }
+    if (duration_s < 0.0) {
+        throw std::invalid_argument(
+            "FleetJob: duration override must be non-negative");
+    }
+}
+
+FleetResult run_fleet_job(const FleetJob& job) {
+    job.validate();
+    const auto& spec = sim::ScenarioLibrary::instance().at(job.scenario);
+    const double duration =
+        job.duration_s > 0.0 ? job.duration_s : spec.duration_s;
+    const EulerAngles truth0 =
+        job.misalignment ? *job.misalignment : spec.misalignment;
+    const std::uint64_t seed = sim::scenario_seed(job.scenario, job.base_seed);
+
+    auto scfg = spec.build(duration, truth0, seed);
+    sim::Scenario sc(scfg, seed ^ kSensorStreamSalt);
+
+    BoresightSystem::Config cfg;
+    cfg.processor = job.processor;
+    cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
+    cfg.filter.angle_process_noise = spec.angle_process_noise;
+    cfg.sabre.r_sigma = spec.meas_noise_mps2;
+    cfg.sabre.q_variance =
+        spec.angle_process_noise * spec.angle_process_noise;
+    cfg.use_adaptive_tuner = job.use_adaptive_tuner;
+    BoresightSystem sys(cfg);
+
+    FleetResult out;
+    out.scenario = job.scenario;
+    out.processor = job.processor;
+    out.envelope = spec.envelope;
+    if (job.processor == BoresightSystem::Processor::kSabre) {
+        out.envelope.roll_deg *= spec.sabre_envelope_scale;
+        out.envelope.pitch_deg *= spec.sabre_envelope_scale;
+        out.envelope.yaw_deg *= spec.sabre_envelope_scale;
+        out.envelope.residual_rms_max *= spec.sabre_envelope_scale;
+    }
+
+    // The bump time tracks a shortened duration override proportionally so
+    // truncated fleet runs still exercise the disturbance path.
+    const double bump_at = spec.bump.enabled()
+                               ? spec.bump.at_s * (duration / spec.duration_s)
+                               : -1.0;
+
+    // Envelope windows: post-settle, and for bump scenarios both the
+    // pre-bump stretch and the re-settled post-bump stretch.
+    const auto checked = [&](double t) {
+        if (bump_at >= 0.0 && t >= bump_at) {
+            return t >= bump_at + out.envelope.settle_s;
+        }
+        return t >= out.envelope.settle_s && (bump_at < 0.0 || t < bump_at);
+    };
+
+    bool bumped = false;
+    while (auto s = sc.next()) {
+        sys.feed(sc, *s);
+        ++out.trace.epochs;
+        if (checked(s->t)) {
+            const auto st = sys.status();
+            const auto truth = sc.true_misalignment();
+            ++out.trace.checked_points;
+            out.trace.worst_roll_err_deg =
+                std::max(out.trace.worst_roll_err_deg,
+                         std::abs(rad2deg(st.estimate.roll - truth.roll)));
+            out.trace.worst_pitch_err_deg =
+                std::max(out.trace.worst_pitch_err_deg,
+                         std::abs(rad2deg(st.estimate.pitch - truth.pitch)));
+            out.trace.worst_yaw_err_deg =
+                std::max(out.trace.worst_yaw_err_deg,
+                         std::abs(rad2deg(st.estimate.yaw - truth.yaw)));
+        }
+        // Bump after the epoch is consumed and scored: no sample generated
+        // under the old alignment is ever judged against the new truth.
+        if (bump_at >= 0.0 && !bumped && s->t >= bump_at) {
+            sc.bump(spec.bump.delta);
+            bumped = true;
+        }
+    }
+
+    out.final_status = sys.status();
+    out.result.label =
+        job.scenario + "/" + processor_name(job.processor);
+    out.result.truth = sc.true_misalignment();
+    out.result.estimate = out.final_status.estimate;
+    out.result.sigma3_rad = out.final_status.sigma3;
+    out.result.residual_rms = out.final_status.residual_rms;
+    out.result.meas_noise = out.final_status.measurement_noise;
+    out.result.duration_s = sc.duration();
+
+    out.within_envelope =
+        out.trace.checked_points > 0 &&
+        out.trace.worst_roll_err_deg <= out.envelope.roll_deg &&
+        out.trace.worst_pitch_err_deg <= out.envelope.pitch_deg &&
+        (!out.envelope.check_yaw ||
+         out.trace.worst_yaw_err_deg <= out.envelope.yaw_deg) &&
+        out.result.residual_rms <= out.envelope.residual_rms_max;
+    return out;
+}
+
+FleetRunner::FleetRunner() : FleetRunner(Config{}) {}
+
+FleetRunner::FleetRunner(Config cfg)
+    : threads_(cfg.threads != 0
+                   ? cfg.threads
+                   : std::max(1u, std::thread::hardware_concurrency())) {}
+
+std::vector<FleetResult> FleetRunner::run(
+    const std::vector<FleetJob>& jobs) const {
+    for (const auto& j : jobs) j.validate();
+
+    std::vector<FleetResult> results(jobs.size());
+    const std::size_t workers = std::min(threads_, jobs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            results[i] = run_fleet_job(jobs[i]);
+        }
+        return results;
+    }
+
+    // Work-stealing off a shared index: scheduling decides only *which
+    // thread* runs a job, never what the job computes, so the results
+    // vector is bitwise identical to the serial loop above.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(jobs.size());
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) return;
+            try {
+                results[i] = run_fleet_job(jobs[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+
+    // Rethrow the lowest-index failure so the surfaced error is as
+    // deterministic as the results.
+    for (auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+    return results;
+}
+
+std::vector<FleetJob> full_library_jobs(BoresightSystem::Processor processor,
+                                        std::uint64_t base_seed) {
+    std::vector<FleetJob> jobs;
+    for (const auto& spec : sim::ScenarioLibrary::instance().all()) {
+        FleetJob job;
+        job.scenario = spec.name;
+        job.processor = processor;
+        job.base_seed = base_seed;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+}  // namespace ob::system

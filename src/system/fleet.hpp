@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/alignment_report.hpp"
+#include "math/rotation.hpp"
+#include "sim/scenario_library.hpp"
+#include "system/boresight_system.hpp"
+
+namespace ob::system {
+
+/// One unit of fleet work: a library scenario driven end to end through the
+/// full-transport BoresightSystem on the chosen fusion processor. A job is
+/// a pure value — every RNG stream it uses derives from (scenario name,
+/// base_seed), so the result is a function of the job alone and batches can
+/// be executed in any order on any number of threads.
+struct FleetJob {
+    std::string scenario;  ///< ScenarioLibrary name
+    BoresightSystem::Processor processor =
+        BoresightSystem::Processor::kNative;
+    std::uint64_t base_seed = 2026;  ///< folded with the scenario name
+    double duration_s = 0.0;         ///< 0 => the spec's default duration
+    /// Override the spec's injected truth (fleet sweeps over misalignment).
+    std::optional<math::EulerAngles> misalignment{};
+    bool use_adaptive_tuner = false;
+
+    /// Throws std::invalid_argument on an empty/unknown scenario or a
+    /// negative duration override.
+    void validate() const;
+};
+
+/// Envelope verdict and error-trace summary for one completed job. All
+/// fields are deterministic functions of the job — no wall-clock ever lands
+/// here, so two runs of the same job compare bitwise equal.
+struct FleetTraceSummary {
+    std::size_t epochs = 0;  ///< scenario steps fed into the transport
+    /// Worst estimate-vs-truth excursion per axis over the envelope's
+    /// checked windows (post-settle; for bump scenarios both the pre-bump
+    /// and re-settled post-bump windows).
+    double worst_roll_err_deg = 0.0;
+    double worst_pitch_err_deg = 0.0;
+    double worst_yaw_err_deg = 0.0;
+    std::size_t checked_points = 0;  ///< samples inside the windows
+};
+
+struct FleetResult {
+    std::string scenario;
+    BoresightSystem::Processor processor =
+        BoresightSystem::Processor::kNative;
+    core::AlignmentResult result;  ///< Table 1 row shape for this run
+    FleetTraceSummary trace;
+    BoresightSystem::Status final_status{};
+    /// Envelope applied to this run (spec envelope, Sabre-scaled when the
+    /// job ran on the firmware processor).
+    sim::ScenarioEnvelope envelope{};
+    bool within_envelope = false;
+};
+
+/// Execute one job serially. This is the reference semantics: FleetRunner
+/// must produce, for every job, a result bitwise identical to this call.
+[[nodiscard]] FleetResult run_fleet_job(const FleetJob& job);
+
+/// Batch executor: a fixed pool of worker threads pulls jobs off a shared
+/// index. Because every job is self-contained (see FleetJob), the results
+/// vector — indexed by job position — is bitwise identical whatever the
+/// thread count, including 1.
+class FleetRunner {
+public:
+    struct Config {
+        std::size_t threads = 0;  ///< 0 => std::thread::hardware_concurrency
+    };
+
+    FleetRunner();  ///< default Config (all hardware threads)
+    explicit FleetRunner(Config cfg);
+
+    /// Runs all jobs, returning results in job order. Validates every job
+    /// before any work starts; a job failure mid-batch (e.g. a Sabre cycle
+    /// budget trap) is rethrown after all workers drain, lowest job index
+    /// first, so the error surfaced is also deterministic.
+    [[nodiscard]] std::vector<FleetResult> run(
+        const std::vector<FleetJob>& jobs) const;
+
+    [[nodiscard]] std::size_t threads() const { return threads_; }
+
+private:
+    std::size_t threads_;
+};
+
+/// One job per library scenario on the given processor — the standard
+/// regression batch.
+[[nodiscard]] std::vector<FleetJob> full_library_jobs(
+    BoresightSystem::Processor processor, std::uint64_t base_seed = 2026);
+
+[[nodiscard]] const char* processor_name(BoresightSystem::Processor p);
+
+}  // namespace ob::system

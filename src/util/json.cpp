@@ -1,0 +1,142 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ob::util {
+
+void JsonWriter::begin_value() {
+    if (stack_.empty()) return;  // root value
+    Frame& top = stack_.back();
+    if (top.scope == Scope::kObject) {
+        if (!top.key_pending) {
+            throw std::logic_error("JsonWriter: value in object without key");
+        }
+        top.key_pending = false;
+        return;
+    }
+    if (!top.first) out_ += ',';
+    top.first = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    begin_value();
+    out_ += '{';
+    stack_.push_back({Scope::kObject});
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+        stack_.back().key_pending) {
+        throw std::logic_error("JsonWriter: mismatched end_object");
+    }
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    begin_value();
+    out_ += '[';
+    stack_.push_back({Scope::kArray});
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    if (stack_.empty() || stack_.back().scope != Scope::kArray) {
+        throw std::logic_error("JsonWriter: mismatched end_array");
+    }
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+        stack_.back().key_pending) {
+        throw std::logic_error("JsonWriter: key outside object");
+    }
+    Frame& top = stack_.back();
+    if (!top.first) out_ += ',';
+    top.first = false;
+    top.key_pending = true;
+    out_ += '"';
+    out_ += escape(k);
+    out_ += "\":";
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+    begin_value();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    begin_value();
+    char buf[32];
+    // %.17g round-trips every finite double exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    begin_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    begin_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    begin_value();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void write_file(const std::string& path, std::string_view content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("write_file: cannot open " + path);
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) {
+        throw std::runtime_error("write_file: short write to " + path);
+    }
+}
+
+}  // namespace ob::util

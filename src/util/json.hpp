@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace ob::util {
+
+/// Minimal streaming JSON emitter for machine-readable bench output
+/// (BENCH_*.json). Handles objects, arrays, strings (with escaping),
+/// numbers and booleans; doubles are written with round-trip precision so
+/// downstream tooling can diff runs exactly. No external dependencies.
+///
+///     JsonWriter w;
+///     w.begin_object();
+///     w.key("bench").value("fleet");
+///     w.key("jobs").begin_array();
+///     ...
+///     w.end_array();
+///     w.end_object();
+///     write_file("BENCH_fleet.json", w.str());
+class JsonWriter {
+public:
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Emit an object key; must be followed by exactly one value (or
+    /// container). Throws std::logic_error outside an object.
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view s);
+    JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(bool v);
+
+    /// Exact-match template for every other integral type (int, size_t,
+    /// unsigned, ...). Without it, a size_t argument is ambiguous on
+    /// platforms where size_t aliases neither int64_t nor uint64_t
+    /// (e.g. unsigned long long vs unsigned long on macOS).
+    template <class T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+                 !std::is_same_v<T, std::int64_t> &&
+                 !std::is_same_v<T, std::uint64_t>)
+    JsonWriter& value(T v) {
+        if constexpr (std::is_signed_v<T>) {
+            return value(static_cast<std::int64_t>(v));
+        } else {
+            return value(static_cast<std::uint64_t>(v));
+        }
+    }
+
+    /// The document so far. Call after the outermost container is closed.
+    [[nodiscard]] const std::string& str() const { return out_; }
+
+    [[nodiscard]] static std::string escape(std::string_view s);
+
+private:
+    void begin_value();
+
+    enum class Scope : std::uint8_t { kObject, kArray };
+    struct Frame {
+        Scope scope;
+        bool first = true;
+        bool key_pending = false;
+    };
+    std::string out_;
+    std::vector<Frame> stack_;
+};
+
+/// Write `content` to `path`, replacing any existing file; throws
+/// std::runtime_error on I/O failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace ob::util

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "math/rotation.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trajectory.hpp"
+#include "system/boresight_system.hpp"
+#include "system/experiment.hpp"
+#include "system/fleet.hpp"
+
+// Error paths for every configuration struct an operator can get wrong:
+// bad configs must be rejected loudly at construction, not silently
+// misbehave thousands of epochs later (a zero bitrate, for instance, would
+// otherwise just stall the CAN model; a zero measurement noise would feed
+// the filter a singular innovation covariance).
+
+namespace {
+
+using namespace ob;
+using math::EulerAngles;
+
+// --- BoresightSystem::Config -----------------------------------------------
+
+system::BoresightSystem::Config valid_system_config() {
+    return {};  // the defaults are a working system
+}
+
+TEST(BoresightSystemConfigValidation, DefaultsAreValid) {
+    EXPECT_NO_THROW(valid_system_config().validate());
+    EXPECT_NO_THROW(system::BoresightSystem sys(valid_system_config()));
+}
+
+TEST(BoresightSystemConfigValidation, RejectsZeroCanBitrate) {
+    auto cfg = valid_system_config();
+    cfg.can_bitrate = 0.0;
+    EXPECT_THROW(system::BoresightSystem sys(cfg), std::invalid_argument);
+    cfg.can_bitrate = -500000.0;
+    EXPECT_THROW(system::BoresightSystem sys(cfg), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsZeroUartBaud) {
+    auto cfg = valid_system_config();
+    cfg.uart_baud = 0.0;
+    EXPECT_THROW(system::BoresightSystem sys(cfg), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsNonPositiveFilterNoise) {
+    auto cfg = valid_system_config();
+    cfg.filter.meas_noise_mps2 = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.filter.meas_noise_mps2 = -0.01;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsNegativeProcessNoise) {
+    auto cfg = valid_system_config();
+    cfg.filter.angle_process_noise = -1e-9;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsBadInitialSigmas) {
+    auto cfg = valid_system_config();
+    cfg.filter.init_angle_sigma = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.filter.init_bias_sigma = -0.05;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsBadSabreTuning) {
+    auto cfg = valid_system_config();
+    cfg.sabre.r_sigma = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.sabre.q_variance = -1e-14;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.sabre.p0_sigma = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsBadTuner) {
+    auto cfg = valid_system_config();
+    cfg.tuner.floor_mps2 = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.tuner.ceiling_mps2 = 0.5 * cfg.tuner.floor_mps2;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(BoresightSystemConfigValidation, RejectsOutOfRangeFaultProbabilities) {
+    auto cfg = valid_system_config();
+    cfg.dmu_link_faults.drop_probability = 1.5;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.acc_link_faults.bit_flip_probability = -0.1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.acc_link_faults.framing_error_probability = 2.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// --- ExperimentConfig -------------------------------------------------------
+
+system::ExperimentConfig valid_experiment_config() {
+    system::ExperimentConfig cfg;
+    cfg.scenario = sim::ScenarioConfig::static_level(
+        10.0, EulerAngles::from_deg(1.0, 1.0, 0.0));
+    cfg.calibration_duration_s = 5.0;
+    return cfg;
+}
+
+TEST(ExperimentConfigValidation, ValidConfigPasses) {
+    EXPECT_NO_THROW(valid_experiment_config().validate());
+}
+
+TEST(ExperimentConfigValidation, RejectsEmptyLabel) {
+    auto cfg = valid_experiment_config();
+    cfg.label.clear();
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExperimentConfigValidation, RejectsEmptyScenario) {
+    auto cfg = valid_experiment_config();
+    cfg.scenario.profile = nullptr;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    EXPECT_THROW((void)system::run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(ExperimentConfigValidation, RejectsNonPositiveScenarioDuration) {
+    auto cfg = valid_experiment_config();
+    cfg.scenario.profile =
+        std::make_shared<sim::StaticProfile>(EulerAngles{}, -5.0);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExperimentConfigValidation, RejectsNonPositiveSampleRate) {
+    auto cfg = valid_experiment_config();
+    cfg.scenario.sample_rate_hz = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExperimentConfigValidation, RejectsNonPositiveCalibrationDuration) {
+    auto cfg = valid_experiment_config();
+    cfg.calibration_duration_s = -60.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    // ...but an uncalibrated run never reads the field.
+    cfg.calibrate = false;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ExperimentConfigValidation, RejectsBadFilterTuning) {
+    auto cfg = valid_experiment_config();
+    cfg.filter.meas_noise_mps2 = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_experiment_config();
+    cfg.filter.angle_process_noise = -1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_experiment_config();
+    cfg.filter.init_angle_sigma = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ExperimentConfigValidation, RejectsBadTunerWhenEnabled) {
+    auto cfg = valid_experiment_config();
+    cfg.tuner.floor_mps2 = 0.0;
+    EXPECT_NO_THROW(cfg.validate());  // tuner off: field unused
+    cfg.use_adaptive_tuner = true;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// --- FleetJob ---------------------------------------------------------------
+
+TEST(FleetJobValidation, RejectsEmptyScenario) {
+    system::FleetJob job;
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(FleetJobValidation, RejectsUnknownScenario) {
+    system::FleetJob job;
+    job.scenario = "warp-drive";
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    EXPECT_THROW((void)system::run_fleet_job(job), std::invalid_argument);
+}
+
+TEST(FleetJobValidation, RejectsNegativeDurationOverride) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    job.duration_s = -1.0;
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.duration_s = 0.0;  // 0 means "use the spec default"
+    EXPECT_NO_THROW(job.validate());
+}
+
+// The constructor-level guarantee: a BoresightSystem cannot exist around a
+// bad config, so every downstream component may assume validated numbers.
+TEST(BoresightSystemConfigValidation, ConstructorRunsValidation) {
+    auto cfg = valid_system_config();
+    cfg.uart_baud = -9600.0;
+    EXPECT_THROW(system::BoresightSystem sys(cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_library.hpp"
+#include "system/fleet.hpp"
+
+// Concurrency contract of the fleet runner: scheduling decides only WHICH
+// thread runs a job, never what the job computes. Every batch below is
+// executed serially and across several pool widths, and the results are
+// compared bit for bit — estimates, covariances, residual statistics,
+// transport counters, everything.
+
+namespace {
+
+using namespace ob;
+using Processor = system::BoresightSystem::Processor;
+
+/// Short-duration batch over the whole library (plus a couple of Sabre
+/// jobs) so each comparison sweep stays fast.
+std::vector<system::FleetJob> short_batch() {
+    std::vector<system::FleetJob> jobs;
+    for (const auto& spec : sim::ScenarioLibrary::instance().all()) {
+        system::FleetJob job;
+        job.scenario = spec.name;
+        job.duration_s = 20.0;
+        jobs.push_back(job);
+    }
+    // Mix in the firmware processor: its softfloat state is per-instance,
+    // so it must parallelize just as cleanly.
+    jobs[0].processor = Processor::kSabre;
+    jobs[2].processor = Processor::kSabre;
+    return jobs;
+}
+
+[[nodiscard]] std::uint64_t bits(double v) {
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+void expect_bitwise_equal(const system::FleetResult& a,
+                          const system::FleetResult& b) {
+    SCOPED_TRACE(a.scenario);
+    ASSERT_EQ(a.scenario, b.scenario);
+    ASSERT_EQ(a.processor, b.processor);
+    EXPECT_EQ(bits(a.result.estimate.roll), bits(b.result.estimate.roll));
+    EXPECT_EQ(bits(a.result.estimate.pitch), bits(b.result.estimate.pitch));
+    EXPECT_EQ(bits(a.result.estimate.yaw), bits(b.result.estimate.yaw));
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(bits(a.result.sigma3_rad[i]), bits(b.result.sigma3_rad[i]));
+    }
+    EXPECT_EQ(bits(a.result.residual_rms), bits(b.result.residual_rms));
+    EXPECT_EQ(bits(a.result.meas_noise), bits(b.result.meas_noise));
+    EXPECT_EQ(a.final_status.updates, b.final_status.updates);
+    EXPECT_EQ(a.final_status.dmu_frames_lost, b.final_status.dmu_frames_lost);
+    EXPECT_EQ(a.final_status.acc_packets_lost,
+              b.final_status.acc_packets_lost);
+    EXPECT_EQ(bits(a.final_status.worst_transport_latency),
+              bits(b.final_status.worst_transport_latency));
+    EXPECT_EQ(a.trace.epochs, b.trace.epochs);
+    EXPECT_EQ(a.trace.checked_points, b.trace.checked_points);
+    EXPECT_EQ(bits(a.trace.worst_roll_err_deg), bits(b.trace.worst_roll_err_deg));
+    EXPECT_EQ(bits(a.trace.worst_pitch_err_deg),
+              bits(b.trace.worst_pitch_err_deg));
+    EXPECT_EQ(bits(a.trace.worst_yaw_err_deg), bits(b.trace.worst_yaw_err_deg));
+    EXPECT_EQ(a.within_envelope, b.within_envelope);
+}
+
+void expect_batches_equal(const std::vector<system::FleetResult>& a,
+                          const std::vector<system::FleetResult>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        expect_bitwise_equal(a[i], b[i]);
+    }
+}
+
+TEST(FleetConcurrency, SerialMatchesTwoThreadsBitwise) {
+    const auto jobs = short_batch();
+    const auto serial = system::FleetRunner({.threads = 1}).run(jobs);
+    const auto parallel = system::FleetRunner({.threads = 2}).run(jobs);
+    expect_batches_equal(serial, parallel);
+}
+
+TEST(FleetConcurrency, SerialMatchesEightThreadsBitwise) {
+    const auto jobs = short_batch();
+    const auto serial = system::FleetRunner({.threads = 1}).run(jobs);
+    const auto parallel = system::FleetRunner({.threads = 8}).run(jobs);
+    expect_batches_equal(serial, parallel);
+}
+
+TEST(FleetConcurrency, RepeatedParallelRunsAreIdentical) {
+    const auto jobs = short_batch();
+    const system::FleetRunner runner({.threads = 4});
+    const auto first = runner.run(jobs);
+    const auto second = runner.run(jobs);
+    expect_batches_equal(first, second);
+}
+
+TEST(FleetConcurrency, OversubscribedBatchMatchesSerial) {
+    // More scenarios than workers: jobs queue and drain as threads free up;
+    // the arbitration order still must not leak into any result.
+    const auto jobs = short_batch();
+    ASSERT_GT(jobs.size(), 3u);
+    const auto serial = system::FleetRunner({.threads = 1}).run(jobs);
+    const auto packed = system::FleetRunner({.threads = 3}).run(jobs);
+    expect_batches_equal(serial, packed);
+}
+
+TEST(FleetConcurrency, ResultsArriveInJobOrder) {
+    auto jobs = short_batch();
+    const auto results = system::FleetRunner({.threads = 4}).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].scenario, jobs[i].scenario) << "index " << i;
+        EXPECT_EQ(results[i].processor, jobs[i].processor) << "index " << i;
+    }
+}
+
+TEST(FleetConcurrency, BadJobFailsTheWholeBatchUpFront) {
+    auto jobs = short_batch();
+    jobs.push_back({});  // empty scenario name
+    EXPECT_THROW((void)system::FleetRunner({.threads = 4}).run(jobs),
+                 std::invalid_argument);
+}
+
+TEST(FleetConcurrency, DefaultRunnerUsesHardwareThreads) {
+    const system::FleetRunner runner;
+    EXPECT_GE(runner.threads(), 1u);
+    const system::FleetRunner fixed({.threads = 5});
+    EXPECT_EQ(fixed.threads(), 5u);
+}
+
+TEST(FleetConcurrency, FullLibraryJobsCoverTheLibraryExactlyOnce) {
+    const auto jobs = system::full_library_jobs(Processor::kSabre, 11);
+    const auto& lib = sim::ScenarioLibrary::instance();
+    ASSERT_EQ(jobs.size(), lib.all().size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].scenario, lib.all()[i].name);
+        EXPECT_EQ(jobs[i].processor, Processor::kSabre);
+        EXPECT_EQ(jobs[i].base_seed, 11u);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "math/rotation.hpp"
+#include "sim/scenario_library.hpp"
+#include "sim/trajectory.hpp"
+
+namespace {
+
+using namespace ob;
+using sim::ScenarioLibrary;
+
+TEST(ScenarioLibrary, HasAtLeastTenScenarios) {
+    EXPECT_GE(ScenarioLibrary::instance().all().size(), 10u);
+}
+
+TEST(ScenarioLibrary, PaperScenariosPresent) {
+    const auto& lib = ScenarioLibrary::instance();
+    for (const char* name :
+         {"static-level", "static-tilted", "city-drive", "highway-drive",
+          "carpark-bump", "headlight-leveling"}) {
+        EXPECT_NE(lib.find(name), nullptr) << name;
+    }
+}
+
+TEST(ScenarioLibrary, NamesAreUniqueKebabCase) {
+    std::set<std::string> seen;
+    for (const auto& spec : ScenarioLibrary::instance().all()) {
+        EXPECT_TRUE(seen.insert(spec.name).second)
+            << "duplicate scenario name " << spec.name;
+        EXPECT_FALSE(spec.name.empty());
+        for (const char c : spec.name) {
+            EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                        std::isdigit(static_cast<unsigned char>(c)) || c == '-')
+                << spec.name << " contains '" << c << "'";
+        }
+    }
+}
+
+TEST(ScenarioLibrary, FindUnknownReturnsNullAndAtThrows) {
+    const auto& lib = ScenarioLibrary::instance();
+    EXPECT_EQ(lib.find("no-such-scenario"), nullptr);
+    EXPECT_THROW((void)lib.at("no-such-scenario"), std::out_of_range);
+}
+
+TEST(ScenarioLibrary, SpecsAreInternallyConsistent) {
+    for (const auto& spec : ScenarioLibrary::instance().all()) {
+        SCOPED_TRACE(spec.name);
+        EXPECT_FALSE(spec.description.empty());
+        EXPECT_GT(spec.duration_s, 0.0);
+        EXPECT_GT(spec.meas_noise_mps2, 0.0);
+        EXPECT_GE(spec.angle_process_noise, 0.0);
+        EXPECT_GE(spec.sabre_envelope_scale, 1.0);
+        EXPECT_NE(spec.build, nullptr);
+        // The envelope must leave room to actually be checked.
+        EXPECT_LT(spec.envelope.settle_s, spec.duration_s);
+        EXPECT_GT(spec.envelope.roll_deg, 0.0);
+        EXPECT_GT(spec.envelope.pitch_deg, 0.0);
+        if (spec.envelope.check_yaw) {
+            EXPECT_GT(spec.envelope.yaw_deg, 0.0);
+        }
+        EXPECT_GT(spec.envelope.residual_rms_max, 0.0);
+        if (spec.bump.enabled()) {
+            EXPECT_GT(spec.bump.at_s, 0.0);
+            EXPECT_LT(spec.bump.at_s + spec.envelope.settle_s,
+                      spec.duration_s);
+        }
+    }
+}
+
+TEST(ScenarioLibrary, EveryScenarioBuildsAndSteps) {
+    for (const auto& spec : ScenarioLibrary::instance().all()) {
+        SCOPED_TRACE(spec.name);
+        // Build short to keep this sweep fast; the builder must honour the
+        // requested duration, truth and stated sample rate.
+        const auto cfg = spec.build(10.0, spec.misalignment, 42);
+        ASSERT_NE(cfg.profile, nullptr);
+        EXPECT_GE(cfg.profile->duration(), 10.0);
+        EXPECT_EQ(cfg.true_misalignment.roll, spec.misalignment.roll);
+        sim::Scenario sc(cfg, 7);
+        std::size_t steps = 0;
+        while (auto s = sc.next()) ++steps;
+        EXPECT_GE(steps, static_cast<std::size_t>(10.0 * cfg.sample_rate_hz));
+    }
+}
+
+TEST(ScenarioLibrary, BuildersAreDeterministic) {
+    for (const auto& spec : ScenarioLibrary::instance().all()) {
+        SCOPED_TRACE(spec.name);
+        sim::Scenario a(spec.build(5.0, spec.misalignment, 99), 13);
+        sim::Scenario b(spec.build(5.0, spec.misalignment, 99), 13);
+        for (int i = 0; i < 200; ++i) {
+            auto sa = a.next(), sb = b.next();
+            ASSERT_TRUE(sa && sb);
+            EXPECT_TRUE(sa->dmu == sb->dmu) << "step " << i;
+            EXPECT_TRUE(sa->adxl == sb->adxl) << "step " << i;
+        }
+    }
+}
+
+TEST(ScenarioLibrary, ScenarioSeedSeparatesNamesAndBaseSeeds) {
+    const auto s1 = sim::scenario_seed("city-drive", 1);
+    EXPECT_EQ(s1, sim::scenario_seed("city-drive", 1)) << "must be stable";
+    EXPECT_NE(s1, sim::scenario_seed("highway-drive", 1));
+    EXPECT_NE(s1, sim::scenario_seed("city-drive", 2));
+    // Nearby base seeds must not produce correlated neighbours.
+    EXPECT_NE(sim::scenario_seed("city-drive", 1) ^
+                  sim::scenario_seed("city-drive", 2),
+              sim::scenario_seed("city-drive", 2) ^
+                  sim::scenario_seed("city-drive", 3));
+}
+
+TEST(ScenarioLibrary, BuildScenarioUsesSpecDefaults) {
+    const auto& spec = ScenarioLibrary::instance().at("city-drive");
+    const auto cfg = sim::build_scenario(spec, 5);
+    ASSERT_NE(cfg.profile, nullptr);
+    EXPECT_GE(cfg.profile->duration(), spec.duration_s);
+    EXPECT_EQ(cfg.true_misalignment.pitch, spec.misalignment.pitch);
+}
+
+TEST(ScenarioLibrary, DriveSegmentBankRollsTheVehicle) {
+    // The DriveSegment::bank mechanism in isolation: a vehicle parked on a
+    // 10% superelevated road settles to atan(0.1) of roll; on flat road it
+    // stays level.
+    const sim::DriveSegment banked{.duration_s = 20.0, .bank = 0.1};
+    const sim::DriveProfile on_bank({banked}, {}, "bank-test");
+    EXPECT_NEAR(on_bank.state_at(10.0).attitude.roll, std::atan(0.1), 1e-3);
+
+    const sim::DriveSegment flat{.duration_s = 20.0};
+    const sim::DriveProfile on_flat({flat}, {}, "flat-test");
+    EXPECT_NEAR(on_flat.state_at(10.0).attitude.roll, 0.0, 1e-9);
+}
+
+TEST(ScenarioLibrary, BankedCurveActuallyBanksTheRoad) {
+    // The banked-curve scenario must exercise that path: during a sweeper
+    // the vehicle roll includes the superelevation on top of (and opposing)
+    // the suspension lean.
+    const auto& spec = ScenarioLibrary::instance().at("banked-curve");
+    const auto cfg = spec.build(60.0, spec.misalignment, 11);
+    double max_roll = 0.0;
+    for (double t = 0.0; t < 60.0; t += 0.1) {
+        max_roll = std::max(max_roll,
+                            std::abs(cfg.profile->state_at(t).attitude.roll));
+    }
+    EXPECT_GT(max_roll, math::deg2rad(1.5));
+}
+
+TEST(ScenarioLibrary, StressScenariosShapeTheirPhysics) {
+    const auto& lib = ScenarioLibrary::instance();
+    // Pothole grid and washboard gravel crank the road-noise model.
+    EXPECT_GT(lib.at("pothole-grid")
+                  .build(10.0, {}, 1)
+                  .vibration.road_amp_per_sqrt_mps,
+              sim::VibrationConfig{}.road_amp_per_sqrt_mps);
+    EXPECT_GT(lib.at("washboard-gravel")
+                  .build(10.0, {}, 1)
+                  .vibration.road_bandwidth_hz,
+              sim::VibrationConfig{}.road_bandwidth_hz);
+    // Thermal soak accelerates the IMU bias walk.
+    EXPECT_GT(lib.at("thermal-soak").build(10.0, {}, 1).imu_errors
+                  .accel_bias_walk,
+              sim::ImuErrorConfig{}.accel_bias_walk);
+    // Headlight leveling assumes factory-calibrated instruments.
+    EXPECT_EQ(lib.at("headlight-leveling").build(10.0, {}, 1).acc_errors
+                  .bias_sigma,
+              0.0);
+    // Emergency brake must actually reach highway-adjacent speed and stop.
+    const auto brake = lib.at("emergency-brake").build(60.0, {}, 3);
+    double vmax = 1e9, seen_max = 0.0;
+    for (double t = 10.0; t < 60.0; t += 0.1) {
+        const double v = brake.profile->state_at(t).speed;
+        seen_max = std::max(seen_max, v);
+        vmax = std::min(vmax, v);
+    }
+    EXPECT_GT(seen_max, 10.0) << "never reached braking speed";
+    EXPECT_LT(vmax, 0.5) << "never came to rest";
+}
+
+TEST(ScenarioLibrary, OnlyCarparkBumpHasABump) {
+    for (const auto& spec : ScenarioLibrary::instance().all()) {
+        if (spec.name == "carpark-bump") {
+            EXPECT_TRUE(spec.bump.enabled());
+        } else {
+            EXPECT_FALSE(spec.bump.enabled()) << spec.name;
+        }
+    }
+}
+
+}  // namespace

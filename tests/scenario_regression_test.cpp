@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -9,154 +9,65 @@
 #include "comm/codec.hpp"
 #include "core/boresight_ekf.hpp"
 #include "core/multi_aligner.hpp"
+#include "fleet_test_util.hpp"
 #include "math/rotation.hpp"
 #include "sim/acc_model.hpp"
 #include "sim/scenario.hpp"
+#include "sim/scenario_library.hpp"
 #include "sim/trajectory.hpp"
-#include "system/boresight_system.hpp"
+#include "system/fleet.hpp"
 #include "util/rng.hpp"
 
-// Scenario-level regression harness: every paper scenario (car-park bump,
-// dynamic drive, headlight leveling, multi-sensor) runs end to end through
-// the full-transport BoresightSystem with a fixed RNG seed, and the whole
-// estimate *trajectory* — not just the final value — is checked against an
-// alignment-convergence envelope. A refactor or optimisation that perturbs
-// the numerics, the transport timing, or the RNG stream shows up here even
-// when every unit test still passes.
+// Scenario-level regression harness: the paper's scenarios (car-park bump,
+// dynamic drive, headlight leveling, multi-sensor) run end to end through
+// the full-transport BoresightSystem with fixed RNG seeds, and the whole
+// estimate *trajectory* — not just the final value — is checked against the
+// library's alignment-convergence envelope. A refactor or optimisation that
+// perturbs the numerics, the transport timing, or the RNG stream shows up
+// here even when every unit test still passes.
+//
+// The scenario definitions, filter tunings and envelopes live in
+// sim::ScenarioLibrary; this file drives them through run_fleet_job, the
+// same path the fleet regression and golden suites use. The full
+// library x processor sweep lives in fleet_regression_test.cpp; the four
+// runs here deliberately repeat its native-mode cases to layer the
+// paper-narrative assertions (post-bump truth, aim-band detection,
+// transport-health counters) on top of the shared envelope check.
 
 namespace {
 
 using namespace ob;
 using math::EulerAngles;
 using math::rad2deg;
-
-/// One recorded epoch of the run: time, estimate error vs truth (deg).
-struct TracePoint {
-    double t = 0.0;
-    double roll_err_deg = 0.0;
-    double pitch_err_deg = 0.0;
-    double yaw_err_deg = 0.0;
-};
-
-/// Convergence envelope: after `settle_s`, every recorded point must keep
-/// each axis error inside the half-width. `check_yaw` is off for level
-/// scenarios where yaw is unobservable (the §11.1 lesson).
-struct Envelope {
-    double settle_s = 0.0;
-    double roll_deg = 0.0;
-    double pitch_deg = 0.0;
-    double yaw_deg = 0.0;
-    bool check_yaw = true;
-};
-
-/// Drive one scenario through the full-transport system, recording the
-/// estimate error against the (possibly bump-shifted) live truth.
-struct RunResult {
-    std::vector<TracePoint> trace;
-    system::BoresightSystem::Status final_status{};
-};
-
-RunResult run_system(sim::Scenario& sc, system::BoresightSystem& sys,
-                     double bump_at_s = -1.0,
-                     const EulerAngles& bump = {}) {
-    RunResult out;
-    bool bumped = false;
-    while (auto s = sc.next()) {
-        sys.feed(sc, *s);
-        const auto st = sys.status();
-        const auto truth = sc.true_misalignment();
-        out.trace.push_back(
-            {s->t, rad2deg(st.estimate.roll - truth.roll),
-             rad2deg(st.estimate.pitch - truth.pitch),
-             rad2deg(st.estimate.yaw - truth.yaw)});
-        // Bump only after the current epoch is consumed and recorded, so
-        // no sample generated under the old alignment is ever scored
-        // against the new truth.
-        if (bump_at_s >= 0.0 && !bumped && s->t >= bump_at_s) {
-            sc.bump(bump);
-            bumped = true;
-        }
-    }
-    out.final_status = sys.status();
-    return out;
-}
-
-/// Assert every trace point past the settle time stays inside the envelope,
-/// reporting the worst excursion per axis on failure.
-void expect_within_envelope(const std::vector<TracePoint>& trace,
-                            const Envelope& env) {
-    double worst_roll = 0.0, worst_pitch = 0.0, worst_yaw = 0.0;
-    double at_roll = 0.0, at_pitch = 0.0, at_yaw = 0.0;
-    std::size_t checked = 0;
-    for (const auto& p : trace) {
-        if (p.t < env.settle_s) continue;
-        ++checked;
-        if (std::abs(p.roll_err_deg) > worst_roll) {
-            worst_roll = std::abs(p.roll_err_deg);
-            at_roll = p.t;
-        }
-        if (std::abs(p.pitch_err_deg) > worst_pitch) {
-            worst_pitch = std::abs(p.pitch_err_deg);
-            at_pitch = p.t;
-        }
-        if (std::abs(p.yaw_err_deg) > worst_yaw) {
-            worst_yaw = std::abs(p.yaw_err_deg);
-            at_yaw = p.t;
-        }
-    }
-    ASSERT_GT(checked, 0u) << "no trace points after settle time "
-                           << env.settle_s << " s";
-    EXPECT_LE(worst_roll, env.roll_deg)
-        << "roll escaped the envelope at t=" << at_roll << " s";
-    EXPECT_LE(worst_pitch, env.pitch_deg)
-        << "pitch escaped the envelope at t=" << at_pitch << " s";
-    if (env.check_yaw) {
-        EXPECT_LE(worst_yaw, env.yaw_deg)
-            << "yaw escaped the envelope at t=" << at_yaw << " s";
-    }
-}
+using testutil::expect_inside_envelope;
 
 // ---------------------------------------------------------------------------
 // Car-park bump (§2): the mount is disturbed mid-run; the filter must have
 // converged to the original alignment before the bump and re-converge to the
 // post-bump alignment afterwards — with the estimate error trajectory
-// bounded through both phases.
+// bounded through both phases (both windows are inside run_fleet_job's
+// envelope check; the post-bump settle window restarts at the bump).
 // ---------------------------------------------------------------------------
 TEST(ScenarioRegression, CarParkBumpReconverges) {
-    const EulerAngles before = EulerAngles::from_deg(0.5, 1.0, 0.0);
-    const EulerAngles bump = EulerAngles::from_deg(1.5, -0.8, 0.7);
-    const double bump_at = 120.0;
+    system::FleetJob job;
+    job.scenario = "carpark-bump";
+    const auto r = system::run_fleet_job(job);
 
-    auto scfg = sim::ScenarioConfig::dynamic_city(240.0, before, 31);
-    sim::Scenario sc(scfg, 555);
+    expect_inside_envelope(r);
 
-    system::BoresightSystem::Config cfg;
-    cfg.filter.meas_noise_mps2 = 0.02;
-    cfg.filter.angle_process_noise = 2e-6;  // random walk tracks bumps
-    system::BoresightSystem sys(cfg);
-
-    const auto run = run_system(sc, sys, bump_at, bump);
-
-    // Pre-bump envelope: converged to the original alignment.
-    std::vector<TracePoint> pre, post;
-    for (const auto& p : run.trace) {
-        (p.t < bump_at ? pre : post).push_back(p);
-    }
-    expect_within_envelope(pre, {.settle_s = 60.0,
-                                 .roll_deg = 0.5,
-                                 .pitch_deg = 0.5,
-                                 .yaw_deg = 1.0});
-    // Post-bump envelope: re-converged to the *new* alignment. The settle
-    // window restarts at the bump.
-    expect_within_envelope(post, {.settle_s = bump_at + 60.0,
-                                  .roll_deg = 0.5,
-                                  .pitch_deg = 0.5,
-                                  .yaw_deg = 1.0});
+    // The final truth is the *post-bump* alignment: the spec's injected
+    // misalignment plus the knock.
+    const auto& spec = sim::ScenarioLibrary::instance().at("carpark-bump");
+    ASSERT_TRUE(spec.bump.enabled());
+    EXPECT_NEAR(r.result.truth.roll,
+                spec.misalignment.roll + spec.bump.delta.roll, 1e-12);
+    EXPECT_NEAR(r.result.truth.pitch,
+                spec.misalignment.pitch + spec.bump.delta.pitch, 1e-12);
 
     // The transport stayed healthy throughout.
-    EXPECT_GT(run.final_status.updates, 20000u);
-    EXPECT_EQ(run.final_status.dmu_frames_lost, 0u);
-    EXPECT_EQ(run.final_status.acc_packets_lost, 0u);
+    EXPECT_GT(r.final_status.updates, 20000u);
+    EXPECT_EQ(r.final_status.dmu_frames_lost, 0u);
+    EXPECT_EQ(r.final_status.acc_packets_lost, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -165,37 +76,19 @@ TEST(ScenarioRegression, CarParkBumpReconverges) {
 // observable; the envelope covers the whole post-settle trajectory.
 // ---------------------------------------------------------------------------
 TEST(ScenarioRegression, DynamicCityDriveConverges) {
-    const EulerAngles truth = EulerAngles::from_deg(1.0, -2.0, 1.5);
-    auto scfg = sim::ScenarioConfig::dynamic_city(180.0, truth, 41);
-    sim::Scenario sc(scfg, 99);
-
-    system::BoresightSystem::Config cfg;
-    cfg.filter.meas_noise_mps2 = 0.02;
-    system::BoresightSystem sys(cfg);
-
-    const auto run = run_system(sc, sys);
-    expect_within_envelope(run.trace, {.settle_s = 90.0,
-                                       .roll_deg = 0.5,
-                                       .pitch_deg = 0.5,
-                                       .yaw_deg = 1.0});
-    EXPECT_GT(run.final_status.updates, 15000u);
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    const auto r = system::run_fleet_job(job);
+    expect_inside_envelope(r);
+    EXPECT_GT(r.final_status.updates, 15000u);
 }
 
 TEST(ScenarioRegression, DynamicHighwayDriveConverges) {
-    const EulerAngles truth = EulerAngles::from_deg(-0.8, 1.2, -1.0);
-    auto scfg = sim::ScenarioConfig::dynamic_highway(180.0, truth, 43);
-    sim::Scenario sc(scfg, 101);
-
-    system::BoresightSystem::Config cfg;
-    cfg.filter.meas_noise_mps2 = 0.02;
-    system::BoresightSystem sys(cfg);
-
-    const auto run = run_system(sc, sys);
-    expect_within_envelope(run.trace, {.settle_s = 90.0,
-                                       .roll_deg = 0.5,
-                                       .pitch_deg = 0.5,
-                                       .yaw_deg = 1.2});
-    EXPECT_GT(run.final_status.updates, 15000u);
+    system::FleetJob job;
+    job.scenario = "highway-drive";
+    const auto r = system::run_fleet_job(job);
+    expect_inside_envelope(r);
+    EXPECT_GT(r.final_status.updates, 15000u);
 }
 
 // ---------------------------------------------------------------------------
@@ -204,31 +97,26 @@ TEST(ScenarioRegression, DynamicHighwayDriveConverges) {
 // band and stay there, while the vehicle just drives.
 // ---------------------------------------------------------------------------
 TEST(ScenarioRegression, HeadlightPodErrorWithinAimBand) {
-    const EulerAngles pod_error = EulerAngles::from_deg(0.2, -0.9, 0.5);
     const double aim_limit_deg = 0.57;
 
-    auto scfg = sim::ScenarioConfig::dynamic_city(180.0, pod_error, 41);
-    scfg.acc_errors.bias_sigma = 0.0;  // pod sensor factory-calibrated
-    scfg.imu_errors.accel_bias_sigma = 0.0;
-    sim::Scenario sc(scfg, 99);
+    system::FleetJob job;
+    job.scenario = "headlight-leveling";
+    const auto r = system::run_fleet_job(job);
 
-    system::BoresightSystem::Config cfg;
-    cfg.filter.meas_noise_mps2 = 0.02;
-    system::BoresightSystem sys(cfg);
-
-    const auto run = run_system(sc, sys);
-    // The estimate error must sit well inside the aim band so a re-level
-    // command based on it cannot itself violate the regulation.
-    expect_within_envelope(run.trace, {.settle_s = 90.0,
-                                       .roll_deg = 0.4,
-                                       .pitch_deg = 0.5 * aim_limit_deg,
-                                       .yaw_deg = 1.0});
+    // The library's pitch envelope is half the aim band, so a re-level
+    // command based on the estimate cannot itself violate the regulation —
+    // in Sabre mode too: the regulatory bound must not be relaxed by the
+    // fixed-point envelope scale.
+    const auto& spec = sim::ScenarioLibrary::instance().at("headlight-leveling");
+    EXPECT_LE(spec.envelope.pitch_deg, 0.5 * aim_limit_deg);
+    EXPECT_LE(spec.envelope.pitch_deg * spec.sabre_envelope_scale,
+              0.5 * aim_limit_deg);
+    expect_inside_envelope(r);
 
     // And the knocked pod is *detected*: the estimated pitch error exceeds
     // both its own 3-sigma and half the aim band before the run ends.
-    const auto st = run.final_status;
-    const double pitch = std::abs(rad2deg(st.estimate.pitch));
-    const double s3 = rad2deg(st.sigma3[1]);
+    const double pitch = std::abs(rad2deg(r.result.estimate.pitch));
+    const double s3 = rad2deg(r.result.sigma3_rad[1]);
     EXPECT_GT(pitch, s3);
     EXPECT_GT(pitch, 0.5 * aim_limit_deg);
 }
@@ -310,35 +198,29 @@ TEST(ScenarioRegression, MultiSensorMutualAlignment) {
 
 // ---------------------------------------------------------------------------
 // Determinism: the entire stack — trajectory synthesis, sensor models,
-// transport, fusion — is seeded, so two identical runs must agree bit for
-// bit. This is what makes every envelope above a *regression* check rather
-// than a statistical one.
+// transport, fusion — is seeded, so two identical fleet jobs must agree bit
+// for bit. This is what makes every envelope above a *regression* check
+// rather than a statistical one, and what the fleet runner's serial-vs-
+// parallel guarantee rests on.
 // ---------------------------------------------------------------------------
-TEST(ScenarioRegression, RunsAreBitwiseDeterministic) {
-    const EulerAngles truth = EulerAngles::from_deg(1.0, -1.5, 2.0);
+TEST(ScenarioRegression, FleetJobsAreBitwiseDeterministic) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    job.duration_s = 60.0;
 
-    auto run_once = [&](system::BoresightSystem::Status& st) {
-        auto scfg = sim::ScenarioConfig::dynamic_city(60.0, truth, 7);
-        sim::Scenario sc(scfg, 11);
-        system::BoresightSystem::Config cfg;
-        cfg.filter.meas_noise_mps2 = 0.02;
-        system::BoresightSystem sys(cfg);
-        while (auto s = sc.next()) sys.feed(sc, *s);
-        st = sys.status();
-    };
+    const auto a = system::run_fleet_job(job);
+    const auto b = system::run_fleet_job(job);
 
-    system::BoresightSystem::Status a{}, b{};
-    run_once(a);
-    run_once(b);
-
-    EXPECT_EQ(a.updates, b.updates);
+    EXPECT_EQ(a.final_status.updates, b.final_status.updates);
     // Bitwise equality, not EXPECT_NEAR: any drift means hidden state.
-    EXPECT_EQ(a.estimate.roll, b.estimate.roll);
-    EXPECT_EQ(a.estimate.pitch, b.estimate.pitch);
-    EXPECT_EQ(a.estimate.yaw, b.estimate.yaw);
-    EXPECT_EQ(a.sigma3[0], b.sigma3[0]);
-    EXPECT_EQ(a.sigma3[1], b.sigma3[1]);
-    EXPECT_EQ(a.sigma3[2], b.sigma3[2]);
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    EXPECT_EQ(bits(a.result.estimate.roll), bits(b.result.estimate.roll));
+    EXPECT_EQ(bits(a.result.estimate.pitch), bits(b.result.estimate.pitch));
+    EXPECT_EQ(bits(a.result.estimate.yaw), bits(b.result.estimate.yaw));
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(bits(a.result.sigma3_rad[i]), bits(b.result.sigma3_rad[i]));
+    }
+    EXPECT_EQ(bits(a.result.residual_rms), bits(b.result.residual_rms));
 }
 
 TEST(ScenarioRegression, ScenarioStreamIsSeedStable) {
