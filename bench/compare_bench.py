@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate fleet-bench regressions against a committed baseline.
+
+Usage:
+    compare_bench.py FRESH_JSON BASELINE_JSON [--max-regression 0.20]
+    compare_bench.py FRESH_JSON BASELINE_JSON --update
+
+Compares the machine-readable output of bench/fleet_throughput
+(BENCH_fleet.json) against the pinned baseline under bench/baselines/ and
+exits nonzero when:
+
+  * scenarios_per_sec or epochs_per_sec drop more than --max-regression
+    (default 20%) below the baseline, or
+  * any per-stage cost in per_stage_us rises more than --max-regression
+    above the baseline AND by more than an absolute slack of 0.1 us —
+    the slack keeps sub-microsecond stages from tripping on timer
+    noise, or
+  * feed_allocs_per_epoch rises above the baseline at all — the zero-
+    allocation steady state is pinned exactly.
+
+--update rewrites the baseline from the fresh run instead of comparing
+(use after an intentional perf change, and commit the result).
+
+Baselines are machine-specific: numbers measured on one box do not
+transfer to a different CPU. Refresh the baseline when the benchmark
+host changes.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+STAGE_NOISE_SLACK_US = 0.1
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated BENCH_fleet.json")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the fresh run")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    tol = args.max_regression
+    failures = []
+    rows = []
+
+    def check_throughput(key):
+        b, f = base.get(key), fresh.get(key)
+        if b is None or f is None:
+            return
+        delta = (f - b) / b if b else 0.0
+        rows.append((key, b, f, delta, "higher-is-better"))
+        if f < b * (1.0 - tol):
+            failures.append(
+                f"{key}: {f:.2f} is {-delta:.0%} below baseline {b:.2f} "
+                f"(allowed {tol:.0%})")
+
+    for key in ("scenarios_per_sec", "epochs_per_sec"):
+        check_throughput(key)
+
+    base_stages = base.get("per_stage_us", {})
+    fresh_stages = fresh.get("per_stage_us", {})
+    for key in sorted(set(base_stages) & set(fresh_stages)):
+        b, f = base_stages[key], fresh_stages[key]
+        delta = (f - b) / b if b else 0.0
+        rows.append((f"per_stage_us.{key}", b, f, delta, "lower-is-better"))
+        if f > max(b * (1.0 + tol), b + STAGE_NOISE_SLACK_US):
+            failures.append(
+                f"per_stage_us.{key}: {f:.3f} us is {delta:.0%} above "
+                f"baseline {b:.3f} us (allowed {tol:.0%})")
+
+    if "feed_allocs_per_epoch" in base and "feed_allocs_per_epoch" in fresh:
+        b = base["feed_allocs_per_epoch"]
+        f = fresh["feed_allocs_per_epoch"]
+        rows.append(("feed_allocs_per_epoch", b, f, 0.0, "pinned"))
+        if f > b + 1e-9:
+            failures.append(
+                f"feed_allocs_per_epoch: {f} exceeds pinned baseline {b}")
+
+    width = max(len(r[0]) for r in rows) if rows else 20
+    print(f"{'metric':<{width}} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+    for name, b, f, delta, _ in rows:
+        print(f"{name:<{width}} {b:>12.3f} {f:>12.3f} {delta:>+8.1%}")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no metric regressed more than {tol:.0%} "
+          f"(per-stage absolute slack {STAGE_NOISE_SLACK_US} us)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
