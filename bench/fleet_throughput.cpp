@@ -1,21 +1,32 @@
 // Fleet-scale scenario sweep: every library scenario end to end through the
 // full-transport BoresightSystem, on the native EKF and on the Sabre
 // firmware, dispatched across a thread pool. Reports wall-clock throughput
-// (scenarios/sec, epochs/sec), a per-stage cost breakdown, and the envelope
-// verdict per run — and writes the whole thing to BENCH_fleet.json so the
-// perf trajectory of the fleet path is machine-trackable from this PR on.
+// (scenarios/sec, epochs/sec), a per-stage cost breakdown of the transport
+// hot path (uart_drain, can_advance, codec, fusion), a steady-state heap
+// allocation count, and the envelope verdict per run — and writes the whole
+// thing to BENCH_fleet.json so the perf trajectory of the fleet path is
+// machine-trackable (bench/compare_bench.py gates regressions against
+// bench/baselines/BENCH_fleet.baseline.json).
 
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "comm/bridge.hpp"
+#include "comm/can.hpp"
+#include "comm/codec.hpp"
+#include "comm/uart.hpp"
 #include "core/boresight_ekf.hpp"
 #include "math/rotation.hpp"
 #include "sim/scenario_library.hpp"
 #include "system/boresight_system.hpp"
 #include "system/experiment.hpp"
 #include "system/fleet.hpp"
+#include "util/alloc_counter.hpp"
+#include "util/artifacts.hpp"
 #include "util/json.hpp"
+
+OB_DEFINE_COUNTING_OPERATOR_NEW
 
 namespace {
 
@@ -27,13 +38,122 @@ using Clock = std::chrono::steady_clock;
 }
 
 /// Per-stage cost on the representative city drive: raw scenario synthesis,
-/// full transport feed, and the bare fusion update.
+/// full transport feed (with a breakdown of its phases), the bare fusion
+/// update, and the steady-state allocation rate of `feed`.
 struct StageCosts {
     double sim_epoch_us = 0.0;
     double transport_feed_us = 0.0;
     double fusion_update_us = 0.0;
+    // Breakdown of the transport feed, measured on a manually assembled
+    // chain mirroring BoresightSystem::feed stage by stage.
+    double encode_send_us = 0.0;  ///< codec encode + bus/uart enqueue
+    double can_advance_us = 0.0;  ///< bus timing + bridge + slip + uart send
+    double uart_drain_us = 0.0;   ///< ring-buffer drain of both links
+    double codec_us = 0.0;        ///< deframe + DMU pair + ADXL deserialize
+    double fusion_us = 0.0;       ///< EKF step on completed pairs
+    double feed_allocs_per_epoch = 0.0;  ///< steady-state heap allocations
     std::size_t epochs = 0;
 };
+
+/// Time the phases of the transport chain separately. The chain is the
+/// same component graph BoresightSystem::feed drives; bytes are drained
+/// into a reusable scratch buffer so the drain and decode phases can be
+/// timed apart.
+void measure_transport_breakdown(StageCosts& out) {
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 7);
+    sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
+    std::vector<sim::Scenario::Step> steps;
+    while (auto s = sc.next()) steps.push_back(*s);
+
+    comm::CanBus can;
+    comm::UartLink dmu_uart, acc_uart;
+    comm::CanSerialBridge bridge(dmu_uart);
+    comm::CanSerialDeframer deframer;
+    comm::DmuCodec dmu_codec;
+    comm::AdxlDeserializer acc_deser;
+    can.set_direct_delivery(
+        [](void* ctx, const comm::CanFrame& f, double t) {
+            static_cast<comm::CanSerialBridge*>(ctx)->forward(f, t);
+        },
+        &bridge);
+    core::BoresightConfig fcfg;
+    fcfg.meas_noise_mps2 = spec.meas_noise_mps2;
+    core::BoresightEkf ekf(fcfg);
+    const comm::DmuScale dmu_scale;
+    const comm::AdxlConfig adxl = sc.adxl_config();
+
+    comm::CanFrame gyro_frame, accel_frame;
+    std::array<std::uint8_t, comm::kAdxlPacketSize> acc_packet{};
+    std::vector<comm::UartByte> scratch_bytes;
+    scratch_bytes.reserve(256);
+    std::optional<comm::DmuSample> pending_dmu;
+    std::optional<comm::AdxlTiming> pending_acc;
+
+    double t_encode = 0.0, t_advance = 0.0, t_drain = 0.0, t_codec = 0.0,
+           t_fusion = 0.0;
+    for (const auto& step : steps) {
+        const double t = step.t;
+        const double horizon = t + 0.5 / sc.sample_rate_hz();
+
+        auto t0 = Clock::now();
+        comm::DmuCodec::encode_into(step.dmu, gyro_frame, accel_frame);
+        can.send(gyro_frame, t);
+        can.send(accel_frame, t);
+        comm::adxl_serialize_into(step.adxl, acc_packet);
+        acc_uart.send(acc_packet, t);
+        auto t1 = Clock::now();
+        can.advance_to(horizon);
+        auto t2 = Clock::now();
+        scratch_bytes.clear();
+        const std::size_t dmu_end = [&] {
+            dmu_uart.drain_until(horizon, [&](const comm::UartByte& b) {
+                scratch_bytes.push_back(b);
+            });
+            return scratch_bytes.size();
+        }();
+        acc_uart.drain_until(horizon, [&](const comm::UartByte& b) {
+            scratch_bytes.push_back(b);
+        });
+        auto t3 = Clock::now();
+        for (std::size_t i = 0; i < dmu_end; ++i) {
+            if (auto frame = deframer.feed(scratch_bytes[i])) {
+                if (auto sample = dmu_codec.feed(*frame, scratch_bytes[i].t))
+                    pending_dmu = sample;
+            }
+        }
+        for (std::size_t i = dmu_end; i < scratch_bytes.size(); ++i) {
+            if (scratch_bytes[i].framing_error) continue;
+            if (auto timing =
+                    acc_deser.feed(scratch_bytes[i].value, scratch_bytes[i].t)) {
+                if (comm::adxl_plausible(*timing, adxl)) pending_acc = timing;
+            }
+        }
+        auto t4 = Clock::now();
+        if (pending_dmu && pending_acc) {
+            math::Vec3 f_body;
+            for (std::size_t i = 0; i < 3; ++i)
+                f_body[i] = dmu_scale.raw_to_accel(pending_dmu->accel[i]);
+            const auto [ax, ay] = comm::adxl_decode(*pending_acc, adxl);
+            (void)ekf.step(f_body, math::Vec2{ax, ay});
+            pending_dmu.reset();
+            pending_acc.reset();
+        }
+        auto t5 = Clock::now();
+
+        t_encode += std::chrono::duration<double>(t1 - t0).count();
+        t_advance += std::chrono::duration<double>(t2 - t1).count();
+        t_drain += std::chrono::duration<double>(t3 - t2).count();
+        t_codec += std::chrono::duration<double>(t4 - t3).count();
+        t_fusion += std::chrono::duration<double>(t5 - t4).count();
+    }
+    const auto n = static_cast<double>(steps.size());
+    out.encode_send_us = 1e6 * t_encode / n;
+    out.can_advance_us = 1e6 * t_advance / n;
+    out.uart_drain_us = 1e6 * t_drain / n;
+    out.codec_us = 1e6 * t_codec / n;
+    out.fusion_us = 1e6 * t_fusion / n;
+}
 
 StageCosts measure_stages() {
     StageCosts out;
@@ -47,17 +167,26 @@ StageCosts measure_stages() {
         out.sim_epoch_us =
             1e6 * seconds_since(t0) / static_cast<double>(out.epochs);
     }
-    {  // transport + fusion via the full system
+    {  // transport + fusion via the full system, plus steady-state allocs
         sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
         system::BoresightSystem::Config cfg;
         cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
         system::BoresightSystem sys(cfg);
         std::vector<sim::Scenario::Step> steps;
         while (auto s = sc.next()) steps.push_back(*s);
+        // Warm-up: let every ring buffer and scratch vector reach its
+        // high-water capacity before counting.
+        const std::size_t warmup = std::min<std::size_t>(200, steps.size());
+        for (std::size_t i = 0; i < warmup; ++i) sys.feed(sc, steps[i]);
+        const std::uint64_t allocs0 = util::alloc_count();
         const auto t0 = Clock::now();
-        for (const auto& s : steps) sys.feed(sc, s);
-        out.transport_feed_us =
-            1e6 * seconds_since(t0) / static_cast<double>(steps.size());
+        for (std::size_t i = warmup; i < steps.size(); ++i)
+            sys.feed(sc, steps[i]);
+        const double elapsed = seconds_since(t0);
+        const auto counted = static_cast<double>(steps.size() - warmup);
+        out.transport_feed_us = 1e6 * elapsed / counted;
+        out.feed_allocs_per_epoch =
+            static_cast<double>(util::alloc_count() - allocs0) / counted;
     }
     {  // bare fusion update on decoded measurements
         sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
@@ -71,6 +200,7 @@ StageCosts measure_stages() {
         out.fusion_update_us =
             1e6 * seconds_since(t0) / static_cast<double>(ms.size());
     }
+    measure_transport_breakdown(out);
     return out;
 }
 
@@ -117,6 +247,12 @@ int main() {
                 "transport+fusion %.2f us/epoch, bare EKF %.2f us/update\n",
                 stages.sim_epoch_us, stages.transport_feed_us,
                 stages.fusion_update_us);
+    std::printf("transport breakdown: encode+send %.2f, can_advance %.2f, "
+                "uart_drain %.2f, codec %.2f, fusion %.2f us/epoch; "
+                "steady-state allocs/epoch %.3f\n",
+                stages.encode_send_us, stages.can_advance_us,
+                stages.uart_drain_us, stages.codec_us, stages.fusion_us,
+                stages.feed_allocs_per_epoch);
 
     util::JsonWriter w;
     w.begin_object();
@@ -131,7 +267,13 @@ int main() {
     w.key("sim_epoch").value(stages.sim_epoch_us);
     w.key("transport_feed").value(stages.transport_feed_us);
     w.key("fusion_update").value(stages.fusion_update_us);
+    w.key("uart_drain").value(stages.uart_drain_us);
+    w.key("can_advance").value(stages.can_advance_us);
+    w.key("codec").value(stages.codec_us);
+    w.key("fusion").value(stages.fusion_us);
+    w.key("encode_send").value(stages.encode_send_us);
     w.end_object();
+    w.key("feed_allocs_per_epoch").value(stages.feed_allocs_per_epoch);
     w.key("runs").begin_array();
     for (const auto& r : results) {
         w.begin_object();
@@ -148,8 +290,9 @@ int main() {
     }
     w.end_array();
     w.end_object();
-    util::write_file("BENCH_fleet.json", w.str());
-    std::printf("wrote BENCH_fleet.json\n");
+    const std::string bench_path = util::artifact_path("BENCH_fleet.json");
+    util::write_file(bench_path, w.str());
+    std::printf("wrote %s\n", bench_path.c_str());
 
     if (failures != 0) {
         std::printf("FAIL: %d run(s) outside their envelope\n", failures);

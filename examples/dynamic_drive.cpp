@@ -10,6 +10,7 @@
 #include "math/rotation.hpp"
 #include "sim/scenario_library.hpp"
 #include "system/boresight_system.hpp"
+#include "util/artifacts.hpp"
 #include "util/csv.hpp"
 
 using namespace ob;
@@ -27,7 +28,8 @@ int main() {
     cfg.filter.nis_gate = 13.8;
     system::BoresightSystem sys(cfg);
 
-    util::CsvWriter csv("dynamic_drive_trace.csv",
+    const std::string trace_path = util::artifact_path("dynamic_drive_trace.csv");
+    util::CsvWriter csv(trace_path,
                         {"t", "roll_deg", "pitch_deg", "yaw_deg",
                          "roll_3sigma_deg", "meas_noise"});
 
@@ -63,6 +65,6 @@ int main() {
                 st.updates, st.measurement_noise);
     std::printf("worst CAN queueing latency: %.2f us\n",
                 st.worst_transport_latency * 1e6);
-    std::printf("trace written to dynamic_drive_trace.csv\n");
+    std::printf("trace written to %s\n", trace_path.c_str());
     return 0;
 }

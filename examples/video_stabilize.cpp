@@ -10,6 +10,7 @@
 
 #include "math/rotation.hpp"
 #include "system/experiment.hpp"
+#include "util/artifacts.hpp"
 #include "video/affine.hpp"
 #include "video/video_system.hpp"
 
@@ -50,10 +51,13 @@ int main() {
                 static_cast<unsigned long long>(corrected.timing.cycles),
                 corrected.timing.fps());
 
-    scene.write_ppm("video_scene.ppm");
-    camera.write_ppm("video_misaligned.ppm");
-    corrected.display.write_ppm("video_corrected.ppm");
-    std::printf("wrote video_scene.ppm, video_misaligned.ppm, "
-                "video_corrected.ppm\n");
+    const std::string scene_path = util::artifact_path("video_scene.ppm");
+    const std::string camera_path = util::artifact_path("video_misaligned.ppm");
+    const std::string corrected_path = util::artifact_path("video_corrected.ppm");
+    scene.write_ppm(scene_path);
+    camera.write_ppm(camera_path);
+    corrected.display.write_ppm(corrected_path);
+    std::printf("wrote %s, %s, %s\n", scene_path.c_str(), camera_path.c_str(),
+                corrected_path.c_str());
     return after > before + 3.0 ? 0 : 1;
 }

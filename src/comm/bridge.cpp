@@ -1,48 +1,52 @@
 #include "comm/bridge.hpp"
 
+#include <array>
+
 namespace ob::comm {
 
 void CanSerialBridge::forward(const CanFrame& frame, double t) {
-    std::vector<std::uint8_t> payload;
-    payload.reserve(5u + frame.dlc);
-    payload.push_back(static_cast<std::uint8_t>(frame.id >> 8));
-    payload.push_back(static_cast<std::uint8_t>(frame.id & 0xFF));
-    payload.push_back(frame.dlc);
-    for (std::uint8_t i = 0; i < frame.dlc; ++i) payload.push_back(frame.data[i]);
+    // [id_hi, id_lo, dlc, data..., crc_hi, crc_lo]: at most 13 bytes.
+    std::array<std::uint8_t, 13> payload;
+    std::size_t n = 0;
+    payload[n++] = static_cast<std::uint8_t>(frame.id >> 8);
+    payload[n++] = static_cast<std::uint8_t>(frame.id & 0xFF);
+    payload[n++] = frame.dlc;
+    for (std::uint8_t i = 0; i < frame.dlc; ++i) payload[n++] = frame.data[i];
     // Carry the frame's CAN CRC-15 across the serial hop: the converter
     // re-uses the integrity the bus already computed, and (unlike an
     // additive sum) a CRC catches all 1- and 2-bit serial corruptions.
-    const std::uint16_t crc = can_crc15(can_frame_bits(frame));
-    payload.push_back(static_cast<std::uint8_t>(crc >> 8));
-    payload.push_back(static_cast<std::uint8_t>(crc & 0xFF));
-    uart_.send(slip::encode(payload), t);
+    const std::uint16_t crc = can_frame_crc15(frame);
+    payload[n++] = static_cast<std::uint8_t>(crc >> 8);
+    payload[n++] = static_cast<std::uint8_t>(crc & 0xFF);
+    uart_.send(encoder_.encode({payload.data(), n}), t);
     ++forwarded_;
 }
 
 std::optional<CanFrame> CanSerialDeframer::feed(const UartByte& byte) {
     if (byte.framing_error) poisoned_ = true;
-    const auto payload = slip_.feed(byte.value);
-    if (!payload) return std::nullopt;
+    const auto* payload = slip_.feed_frame(byte.value);
+    if (payload == nullptr) return std::nullopt;
     if (poisoned_) {
         poisoned_ = false;
         ++malformed_;
         return std::nullopt;
     }
-    if (payload->size() < 5) {
+    const auto& p = *payload;
+    if (p.size() < 5) {
         ++malformed_;
         return std::nullopt;
     }
     CanFrame f;
-    f.id = static_cast<std::uint16_t>(((*payload)[0] << 8) | (*payload)[1]);
-    f.dlc = (*payload)[2];
-    if (!f.valid() || payload->size() != 5u + f.dlc) {
+    f.id = static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+    f.dlc = p[2];
+    if (!f.valid() || p.size() != 5u + f.dlc) {
         ++malformed_;
         return std::nullopt;
     }
-    for (std::uint8_t i = 0; i < f.dlc; ++i) f.data[i] = (*payload)[3u + i];
-    const auto rx_crc = static_cast<std::uint16_t>(
-        ((*payload)[3u + f.dlc] << 8) | (*payload)[4u + f.dlc]);
-    if (rx_crc != can_crc15(can_frame_bits(f))) {
+    for (std::uint8_t i = 0; i < f.dlc; ++i) f.data[i] = p[3u + i];
+    const auto rx_crc =
+        static_cast<std::uint16_t>((p[3u + f.dlc] << 8) | p[4u + f.dlc]);
+    if (rx_crc != can_frame_crc15(f)) {
         ++malformed_;
         return std::nullopt;
     }

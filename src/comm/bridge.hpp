@@ -12,10 +12,12 @@ namespace ob::comm {
 
 /// CAN→RS232 protocol converter. The paper's platform had only serial
 /// inputs, so the DMU's CAN traffic is tunnelled over a UART: each CAN
-/// frame is packed as [id_hi, id_lo, dlc, data...] and SLIP-framed.
+/// frame is packed as [id_hi, id_lo, dlc, data..., crc15] and SLIP-framed.
 ///
 /// The bridge owns neither endpoint: it reads delivered CAN frames (attach
 /// `forward` as a CanBus delivery callback) and writes into the UART link.
+/// Forwarding reuses a fixed scratch payload and the SLIP encoder's
+/// internal buffer — steady state allocates nothing.
 class CanSerialBridge {
 public:
     explicit CanSerialBridge(UartLink& uart) : uart_(uart) {}
@@ -27,6 +29,7 @@ public:
 
 private:
     UartLink& uart_;
+    slip::Encoder encoder_;
     std::size_t forwarded_ = 0;
 };
 

@@ -5,41 +5,43 @@
 
 namespace ob::comm {
 
-std::uint16_t can_crc15(std::span<const std::uint8_t> bits) {
-    // CRC-15/CAN: x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1.
-    constexpr std::uint16_t kPoly = 0x4599;
+namespace {
+
+// CRC-15/CAN: x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1.
+constexpr std::uint16_t kPoly = 0x4599;
+
+/// Feeds fn(bool) every SOF..data bit of the frame, MSB-first — the same
+/// sequence `can_frame_bits` materializes, without the vector.
+template <typename Fn>
+void walk_frame_bits(const CanFrame& f, Fn&& fn) {
+    fn(false);  // SOF (dominant)
+    for (int i = 10; i >= 0; --i) fn(((f.id >> i) & 1) != 0);
+    fn(false);  // RTR: data frame
+    fn(false);  // IDE: standard identifier
+    fn(false);  // r0
+    for (int i = 3; i >= 0; --i) fn(((f.dlc >> i) & 1) != 0);
+    for (std::uint8_t b = 0; b < f.dlc; ++b)
+        for (int i = 7; i >= 0; --i) fn(((f.data[b] >> i) & 1) != 0);
+}
+
+/// Incremental CRC-15, bit-for-bit identical to `can_crc15`.
+struct Crc15 {
     std::uint16_t crc = 0;
-    for (const bool bit : bits) {
+    void feed(bool bit) {
         const bool crc_nxt = bit != (((crc >> 14) & 1) != 0);
         crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
         if (crc_nxt) crc ^= kPoly;
     }
-    return crc;
-}
+};
 
-std::vector<std::uint8_t> can_frame_bits(const CanFrame& f) {
-    if (!f.valid()) throw std::invalid_argument("can_frame_bits: invalid frame");
-    std::vector<std::uint8_t> bits;
-    bits.reserve(19 + 8u * f.dlc);
-    bits.push_back(false);  // SOF (dominant)
-    for (int i = 10; i >= 0; --i) bits.push_back(((f.id >> i) & 1) != 0);
-    bits.push_back(false);  // RTR: data frame
-    bits.push_back(false);  // IDE: standard identifier
-    bits.push_back(false);  // r0
-    for (int i = 3; i >= 0; --i) bits.push_back(((f.dlc >> i) & 1) != 0);
-    for (std::uint8_t b = 0; b < f.dlc; ++b)
-        for (int i = 7; i >= 0; --i) bits.push_back(((f.data[b] >> i) & 1) != 0);
-    return bits;
-}
-
-std::size_t can_stuff_bits(std::span<const std::uint8_t> bits) {
-    // A stuff bit (complement) is inserted after every 5 consecutive equal
-    // bits; the inserted bit participates in subsequent run counting.
+/// Incremental stuff-bit counter, state-for-state identical to
+/// `can_stuff_bits` (the inserted stuff bit participates in later runs).
+struct StuffCounter {
     std::size_t stuffed = 0;
     int run = 0;
     bool last = true;  // bus idle is recessive (1); SOF breaks it
     bool first = true;
-    for (bool b : bits) {
+    void feed(bool b) {
         if (!first && b == last) {
             ++run;
         } else {
@@ -53,34 +55,215 @@ std::size_t can_stuff_bits(std::span<const std::uint8_t> bits) {
             run = 1;
         }
     }
-    return stuffed;
+};
+
+// --- Table-driven fast path --------------------------------------------------
+//
+// The send path computes CRC-15 and stuff-bit counts thousands of times per
+// second; walking 83..98 bits with a branchy per-bit loop costs ~0.5 us per
+// frame. Instead the covered bits are packed MSB-first into a small stack
+// buffer once, then both the CRC and the stuffing scan advance a whole byte
+// per step through constexpr-built lookup tables. The tables are generated
+// from the same per-bit recurrences as `Crc15`/`StuffCounter`, so results
+// are identical by construction (cross-checked in tests/comm_hotpath_test).
+
+/// Byte-at-a-time CRC-15 table: T[x] is the register after feeding byte x
+/// into a zeroed register.
+constexpr std::array<std::uint16_t, 256> make_crc15_table() {
+    std::array<std::uint16_t, 256> table{};
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        std::uint16_t crc = 0;
+        for (int i = 7; i >= 0; --i) {
+            const bool bit = ((byte >> i) & 1u) != 0;
+            const bool crc_nxt = bit != (((crc >> 14) & 1) != 0);
+            crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+            if (crc_nxt) crc ^= kPoly;
+        }
+        table[byte] = crc;
+    }
+    return table;
+}
+constexpr auto kCrc15Table = make_crc15_table();
+
+[[nodiscard]] constexpr std::uint16_t crc15_feed_byte(std::uint16_t crc,
+                                                      std::uint8_t byte) {
+    return static_cast<std::uint16_t>(
+        ((crc << 8) & 0x7FFF) ^
+        kCrc15Table[((crc >> 7) & 0xFF) ^ byte]);
+}
+
+/// Stuffing state after at least one bit: (last_bit, run 1..4) packed as
+/// last*4 + (run-1). The table advances one byte and reports how many
+/// stuff bits the byte inserted.
+struct StuffStep {
+    std::uint8_t next = 0;
+    std::uint8_t added = 0;
+};
+constexpr std::array<std::array<StuffStep, 256>, 8> make_stuff_table() {
+    std::array<std::array<StuffStep, 256>, 8> table{};
+    for (int s = 0; s < 8; ++s) {
+        for (unsigned byte = 0; byte < 256; ++byte) {
+            bool last = (s >> 2) != 0;
+            int run = (s & 3) + 1;
+            std::uint8_t added = 0;
+            for (int i = 7; i >= 0; --i) {
+                const bool b = ((byte >> i) & 1u) != 0;
+                if (b == last) {
+                    ++run;
+                } else {
+                    run = 1;
+                    last = b;
+                }
+                if (run == 5) {
+                    ++added;
+                    last = !last;
+                    run = 1;
+                }
+            }
+            table[static_cast<std::size_t>(s)][byte] = {
+                static_cast<std::uint8_t>((last ? 4 : 0) | (run - 1)), added};
+        }
+    }
+    return table;
+}
+constexpr auto kStuffTable = make_stuff_table();
+
+/// The frame's covered bits (SOF..data, later CRC) packed MSB-first.
+/// 19 header bits + 64 data bits + 15 CRC bits = 98 bits -> 13 bytes.
+struct PackedBits {
+    std::array<std::uint8_t, 13> bytes{};
+    std::size_t nbytes = 0;   ///< complete bytes emitted
+    std::uint32_t acc = 0;    ///< partial-byte accumulator
+    int accbits = 0;
+
+    void push(std::uint32_t value, int width) {
+        acc = (acc << width) | value;
+        accbits += width;
+        while (accbits >= 8) {
+            bytes[nbytes++] = static_cast<std::uint8_t>(acc >> (accbits - 8));
+            accbits -= 8;
+        }
+    }
+};
+
+/// Pack SOF..data: header value is [SOF=0, id(11), RTR=0, IDE=0, r0=0,
+/// dlc(4)] = (id << 7) | dlc over 19 bits. Leaves 3 bits in the
+/// accumulator (19 + 8*dlc ≡ 3 mod 8).
+void pack_frame(const CanFrame& f, PackedBits& p) {
+    p.push((static_cast<std::uint32_t>(f.id) << 7) | f.dlc, 19);
+    for (std::uint8_t b = 0; b < f.dlc; ++b) p.push(f.data[b], 8);
+}
+
+/// CRC over the packed SOF..data bits: whole bytes through the table, the
+/// 3-bit tail bitwise.
+[[nodiscard]] std::uint16_t crc15_of_packed_frame(const PackedBits& p) {
+    std::uint16_t crc = 0;
+    for (std::size_t i = 0; i < p.nbytes; ++i)
+        crc = crc15_feed_byte(crc, p.bytes[i]);
+    Crc15 tail{crc};
+    for (int i = p.accbits - 1; i >= 0; --i)
+        tail.feed(((p.acc >> i) & 1u) != 0);
+    return tail.crc;
+}
+
+}  // namespace
+
+std::uint16_t can_crc15(std::span<const std::uint8_t> bits) {
+    Crc15 crc;
+    for (const bool bit : bits) crc.feed(bit);
+    return crc.crc;
+}
+
+std::uint16_t can_frame_crc15(const CanFrame& f) {
+    if (!f.valid())
+        throw std::invalid_argument("can_frame_crc15: invalid frame");
+    PackedBits p;
+    pack_frame(f, p);
+    return crc15_of_packed_frame(p);
+}
+
+std::vector<std::uint8_t> can_frame_bits(const CanFrame& f) {
+    if (!f.valid()) throw std::invalid_argument("can_frame_bits: invalid frame");
+    std::vector<std::uint8_t> bits;
+    bits.reserve(19 + 8u * f.dlc);
+    walk_frame_bits(f, [&bits](bool b) { bits.push_back(b); });
+    return bits;
+}
+
+std::size_t can_stuff_bits(std::span<const std::uint8_t> bits) {
+    StuffCounter sc;
+    for (const bool b : bits) sc.feed(b);
+    return sc.stuffed;
 }
 
 std::size_t can_wire_bits(const CanFrame& f) {
-    auto bits = can_frame_bits(f);
-    const std::uint16_t crc = can_crc15(bits);
-    for (int i = 14; i >= 0; --i) bits.push_back(((crc >> i) & 1) != 0);
-    const std::size_t stuffed = can_stuff_bits(bits);
+    if (!f.valid()) throw std::invalid_argument("can_wire_bits: invalid frame");
+    // Pack SOF..data once, run the table-driven CRC over it, extend the
+    // packed stream with the 15 CRC bits, then count stuffing a byte at a
+    // time — the exact stuffed region the wire carries.
+    PackedBits p;
+    pack_frame(f, p);
+    const std::uint16_t crc = crc15_of_packed_frame(p);
+    p.push(crc, 15);
+
+    // Byte 0 bitwise (establishes the first-bit stuffing state), the rest
+    // through the state table, the 2-bit tail bitwise again.
+    StuffCounter sc;
+    for (int i = 7; i >= 0; --i) sc.feed(((p.bytes[0] >> i) & 1u) != 0);
+    std::size_t stuffed = sc.stuffed;
+    auto state = static_cast<std::uint8_t>((sc.last ? 4 : 0) | (sc.run - 1));
+    for (std::size_t i = 1; i < p.nbytes; ++i) {
+        const StuffStep step = kStuffTable[state][p.bytes[i]];
+        stuffed += step.added;
+        state = step.next;
+    }
+    StuffCounter tail;
+    tail.run = (state & 3) + 1;
+    tail.last = (state >> 2) != 0;
+    tail.first = false;
+    for (int i = p.accbits - 1; i >= 0; --i)
+        tail.feed(((p.acc >> i) & 1u) != 0);
+    stuffed += tail.stuffed;
+
+    const std::size_t data_bits = 19u + 8u * f.dlc + 15u;
     // Stuffed region + CRC delimiter + ACK slot/delimiter + EOF(7) + IFS(3).
-    return bits.size() + stuffed + 1 + 2 + 7 + 3;
+    return data_bits + stuffed + 1 + 2 + 7 + 3;
+}
+
+std::size_t CanBus::cached_wire_bits(const CanFrame& f) {
+    // FNV-1a over the covered frame fields picks the cache slot.
+    std::uint32_t h = 2166136261u;
+    const auto mix = [&h](std::uint8_t byte) {
+        h ^= byte;
+        h *= 16777619u;
+    };
+    mix(static_cast<std::uint8_t>(f.id >> 8));
+    mix(static_cast<std::uint8_t>(f.id & 0xFF));
+    mix(f.dlc);
+    for (std::uint8_t i = 0; i < f.dlc; ++i) mix(f.data[i]);
+    WireBitsEntry& e = wire_cache_[h & (wire_cache_.size() - 1)];
+    if (!e.valid || !(e.frame == f)) {
+        e.frame = f;
+        e.bits = can_wire_bits(f);
+        e.valid = true;
+    }
+    return e.bits;
 }
 
 void CanBus::send(const CanFrame& frame, double t_request) {
     if (!frame.valid()) throw std::invalid_argument("CanBus::send: invalid frame");
-    queue_.push_back({frame, t_request});
+    queue_.push_back({frame, t_request, cached_wire_bits(frame)});
 }
 
 void CanBus::advance_to(double t) {
     for (;;) {
-        // Find the earliest time any queued frame could start.
-        double t_start = busy_until_;
-        double earliest_request = -1.0;
-        for (const auto& p : queue_) {
-            if (earliest_request < 0.0 || p.t_request < earliest_request)
-                earliest_request = p.t_request;
-        }
         if (queue_.empty()) return;
-        t_start = std::max(t_start, earliest_request);
+
+        // Find the earliest time any queued frame could start.
+        double earliest_request = queue_[0].t_request;
+        for (std::size_t i = 1; i < queue_.size(); ++i)
+            earliest_request = std::min(earliest_request, queue_[i].t_request);
+        const double t_start = std::max(busy_until_, earliest_request);
         if (t_start >= t) return;
 
         // Arbitration: among frames requested by t_start, lowest ID wins.
@@ -94,9 +277,8 @@ void CanBus::advance_to(double t) {
         if (winner == queue_.size()) return;  // nothing ready yet
 
         const Pending p = queue_[winner];
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(winner));
-        const double duration =
-            static_cast<double>(can_wire_bits(p.frame)) / bitrate_;
+        queue_.erase(winner);
+        const double duration = static_cast<double>(p.wire_bits) / bitrate_;
         const double t_done = t_start + duration;
         if (t_done > t) {
             // Frame would finish after the horizon; put it back and stop.
@@ -105,6 +287,7 @@ void CanBus::advance_to(double t) {
         }
         busy_until_ = t_done;
         max_latency_ = std::max(max_latency_, t_done - p.t_request);
+        if (direct_fn_ != nullptr) direct_fn_(direct_ctx_, p.frame, t_done);
         for (const auto& cb : receivers_) cb(p.frame, t_done);
     }
 }

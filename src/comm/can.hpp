@@ -2,10 +2,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
+
+#include "util/ring_buffer.hpp"
 
 namespace ob::comm {
 
@@ -26,12 +27,19 @@ struct CanFrame {
 /// detect injected corruption in tests.
 [[nodiscard]] std::uint16_t can_crc15(std::span<const std::uint8_t> bits);
 
+/// CRC-15 of a frame's SOF..data bits, computed by walking the packed
+/// frame directly — identical to `can_crc15(can_frame_bits(f))` without
+/// materializing the bit vector.
+[[nodiscard]] std::uint16_t can_frame_crc15(const CanFrame& f);
+
 /// Serialize the frame fields covered by the CRC (SOF..data) as bits,
-/// MSB-first, without stuffing.
+/// MSB-first, without stuffing. Reference implementation; the send path
+/// walks the packed frame iteratively instead.
 [[nodiscard]] std::vector<std::uint8_t> can_frame_bits(const CanFrame& f);
 
 /// Total on-wire bit count including stuff bits, CRC, ACK, EOF and
-/// interframe space; determines frame transmission time.
+/// interframe space; determines frame transmission time. Allocation-free
+/// iterative bit-walk over the packed frame.
 [[nodiscard]] std::size_t can_wire_bits(const CanFrame& f);
 
 /// Count the stuff bits CAN bit-stuffing inserts (one after every run of
@@ -42,15 +50,30 @@ struct CanFrame {
 /// (configurable) timing. Senders enqueue frames with a request timestamp;
 /// the bus serializes them in arbitration order and invokes the delivery
 /// callback at each frame's end-of-frame time.
+///
+/// Hot-path affordances: each frame's wire-bit count is resolved once at
+/// `send` through a small direct-mapped cache keyed on the full frame
+/// shape (id, dlc, payload), and a single receiver can register through
+/// `set_direct_delivery` — a raw function pointer + context — to bypass
+/// the `std::function` fan-out.
 class CanBus {
 public:
     using DeliveryCallback =
         std::function<void(const CanFrame&, double t_delivered)>;
+    using DirectDelivery = void (*)(void* ctx, const CanFrame&,
+                                    double t_delivered);
 
     explicit CanBus(double bitrate_bps = 500000.0) : bitrate_(bitrate_bps) {}
 
     /// Register a receiver; every delivered frame is fanned out to all.
     void on_delivery(DeliveryCallback cb) { receivers_.push_back(std::move(cb)); }
+
+    /// Register the common single-listener receiver without std::function
+    /// overhead. Called before any `on_delivery` receivers.
+    void set_direct_delivery(DirectDelivery fn, void* ctx) {
+        direct_fn_ = fn;
+        direct_ctx_ = ctx;
+    }
 
     /// Queue a frame for transmission at time `t_request` (seconds).
     void send(const CanFrame& frame, double t_request);
@@ -66,17 +89,34 @@ public:
     /// Worst observed queueing latency (request to delivery), seconds.
     [[nodiscard]] double max_latency() const { return max_latency_; }
 
+    /// Wire-bit count via the per-frame-shape cache (identical result to
+    /// `can_wire_bits`, cheaper when frame shapes repeat).
+    [[nodiscard]] std::size_t cached_wire_bits(const CanFrame& f);
+
 private:
     struct Pending {
         CanFrame frame;
-        double t_request;
+        double t_request = 0.0;
+        std::size_t wire_bits = 0;  ///< resolved once at send time
+    };
+
+    /// Direct-mapped cache of frame shape -> wire bits. 64 entries cover
+    /// the handful of distinct shapes a sensor suite emits; collisions
+    /// simply recompute.
+    struct WireBitsEntry {
+        CanFrame frame{};
+        std::size_t bits = 0;
+        bool valid = false;
     };
 
     double bitrate_;
     double busy_until_ = 0.0;
     double max_latency_ = 0.0;
-    std::deque<Pending> queue_;
+    ob::util::RingBuffer<Pending> queue_;
     std::vector<DeliveryCallback> receivers_;
+    DirectDelivery direct_fn_ = nullptr;
+    void* direct_ctx_ = nullptr;
+    std::array<WireBitsEntry, 64> wire_cache_{};
 };
 
 }  // namespace ob::comm

@@ -31,10 +31,10 @@ void put_i16le(std::uint8_t* p, std::int16_t v) {
         (static_cast<std::uint16_t>(p[1]) << 8));
 }
 
-void put_u24le(std::vector<std::uint8_t>& out, std::uint32_t v) {
-    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
-    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
-    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+void put_u24le(std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v & 0xFF);
+    p[1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+    p[2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
 }
 
 [[nodiscard]] std::uint32_t get_u24le(const std::uint8_t* p) {
@@ -53,8 +53,7 @@ std::int16_t DmuScale::accel_to_raw(double mps2) const {
     return saturate16(mps2 / accel_lsb_mps2);
 }
 
-std::pair<CanFrame, CanFrame> DmuCodec::encode(const DmuSample& s) {
-    CanFrame gyro;
+void DmuCodec::encode_into(const DmuSample& s, CanFrame& gyro, CanFrame& accel) {
     gyro.id = kGyroFrameId;
     gyro.dlc = 8;
     gyro.data[0] = s.seq;
@@ -62,14 +61,18 @@ std::pair<CanFrame, CanFrame> DmuCodec::encode(const DmuSample& s) {
         put_i16le(&gyro.data[1 + 2 * static_cast<std::size_t>(i)], s.gyro[static_cast<std::size_t>(i)]);
     gyro.data[7] = sum8(gyro.data.data(), 7);
 
-    CanFrame accel;
     accel.id = kAccelFrameId;
     accel.dlc = 8;
     accel.data[0] = s.seq;
     for (int i = 0; i < 3; ++i)
         put_i16le(&accel.data[1 + 2 * static_cast<std::size_t>(i)], s.accel[static_cast<std::size_t>(i)]);
     accel.data[7] = sum8(accel.data.data(), 7);
-    return {gyro, accel};
+}
+
+std::pair<CanFrame, CanFrame> DmuCodec::encode(const DmuSample& s) {
+    std::pair<CanFrame, CanFrame> out;
+    encode_into(s, out.first, out.second);
+    return out;
 }
 
 std::optional<DmuSample> DmuCodec::feed(const CanFrame& f, double t) {
@@ -149,25 +152,29 @@ bool adxl_plausible(const AdxlTiming& timing, const AdxlConfig& cfg) {
     return true;
 }
 
+void adxl_serialize_into(const AdxlTiming& t,
+                         std::array<std::uint8_t, kAdxlPacketSize>& out) {
+    out[0] = kAdxlSync;
+    out[1] = t.seq;
+    put_u24le(&out[2], t.t1x);
+    put_u24le(&out[5], t.t1y);
+    put_u24le(&out[8], t.t2);
+    out[11] = sum8(out.data(), kAdxlPacketSize - 1);
+}
+
 std::vector<std::uint8_t> adxl_serialize(const AdxlTiming& t) {
-    std::vector<std::uint8_t> out;
-    out.reserve(kAdxlPacketSize);
-    out.push_back(kAdxlSync);
-    out.push_back(t.seq);
-    put_u24le(out, t.t1x);
-    put_u24le(out, t.t1y);
-    put_u24le(out, t.t2);
-    out.push_back(sum8(out.data(), out.size()));
-    return out;
+    std::array<std::uint8_t, kAdxlPacketSize> packet;
+    adxl_serialize_into(t, packet);
+    return {packet.begin(), packet.end()};
 }
 
 std::optional<AdxlTiming> AdxlDeserializer::feed(std::uint8_t byte, double t) {
-    if (buf_.empty() && byte != kAdxlSync) {
+    if (len_ == 0 && byte != kAdxlSync) {
         ++resyncs_;
         return std::nullopt;
     }
-    buf_.push_back(byte);
-    if (buf_.size() < kAdxlPacketSize) return std::nullopt;
+    buf_[len_++] = byte;
+    if (len_ < kAdxlPacketSize) return std::nullopt;
 
     AdxlTiming out;
     const bool ok = sum8(buf_.data(), kAdxlPacketSize - 1) == buf_.back();
@@ -177,13 +184,15 @@ std::optional<AdxlTiming> AdxlDeserializer::feed(std::uint8_t byte, double t) {
         out.t1y = get_u24le(&buf_[5]);
         out.t2 = get_u24le(&buf_[8]);
         out.t = t;
-        buf_.clear();
+        len_ = 0;
         return out;
     }
     ++bad_checksum_;
-    // Resynchronize: search for the next sync byte inside the buffer.
+    // Resynchronize: search for the next sync byte inside the buffer and
+    // slide the remainder to the front.
     auto next = std::find(buf_.begin() + 1, buf_.end(), kAdxlSync);
-    buf_.erase(buf_.begin(), next);
+    len_ = static_cast<std::size_t>(buf_.end() - next);
+    std::copy(next, buf_.end(), buf_.begin());
     return std::nullopt;
 }
 

@@ -52,6 +52,9 @@ public:
     /// Encode one sample as its gyro and accel frames.
     [[nodiscard]] static std::pair<CanFrame, CanFrame> encode(const DmuSample& s);
 
+    /// Encode into caller-provided frames (hot path: no pair temporary).
+    static void encode_into(const DmuSample& s, CanFrame& gyro, CanFrame& accel);
+
     /// Feed one received frame; returns a complete sample once both halves
     /// with matching sequence numbers have arrived. Mismatched or corrupt
     /// frames are dropped and counted.
@@ -123,7 +126,12 @@ inline constexpr std::size_t kAdxlPacketSize = 12;
 
 [[nodiscard]] std::vector<std::uint8_t> adxl_serialize(const AdxlTiming& t);
 
+/// Serialize into a caller-provided packet buffer (hot path: no vector).
+void adxl_serialize_into(const AdxlTiming& t,
+                         std::array<std::uint8_t, kAdxlPacketSize>& out);
+
 /// Incremental deserializer with resynchronization on the 0xA5 marker.
+/// Buffers at most one packet in a fixed array — never allocates.
 class AdxlDeserializer {
 public:
     /// Feed one serial byte; yields a timing record when a packet with a
@@ -134,7 +142,8 @@ public:
     [[nodiscard]] std::size_t resyncs() const { return resyncs_; }
 
 private:
-    std::vector<std::uint8_t> buf_;
+    std::array<std::uint8_t, kAdxlPacketSize> buf_{};
+    std::size_t len_ = 0;
     std::size_t bad_checksum_ = 0;
     std::size_t resyncs_ = 0;
 };

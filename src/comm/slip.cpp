@@ -2,9 +2,9 @@
 
 namespace ob::comm::slip {
 
-std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& payload) {
-    std::vector<std::uint8_t> out;
-    out.reserve(payload.size() + 2);
+void encode_into(std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>& out) {
+    out.reserve(out.size() + payload.size() + 2);
     out.push_back(kEnd);
     for (const std::uint8_t b : payload) {
         if (b == kEnd) {
@@ -18,16 +18,23 @@ std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& payload) {
         }
     }
     out.push_back(kEnd);
+}
+
+std::vector<std::uint8_t> encode(std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> out;
+    encode_into(payload, out);
     return out;
 }
 
-std::optional<std::vector<std::uint8_t>> Decoder::feed(std::uint8_t byte) {
+const std::vector<std::uint8_t>* Decoder::feed_frame(std::uint8_t byte) {
     if (byte == kEnd) {
         escaping_ = false;
-        if (buf_.empty()) return std::nullopt;  // back-to-back delimiters
-        std::vector<std::uint8_t> frame;
-        frame.swap(buf_);
-        return frame;
+        if (buf_.empty()) return nullptr;  // back-to-back delimiters
+        // Swap keeps both buffers' capacity alive: the completed frame
+        // hands its old storage back as the next accumulation buffer.
+        frame_.swap(buf_);
+        buf_.clear();
+        return &frame_;
     }
     if (escaping_) {
         escaping_ = false;
@@ -40,14 +47,14 @@ std::optional<std::vector<std::uint8_t>> Decoder::feed(std::uint8_t byte) {
             buf_.clear();
             ++malformed_;
         }
-        return std::nullopt;
+        return nullptr;
     }
     if (byte == kEsc) {
         escaping_ = true;
-        return std::nullopt;
+        return nullptr;
     }
     buf_.push_back(byte);
-    return std::nullopt;
+    return nullptr;
 }
 
 }  // namespace ob::comm::slip

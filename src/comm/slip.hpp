@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace ob::comm {
@@ -15,21 +16,52 @@ inline constexpr std::uint8_t kEsc = 0xDB;
 inline constexpr std::uint8_t kEscEnd = 0xDC;
 inline constexpr std::uint8_t kEscEsc = 0xDD;
 
+/// Append one delimited SLIP frame (END payload END) to `out` without
+/// clearing it; the caller owns (and reuses) the buffer.
+void encode_into(std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>& out);
+
 /// Encode one payload as a delimited SLIP frame (END payload END).
 [[nodiscard]] std::vector<std::uint8_t> encode(
-    const std::vector<std::uint8_t>& payload);
+    std::span<const std::uint8_t> payload);
+
+/// Reusable encoder: one internal buffer serves every frame, so encoding
+/// is allocation-free once the buffer reaches its high-water size. The
+/// returned view is valid until the next `encode` call.
+class Encoder {
+public:
+    [[nodiscard]] std::span<const std::uint8_t> encode(
+        std::span<const std::uint8_t> payload) {
+        buf_.clear();
+        encode_into(payload, buf_);
+        return buf_;
+    }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
 
 /// Incremental decoder: feed bytes, collect complete frames.
 class Decoder {
 public:
-    /// Feed one byte; returns a complete payload when a frame closes.
-    [[nodiscard]] std::optional<std::vector<std::uint8_t>> feed(std::uint8_t byte);
+    /// Feed one byte; returns the completed payload, or nullptr while a
+    /// frame is still open. The pointee is owned by the decoder and stays
+    /// valid until the next feed — steady-state decoding never allocates.
+    [[nodiscard]] const std::vector<std::uint8_t>* feed_frame(std::uint8_t byte);
+
+    /// Feed one byte; returns a copy of the payload when a frame closes.
+    [[nodiscard]] std::optional<std::vector<std::uint8_t>> feed(
+        std::uint8_t byte) {
+        if (const auto* f = feed_frame(byte)) return *f;
+        return std::nullopt;
+    }
 
     /// Frames abandoned due to bad escape sequences.
     [[nodiscard]] std::size_t malformed() const { return malformed_; }
 
 private:
     std::vector<std::uint8_t> buf_;
+    std::vector<std::uint8_t> frame_;  ///< last completed frame (reused)
     bool escaping_ = false;
     std::size_t malformed_ = 0;
 };

@@ -9,31 +9,33 @@ void UartLink::send(std::uint8_t byte, double t_request) {
     const double t_done = t_start + byte_time();
     line_busy_until_ = t_done;
 
-    if (rng_.chance(faults_.drop_probability)) {
-        ++dropped_;
-        return;  // byte never arrives; line time is still consumed
-    }
     UartByte rx;
     rx.value = byte;
     rx.t = t_done;
-    if (rng_.chance(faults_.bit_flip_probability)) {
-        rx.value ^= static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
-        ++corrupted_;
+    // With all fault probabilities zero the RNG stream is unobservable, so
+    // the draws can be skipped wholesale; with any fault enabled the exact
+    // three-draws-per-byte sequence is preserved for reproducibility.
+    if (faults_enabled_) {
+        if (rng_.chance(faults_.drop_probability)) {
+            ++dropped_;
+            return;  // byte never arrives; line time is still consumed
+        }
+        if (rng_.chance(faults_.bit_flip_probability)) {
+            rx.value ^= static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+            ++corrupted_;
+        }
+        rx.framing_error = rng_.chance(faults_.framing_error_probability);
     }
-    rx.framing_error = rng_.chance(faults_.framing_error_probability);
     in_flight_.push_back(rx);
 }
 
-void UartLink::send(const std::vector<std::uint8_t>& bytes, double t_request) {
+void UartLink::send(std::span<const std::uint8_t> bytes, double t_request) {
     for (const std::uint8_t b : bytes) send(b, t_request);
 }
 
 std::vector<UartByte> UartLink::receive_until(double t) {
     std::vector<UartByte> out;
-    while (!in_flight_.empty() && in_flight_.front().t <= t) {
-        out.push_back(in_flight_.front());
-        in_flight_.pop_front();
-    }
+    drain_until(t, [&out](const UartByte& b) { out.push_back(b); });
     return out;
 }
 

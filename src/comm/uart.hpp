@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
+#include <span>
 #include <vector>
 
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace ob::comm {
@@ -29,18 +29,42 @@ struct UartFaults {
 /// back-pressure (bytes serialize after the previous byte finishes) and
 /// optional fault injection. The ACC in the paper talks RS232 directly; the
 /// DMU reaches RS232 through the CAN bridge.
+///
+/// In-flight bytes live in a ring buffer that reaches its high-water
+/// capacity during warm-up; steady-state send/drain cycles are
+/// allocation-free. Prefer `drain_until` on the hot path — `receive_until`
+/// materializes a fresh vector per call and exists for tests/tools.
 class UartLink {
 public:
     explicit UartLink(double baud = 115200.0, UartFaults faults = {},
                       std::uint64_t fault_seed = 1)
-        : baud_(baud), faults_(faults), rng_(fault_seed) {}
+        : baud_(baud),
+          faults_(faults),
+          faults_enabled_(faults.drop_probability > 0.0 ||
+                          faults.bit_flip_probability > 0.0 ||
+                          faults.framing_error_probability > 0.0),
+          rng_(fault_seed) {}
 
     /// Queue one byte for transmission at time `t_request` (seconds). The
     /// byte starts after both `t_request` and the previous byte's end.
     void send(std::uint8_t byte, double t_request);
 
     /// Queue a byte sequence back-to-back.
-    void send(const std::vector<std::uint8_t>& bytes, double t_request);
+    void send(std::span<const std::uint8_t> bytes, double t_request);
+    void send(const std::vector<std::uint8_t>& bytes, double t_request) {
+        send(std::span<const std::uint8_t>(bytes), t_request);
+    }
+
+    /// Deliver every byte fully received by time `t`, in order, to `sink`
+    /// (callable as `sink(const UartByte&)`). Allocation-free.
+    template <typename Sink>
+    void drain_until(double t, Sink&& sink) {
+        while (!in_flight_.empty() && in_flight_.front().t <= t) {
+            const UartByte b = in_flight_.front();
+            in_flight_.pop_front();
+            sink(b);
+        }
+    }
 
     /// Pop every byte fully received by time `t`, in order.
     [[nodiscard]] std::vector<UartByte> receive_until(double t);
@@ -51,13 +75,15 @@ public:
     [[nodiscard]] double baud() const { return baud_; }
     [[nodiscard]] std::size_t bytes_dropped() const { return dropped_; }
     [[nodiscard]] std::size_t bytes_corrupted() const { return corrupted_; }
+    [[nodiscard]] std::size_t pending() const { return in_flight_.size(); }
 
 private:
     double baud_;
     UartFaults faults_;
+    bool faults_enabled_;  ///< skip RNG draws entirely when all probs are 0
     ob::util::Rng rng_;
     double line_busy_until_ = 0.0;
-    std::deque<UartByte> in_flight_;
+    ob::util::RingBuffer<UartByte> in_flight_;
     std::size_t dropped_ = 0;
     std::size_t corrupted_ = 0;
 };

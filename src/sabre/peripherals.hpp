@@ -2,13 +2,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "sabre/isa.hpp"
 #include "softfloat/softfloat.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace ob::sabre {
 
@@ -122,7 +122,7 @@ public:
     [[nodiscard]] std::vector<std::uint8_t> host_drain();
 
 private:
-    std::deque<std::uint8_t> rx_;
+    ob::util::RingBuffer<std::uint8_t> rx_;
     std::vector<std::uint8_t> tx_;
 };
 
@@ -235,7 +235,7 @@ public:
     [[nodiscard]] std::size_t pending() const { return fifo_.size(); }
 
 private:
-    std::deque<Sample> fifo_;
+    ob::util::RingBuffer<Sample> fifo_;
 };
 
 /// Smart ACC port: duty-cycle timings, pre-deframed. Offset 0: status;
@@ -252,7 +252,7 @@ public:
     [[nodiscard]] std::size_t pending() const { return fifo_.size(); }
 
 private:
-    std::deque<Sample> fifo_;
+    ob::util::RingBuffer<Sample> fifo_;
 };
 
 }  // namespace ob::sabre

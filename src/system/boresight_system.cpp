@@ -60,9 +60,12 @@ BoresightSystem::BoresightSystem(const Config& cfg)
       acc_uart_(cfg.uart_baud, cfg.acc_link_faults, /*fault_seed=*/12),
       bridge_(dmu_uart_),
       tuner_(cfg.tuner) {
-    can_.on_delivery([this](const comm::CanFrame& f, double t) {
-        bridge_.forward(f, t);
-    });
+    // Single-listener fast path: a raw trampoline instead of std::function.
+    can_.set_direct_delivery(
+        [](void* ctx, const comm::CanFrame& f, double t) {
+            static_cast<comm::CanSerialBridge*>(ctx)->forward(f, t);
+        },
+        &bridge_);
     if (cfg_.processor == Processor::kNative) {
         native_ = std::make_unique<core::BoresightEkf>(cfg_.filter);
     } else {
@@ -75,27 +78,30 @@ void BoresightSystem::feed(const sim::Scenario& sc,
     adxl_ = sc.adxl_config();
     const double t = step.t;
 
-    // IMU -> two CAN frames onto the shared bus.
-    const auto [gyro_frame, accel_frame] = comm::DmuCodec::encode(step.dmu);
-    can_.send(gyro_frame, t);
-    can_.send(accel_frame, t);
+    // IMU -> two CAN frames onto the shared bus (encoded into scratch).
+    comm::DmuCodec::encode_into(step.dmu, scratch_.gyro_frame,
+                                scratch_.accel_frame);
+    can_.send(scratch_.gyro_frame, t);
+    can_.send(scratch_.accel_frame, t);
 
     // ACC -> duty-cycle packet straight onto its serial line.
-    acc_uart_.send(comm::adxl_serialize(step.adxl), t);
+    comm::adxl_serialize_into(step.adxl, scratch_.acc_packet);
+    acc_uart_.send(scratch_.acc_packet, t);
     ++sent_epochs_;
 
-    // Advance the transport slightly past this epoch and drain arrivals.
+    // Advance the transport slightly past this epoch and drain arrivals
+    // straight into the decoders — no per-call byte vectors.
     const double horizon = t + 0.5 / sc.sample_rate_hz();
     can_.advance_to(horizon);
-    for (const auto& byte : dmu_uart_.receive_until(horizon)) {
+    dmu_uart_.drain_until(horizon, [this](const comm::UartByte& byte) {
         if (auto frame = deframer_.feed(byte)) {
             if (auto sample = dmu_codec_.feed(*frame, byte.t)) {
                 pending_dmu_ = sample;
             }
         }
-    }
-    for (const auto& byte : acc_uart_.receive_until(horizon)) {
-        if (byte.framing_error) continue;
+    });
+    acc_uart_.drain_until(horizon, [this](const comm::UartByte& byte) {
+        if (byte.framing_error) return;
         if (auto timing = acc_deser_.feed(byte.value, byte.t)) {
             // Fabric-side plausibility gate: a corrupted packet can pass
             // the additive checksum by accident; its timings cannot pass
@@ -106,7 +112,7 @@ void BoresightSystem::feed(const sim::Scenario& sc,
                 ++implausible_acc_;
             }
         }
-    }
+    });
 
     // Fuse whenever a synchronized pair is ready. (Pairs are matched by
     // arrival; sequence slips from lost frames simply drop an epoch.)

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 
@@ -97,6 +98,15 @@ private:
     comm::CanSerialDeframer deframer_;
     comm::DmuCodec dmu_codec_;
     comm::AdxlDeserializer acc_deser_;
+
+    /// Per-epoch scratch: encoded frames/packets are built in place here so
+    /// steady-state `feed` touches no heap.
+    struct Scratch {
+        comm::CanFrame gyro_frame;
+        comm::CanFrame accel_frame;
+        std::array<std::uint8_t, comm::kAdxlPacketSize> acc_packet{};
+    };
+    Scratch scratch_;
     std::size_t implausible_acc_ = 0;
     std::optional<comm::DmuSample> pending_dmu_;
     std::optional<comm::AdxlTiming> pending_acc_;

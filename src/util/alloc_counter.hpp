@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace ob::util {
+
+/// Global heap-allocation counter, bumped by the counting operator new that
+/// `OB_DEFINE_COUNTING_OPERATOR_NEW` installs. Stays at zero in binaries
+/// that don't install the hook.
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+[[nodiscard]] inline std::uint64_t alloc_count() {
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace ob::util
+
+/// Installs replacement global operator new/delete that count allocations
+/// in ob::util::g_alloc_count. Replacement allocation functions must not be
+/// inline and may be defined at most once per program, so expand this macro
+/// in exactly one translation unit of a binary (the allocation-regression
+/// test and the fleet bench use it).
+// NOLINTBEGIN — replacement signatures are dictated by the standard.
+#define OB_DEFINE_COUNTING_OPERATOR_NEW                                        \
+    namespace ob::util::detail {                                               \
+    inline void* counted_alloc(std::size_t n) {                                \
+        ob::util::g_alloc_count.fetch_add(1, std::memory_order_relaxed);       \
+        void* p = std::malloc(n != 0 ? n : 1);                                 \
+        if (p == nullptr) throw std::bad_alloc();                              \
+        return p;                                                              \
+    }                                                                          \
+    inline void* counted_alloc(std::size_t n, std::align_val_t al) {           \
+        ob::util::g_alloc_count.fetch_add(1, std::memory_order_relaxed);       \
+        void* p = nullptr;                                                     \
+        if (posix_memalign(&p, static_cast<std::size_t>(al),                   \
+                           n != 0 ? n : 1) != 0)                               \
+            throw std::bad_alloc();                                            \
+        return p;                                                              \
+    }                                                                          \
+    }                                                                          \
+    void* operator new(std::size_t n) {                                        \
+        return ob::util::detail::counted_alloc(n);                             \
+    }                                                                          \
+    void* operator new[](std::size_t n) {                                      \
+        return ob::util::detail::counted_alloc(n);                             \
+    }                                                                          \
+    void* operator new(std::size_t n, std::align_val_t al) {                   \
+        return ob::util::detail::counted_alloc(n, al);                         \
+    }                                                                          \
+    void* operator new[](std::size_t n, std::align_val_t al) {                 \
+        return ob::util::detail::counted_alloc(n, al);                         \
+    }                                                                          \
+    void operator delete(void* p) noexcept { std::free(p); }                   \
+    void operator delete[](void* p) noexcept { std::free(p); }                 \
+    void operator delete(void* p, std::size_t) noexcept { std::free(p); }      \
+    void operator delete[](void* p, std::size_t) noexcept { std::free(p); }    \
+    void operator delete(void* p, std::align_val_t) noexcept { std::free(p); } \
+    void operator delete[](void* p, std::align_val_t) noexcept {               \
+        std::free(p);                                                          \
+    }                                                                          \
+    void operator delete(void* p, std::size_t, std::align_val_t) noexcept {    \
+        std::free(p);                                                          \
+    }                                                                          \
+    void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {  \
+        std::free(p);                                                          \
+    }
+// NOLINTEND

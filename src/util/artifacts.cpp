@@ -1,0 +1,18 @@
+#include "util/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace ob::util {
+
+std::string artifact_path(const std::string& name) {
+    if (const char* dir = std::getenv("OB_ARTIFACT_DIR");
+        dir != nullptr && *dir != '\0') {
+        return std::string(dir) + "/" + name;
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory("build", ec)) return "build/" + name;
+    return name;
+}
+
+}  // namespace ob::util

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+namespace ob::util {
+
+/// Resolve where examples and benches write their output artifacts (CSV
+/// traces, PPM frames, BENCH_*.json). Returns `$OB_ARTIFACT_DIR/name` when
+/// the environment variable is set (creating the directory is the caller's
+/// or CI's job), otherwise `build/name` when run from a source checkout
+/// that has a build/ directory, and plain `name` as the last resort — so
+/// casual runs from the repository root never litter it.
+[[nodiscard]] std::string artifact_path(const std::string& name);
+
+}  // namespace ob::util

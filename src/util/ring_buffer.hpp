@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ob::util {
+
+/// Fixed-capacity FIFO ring buffer that grows geometrically only when full.
+///
+/// The transport hot path (UART in-flight bytes, CAN pending frames, Sabre
+/// port FIFOs) pushes and pops a bounded number of elements per epoch;
+/// std::deque churns whole chunks through the allocator as its window
+/// slides, so a steady 100 Hz feed allocates forever. This ring reaches its
+/// high-water capacity during warm-up and is allocation-free afterwards.
+///
+/// Capacity is kept a power of two so the head/tail wrap is a mask, not a
+/// modulo. Indexing is relative to the front (oldest element).
+template <typename T>
+class RingBuffer {
+public:
+    RingBuffer() = default;
+    explicit RingBuffer(std::size_t initial_capacity) {
+        reserve(initial_capacity);
+    }
+
+    void push_back(const T& v) {
+        if (count_ == buf_.size()) grow();
+        buf_[(head_ + count_) & mask_] = v;
+        ++count_;
+    }
+    void push_back(T&& v) {
+        if (count_ == buf_.size()) grow();
+        buf_[(head_ + count_) & mask_] = std::move(v);
+        ++count_;
+    }
+
+    [[nodiscard]] T& front() { return buf_[head_]; }
+    [[nodiscard]] const T& front() const { return buf_[head_]; }
+
+    void pop_front() {
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    /// i-th element counted from the front; i must be < size().
+    [[nodiscard]] T& operator[](std::size_t i) {
+        return buf_[(head_ + i) & mask_];
+    }
+    [[nodiscard]] const T& operator[](std::size_t i) const {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    /// Remove the i-th element from the front, shifting later elements
+    /// forward. O(size), intended for tiny queues (CAN arbitration).
+    void erase(std::size_t i) {
+        for (; i + 1 < count_; ++i) {
+            buf_[(head_ + i) & mask_] = std::move(buf_[(head_ + i + 1) & mask_]);
+        }
+        --count_;
+    }
+
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+    void clear() {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    /// Pre-size the backing store to at least `n` slots (rounded up to a
+    /// power of two) so steady state never needs to grow.
+    void reserve(std::size_t n) {
+        if (n > buf_.size()) grow_to(round_up(n));
+    }
+
+private:
+    [[nodiscard]] static std::size_t round_up(std::size_t n) {
+        std::size_t c = kMinCapacity;
+        while (c < n) c *= 2;
+        return c;
+    }
+
+    void grow() { grow_to(buf_.empty() ? kMinCapacity : buf_.size() * 2); }
+
+    void grow_to(std::size_t new_capacity) {
+        std::vector<T> next(new_capacity);
+        for (std::size_t i = 0; i < count_; ++i) {
+            next[i] = std::move(buf_[(head_ + i) & mask_]);
+        }
+        buf_.swap(next);
+        head_ = 0;
+        mask_ = buf_.size() - 1;
+    }
+
+    static constexpr std::size_t kMinCapacity = 8;
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t mask_ = 0;
+};
+
+}  // namespace ob::util

@@ -1,0 +1,75 @@
+// Steady-state allocation regression guard: after warm-up (ring buffers and
+// scratch vectors at their high-water capacity) a BoresightSystem::feed
+// epoch must touch the heap exactly zero times, on both the native EKF and
+// the Sabre ISS processor. A counting global operator new measures it; any
+// reintroduced per-epoch vector/deque churn fails loudly here instead of
+// silently costing microseconds in the fleet bench.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scenario_library.hpp"
+#include "system/boresight_system.hpp"
+#include "util/alloc_counter.hpp"
+
+OB_DEFINE_COUNTING_OPERATOR_NEW
+
+namespace {
+
+using namespace ob;
+
+class AllocationGuard
+    : public ::testing::TestWithParam<system::BoresightSystem::Processor> {};
+
+TEST_P(AllocationGuard, FeedIsAllocationFreeAfterWarmup) {
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 7);
+    sim::Scenario sc(spec.build(20.0, spec.misalignment, seed), seed);
+
+    system::BoresightSystem::Config cfg;
+    cfg.processor = GetParam();
+    cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
+    system::BoresightSystem sys(cfg);
+
+    // Materialize every step up front so the counted loop runs nothing but
+    // feed(); Scenario::next itself is allowed to allocate.
+    std::vector<sim::Scenario::Step> steps;
+    while (auto s = sc.next()) steps.push_back(*s);
+    ASSERT_GT(steps.size(), 700u);
+
+    constexpr std::size_t kWarmup = 200;
+    for (std::size_t i = 0; i < kWarmup; ++i) sys.feed(sc, steps[i]);
+
+    const std::uint64_t before = util::alloc_count();
+    for (std::size_t i = kWarmup; i < steps.size(); ++i) sys.feed(sc, steps[i]);
+    const std::uint64_t allocations = util::alloc_count() - before;
+
+    EXPECT_EQ(allocations, 0u)
+        << allocations << " heap allocation(s) across "
+        << (steps.size() - kWarmup) << " steady-state epochs";
+    EXPECT_GT(sys.status().updates, steps.size() / 2)
+        << "fusion must actually have run for the guard to mean anything";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Processors, AllocationGuard,
+    ::testing::Values(system::BoresightSystem::Processor::kNative,
+                      system::BoresightSystem::Processor::kSabre),
+    [](const auto& param_info) {
+        return param_info.param == system::BoresightSystem::Processor::kNative
+                   ? "native"
+                   : "sabre";
+    });
+
+/// The counting hook itself must observe ordinary heap traffic — otherwise
+/// a zero count above would be vacuous.
+TEST(AllocationCounter, ObservesVectorGrowth) {
+    const std::uint64_t before = ob::util::alloc_count();
+    std::vector<int> v;
+    v.reserve(1000);
+    const std::uint64_t after = ob::util::alloc_count();
+    EXPECT_GT(after, before);
+}
+
+}  // namespace
