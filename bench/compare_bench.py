@@ -21,6 +21,10 @@ exits nonzero when:
 --update rewrites the baseline from the fresh run instead of comparing
 (use after an intentional perf change, and commit the result).
 
+Exit codes: 0 ok, 1 regression, 2 malformed/incomplete bench JSON (e.g. a
+baseline missing a required key — reported with a clear message, never a
+KeyError traceback).
+
 Baselines are machine-specific: numbers measured on one box do not
 transfer to a different CPU. Refresh the baseline when the benchmark
 host changes.
@@ -33,10 +37,34 @@ import sys
 
 STAGE_NOISE_SLACK_US = 0.1
 
+# Metrics the gate is meaningless without. A baseline (or fresh run) that
+# lacks one of these is a data error — exit 2 with a pointed message, never
+# a silent skip or a KeyError traceback.
+REQUIRED_KEYS = ("scenarios_per_sec", "epochs_per_sec", "per_stage_us",
+                 "feed_allocs_per_epoch")
+
+
+class BenchDataError(Exception):
+    """Malformed or incomplete bench JSON (distinct from a regression)."""
+
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        raise BenchDataError(f"cannot read {path}: {e}") from e
+    except json.JSONDecodeError as e:
+        raise BenchDataError(f"{path} is not valid JSON: {e}") from e
+
+
+def require_keys(data, role, path):
+    missing = [k for k in REQUIRED_KEYS if k not in data]
+    if missing:
+        raise BenchDataError(
+            f"{role} {path} is missing key(s) {missing}; regenerate it with "
+            "bench/fleet_throughput (or refresh the baseline with "
+            "compare_bench.py fresh baseline --update)")
 
 
 def main():
@@ -50,20 +78,23 @@ def main():
     args = ap.parse_args()
 
     if args.update:
+        # Never pin a malformed run: a truncated or key-missing fresh file
+        # would otherwise get committed and break every subsequent gate.
+        require_keys(load(args.fresh), "fresh run", args.fresh)
         shutil.copyfile(args.fresh, args.baseline)
         print(f"baseline updated: {args.baseline}")
         return 0
 
     fresh = load(args.fresh)
     base = load(args.baseline)
+    require_keys(fresh, "fresh run", args.fresh)
+    require_keys(base, "baseline", args.baseline)
     tol = args.max_regression
     failures = []
     rows = []
 
     def check_throughput(key):
-        b, f = base.get(key), fresh.get(key)
-        if b is None or f is None:
-            return
+        b, f = base[key], fresh[key]
         delta = (f - b) / b if b else 0.0
         rows.append((key, b, f, delta, "higher-is-better"))
         if f < b * (1.0 - tol):
@@ -74,8 +105,20 @@ def main():
     for key in ("scenarios_per_sec", "epochs_per_sec"):
         check_throughput(key)
 
-    base_stages = base.get("per_stage_us", {})
-    fresh_stages = fresh.get("per_stage_us", {})
+    base_stages = base["per_stage_us"]
+    fresh_stages = fresh["per_stage_us"]
+    for key in sorted(set(fresh_stages) - set(base_stages)):
+        print(f"note: stage '{key}' has no baseline yet (new stage?); "
+              f"not gated this run")
+    vanished = sorted(set(base_stages) - set(fresh_stages))
+    if vanished:
+        # A stage the baseline gates no longer exists in the bench output:
+        # either the bench schema drifted by accident, or the removal is
+        # intentional and the baseline must be refreshed first.
+        raise BenchDataError(
+            f"baseline stage(s) {vanished} missing from the fresh run "
+            f"{args.fresh}; if the stage was removed on purpose, refresh "
+            "the baseline with --update")
     for key in sorted(set(base_stages) & set(fresh_stages)):
         b, f = base_stages[key], fresh_stages[key]
         delta = (f - b) / b if b else 0.0
@@ -85,13 +128,12 @@ def main():
                 f"per_stage_us.{key}: {f:.3f} us is {delta:.0%} above "
                 f"baseline {b:.3f} us (allowed {tol:.0%})")
 
-    if "feed_allocs_per_epoch" in base and "feed_allocs_per_epoch" in fresh:
-        b = base["feed_allocs_per_epoch"]
-        f = fresh["feed_allocs_per_epoch"]
-        rows.append(("feed_allocs_per_epoch", b, f, 0.0, "pinned"))
-        if f > b + 1e-9:
-            failures.append(
-                f"feed_allocs_per_epoch: {f} exceeds pinned baseline {b}")
+    b = base["feed_allocs_per_epoch"]
+    f = fresh["feed_allocs_per_epoch"]
+    rows.append(("feed_allocs_per_epoch", b, f, 0.0, "pinned"))
+    if f > b + 1e-9:
+        failures.append(
+            f"feed_allocs_per_epoch: {f} exceeds pinned baseline {b}")
 
     width = max(len(r[0]) for r in rows) if rows else 20
     print(f"{'metric':<{width}} {'baseline':>12} {'fresh':>12} {'delta':>8}")
@@ -109,4 +151,8 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BenchDataError as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        sys.exit(2)

@@ -1,0 +1,164 @@
+// Fleet-scale tuning studies: expand {scenario x misalignment x tuner
+// variant x processor} grids into FleetJob batches, run them through the
+// FleetRunner thread pool, and reduce every cell to converged sigma,
+// residual RMS, envelope verdict and tuner adjustment count. Two studies
+// run here:
+//
+//   * "noise-grid": three scenarios x two misalignments x four tunings on
+//     the native EKF, with the paper's §11.1 level-platform calibration
+//     before every run — the paper's manual retuning table as a batch job;
+//   * "firmware-parity": the spec and retuned tunings on both fusion
+//     processors, checking the Sabre firmware tracks the native EKF's
+//     envelope verdicts under identical tuning.
+//
+// Wall-clock throughput goes to BENCH_tuning.json (tracked as a CI
+// artifact next to BENCH_fleet.json); the full deterministic study report
+// — identical bytes at any thread count — goes to STUDY_tuning.json.
+
+#include <chrono>
+#include <cstdio>
+
+#include "math/rotation.hpp"
+#include "system/fleet.hpp"
+#include "system/tuning_study.hpp"
+#include "util/artifacts.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ob;
+using Clock = std::chrono::steady_clock;
+using Processor = system::BoresightSystem::Processor;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+system::TuningStudyConfig noise_grid_config() {
+    system::TuningStudyConfig cfg;
+    cfg.label = "noise-grid";
+    cfg.scenarios = {"static-level", "city-drive", "carpark-bump"};
+    cfg.misalignments = {math::EulerAngles::from_deg(1.5, -2.0, 2.5),
+                         math::EulerAngles::from_deg(4.0, 3.0, -5.0)};
+    cfg.variants = {
+        {.label = "static-0.003", .meas_noise_mps2 = 0.003},
+        {.label = "spec"},
+        {.label = "retuned-0.015", .meas_noise_mps2 = 0.015},
+        {.label = "adaptive",
+         .use_adaptive_tuner = true,
+         .meas_noise_mps2 = 0.003},
+    };
+    cfg.calibration = system::FleetCalibration{.duration_s = 30.0};
+    return cfg;
+}
+
+system::TuningStudyConfig firmware_parity_config() {
+    system::TuningStudyConfig cfg;
+    cfg.label = "firmware-parity";
+    cfg.scenarios = {"static-level", "city-drive", "carpark-bump"};
+    cfg.variants = {
+        {.label = "spec"},
+        {.label = "retuned-0.015", .meas_noise_mps2 = 0.015},
+    };
+    cfg.processors = {Processor::kNative, Processor::kSabre};
+    return cfg;
+}
+
+struct StudyRun {
+    system::TuningStudyReport report;
+    double elapsed_s = 0.0;
+    std::size_t epochs = 0;
+};
+
+StudyRun execute(const system::TuningStudyConfig& cfg,
+                 const system::FleetRunner& runner) {
+    const system::TuningStudy study(cfg);
+    StudyRun out;
+    const auto t0 = Clock::now();
+    out.report = study.run(runner);
+    out.elapsed_s = seconds_since(t0);
+    for (const auto& c : out.report.cells) out.epochs += c.result.trace.epochs;
+
+    std::printf("study '%s': %zu cells, %zu/%zu within envelope, %.2f s\n",
+                cfg.label.c_str(), out.report.cells.size(),
+                out.report.within_envelope, out.report.cells.size(),
+                out.elapsed_s);
+    std::printf("  %-14s %-14s %-7s | %9s %9s %5s | %s\n", "scenario",
+                "variant", "proc", "resid", "final R", "adj", "verdict");
+    for (const auto& c : out.report.cells) {
+        const auto& r = c.result;
+        std::printf("  %-14s %-14s %-7s | %9.4f %9.4f %5zu | %s\n",
+                    r.scenario.c_str(),
+                    cfg.variants[c.variant_index].label.c_str(),
+                    system::processor_name(r.processor), r.result.residual_rms,
+                    r.result.meas_noise, r.final_status.tuner_adjustments,
+                    r.within_envelope ? "ok" : "outside");
+    }
+    std::printf("\n");
+    return out;
+}
+
+void write_bench_json(const system::FleetRunner& runner,
+                      const StudyRun& noise, const StudyRun& parity) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("tuning_study");
+    w.key("threads").value(runner.threads());
+    const auto study_entry = [&w](const char* key, const StudyRun& run) {
+        w.key(key).begin_object();
+        w.key("cells").value(run.report.cells.size());
+        w.key("within_envelope").value(run.report.within_envelope);
+        w.key("elapsed_s").value(run.elapsed_s);
+        w.key("cells_per_sec").value(
+            static_cast<double>(run.report.cells.size()) / run.elapsed_s);
+        w.key("epochs_per_sec").value(static_cast<double>(run.epochs) /
+                                      run.elapsed_s);
+        w.end_object();
+    };
+    study_entry("noise_grid", noise);
+    study_entry("firmware_parity", parity);
+    w.end_object();
+    const std::string path = util::artifact_path("BENCH_tuning.json");
+    util::write_file(path, w.str());
+    std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+    const system::FleetRunner runner;
+    std::printf("tuning-study runner: %zu worker thread(s)\n\n",
+                runner.threads());
+
+    const auto noise = execute(noise_grid_config(), runner);
+    const auto parity = execute(firmware_parity_config(), runner);
+
+    write_bench_json(runner, noise, parity);
+    const std::string study_path = util::artifact_path("STUDY_tuning.json");
+    util::write_file(study_path, noise.report.to_json());
+    std::printf("wrote %s\n", study_path.c_str());
+
+    // The calibrated spec and retuned rows are the supported operating
+    // points — those must sit inside their envelopes. Deliberately
+    // mistuned rows ("static-0.003" while driving — the §11 failure mode)
+    // are data, not regressions.
+    std::size_t supported = 0, supported_ok = 0;
+    const auto tally = [&](const StudyRun& run) {
+        for (const auto& c : run.report.cells) {
+            const auto& label = run.report.config.variants[c.variant_index].label;
+            if (label == "static-0.003") continue;
+            ++supported;
+            if (c.result.within_envelope) ++supported_ok;
+        }
+    };
+    tally(noise);
+    tally(parity);
+    if (supported_ok != supported) {
+        std::printf("FAIL: %zu supported cell(s) outside their envelope\n",
+                    supported - supported_ok);
+        return 1;
+    }
+    std::printf("PASS: all %zu supported cells inside their envelopes\n",
+                supported);
+    return 0;
+}

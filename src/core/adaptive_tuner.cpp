@@ -1,8 +1,30 @@
 #include "core/adaptive_tuner.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace ob::core {
+
+void AdaptiveTunerConfig::validate() const {
+    const auto fail = [](const char* what) {
+        throw std::invalid_argument(std::string("AdaptiveTunerConfig: ") +
+                                    what);
+    };
+    // All comparisons are in the negated `!(good)` form so a NaN knob
+    // fails loudly instead of slipping through an ordinary `<`.
+    if (!(floor_mps2 > 0.0)) fail("noise floor must be positive");
+    if (!(ceiling_mps2 >= floor_mps2))
+        fail("ceiling must be at or above floor");
+    if (!(raise_threshold > 0.0)) fail("raise threshold must be positive");
+    if (!(lower_threshold >= 0.0)) fail("lower threshold must be non-negative");
+    if (!(lower_threshold <= raise_threshold))
+        fail("lower threshold must not exceed the raise threshold");
+    if (!(raise_factor > 1.0)) fail("raise factor must exceed 1");
+    if (!(lower_factor > 0.0) || !(lower_factor < 1.0))
+        fail("lower factor must be in (0, 1)");
+    if (window == 0) fail("decision window must be non-empty");
+}
 
 double AdaptiveNoiseTuner::observe(const math::Vec2& residual,
                                    const math::Vec2& sigma3,

@@ -20,6 +20,11 @@ struct AdaptiveTunerConfig {
     double lower_factor = 0.9;
     std::size_t window = 1000;     ///< per-axis samples per decision window
     std::size_t min_samples = 600; ///< don't act before this many samples
+
+    /// Throws std::invalid_argument naming the first bad knob. Every layer
+    /// that accepts a tuner override (BoresightSystem, FleetJob,
+    /// TuningStudy) funnels through this one check.
+    void validate() const;
 };
 
 class AdaptiveNoiseTuner {

@@ -40,9 +40,7 @@ void BoresightSystem::Config::validate() const {
     require(sabre.q_variance >= 0.0,
             "Sabre process noise variance must be non-negative");
     require(sabre.p0_sigma > 0.0, "Sabre initial sigma must be positive");
-    require(tuner.floor_mps2 > 0.0, "tuner noise floor must be positive");
-    require(tuner.ceiling_mps2 >= tuner.floor_mps2,
-            "tuner ceiling must be at or above its floor");
+    tuner.validate();
     for (const auto* faults : {&dmu_link_faults, &acc_link_faults}) {
         require_probability(faults->drop_probability,
                             "link drop probability must be in [0, 1]");
@@ -59,7 +57,9 @@ BoresightSystem::BoresightSystem(const Config& cfg)
       dmu_uart_(cfg.uart_baud, cfg.dmu_link_faults, /*fault_seed=*/11),
       acc_uart_(cfg.uart_baud, cfg.acc_link_faults, /*fault_seed=*/12),
       bridge_(dmu_uart_),
-      tuner_(cfg.tuner) {
+      tuner_(cfg.tuner),
+      apply_acc_bias_(cfg.calibrated_bias[0] != 0.0 ||
+                      cfg.calibrated_bias[1] != 0.0) {
     // Single-listener fast path: a raw trampoline instead of std::function.
     can_.set_direct_delivery(
         [](void* ctx, const comm::CanFrame& f, double t) {
@@ -127,7 +127,19 @@ void BoresightSystem::process_pair(const comm::DmuSample& dmu,
                                    const comm::AdxlTiming& acc) {
     ++updates_;
     if (sabre_) {
-        sabre_->push(dmu, acc);
+        if (apply_acc_bias_) {
+            // The firmware decodes timings itself, so the §11.1 bias is
+            // folded back into the duty-cycle domain at wire resolution —
+            // exactly what a calibrated fabric front-end would present.
+            const auto [ax, ay] = comm::adxl_decode(acc, adxl_);
+            auto corrected = comm::adxl_encode(ax - cfg_.calibrated_bias[0],
+                                               ay - cfg_.calibrated_bias[1],
+                                               acc.seq, adxl_);
+            corrected.t = acc.t;
+            sabre_->push(dmu, corrected);
+        } else {
+            sabre_->push(dmu, acc);
+        }
         const auto est = sabre_->run_pending();
         residual_stats_.add(est.residual[0]);
         residual_stats_.add(est.residual[1]);
@@ -166,6 +178,7 @@ BoresightSystem::Status BoresightSystem::status() const {
     s.acc_packets_lost = acc_deser_.bad_checksum() + implausible_acc_;
     s.worst_transport_latency = can_.max_latency();
     s.residual_rms = residual_stats_.rms();
+    s.tuner_adjustments = tuner_.adjustments();
     return s;
 }
 

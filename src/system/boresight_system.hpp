@@ -72,6 +72,7 @@ public:
         double worst_transport_latency = 0.0;  ///< seconds, CAN queueing
         double measurement_noise = 0.0;        ///< current filter R sigma
         double residual_rms = 0.0;  ///< innovation RMS over both axes (m/s²)
+        std::size_t tuner_adjustments = 0;  ///< adaptive R changes applied
     };
     [[nodiscard]] Status status() const;
 
@@ -119,6 +120,10 @@ private:
     core::AdaptiveNoiseTuner tuner_;
     util::RunningStats residual_stats_;  ///< innovation samples, both axes
     std::size_t updates_ = 0;
+    /// True when a nonzero calibrated bias must be folded into the raw ACC
+    /// timings before the Sabre firmware sees them (the native EKF path
+    /// subtracts the bias on the decoded measurement directly).
+    bool apply_acc_bias_ = false;
 };
 
 }  // namespace ob::system

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/calibration.hpp"
+#include "system/experiment.hpp"
+
 namespace ob::system {
 
 using math::EulerAngles;
@@ -24,6 +27,13 @@ const char* processor_name(BoresightSystem::Processor p) {
     return p == BoresightSystem::Processor::kNative ? "native" : "sabre";
 }
 
+void FleetCalibration::validate() const {
+    if (!(duration_s > 0.0)) {
+        throw std::invalid_argument(
+            "FleetCalibration: level-platform dwell must be positive");
+    }
+}
+
 void FleetJob::validate() const {
     if (scenario.empty()) {
         throw std::invalid_argument("FleetJob: scenario name must not be empty");
@@ -35,6 +45,39 @@ void FleetJob::validate() const {
     if (duration_s < 0.0) {
         throw std::invalid_argument(
             "FleetJob: duration override must be non-negative");
+    }
+    if (misalignment) {
+        const double worst =
+            std::max({std::abs(misalignment->roll), std::abs(misalignment->pitch),
+                      std::abs(misalignment->yaw)});
+        if (worst > kFleetSmallAngleLimitRad) {
+            throw std::invalid_argument(
+                "FleetJob: misalignment override of " +
+                std::to_string(rad2deg(worst)) +
+                " deg is outside the EKF's small-angle regime (limit " +
+                std::to_string(rad2deg(kFleetSmallAngleLimitRad)) + " deg)");
+        }
+    }
+    if (calibration) calibration->validate();
+    if (use_adaptive_tuner &&
+        processor == BoresightSystem::Processor::kSabre) {
+        // The retune loop runs in the native EKF only; the firmware has no
+        // writable R register yet. A job claiming "adaptive" while the
+        // tuner silently never runs would poison tuning-study data.
+        throw std::invalid_argument(
+            "FleetJob: the adaptive tuner is native-only (the Sabre "
+            "firmware has no runtime noise register)");
+    }
+    if (tuner) {
+        if (!use_adaptive_tuner) {
+            throw std::invalid_argument(
+                "FleetJob: tuner config override requires use_adaptive_tuner");
+        }
+        tuner->validate();
+    }
+    if (meas_noise_mps2 && !(*meas_noise_mps2 > 0.0)) {
+        throw std::invalid_argument(
+            "FleetJob: measurement-noise override must be positive");
     }
 }
 
@@ -50,19 +93,48 @@ FleetResult run_fleet_job(const FleetJob& job) {
     auto scfg = spec.build(duration, truth0, seed);
     sim::Scenario sc(scfg, seed ^ kSensorStreamSalt);
 
+    const double meas_noise =
+        job.meas_noise_mps2 ? *job.meas_noise_mps2 : spec.meas_noise_mps2;
     BoresightSystem::Config cfg;
     cfg.processor = job.processor;
-    cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
+    cfg.filter.meas_noise_mps2 = meas_noise;
     cfg.filter.angle_process_noise = spec.angle_process_noise;
-    cfg.sabre.r_sigma = spec.meas_noise_mps2;
+    cfg.sabre.r_sigma = meas_noise;
     cfg.sabre.q_variance =
         spec.angle_process_noise * spec.angle_process_noise;
     cfg.use_adaptive_tuner = job.use_adaptive_tuner;
-    BoresightSystem sys(cfg);
+    if (job.tuner) cfg.tuner = *job.tuner;
 
     FleetResult out;
     out.scenario = job.scenario;
     out.processor = job.processor;
+
+    // §11.1 calibration phase: the same instruments (identical sensor-seed
+    // realization and error magnitudes) dwell on a level platform at known
+    // zero alignment; the accumulated ACC-vs-IMU bias is subtracted from
+    // every ACC reading of the main run. A separate Scenario instance keeps
+    // the main run's RNG draws untouched, so calibration-free jobs are
+    // bitwise unaffected by this block not running.
+    if (job.calibration) {
+        auto cal_cfg = sim::ScenarioConfig::static_level(
+            job.calibration->duration_s, EulerAngles{});
+        cal_cfg.imu_errors = scfg.imu_errors;
+        cal_cfg.acc_errors = scfg.acc_errors;
+        cal_cfg.vibration = scfg.vibration;
+        cal_cfg.adxl = scfg.adxl;
+        sim::Scenario cal(cal_cfg, seed ^ kSensorStreamSalt);
+        core::CalibrationAccumulator accum;
+        while (auto s = cal.next()) {
+            const auto d = decode_step(cal, *s);
+            accum.add(d.f_body, d.acc_xy);
+        }
+        cfg.calibrated_bias = accum.bias();
+        out.calibrated_bias = accum.bias();
+        out.calibration_noise = accum.noise_sigma();
+        out.calibration_samples = accum.samples();
+    }
+
+    BoresightSystem sys(cfg);
     out.envelope = spec.envelope;
     if (job.processor == BoresightSystem::Processor::kSabre) {
         out.envelope.roll_deg *= spec.sabre_envelope_scale;

@@ -12,11 +12,32 @@
 
 namespace ob::system {
 
+/// Largest per-axis misalignment override a fleet job accepts (radians).
+/// The boresight EKF linearizes the mounting rotation as a small-angle DCM,
+/// so beyond roughly this bound the linearization error dominates the
+/// estimate and a sweep cell would be measuring the model, not the tuning.
+inline constexpr double kFleetSmallAngleLimitRad = math::deg2rad(15.0);
+
+/// The paper's §11.1 pre-run procedure as a fleet phase: before the
+/// scenario starts, the job's instruments (same sensor-seed realization)
+/// sit on a level platform for `duration_s` of static epochs, a
+/// CalibrationAccumulator measures the combined ACC-vs-IMU bias, and that
+/// bias is subtracted from every subsequent ACC reading inside the
+/// BoresightSystem.
+struct FleetCalibration {
+    double duration_s = 30.0;  ///< level-platform dwell before the run
+
+    /// Throws std::invalid_argument on a non-positive dwell.
+    void validate() const;
+};
+
 /// One unit of fleet work: a library scenario driven end to end through the
 /// full-transport BoresightSystem on the chosen fusion processor. A job is
 /// a pure value — every RNG stream it uses derives from (scenario name,
 /// base_seed), so the result is a function of the job alone and batches can
-/// be executed in any order on any number of threads.
+/// be executed in any order on any number of threads. The calibration pass
+/// keeps that contract: its scenario derives from the same (name, seed)
+/// sensor stream, so a calibrated job is still a pure value.
 struct FleetJob {
     std::string scenario;  ///< ScenarioLibrary name
     BoresightSystem::Processor processor =
@@ -25,10 +46,20 @@ struct FleetJob {
     double duration_s = 0.0;         ///< 0 => the spec's default duration
     /// Override the spec's injected truth (fleet sweeps over misalignment).
     std::optional<math::EulerAngles> misalignment{};
+    /// Run the §11.1 level-platform calibration before the scenario.
+    std::optional<FleetCalibration> calibration{};
     bool use_adaptive_tuner = false;
+    /// Tuner knobs; requires use_adaptive_tuner (a silent override on a
+    /// disabled tuner is always a config mistake). Absent => defaults.
+    std::optional<core::AdaptiveTunerConfig> tuner{};
+    /// Initial measurement noise override, 1-sigma m/s² (tuning sweeps);
+    /// absent => the spec's recommended value. Applies to both processors.
+    std::optional<double> meas_noise_mps2{};
 
-    /// Throws std::invalid_argument on an empty/unknown scenario or a
-    /// negative duration override.
+    /// Throws std::invalid_argument on an empty/unknown scenario, a
+    /// negative duration override, a misalignment override outside the
+    /// small-angle regime, bad calibration/tuner specs, or a non-positive
+    /// measurement-noise override.
     void validate() const;
 };
 
@@ -57,6 +88,10 @@ struct FleetResult {
     /// job ran on the firmware processor).
     sim::ScenarioEnvelope envelope{};
     bool within_envelope = false;
+    // §11.1 calibration-phase outputs (all zero for uncalibrated jobs).
+    math::Vec2 calibrated_bias{};    ///< bias subtracted during the run
+    double calibration_noise = 0.0;  ///< per-sample noise at calibration
+    std::size_t calibration_samples = 0;
 };
 
 /// Execute one job serially. This is the reference semantics: FleetRunner

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_tuner.hpp"
+#include "math/rotation.hpp"
+#include "system/fleet.hpp"
+
+namespace ob::system {
+
+/// One point on the tuner-config axis of a tuning study: a named filter
+/// tuning (initial measurement noise and, optionally, the §11 adaptive
+/// retuning loop with explicit knobs). The paper's manual retune is two of
+/// these — "static tuning, R = 0.003" and "retuned, R = 0.015" — and the
+/// adaptive tuner is a third that should land on the second by itself.
+struct TunerVariant {
+    std::string label;  ///< stable identifier in the study report
+    bool use_adaptive_tuner = false;
+    core::AdaptiveTunerConfig tuner{};  ///< knobs when the tuner is on
+    /// Initial measurement noise, 1-sigma m/s²; 0 => the scenario spec's
+    /// recommended value.
+    double meas_noise_mps2 = 0.0;
+};
+
+/// Declarative sweep specification: the study expands
+/// {scenario × misalignment × tuner variant × processor} into one FleetJob
+/// per cell. An empty misalignment grid means "each scenario's spec
+/// default"; every job inherits the study's calibration spec and seed, so
+/// the whole study is a pure value with the fleet's deterministic RNG
+/// contract.
+struct TuningStudyConfig {
+    std::string label = "tuning-study";
+    std::vector<std::string> scenarios;        ///< ScenarioLibrary names
+    std::vector<math::EulerAngles> misalignments;  ///< empty => spec default
+    std::vector<TunerVariant> variants;
+    std::vector<BoresightSystem::Processor> processors = {
+        BoresightSystem::Processor::kNative};
+    /// §11.1 level-platform calibration applied to every job when set.
+    std::optional<FleetCalibration> calibration{};
+    double duration_s = 0.0;  ///< per-job duration override; 0 => spec
+    std::uint64_t base_seed = 2026;
+
+    /// Throws std::invalid_argument naming the first bad axis: empty label,
+    /// empty/unknown scenario list, empty variant list, duplicate or empty
+    /// variant labels, bad variant tuning, empty processor list, negative
+    /// duration — plus everything FleetJob::validate rejects per cell.
+    void validate() const;
+};
+
+/// One completed grid cell: the axis indices that produced it plus the full
+/// fleet result. `misalignment_index` stays 0 when the grid is empty (spec
+/// defaults).
+struct TuningStudyCell {
+    std::size_t scenario_index = 0;
+    std::size_t misalignment_index = 0;
+    std::size_t variant_index = 0;
+    std::size_t processor_index = 0;
+    FleetResult result;
+};
+
+/// Machine-readable study outcome. Every field is a deterministic function
+/// of the config — no wall-clock, no thread count — so `to_json()` is
+/// byte-identical however the batch was scheduled.
+struct TuningStudyReport {
+    TuningStudyConfig config;
+    std::vector<TuningStudyCell> cells;
+    std::size_t within_envelope = 0;
+
+    /// Render the full report (axes, per-cell reductions, summary) via
+    /// util::JsonWriter.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Sweep generator and reducer: expands the config into FleetJob batches,
+/// runs them through a FleetRunner, and reduces per-cell results
+/// (converged 3-sigma, residual RMS, envelope verdict, tuner adjustment
+/// count, calibration bias) into a TuningStudyReport.
+class TuningStudy {
+public:
+    /// Validates the config (and every expanded job) up front.
+    explicit TuningStudy(TuningStudyConfig cfg);
+
+    /// The expanded batch, in deterministic grid order: scenario-major,
+    /// then misalignment, variant, processor.
+    [[nodiscard]] const std::vector<FleetJob>& jobs() const { return jobs_; }
+    [[nodiscard]] std::size_t cell_count() const { return jobs_.size(); }
+
+    /// Execute the batch on the given runner and reduce the results.
+    [[nodiscard]] TuningStudyReport run(const FleetRunner& runner) const;
+
+private:
+    TuningStudyConfig cfg_;
+    std::vector<FleetJob> jobs_;
+    std::vector<TuningStudyCell> shape_;  ///< axis indices per job
+};
+
+}  // namespace ob::system

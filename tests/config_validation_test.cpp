@@ -194,6 +194,81 @@ TEST(FleetJobValidation, RejectsNegativeDurationOverride) {
     EXPECT_NO_THROW(job.validate());
 }
 
+TEST(FleetJobValidation, RejectsMisalignmentOutsideSmallAngleRegime) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    // The EKF linearizes the mounting DCM; beyond ~15 deg per axis the
+    // sweep would measure linearization error, not tuning.
+    job.misalignment = EulerAngles::from_deg(0.0, 20.0, 0.0);
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.misalignment = EulerAngles::from_deg(0.0, 0.0, -20.0);
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.misalignment = EulerAngles::from_deg(-14.0, 10.0, 14.0);
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(FleetJobValidation, RejectsBadCalibrationDwell) {
+    system::FleetJob job;
+    job.scenario = "static-level";
+    job.calibration = system::FleetCalibration{0.0};
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.calibration = system::FleetCalibration{-5.0};
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.calibration = system::FleetCalibration{30.0};
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(FleetJobValidation, RejectsTunerOverrideWithoutEnablingTheTuner) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    job.tuner = ob::core::AdaptiveTunerConfig{};
+    // Knobs on a disabled tuner are always a config mistake.
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.use_adaptive_tuner = true;
+    EXPECT_NO_THROW(job.validate());
+    job.tuner->ceiling_mps2 = 0.5 * job.tuner->floor_mps2;
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(FleetJobValidation, RejectsAdaptiveTunerOnTheSabreProcessor) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    job.use_adaptive_tuner = true;
+    job.processor = system::BoresightSystem::Processor::kSabre;
+    // The firmware has no runtime noise register; a silently static
+    // "adaptive" run would be indistinguishable from real tuner data.
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.processor = system::BoresightSystem::Processor::kNative;
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(FleetJobValidation, RejectsNonPositiveMeasurementNoiseOverride) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    job.meas_noise_mps2 = 0.0;
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.meas_noise_mps2 = -0.01;
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.meas_noise_mps2 = 0.0075;
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(AdaptiveTunerConfigValidation, RejectsBadKnobs) {
+    ob::core::AdaptiveTunerConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg.raise_factor = 1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = {};
+    cfg.lower_factor = 1.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = {};
+    cfg.window = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = {};
+    cfg.lower_threshold = 2.0 * cfg.raise_threshold;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 // The constructor-level guarantee: a BoresightSystem cannot exist around a
 // bad config, so every downstream component may assume validated numbers.
 TEST(BoresightSystemConfigValidation, ConstructorRunsValidation) {

@@ -37,6 +37,34 @@ std::vector<system::FleetJob> short_batch() {
     return jobs;
 }
 
+/// Tuning-study-shaped batch: every job carries the §11.1 calibration
+/// phase, and the tuner / noise / misalignment overrides are spread across
+/// the batch (including one Sabre job) so the determinism sweep covers the
+/// calibrated and adaptive paths too.
+std::vector<system::FleetJob> tuned_batch() {
+    std::vector<system::FleetJob> jobs;
+    const char* scenarios[] = {"static-level", "city-drive", "highway-drive",
+                               "carpark-bump", "banked-curve"};
+    for (const char* name : scenarios) {
+        system::FleetJob job;
+        job.scenario = name;
+        job.duration_s = 20.0;
+        job.calibration = system::FleetCalibration{10.0};
+        jobs.push_back(job);
+    }
+    jobs[0].processor = Processor::kSabre;
+    jobs[1].use_adaptive_tuner = true;
+    jobs[1].meas_noise_mps2 = 0.003;
+    jobs[2].use_adaptive_tuner = true;
+    core::AdaptiveTunerConfig tuner;
+    tuner.ceiling_mps2 = 0.02;
+    tuner.min_samples = 100;
+    jobs[2].tuner = tuner;
+    jobs[3].misalignment = ob::math::EulerAngles::from_deg(4.0, -3.0, 5.0);
+    jobs[4].meas_noise_mps2 = 0.0125;
+    return jobs;
+}
+
 [[nodiscard]] std::uint64_t bits(double v) {
     return std::bit_cast<std::uint64_t>(v);
 }
@@ -60,6 +88,11 @@ void expect_bitwise_equal(const system::FleetResult& a,
               b.final_status.acc_packets_lost);
     EXPECT_EQ(bits(a.final_status.worst_transport_latency),
               bits(b.final_status.worst_transport_latency));
+    EXPECT_EQ(a.final_status.tuner_adjustments, b.final_status.tuner_adjustments);
+    EXPECT_EQ(bits(a.calibrated_bias[0]), bits(b.calibrated_bias[0]));
+    EXPECT_EQ(bits(a.calibrated_bias[1]), bits(b.calibrated_bias[1]));
+    EXPECT_EQ(bits(a.calibration_noise), bits(b.calibration_noise));
+    EXPECT_EQ(a.calibration_samples, b.calibration_samples);
     EXPECT_EQ(a.trace.epochs, b.trace.epochs);
     EXPECT_EQ(a.trace.checked_points, b.trace.checked_points);
     EXPECT_EQ(bits(a.trace.worst_roll_err_deg), bits(b.trace.worst_roll_err_deg));
@@ -89,6 +122,20 @@ TEST(FleetConcurrency, SerialMatchesEightThreadsBitwise) {
     const auto serial = system::FleetRunner({.threads = 1}).run(jobs);
     const auto parallel = system::FleetRunner({.threads = 8}).run(jobs);
     expect_batches_equal(serial, parallel);
+}
+
+TEST(FleetConcurrency, CalibratedAndTunedJobsMatchSerialBitwise) {
+    // The §11.1 calibration pass and the adaptive tuner both consume RNG
+    // and carry per-job state; neither may break the scheduling-free
+    // contract. Compared fields include the calibration outputs and the
+    // tuner adjustment count.
+    const auto jobs = tuned_batch();
+    const auto serial = system::FleetRunner({.threads = 1}).run(jobs);
+    const auto parallel = system::FleetRunner({.threads = 8}).run(jobs);
+    expect_batches_equal(serial, parallel);
+    // The overrides must actually have engaged, or this test proves nothing.
+    EXPECT_GT(serial[0].calibration_samples, 0u);
+    EXPECT_GT(serial[2].final_status.tuner_adjustments, 0u);
 }
 
 TEST(FleetConcurrency, RepeatedParallelRunsAreIdentical) {
