@@ -41,7 +41,14 @@ STAGE_NOISE_SLACK_US = 0.1
 # lacks one of these is a data error — exit 2 with a pointed message, never
 # a silent skip or a KeyError traceback.
 REQUIRED_KEYS = ("scenarios_per_sec", "epochs_per_sec", "per_stage_us",
-                 "feed_allocs_per_epoch")
+                 "feed_allocs_per_epoch", "multi_seed")
+
+# Sub-keys of the multi_seed section (the 8-seed shared-trace sweep;
+# "runs" are scenario realizations, scenario x tuning x seed); the shared
+# throughput and the shared-vs-per-run-synthesis speedup are gated like
+# the top-level throughput numbers.
+REQUIRED_MULTI_SEED_KEYS = ("shared_runs_per_sec", "unshared_runs_per_sec",
+                            "speedup")
 
 
 class BenchDataError(Exception):
@@ -60,6 +67,8 @@ def load(path):
 
 def require_keys(data, role, path):
     missing = [k for k in REQUIRED_KEYS if k not in data]
+    missing += [f"multi_seed.{k}" for k in REQUIRED_MULTI_SEED_KEYS
+                if k not in data.get("multi_seed", {})]
     if missing:
         raise BenchDataError(
             f"{role} {path} is missing key(s) {missing}; regenerate it with "
@@ -93,8 +102,7 @@ def main():
     failures = []
     rows = []
 
-    def check_throughput(key):
-        b, f = base[key], fresh[key]
+    def check_throughput(key, b, f):
         delta = (f - b) / b if b else 0.0
         rows.append((key, b, f, delta, "higher-is-better"))
         if f < b * (1.0 - tol):
@@ -103,7 +111,13 @@ def main():
                 f"(allowed {tol:.0%})")
 
     for key in ("scenarios_per_sec", "epochs_per_sec"):
-        check_throughput(key)
+        check_throughput(key, base[key], fresh[key])
+    # The seed-axis sweep: shared-trace throughput, and the amortization
+    # speedup itself so a regression back toward per-run synthesis cost is
+    # caught even if absolute throughput moved with the host.
+    for key in ("shared_runs_per_sec", "speedup"):
+        check_throughput(f"multi_seed.{key}", base["multi_seed"][key],
+                         fresh["multi_seed"][key])
 
     base_stages = base["per_stage_us"]
     fresh_stages = fresh["per_stage_us"]

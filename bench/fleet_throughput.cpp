@@ -8,6 +8,7 @@
 // machine-trackable (bench/compare_bench.py gates regressions against
 // bench/baselines/BENCH_fleet.baseline.json).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/boresight_ekf.hpp"
 #include "math/rotation.hpp"
 #include "sim/scenario_library.hpp"
+#include "sim/scenario_trace.hpp"
 #include "system/boresight_system.hpp"
 #include "system/experiment.hpp"
 #include "system/fleet.hpp"
@@ -37,11 +39,14 @@ using Clock = std::chrono::steady_clock;
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Per-stage cost on the representative city drive: raw scenario synthesis,
-/// full transport feed (with a breakdown of its phases), the bare fusion
-/// update, and the steady-state allocation rate of `feed`.
+/// Per-stage cost on the representative city drive: raw scenario synthesis
+/// (split into the once-per-scenario trace build and the per-seed
+/// realization), full transport feed (with a breakdown of its phases), the
+/// bare fusion update, and the steady-state allocation rate of `feed`.
 struct StageCosts {
-    double sim_epoch_us = 0.0;
+    double sim_epoch_us = 0.0;     ///< trace build + realization combined
+    double trace_build_us = 0.0;   ///< ScenarioTrace::build, amortizable
+    double synthesis_us = 0.0;     ///< per-seed realization over the trace
     double transport_feed_us = 0.0;
     double fusion_update_us = 0.0;
     // Breakdown of the transport feed, measured on a manually assembled
@@ -160,12 +165,32 @@ StageCosts measure_stages() {
     const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
     const std::uint64_t seed = sim::scenario_seed(spec.name, 7);
 
-    {  // scenario synthesis alone
-        sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
+    {  // scenario synthesis alone (trace build + realization combined, the
+       // historical one-shot cost; the profile is prebuilt as before)
+        const auto scfg = spec.build(60.0, spec.misalignment, seed);
         const auto t0 = Clock::now();
+        sim::Scenario sc(scfg, seed);
         while (auto s = sc.next()) ++out.epochs;
         out.sim_epoch_us =
             1e6 * seconds_since(t0) / static_cast<double>(out.epochs);
+    }
+    {  // the Plan/Trace/Realize split of the same synthesis; the trace
+       // phase includes the drive-profile integration spec.build runs,
+       // since the runner amortizes that per trace too
+        const auto t0 = Clock::now();
+        const auto trace = sim::ScenarioTrace::build(
+            spec.build(60.0, spec.misalignment, seed), seed);
+        out.trace_build_us = 1e6 * seconds_since(t0) /
+                             static_cast<double>(trace->epochs());
+        const auto t1 = Clock::now();
+        sim::Scenario sc(trace, spec.misalignment, seed);
+        std::size_t epochs = 0;
+        double t = 0.0;
+        comm::DmuSample dmu;
+        comm::AdxlTiming adxl;
+        while (sc.next_wire(t, dmu, adxl)) ++epochs;
+        out.synthesis_us =
+            1e6 * seconds_since(t1) / static_cast<double>(epochs);
     }
     {  // transport + fusion via the full system, plus steady-state allocs
         sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
@@ -204,6 +229,85 @@ StageCosts measure_stages() {
     return out;
 }
 
+/// The Monte Carlo seed axis under both trace-cost models: 8 instrument
+/// realizations of 4 drive scenarios under 2 tuner variants (the spec
+/// tuning and the §11 retuned 0.015), once with one shared ScenarioTrace
+/// per scenario — shared across every {tuner × seed} variant, as the
+/// Plan/Trace/Realize stack allows — and once with per-run synthesis
+/// (every realization rebuilds its trace, the pre-refactor cost model).
+/// Results are bitwise identical; only the wall clock moves.
+struct MultiSeedSweep {
+    std::size_t scenarios = 0;
+    std::size_t variants = 0;
+    std::size_t seeds_per_job = 0;
+    std::size_t runs = 0;  ///< realizations = scenarios * variants * seeds
+    std::size_t epochs = 0;
+    double shared_elapsed_s = 0.0;
+    double unshared_elapsed_s = 0.0;
+    [[nodiscard]] double shared_runs_per_sec() const {
+        return static_cast<double>(runs) / shared_elapsed_s;
+    }
+    [[nodiscard]] double unshared_runs_per_sec() const {
+        return static_cast<double>(runs) / unshared_elapsed_s;
+    }
+    [[nodiscard]] double speedup() const {
+        return unshared_elapsed_s / shared_elapsed_s;
+    }
+};
+
+MultiSeedSweep measure_multi_seed() {
+    MultiSeedSweep out;
+    const char* scenarios[] = {"city-drive", "highway-drive",
+                               "emergency-brake", "trailer-sway"};
+    std::vector<system::FleetJob> jobs;
+    for (const char* name : scenarios) {
+        for (const double meas_noise : {0.0, 0.015}) {  // spec, §11 retuned
+            system::FleetJob job;
+            job.scenario = name;
+            job.duration_s = 60.0;
+            job.seeds_per_job = 8;
+            if (meas_noise > 0.0) job.meas_noise_mps2 = meas_noise;
+            jobs.push_back(std::move(job));
+        }
+    }
+    out.scenarios = 4;
+    out.variants = 2;
+    out.seeds_per_job = 8;
+    out.runs = jobs.size() * 8;
+
+    // Two repetitions per mode, fastest kept: a single short sweep is at
+    // the mercy of scheduler noise, and the min is the standard estimator
+    // for the actual cost.
+    constexpr int kReps = 2;
+    {
+        const system::FleetRunner shared({.share_traces = true});
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = Clock::now();
+            const auto results = shared.run(jobs);
+            const double elapsed = seconds_since(t0);
+            if (rep == 0) {
+                out.shared_elapsed_s = elapsed;
+                for (const auto& r : results) {
+                    for (const auto& s : r.seeds) out.epochs += s.trace.epochs;
+                }
+            } else {
+                out.shared_elapsed_s = std::min(out.shared_elapsed_s, elapsed);
+            }
+        }
+    }
+    {
+        const system::FleetRunner unshared({.share_traces = false});
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = Clock::now();
+            (void)unshared.run(jobs);
+            const double elapsed = seconds_since(t0);
+            out.unshared_elapsed_s =
+                rep == 0 ? elapsed : std::min(out.unshared_elapsed_s, elapsed);
+        }
+    }
+    return out;
+}
+
 }  // namespace
 
 int main() {
@@ -238,15 +342,24 @@ int main() {
     }
 
     const auto stages = measure_stages();
+    const auto multi_seed = measure_multi_seed();
     const double scen_per_s = static_cast<double>(results.size()) / elapsed;
     std::printf("\n%zu scenario runs in %.2f s: %.2f scenarios/s, "
                 "%.0f epochs/s\n",
                 results.size(), elapsed, scen_per_s,
                 static_cast<double>(total_epochs) / elapsed);
-    std::printf("per-stage cost (city drive): sim %.2f us/epoch, "
+    std::printf("per-stage cost (city drive): sim %.2f us/epoch "
+                "(trace build %.2f + realization %.2f), "
                 "transport+fusion %.2f us/epoch, bare EKF %.2f us/update\n",
-                stages.sim_epoch_us, stages.transport_feed_us,
+                stages.sim_epoch_us, stages.trace_build_us,
+                stages.synthesis_us, stages.transport_feed_us,
                 stages.fusion_update_us);
+    std::printf("multi-seed sweep (%zu scenarios x %zu tunings x %zu seeds): "
+                "shared trace %.2f runs/s, per-run synthesis %.2f runs/s "
+                "-> %.2fx\n",
+                multi_seed.scenarios, multi_seed.variants,
+                multi_seed.seeds_per_job, multi_seed.shared_runs_per_sec(),
+                multi_seed.unshared_runs_per_sec(), multi_seed.speedup());
     std::printf("transport breakdown: encode+send %.2f, can_advance %.2f, "
                 "uart_drain %.2f, codec %.2f, fusion %.2f us/epoch; "
                 "steady-state allocs/epoch %.3f\n",
@@ -265,6 +378,8 @@ int main() {
     w.key("epochs_per_sec").value(static_cast<double>(total_epochs) / elapsed);
     w.key("per_stage_us").begin_object();
     w.key("sim_epoch").value(stages.sim_epoch_us);
+    w.key("trace_build").value(stages.trace_build_us);
+    w.key("synthesis").value(stages.synthesis_us);
     w.key("transport_feed").value(stages.transport_feed_us);
     w.key("fusion_update").value(stages.fusion_update_us);
     w.key("uart_drain").value(stages.uart_drain_us);
@@ -274,6 +389,19 @@ int main() {
     w.key("encode_send").value(stages.encode_send_us);
     w.end_object();
     w.key("feed_allocs_per_epoch").value(stages.feed_allocs_per_epoch);
+    w.key("multi_seed").begin_object();
+    w.key("scenarios").value(multi_seed.scenarios);
+    w.key("variants").value(multi_seed.variants);
+    w.key("seeds_per_job").value(multi_seed.seeds_per_job);
+    w.key("runs").value(multi_seed.runs);
+    w.key("epochs").value(multi_seed.epochs);
+    // "runs" = scenario realizations (scenario x tuning x seed), the unit
+    // the sweep schedules — deliberately NOT named scenarios_per_sec,
+    // which at top level counts whole jobs.
+    w.key("shared_runs_per_sec").value(multi_seed.shared_runs_per_sec());
+    w.key("unshared_runs_per_sec").value(multi_seed.unshared_runs_per_sec());
+    w.key("speedup").value(multi_seed.speedup());
+    w.end_object();
     w.key("runs").begin_array();
     for (const auto& r : results) {
         w.begin_object();

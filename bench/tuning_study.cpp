@@ -49,6 +49,11 @@ system::TuningStudyConfig noise_grid_config() {
          .meas_noise_mps2 = 0.003},
     };
     cfg.calibration = system::FleetCalibration{.duration_s = 30.0};
+    // Monte Carlo seed axis: four instrument realizations per cell (all
+    // sharing the cell's ScenarioTrace), so every envelope verdict in
+    // STUDY_tuning.json comes with mean/σ/95% CI columns instead of a
+    // single-realization point value.
+    cfg.seeds_per_cell = 4;
     return cfg;
 }
 
@@ -59,6 +64,12 @@ system::TuningStudyConfig firmware_parity_config() {
     cfg.variants = {
         {.label = "spec"},
         {.label = "retuned-0.015", .meas_noise_mps2 = 0.015},
+        // The firmware's writable R register lets the §11 adaptive retune
+        // run on both processors; it must rediscover the 0.015 tuning from
+        // the quietest static start on either one.
+        {.label = "adaptive",
+         .use_adaptive_tuner = true,
+         .meas_noise_mps2 = 0.003},
     };
     cfg.processors = {Processor::kNative, Processor::kSabre};
     return cfg;
@@ -77,21 +88,26 @@ StudyRun execute(const system::TuningStudyConfig& cfg,
     const auto t0 = Clock::now();
     out.report = study.run(runner);
     out.elapsed_s = seconds_since(t0);
-    for (const auto& c : out.report.cells) out.epochs += c.result.trace.epochs;
+    for (const auto& c : out.report.cells) {
+        for (const auto& s : c.result.seeds) out.epochs += s.trace.epochs;
+    }
 
-    std::printf("study '%s': %zu cells, %zu/%zu within envelope, %.2f s\n",
+    std::printf("study '%s': %zu cells x %zu seed(s), %zu/%zu within "
+                "envelope, %.2f s\n",
                 cfg.label.c_str(), out.report.cells.size(),
-                out.report.within_envelope, out.report.cells.size(),
-                out.elapsed_s);
-    std::printf("  %-14s %-14s %-7s | %9s %9s %5s | %s\n", "scenario",
-                "variant", "proc", "resid", "final R", "adj", "verdict");
+                cfg.seeds_per_cell, out.report.within_envelope,
+                out.report.cells.size(), out.elapsed_s);
+    std::printf("  %-14s %-14s %-7s | %9s %9s %5s | %-7s | %s\n", "scenario",
+                "variant", "proc", "resid", "final R", "adj", "seeds ok",
+                "verdict");
     for (const auto& c : out.report.cells) {
         const auto& r = c.result;
-        std::printf("  %-14s %-14s %-7s | %9.4f %9.4f %5zu | %s\n",
+        std::printf("  %-14s %-14s %-7s | %9.4f %9.4f %5zu | %4zu/%zu | %s\n",
                     r.scenario.c_str(),
                     cfg.variants[c.variant_index].label.c_str(),
                     system::processor_name(r.processor), r.result.residual_rms,
                     r.result.meas_noise, r.final_status.tuner_adjustments,
+                    r.seed_stats.within_envelope, r.seed_stats.seeds,
                     r.within_envelope ? "ok" : "outside");
     }
     std::printf("\n");
@@ -107,6 +123,7 @@ void write_bench_json(const system::FleetRunner& runner,
     const auto study_entry = [&w](const char* key, const StudyRun& run) {
         w.key(key).begin_object();
         w.key("cells").value(run.report.cells.size());
+        w.key("seeds_per_cell").value(run.report.config.seeds_per_cell);
         w.key("within_envelope").value(run.report.within_envelope);
         w.key("elapsed_s").value(run.elapsed_s);
         w.key("cells_per_sec").value(

@@ -33,24 +33,35 @@ int main() {
          .meas_noise_mps2 = 0.003},
     };
     cfg.calibration = system::FleetCalibration{.duration_s = 30.0};
+    // Three vehicles' worth of instruments per tuning (a small fleet Monte
+    // Carlo): the retune conclusion comes with a cross-seed spread, not a
+    // single-realization point — all three share one city-drive trace.
+    cfg.seeds_per_cell = 3;
 
     const system::TuningStudy study(cfg);
     const auto report = study.run(system::FleetRunner{});
 
-    std::printf("§11 retune on %s (calibrated, %zu cells)\n",
-                cfg.scenarios[0].c_str(), report.cells.size());
-    std::printf("%-15s %10s %10s %6s | %7s %7s | %s\n", "variant", "R start",
-                "R final", "adj", "roll", "pitch", "verdict");
+    std::printf("§11 retune on %s (calibrated, %zu cells x %zu seeds; "
+                "errors are cross-seed means ± 95%% CI)\n",
+                cfg.scenarios[0].c_str(), report.cells.size(),
+                cfg.seeds_per_cell);
+    std::printf("%-15s %10s %10s %6s | %-15s %-15s | %s\n", "variant",
+                "R start", "R final", "adj", "roll (deg)", "pitch (deg)",
+                "verdict");
     double adaptive_final_r = 0.0;
     bool adaptive_ok = false;
     for (const auto& c : report.cells) {
         const auto& v = cfg.variants[c.variant_index];
         const auto& r = c.result;
-        std::printf("%-15s %10.4f %10.4f %6zu | %7.3f %7.3f | %s\n",
-                    v.label.c_str(), v.meas_noise_mps2, r.result.meas_noise,
-                    r.final_status.tuner_adjustments,
-                    r.trace.worst_roll_err_deg, r.trace.worst_pitch_err_deg,
-                    r.within_envelope ? "ok" : "outside");
+        const auto& s = r.seed_stats;
+        std::printf(
+            "%-15s %10.4f %10.4f %6zu | %6.3f %s%6.3f | %6.3f %s%6.3f | "
+            "%s (%zu/%zu)\n",
+            v.label.c_str(), v.meas_noise_mps2, r.result.meas_noise,
+            r.final_status.tuner_adjustments, s.roll_err_deg.mean, "±",
+            s.roll_err_deg.ci95(s.seeds), s.pitch_err_deg.mean, "±",
+            s.pitch_err_deg.ci95(s.seeds),
+            r.within_envelope ? "ok" : "outside", s.within_envelope, s.seeds);
         if (v.label == "adaptive") {
             adaptive_final_r = r.result.meas_noise;
             adaptive_ok = r.within_envelope;

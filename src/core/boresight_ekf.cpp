@@ -32,7 +32,8 @@ namespace {
 BoresightEkf::BoresightEkf(const BoresightConfig& cfg)
     : cfg_(cfg),
       meas_sigma_(cfg.meas_noise_mps2),
-      ekf_(math::Vec<5>{}, initial_covariance(cfg)) {}
+      ekf_(math::Vec<5>{}, initial_covariance(cfg)),
+      q_(process_noise(cfg)) {}
 
 void BoresightEkf::reset() {
     ekf_.set_state(math::Vec<5>{});
@@ -49,7 +50,8 @@ Vec2 BoresightEkf::predict_measurement(const Vec3& rho_euler, const Vec2& bias,
     return Vec2{f_sensor[0] + bias[0], f_sensor[1] + bias[1]};
 }
 
-Mat<2, 5> BoresightEkf::jacobian(const Vec3& f_body) const {
+Mat<2, 5> BoresightEkf::jacobian(const Vec3& f_body,
+                                 const Vec3& f_rotated) const {
     Mat<2, 5> h;
     const auto& x = ekf_.state();
     const Vec3 rho{x[0], x[1], x[2]};
@@ -60,9 +62,9 @@ Mat<2, 5> BoresightEkf::jacobian(const Vec3& f_body) const {
         // the sensor frame: C(ρ⊕δ) ≈ (I - [δ×]) C(ρ), so
         //   h(ρ⊕δ) ≈ h(ρ) + rows_xy(skew(C·f_b)) δ.
         // For misalignments of a few degrees the Euler-angle state and the
-        // rotation-vector perturbation agree to first order.
-        const math::Mat3 c = math::dcm_from_euler(EulerAngles::from_vec(rho));
-        const math::Mat3 sk = math::skew(c * f_body);
+        // rotation-vector perturbation agree to first order. The caller
+        // passes C·f_b, already computed for the predicted measurement.
+        const math::Mat3 sk = math::skew(f_rotated);
         for (std::size_t r = 0; r < 2; ++r)
             for (std::size_t ccol = 0; ccol < 3; ++ccol) h(r, ccol) = sk(r, ccol);
     } else {
@@ -95,12 +97,17 @@ BoresightEkf::Update BoresightEkf::step_with_rates(const Vec3& f_body,
 
 BoresightEkf::Update BoresightEkf::step(const Vec3& f_body,
                                         const Vec2& f_sensor_xy) {
-    ekf_.predict_static(process_noise(cfg_));
+    ekf_.predict_static(q_);
 
+    // One DCM evaluation serves both the predicted measurement and the
+    // analytic Jacobian — same input bits, same result bits as computing
+    // it twice (predict_measurement stays the reference model).
     const auto& x = ekf_.state();
-    const Vec2 z_pred = predict_measurement(Vec3{x[0], x[1], x[2]},
-                                            Vec2{x[3], x[4]}, f_body);
-    const Mat<2, 5> h = jacobian(f_body);
+    const math::Mat3 c = math::dcm_from_euler(
+        EulerAngles::from_vec(Vec3{x[0], x[1], x[2]}));
+    const Vec3 f_rotated = c * f_body;
+    const Vec2 z_pred{f_rotated[0] + x[3], f_rotated[1] + x[4]};
+    const Mat<2, 5> h = jacobian(f_body, f_rotated);
     Mat<2, 2> r;
     r(0, 0) = meas_sigma_ * meas_sigma_;
     r(1, 1) = meas_sigma_ * meas_sigma_;

@@ -112,11 +112,15 @@ public:
         const math::Vec3& f_body);
 
 private:
-    [[nodiscard]] math::Mat<2, 5> jacobian(const math::Vec3& f_body) const;
+    /// `f_rotated` = C(ρ̂)·f_body, shared with the predicted-measurement
+    /// computation (only the analytic mode consumes it).
+    [[nodiscard]] math::Mat<2, 5> jacobian(const math::Vec3& f_body,
+                                           const math::Vec3& f_rotated) const;
 
     BoresightConfig cfg_;
     double meas_sigma_;
     Ekf<5, 2> ekf_;
+    math::Mat<5, 5> q_;  ///< process noise, constant per configuration
     std::size_t updates_ = 0;
 };
 

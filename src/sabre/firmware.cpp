@@ -139,6 +139,16 @@ std::string boresight_firmware_source(const FirmwareLayout& l) {
     e.ins("lw r2, " + std::to_string(periph::kAccPort) + "(r1)");
     e.ins("beq r2, zero, wait_acc");
 
+    // Latch the host-writable measurement-noise register (float bits of
+    // the R variance) into the Kalman R cell: the adaptive retune loop
+    // takes effect from this update on. With the host never writing, the
+    // register still holds the boot value, so the math is bit-identical
+    // to the fixed-R firmware.
+    e.ins("lw r2, " + std::to_string(periph::kControl +
+                                     4 * ControlPeripheral::kMeasNoiseVar) +
+          "(r1)");
+    e.ins("sw r2, " + std::to_string(l.r) + "(zero)");
+
     // --- Decode DMU accelerometers to SI floats: F[i] = raw * accel_lsb.
     for (int i = 0; i < 3; ++i) {
         e.int_reg_to_float(t0, periph::kDmuPort + 16 + 4u * static_cast<unsigned>(i));
@@ -226,6 +236,15 @@ std::string boresight_firmware_source(const FirmwareLayout& l) {
     e.fsub(fnu(1), fz(1), fzp(1));
     e.float_to_control_q16(fnu(0), ControlPeripheral::kResidualX);
     e.float_to_control_q16(fnu(1), ControlPeripheral::kResidualY);
+
+    // --- Innovation 3-sigma envelope (3*sqrt(S_ii)) for the host-side
+    // adaptive tuner: the exceedance statistic the §11 retune watches.
+    e.fpu1(t0, fs(0, 0), FpuPeripheral::kSqrt);
+    e.fmul(t0, t0, l.three);
+    e.float_to_control_q16(t0, ControlPeripheral::kInnovSigma3X);
+    e.fpu1(t0, fs(1, 1), FpuPeripheral::kSqrt);
+    e.fmul(t0, t0, l.three);
+    e.float_to_control_q16(t0, ControlPeripheral::kInnovSigma3Y);
 
     // --- State update x += K*nu.
     for (int i = 0; i < 3; ++i) {

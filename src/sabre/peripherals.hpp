@@ -126,12 +126,15 @@ private:
     std::vector<std::uint8_t> tx_;
 };
 
-/// SabreControlRun: the twelve memory-mapped registers of §10 that carry
+/// SabreControlRun: the memory-mapped registers of §10 that carry
 /// roll/pitch/yaw (Q16.16 fixed point) plus status flags straight to the
-/// FPGA video block.
+/// FPGA video block — extended with the host-writable measurement-noise
+/// register and the innovation 3-sigma outputs the adaptive retune loop
+/// consumes (§11: the R the filter assumes must rise once the vehicle
+/// moves).
 class ControlPeripheral final : public Peripheral {
 public:
-    static constexpr std::size_t kRegisters = 12;
+    static constexpr std::size_t kRegisters = 15;
     enum Reg : std::uint32_t {
         kRoll = 0,       // Q16.16 radians
         kPitch = 1,
@@ -145,6 +148,14 @@ public:
         kResidualY = 9,
         kHeartbeat = 10,
         kScratch = 11,
+        /// Host-writable measurement-noise variance, raw IEEE binary32
+        /// bits (Q16.16 would quantize R² ≈ 1e-5 to zero). The firmware
+        /// latches it into its Kalman R cell at the top of every update,
+        /// so a retune applies from the next epoch — the runtime register
+        /// the paper's manual §11 retune lacked.
+        kMeasNoiseVar = 12,
+        kInnovSigma3X = 13,  // Q16.16 innovation 3-sigma, m/s^2
+        kInnovSigma3Y = 14,
     };
 
     std::uint32_t read(std::uint32_t offset) override;

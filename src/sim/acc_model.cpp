@@ -39,7 +39,14 @@ comm::AdxlTiming AccModel::sample(const Vec3& f_body, const Vec3& omega,
                        math::cross(omega, math::cross(omega, lever_arm_));
     // Local mount vibration (does NOT cancel against the IMU's).
     const Vec3 vib = vibration_.step_accel(t, dt, speed);
-    const Vec3 f_sensor = c_sensor_body_ * (f_body + lever + vib);
+    return sample_traced((f_body + lever) + vib, t, dt);
+}
+
+comm::AdxlTiming AccModel::sample_traced(const Vec3& f_in, double t,
+                                         double dt) {
+    (void)t;
+    (void)dt;
+    const Vec3 f_sensor = c_sensor_body_ * f_in;
 
     const double ax0 = f_sensor[0];
     const double ay0 = f_sensor[1];

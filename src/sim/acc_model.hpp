@@ -49,6 +49,13 @@ public:
         return sample(f_body, math::Vec3{}, math::Vec3{}, t, dt, speed);
     }
 
+    /// Trace-fed sampling (the Realize layer): `f_in` is the precomputed
+    /// (f_body + lever) + vibration sum from a ScenarioTrace; only the
+    /// per-seed instrument draws and the misalignment rotation happen
+    /// here, in the same order as sample().
+    [[nodiscard]] comm::AdxlTiming sample_traced(const math::Vec3& f_in,
+                                                 double t, double dt);
+
     /// Re-seat the sensor (the paper's "car park bump"): adds a step change
     /// to the true misalignment mid-run.
     void bump(const math::EulerAngles& delta);

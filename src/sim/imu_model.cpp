@@ -28,15 +28,22 @@ ImuModel::ImuModel(const ImuErrorConfig& cfg, const VibrationConfig& vib_cfg,
 
 comm::DmuSample ImuModel::sample(const Vec3& f_body, const Vec3& omega,
                                  double t, double dt, double speed) {
+    // Vibration draws live on their own forked stream, so stepping the
+    // generator before the walk/noise draws leaves every instrument draw
+    // identical to the historical interleaving.
+    const Vec3 vib_a = vibration_.step_accel(t, dt, speed);
+    const Vec3 vib_g = vibration_.step_gyro(dt, speed);
+    return sample_traced(f_body + vib_a, omega + vib_g, t, dt);
+}
+
+comm::DmuSample ImuModel::sample_traced(const Vec3& f_in, const Vec3& w_in,
+                                        double t, double dt) {
     // Accelerometer bias random walk.
     const double walk = bias_walk_sigma_ * std::sqrt(std::max(dt, 0.0));
     for (std::size_t i = 0; i < 3; ++i) accel_bias_[i] += rng_.gaussian(walk);
 
-    const Vec3 vib_a = vibration_.step_accel(t, dt, speed);
-    const Vec3 vib_g = vibration_.step_gyro(dt, speed);
-
-    const Vec3 f_int = internal_misalign_ * (f_body + vib_a);
-    const Vec3 w_int = internal_misalign_ * (omega + vib_g);
+    const Vec3 f_int = internal_misalign_ * f_in;
+    const Vec3 w_int = internal_misalign_ * w_in;
 
     comm::DmuSample s;
     s.seq = seq_++;

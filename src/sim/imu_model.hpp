@@ -41,6 +41,16 @@ public:
                                          const math::Vec3& omega, double t,
                                          double dt, double speed);
 
+    /// Trace-fed sampling (the Realize layer): the mount vibration arrives
+    /// precomputed from a ScenarioTrace — `f_in` = f_body + vibration,
+    /// `w_in` = omega + gyro vibration — and only the per-seed instrument
+    /// draws (bias walk, white noise, quantization) happen here. The draw
+    /// order on the instrument stream matches sample() exactly, so a
+    /// trace-fed realization is bitwise the inline-synthesis run.
+    [[nodiscard]] comm::DmuSample sample_traced(const math::Vec3& f_in,
+                                                const math::Vec3& w_in,
+                                                double t, double dt);
+
     [[nodiscard]] const comm::DmuScale& scale() const { return scale_; }
 
     /// Truth accessors for tests (what the filter is trying to see through).

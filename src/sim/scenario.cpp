@@ -1,11 +1,14 @@
 #include "sim/scenario.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace ob::sim {
 
 namespace {
+
+void require_trace(const std::shared_ptr<const ScenarioTrace>& trace) {
+    if (!trace) throw std::invalid_argument("Scenario: null trace");
+}
 
 ScenarioConfig base_config(std::shared_ptr<const TrajectoryProfile> profile,
                            math::EulerAngles misalignment) {
@@ -63,35 +66,40 @@ ScenarioConfig ScenarioConfig::dynamic_highway(double duration_s,
 }
 
 Scenario::Scenario(ScenarioConfig cfg, std::uint64_t seed)
-    : cfg_(std::move(cfg)),
-      imu_(cfg_.imu_errors, cfg_.vibration, util::Rng(seed)),
-      acc_(cfg_.true_misalignment, cfg_.acc_errors, cfg_.vibration,
-           util::Rng(seed ^ 0x5DEECE66Dull), cfg_.adxl, cfg_.acc_lever_arm) {
-    if (!cfg_.profile) throw std::invalid_argument("Scenario: null profile");
-    if (cfg_.sample_rate_hz <= 0.0)
-        throw std::invalid_argument("Scenario: bad sample rate");
-}
+    : Scenario(ScenarioTrace::build(cfg, seed), cfg.true_misalignment, seed) {}
+
+Scenario::Scenario(std::shared_ptr<const ScenarioTrace> trace,
+                   math::EulerAngles true_misalignment, std::uint64_t seed)
+    : trace_((require_trace(trace), std::move(trace))),
+      imu_(trace_->imu_errors(), trace_->vibration(), util::Rng(seed)),
+      acc_(true_misalignment, trace_->acc_errors(), trace_->vibration(),
+           util::Rng(seed ^ kAccStreamSalt), trace_->adxl(),
+           trace_->acc_lever_arm()) {}
 
 std::optional<Scenario::Step> Scenario::next() {
-    const double dt = 1.0 / cfg_.sample_rate_hz;
-    const double t = static_cast<double>(step_) * dt;
-    if (t > cfg_.profile->duration()) return std::nullopt;
-    ++step_;
-
-    Step out;
-    out.t = t;
-    out.truth = cfg_.profile->state_at(t);
-    out.f_body_true = out.truth.specific_force_body();
-    // Angular acceleration by central difference on the profile.
-    const double h = dt / 2.0;
-    const math::Vec3 w_minus = cfg_.profile->state_at(std::max(t - h, 0.0)).omega_body;
-    const math::Vec3 w_plus = cfg_.profile->state_at(t + h).omega_body;
-    out.omega_dot_true = (w_plus - w_minus) * (1.0 / (2.0 * h));
-    out.dmu = imu_.sample(out.f_body_true, out.truth.omega_body, t, dt,
-                          out.truth.speed);
-    out.adxl = acc_.sample(out.f_body_true, out.truth.omega_body,
-                           out.omega_dot_true, t, dt, out.truth.speed);
+    std::optional<Step> out(std::in_place);
+    if (!next_into(*out)) return std::nullopt;
     return out;
+}
+
+bool Scenario::next_into(Step& out) {
+    const std::size_t i = step_;  // epoch next_wire will consume
+    if (!next_wire(out.t, out.dmu, out.adxl)) return false;
+    out.truth = trace_->truth(i);
+    out.f_body_true = trace_->f_body_true(i);
+    out.omega_dot_true = trace_->omega_dot_true(i);
+    return true;
+}
+
+bool Scenario::next_wire(double& t, comm::DmuSample& dmu,
+                         comm::AdxlTiming& adxl) {
+    if (step_ >= trace_->epochs()) return false;
+    const std::size_t i = step_++;
+    const double dt = trace_->dt();
+    t = trace_->t(i);
+    dmu = imu_.sample_traced(trace_->imu_force(i), trace_->imu_rate(i), t, dt);
+    adxl = acc_.sample_traced(trace_->acc_force(i), t, dt);
+    return true;
 }
 
 }  // namespace ob::sim

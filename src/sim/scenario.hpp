@@ -6,6 +6,7 @@
 #include "comm/codec.hpp"
 #include "sim/acc_model.hpp"
 #include "sim/imu_model.hpp"
+#include "sim/scenario_trace.hpp"
 #include "sim/trajectory.hpp"
 
 namespace ob::sim {
@@ -48,11 +49,21 @@ struct ScenarioConfig {
         double duration_s, math::EulerAngles misalignment, std::uint64_t seed);
 };
 
-/// Executes a ScenarioConfig: steps the trajectory at the sensor rate and
-/// produces the raw wire-format sensor pair stream plus ground truth.
+/// The Realize layer: a per-seed instrument realization over a
+/// ScenarioTrace, producing the raw wire-format sensor pair stream plus
+/// ground truth. The single-argument-pair constructor synthesizes its own
+/// trace (the historical behavior, bit for bit); the trace constructor
+/// shares an immutable trace across many realizations — the same vehicle
+/// and road, different instrument seeds.
 class Scenario {
 public:
     Scenario(ScenarioConfig cfg, std::uint64_t seed);
+
+    /// Realize over a shared trace: `seed` drives the instrument draws
+    /// (biases, scale factors, white noise), `true_misalignment` the
+    /// mounting truth the ACC senses through.
+    Scenario(std::shared_ptr<const ScenarioTrace> trace,
+             math::EulerAngles true_misalignment, std::uint64_t seed);
 
     /// One synchronized sensor epoch.
     struct Step {
@@ -68,6 +79,19 @@ public:
     /// exhausted.
     [[nodiscard]] std::optional<Step> next();
 
+    /// Copy-free variant for hot realize loops: fills `out` in place and
+    /// returns false when the trace is exhausted. Identical draw sequence
+    /// and values to next() — callers reuse one Step across epochs instead
+    /// of moving a fresh optional per call.
+    [[nodiscard]] bool next_into(Step& out);
+
+    /// Minimal realize step for transport-bound loops (the fleet path):
+    /// only the timestamped wire-format sensor pair, skipping the truth
+    /// copies a full Step carries. Identical draw sequence and values;
+    /// interleaves freely with bump() and the other iteration forms.
+    [[nodiscard]] bool next_wire(double& t, comm::DmuSample& dmu,
+                                 comm::AdxlTiming& adxl);
+
     /// True misalignment currently in effect (changes after bump()).
     [[nodiscard]] math::EulerAngles true_misalignment() const {
         return acc_.true_misalignment();
@@ -82,12 +106,21 @@ public:
     [[nodiscard]] const comm::AdxlConfig& adxl_config() const {
         return acc_.adxl_config();
     }
-    [[nodiscard]] double sample_rate_hz() const { return cfg_.sample_rate_hz; }
-    [[nodiscard]] double duration() const { return cfg_.profile->duration(); }
+    [[nodiscard]] double sample_rate_hz() const {
+        return trace_->sample_rate_hz();
+    }
+    [[nodiscard]] double duration() const { return trace_->duration(); }
     [[nodiscard]] const AccModel& acc_model() const { return acc_; }
 
+    /// The immutable trace this realization consumes.
+    [[nodiscard]] const ScenarioTrace& trace() const { return *trace_; }
+    [[nodiscard]] const std::shared_ptr<const ScenarioTrace>& trace_ptr()
+        const {
+        return trace_;
+    }
+
 private:
-    ScenarioConfig cfg_;
+    std::shared_ptr<const ScenarioTrace> trace_;
     ImuModel imu_;
     AccModel acc_;
     std::size_t step_ = 0;

@@ -55,6 +55,12 @@ struct ScenarioSpec {
     /// Build the scenario at an explicit duration/truth; `variant_seed`
     /// decorrelates any profile-level randomness (drive layout) between
     /// fleet vehicles without touching the sensor seeds.
+    ///
+    /// Contract: `mis` must influence nothing but the returned config's
+    /// `true_misalignment`. The fleet's shared-trace cache keys on
+    /// (name, duration, seed) only, so a builder that varied the profile
+    /// or error magnitudes with `mis` would silently break trace sharing
+    /// across a misalignment sweep.
     ScenarioConfig (*build)(double duration_s, const math::EulerAngles& mis,
                             std::uint64_t variant_seed) = nullptr;
 };

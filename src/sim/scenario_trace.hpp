@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/codec.hpp"
+#include "math/matrix.hpp"
+#include "sim/acc_model.hpp"
+#include "sim/imu_model.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/vibration.hpp"
+
+namespace ob::sim {
+
+struct ScenarioConfig;
+
+/// Salt separating the ACC instrument RNG stream from the IMU stream that
+/// shares a Scenario's sensor seed. (Both streams fork their mount
+/// vibration generator as their first draw — see ScenarioTrace::build.)
+inline constexpr std::uint64_t kAccStreamSalt = 0x5DEECE66Dull;
+
+/// The Trace layer of the Plan/Trace/Realize run stack: everything about a
+/// scenario that does not depend on the per-realization instrument seed,
+/// synthesized once into an immutable structure-of-arrays buffer.
+///
+/// Per epoch the trace stores the kinematic ground truth and the three
+/// vibration-dressed operands the sensor models consume:
+///
+///   imu_force = f_body + IMU-mount vibration      (accelerometer input)
+///   imu_rate  = omega  + IMU-mount gyro vibration (gyro input)
+///   acc_force = (f_body + lever) + ACC-mount vibration
+///
+/// each summed in exactly the association the inline-synthesis path used,
+/// so a realization fed from the trace is bitwise the pre-trace run. The
+/// mount-vibration streams derive from the trace's sensor seed the same way
+/// the sensor models fork theirs (first draw of Rng(seed) resp.
+/// Rng(seed ^ kAccStreamSalt)), which pins trace-fed seed-0 realizations to
+/// the historical draw sequence. Per-seed Monte Carlo realizations share
+/// the trace — physically: the same vehicle on the same road, differing
+/// only in instrument realizations.
+///
+/// A trace is immutable after build() and safe to share across any number
+/// of concurrently realizing threads.
+class ScenarioTrace {
+public:
+    /// Synthesize the trace for `cfg` with the given sensor seed (the seed
+    /// the Scenario's instrument models are constructed with). The
+    /// trajectory profile is only consulted here — the returned trace does
+    /// not retain it.
+    [[nodiscard]] static std::shared_ptr<const ScenarioTrace> build(
+        const ScenarioConfig& cfg, std::uint64_t sensor_seed);
+
+    [[nodiscard]] std::size_t epochs() const { return t_.size(); }
+    [[nodiscard]] double t(std::size_t i) const { return t_[i]; }
+    [[nodiscard]] const VehicleState& truth(std::size_t i) const {
+        return truth_[i];
+    }
+    [[nodiscard]] const math::Vec3& f_body_true(std::size_t i) const {
+        return f_body_true_[i];
+    }
+    [[nodiscard]] const math::Vec3& omega_dot_true(std::size_t i) const {
+        return omega_dot_true_[i];
+    }
+    [[nodiscard]] const math::Vec3& imu_force(std::size_t i) const {
+        return imu_force_[i];
+    }
+    [[nodiscard]] const math::Vec3& imu_rate(std::size_t i) const {
+        return imu_rate_[i];
+    }
+    [[nodiscard]] const math::Vec3& acc_force(std::size_t i) const {
+        return acc_force_[i];
+    }
+
+    [[nodiscard]] double sample_rate_hz() const { return sample_rate_hz_; }
+    [[nodiscard]] double dt() const { return dt_; }
+    /// The profile's full duration (may exceed a requested duration when a
+    /// drive's segment list overshoots it).
+    [[nodiscard]] double duration() const { return duration_; }
+    [[nodiscard]] std::uint64_t sensor_seed() const { return sensor_seed_; }
+
+    [[nodiscard]] const ImuErrorConfig& imu_errors() const {
+        return imu_errors_;
+    }
+    [[nodiscard]] const AccErrorConfig& acc_errors() const {
+        return acc_errors_;
+    }
+    [[nodiscard]] const VibrationConfig& vibration() const {
+        return vibration_;
+    }
+    [[nodiscard]] const comm::AdxlConfig& adxl() const { return adxl_; }
+    [[nodiscard]] const math::Vec3& acc_lever_arm() const {
+        return acc_lever_arm_;
+    }
+
+private:
+    ScenarioTrace() = default;
+
+    std::vector<double> t_;
+    std::vector<VehicleState> truth_;
+    std::vector<math::Vec3> f_body_true_;
+    std::vector<math::Vec3> omega_dot_true_;
+    std::vector<math::Vec3> imu_force_;
+    std::vector<math::Vec3> imu_rate_;
+    std::vector<math::Vec3> acc_force_;
+
+    double sample_rate_hz_ = 100.0;
+    double dt_ = 0.01;
+    double duration_ = 0.0;
+    std::uint64_t sensor_seed_ = 0;
+    ImuErrorConfig imu_errors_{};
+    AccErrorConfig acc_errors_{};
+    VibrationConfig vibration_{};
+    comm::AdxlConfig adxl_{};
+    math::Vec3 acc_lever_arm_{};
+};
+
+}  // namespace ob::sim

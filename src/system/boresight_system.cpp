@@ -73,25 +73,25 @@ BoresightSystem::BoresightSystem(const Config& cfg)
     }
 }
 
-void BoresightSystem::feed(const sim::Scenario& sc,
-                           const sim::Scenario::Step& step) {
-    adxl_ = sc.adxl_config();
-    const double t = step.t;
+void BoresightSystem::feed(const sim::ScenarioTrace& trace, const double t,
+                           const comm::DmuSample& dmu,
+                           const comm::AdxlTiming& adxl) {
+    adxl_ = trace.adxl();
 
     // IMU -> two CAN frames onto the shared bus (encoded into scratch).
-    comm::DmuCodec::encode_into(step.dmu, scratch_.gyro_frame,
+    comm::DmuCodec::encode_into(dmu, scratch_.gyro_frame,
                                 scratch_.accel_frame);
     can_.send(scratch_.gyro_frame, t);
     can_.send(scratch_.accel_frame, t);
 
     // ACC -> duty-cycle packet straight onto its serial line.
-    comm::adxl_serialize_into(step.adxl, scratch_.acc_packet);
+    comm::adxl_serialize_into(adxl, scratch_.acc_packet);
     acc_uart_.send(scratch_.acc_packet, t);
     ++sent_epochs_;
 
     // Advance the transport slightly past this epoch and drain arrivals
     // straight into the decoders — no per-call byte vectors.
-    const double horizon = t + 0.5 / sc.sample_rate_hz();
+    const double horizon = t + 0.5 / trace.sample_rate_hz();
     can_.advance_to(horizon);
     dmu_uart_.drain_until(horizon, [this](const comm::UartByte& byte) {
         if (auto frame = deframer_.feed(byte)) {
@@ -143,6 +143,15 @@ void BoresightSystem::process_pair(const comm::DmuSample& dmu,
         const auto est = sabre_->run_pending();
         residual_stats_.add(est.residual[0]);
         residual_stats_.add(est.residual[1]);
+        if (cfg_.use_adaptive_tuner) {
+            // The same §11 retune loop as the native path, driven by the
+            // firmware-published innovation statistics; a recommendation
+            // lands in the firmware's writable R register and takes effect
+            // from its next update.
+            const double rec = tuner_.observe(est.residual, est.innov_sigma3,
+                                              sabre_->measurement_noise());
+            if (rec > 0.0) sabre_->set_measurement_noise(rec);
+        }
         return;
     }
     Vec3 f_body;
@@ -170,7 +179,7 @@ BoresightSystem::Status BoresightSystem::status() const {
         const auto est = sabre_->estimate();
         s.estimate = est.angles;
         s.sigma3 = est.sigma3;
-        s.measurement_noise = cfg_.sabre.r_sigma;
+        s.measurement_noise = sabre_->measurement_noise();
     }
     s.updates = updates_;
     s.dmu_frames_lost = dmu_codec_.seq_mismatches() + deframer_.malformed() +

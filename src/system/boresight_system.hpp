@@ -60,8 +60,21 @@ public:
     explicit BoresightSystem(const Config& cfg);
 
     /// Feed one scenario epoch into the transport at its timestamp; runs
-    /// the bus/links forward and the fusion for every completed pair.
-    void feed(const sim::Scenario& sc, const sim::Scenario::Step& step);
+    /// the bus/links forward and the fusion for every completed pair. The
+    /// trace supplies the wire-format constants (ADXL duty-cycle law,
+    /// sample rate); the arguments carry one realization's sensor pair —
+    /// the shape Scenario::next_wire produces.
+    void feed(const sim::ScenarioTrace& trace, double t,
+              const comm::DmuSample& dmu, const comm::AdxlTiming& adxl);
+
+    /// Full-Step overloads (the truth fields ride along unused).
+    void feed(const sim::ScenarioTrace& trace,
+              const sim::Scenario::Step& step) {
+        feed(trace, step.t, step.dmu, step.adxl);
+    }
+    void feed(const sim::Scenario& sc, const sim::Scenario::Step& step) {
+        feed(sc.trace(), step.t, step.dmu, step.adxl);
+    }
 
     struct Status {
         math::EulerAngles estimate{};

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <deque>
 #include <exception>
+#include <map>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "core/calibration.hpp"
+#include "sim/scenario_trace.hpp"
 #include "system/experiment.hpp"
 
 namespace ob::system {
@@ -21,7 +26,253 @@ namespace {
 /// stream that `spec.build` consumes directly.
 constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
 
+/// Requested run length (the spec default unless the job overrides it).
+/// The trajectory profile may overshoot this — drives append whole
+/// maneuver blocks — and the run itself follows the profile's duration.
+[[nodiscard]] double job_duration(const FleetJob& job,
+                                  const sim::ScenarioSpec& spec) {
+    return job.duration_s > 0.0 ? job.duration_s : spec.duration_s;
+}
+
+[[nodiscard]] EulerAngles job_truth(const FleetJob& job,
+                                    const sim::ScenarioSpec& spec) {
+    return job.misalignment ? *job.misalignment : spec.misalignment;
+}
+
+/// Seed of the job's sensor stream at realization index 0 (the historical
+/// single-seed stream the shared trace's vibration timelines derive from).
+[[nodiscard]] std::uint64_t job_sensor_stream(const FleetJob& job) {
+    return sim::scenario_seed(job.scenario, job.base_seed) ^ kSensorStreamSalt;
+}
+
+[[nodiscard]] sim::ScenarioConfig main_scenario_config(
+    const FleetJob& job, const sim::ScenarioSpec& spec) {
+    return spec.build(job_duration(job, spec), job_truth(job, spec),
+                      sim::scenario_seed(job.scenario, job.base_seed));
+}
+
+/// §11.1 calibration scenario: the same instruments (identical error
+/// magnitudes) dwell on a level platform at known zero alignment. The
+/// error fields come from the already-built main trace, so the drive
+/// profile is never integrated a second time just to read them.
+[[nodiscard]] sim::ScenarioConfig calibration_scenario_config(
+    const sim::ScenarioTrace& main_trace, double dwell_s) {
+    auto cal_cfg = sim::ScenarioConfig::static_level(dwell_s, EulerAngles{});
+    cal_cfg.imu_errors = main_trace.imu_errors();
+    cal_cfg.acc_errors = main_trace.acc_errors();
+    cal_cfg.vibration = main_trace.vibration();
+    cal_cfg.adxl = main_trace.adxl();
+    return cal_cfg;
+}
+
+[[nodiscard]] sim::ScenarioEnvelope job_envelope(
+    const FleetJob& job, const sim::ScenarioSpec& spec) {
+    sim::ScenarioEnvelope env = spec.envelope;
+    if (job.processor == BoresightSystem::Processor::kSabre) {
+        env.roll_deg *= spec.sabre_envelope_scale;
+        env.pitch_deg *= spec.sabre_envelope_scale;
+        env.yaw_deg *= spec.sabre_envelope_scale;
+        env.residual_rms_max *= spec.sabre_envelope_scale;
+    }
+    return env;
+}
+
+/// Execute one Monte Carlo realization of a job over the shared traces.
+/// This is the Realize layer: per-seed instrument realization + transport
+/// + fusion + envelope scoring, consuming (never mutating) the trace.
+[[nodiscard]] FleetSeedResult run_fleet_seed(
+    const FleetJob& job, const sim::ScenarioSpec& spec,
+    const std::shared_ptr<const sim::ScenarioTrace>& trace,
+    const std::shared_ptr<const sim::ScenarioTrace>& cal_trace,
+    std::uint64_t seed_index) {
+    const double duration = job_duration(job, spec);
+    const std::uint64_t sensor_seed =
+        fleet_sub_seed(job_sensor_stream(job), seed_index);
+    sim::Scenario sc(trace, job_truth(job, spec), sensor_seed);
+
+    const double meas_noise =
+        job.meas_noise_mps2 ? *job.meas_noise_mps2 : spec.meas_noise_mps2;
+    BoresightSystem::Config cfg;
+    cfg.processor = job.processor;
+    cfg.filter.meas_noise_mps2 = meas_noise;
+    cfg.filter.angle_process_noise = spec.angle_process_noise;
+    cfg.sabre.r_sigma = meas_noise;
+    cfg.sabre.q_variance =
+        spec.angle_process_noise * spec.angle_process_noise;
+    cfg.use_adaptive_tuner = job.use_adaptive_tuner;
+    if (job.tuner) cfg.tuner = *job.tuner;
+
+    FleetSeedResult out;
+    out.sensor_seed = sensor_seed;
+
+    // §11.1 calibration phase: this realization's instruments (same
+    // sensor-seed draws and error magnitudes) against the shared
+    // level-platform trace; the accumulated ACC-vs-IMU bias is subtracted
+    // from every ACC reading of the main run. A separate Scenario instance
+    // keeps the main run's RNG draws untouched, so calibration-free jobs
+    // are bitwise unaffected by this block not running.
+    if (job.calibration) {
+        sim::Scenario cal(cal_trace, EulerAngles{}, sensor_seed);
+        core::CalibrationAccumulator accum;
+        sim::Scenario::Step step;
+        while (cal.next_into(step)) {
+            const auto d = decode_step(cal, step);
+            accum.add(d.f_body, d.acc_xy);
+        }
+        cfg.calibrated_bias = accum.bias();
+        out.calibrated_bias = accum.bias();
+        out.calibration_noise = accum.noise_sigma();
+        out.calibration_samples = accum.samples();
+    }
+
+    BoresightSystem sys(cfg);
+    const sim::ScenarioEnvelope envelope = job_envelope(job, spec);
+
+    // The bump time tracks a shortened duration override proportionally so
+    // truncated fleet runs still exercise the disturbance path.
+    const double bump_at = spec.bump.enabled()
+                               ? spec.bump.at_s * (duration / spec.duration_s)
+                               : -1.0;
+
+    // Envelope windows: post-settle, and for bump scenarios both the
+    // pre-bump stretch and the re-settled post-bump stretch.
+    const auto checked = [&](double t) {
+        if (bump_at >= 0.0 && t >= bump_at) {
+            return t >= bump_at + envelope.settle_s;
+        }
+        return t >= envelope.settle_s && (bump_at < 0.0 || t < bump_at);
+    };
+
+    bool bumped = false;
+    double t = 0.0;
+    comm::DmuSample dmu;
+    comm::AdxlTiming adxl;
+    while (sc.next_wire(t, dmu, adxl)) {
+        sys.feed(sc.trace(), t, dmu, adxl);
+        ++out.trace.epochs;
+        if (checked(t)) {
+            const auto st = sys.status();
+            const auto truth = sc.true_misalignment();
+            ++out.trace.checked_points;
+            out.trace.worst_roll_err_deg =
+                std::max(out.trace.worst_roll_err_deg,
+                         std::abs(rad2deg(st.estimate.roll - truth.roll)));
+            out.trace.worst_pitch_err_deg =
+                std::max(out.trace.worst_pitch_err_deg,
+                         std::abs(rad2deg(st.estimate.pitch - truth.pitch)));
+            out.trace.worst_yaw_err_deg =
+                std::max(out.trace.worst_yaw_err_deg,
+                         std::abs(rad2deg(st.estimate.yaw - truth.yaw)));
+        }
+        // Bump after the epoch is consumed and scored: no sample generated
+        // under the old alignment is ever judged against the new truth.
+        if (bump_at >= 0.0 && !bumped && t >= bump_at) {
+            sc.bump(spec.bump.delta);
+            bumped = true;
+        }
+    }
+
+    out.final_status = sys.status();
+    out.result.label = job.scenario + "/" + processor_name(job.processor);
+    if (seed_index > 0) {
+        out.result.label += "#seed" + std::to_string(seed_index);
+    }
+    out.result.truth = sc.true_misalignment();
+    out.result.estimate = out.final_status.estimate;
+    out.result.sigma3_rad = out.final_status.sigma3;
+    out.result.residual_rms = out.final_status.residual_rms;
+    out.result.meas_noise = out.final_status.measurement_noise;
+    out.result.duration_s = sc.duration();
+
+    out.within_envelope =
+        out.trace.checked_points > 0 &&
+        out.trace.worst_roll_err_deg <= envelope.roll_deg &&
+        out.trace.worst_pitch_err_deg <= envelope.pitch_deg &&
+        (!envelope.check_yaw ||
+         out.trace.worst_yaw_err_deg <= envelope.yaw_deg) &&
+        out.result.residual_rms <= envelope.residual_rms_max;
+    return out;
+}
+
+/// Mean / sample standard deviation in seed-index order (two fixed-order
+/// passes, so the doubles are scheduling-independent).
+template <class Get>
+[[nodiscard]] FleetMetricStats metric_stats(
+    const std::vector<FleetSeedResult>& seeds, Get get) {
+    FleetMetricStats out;
+    const auto n = static_cast<double>(seeds.size());
+    double sum = 0.0;
+    for (const auto& s : seeds) sum += get(s);
+    out.mean = sum / n;
+    if (seeds.size() > 1) {
+        double sq = 0.0;
+        for (const auto& s : seeds) {
+            const double d = get(s) - out.mean;
+            sq += d * d;
+        }
+        out.stddev = std::sqrt(sq / (n - 1.0));
+    }
+    return out;
+}
+
+/// Fold a job's seed ensemble into its FleetResult: primary fields mirror
+/// realization 0 bit for bit; the ensemble summary is accumulated in seed
+/// order.
+[[nodiscard]] FleetResult reduce_job(const FleetJob& job,
+                                     const sim::ScenarioSpec& spec,
+                                     std::vector<FleetSeedResult> seeds) {
+    FleetResult out;
+    out.scenario = job.scenario;
+    out.processor = job.processor;
+    out.envelope = job_envelope(job, spec);
+
+    const FleetSeedResult& primary = seeds.front();
+    out.result = primary.result;
+    out.trace = primary.trace;
+    out.final_status = primary.final_status;
+    out.within_envelope = primary.within_envelope;
+    out.calibrated_bias = primary.calibrated_bias;
+    out.calibration_noise = primary.calibration_noise;
+    out.calibration_samples = primary.calibration_samples;
+
+    out.seed_stats.seeds = seeds.size();
+    for (const auto& s : seeds) {
+        if (s.within_envelope) ++out.seed_stats.within_envelope;
+    }
+    out.seed_stats.roll_err_deg = metric_stats(
+        seeds, [](const FleetSeedResult& s) { return s.trace.worst_roll_err_deg; });
+    out.seed_stats.pitch_err_deg = metric_stats(
+        seeds, [](const FleetSeedResult& s) { return s.trace.worst_pitch_err_deg; });
+    out.seed_stats.yaw_err_deg = metric_stats(
+        seeds, [](const FleetSeedResult& s) { return s.trace.worst_yaw_err_deg; });
+    out.seed_stats.residual_rms = metric_stats(
+        seeds, [](const FleetSeedResult& s) { return s.result.residual_rms; });
+
+    out.seeds = std::move(seeds);
+    return out;
+}
+
 }  // namespace
+
+double FleetMetricStats::ci95(std::size_t n) const {
+    if (n < 2) return 0.0;
+    return 1.96 * stddev / std::sqrt(static_cast<double>(n));
+}
+
+std::uint64_t fleet_sub_seed(std::uint64_t sensor_seed, std::uint64_t index) {
+    if (index == 0) return sensor_seed;
+    // FNV-1a over the four index bytes folded into the stream seed, with
+    // the same finalizing avalanche scenario_seed uses.
+    std::uint64_t h = sensor_seed ^ 0xcbf29ce484222325ull;
+    for (int shift = 0; shift < 32; shift += 8) {
+        h ^= (index >> shift) & 0xFFull;
+        h *= 0x100000001b3ull;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+}
 
 const char* processor_name(BoresightSystem::Processor p) {
     return p == BoresightSystem::Processor::kNative ? "native" : "sabre";
@@ -59,15 +310,6 @@ void FleetJob::validate() const {
         }
     }
     if (calibration) calibration->validate();
-    if (use_adaptive_tuner &&
-        processor == BoresightSystem::Processor::kSabre) {
-        // The retune loop runs in the native EKF only; the firmware has no
-        // writable R register yet. A job claiming "adaptive" while the
-        // tuner silently never runs would poison tuning-study data.
-        throw std::invalid_argument(
-            "FleetJob: the adaptive tuner is native-only (the Sabre "
-            "firmware has no runtime noise register)");
-    }
     if (tuner) {
         if (!use_adaptive_tuner) {
             throw std::invalid_argument(
@@ -79,129 +321,40 @@ void FleetJob::validate() const {
         throw std::invalid_argument(
             "FleetJob: measurement-noise override must be positive");
     }
+    if (seeds_per_job == 0) {
+        throw std::invalid_argument(
+            "FleetJob: seeds_per_job must be at least 1");
+    }
+    if (seeds_per_job > kFleetMaxSeedsPerJob) {
+        throw std::invalid_argument(
+            "FleetJob: seeds_per_job of " + std::to_string(seeds_per_job) +
+            " would overflow the 32-bit FNV-1a sub-seed derivation (limit " +
+            std::to_string(kFleetMaxSeedsPerJob) + ")");
+    }
 }
 
 FleetResult run_fleet_job(const FleetJob& job) {
     job.validate();
     const auto& spec = sim::ScenarioLibrary::instance().at(job.scenario);
-    const double duration =
-        job.duration_s > 0.0 ? job.duration_s : spec.duration_s;
-    const EulerAngles truth0 =
-        job.misalignment ? *job.misalignment : spec.misalignment;
-    const std::uint64_t seed = sim::scenario_seed(job.scenario, job.base_seed);
 
-    auto scfg = spec.build(duration, truth0, seed);
-    sim::Scenario sc(scfg, seed ^ kSensorStreamSalt);
-
-    const double meas_noise =
-        job.meas_noise_mps2 ? *job.meas_noise_mps2 : spec.meas_noise_mps2;
-    BoresightSystem::Config cfg;
-    cfg.processor = job.processor;
-    cfg.filter.meas_noise_mps2 = meas_noise;
-    cfg.filter.angle_process_noise = spec.angle_process_noise;
-    cfg.sabre.r_sigma = meas_noise;
-    cfg.sabre.q_variance =
-        spec.angle_process_noise * spec.angle_process_noise;
-    cfg.use_adaptive_tuner = job.use_adaptive_tuner;
-    if (job.tuner) cfg.tuner = *job.tuner;
-
-    FleetResult out;
-    out.scenario = job.scenario;
-    out.processor = job.processor;
-
-    // §11.1 calibration phase: the same instruments (identical sensor-seed
-    // realization and error magnitudes) dwell on a level platform at known
-    // zero alignment; the accumulated ACC-vs-IMU bias is subtracted from
-    // every ACC reading of the main run. A separate Scenario instance keeps
-    // the main run's RNG draws untouched, so calibration-free jobs are
-    // bitwise unaffected by this block not running.
+    // Reference semantics for the whole stack: synthesize this job's traces
+    // locally, realize every seed in order, reduce. FleetRunner must match
+    // this bit for bit however it schedules and shares.
+    const auto trace = sim::ScenarioTrace::build(
+        main_scenario_config(job, spec), job_sensor_stream(job));
+    std::shared_ptr<const sim::ScenarioTrace> cal_trace;
     if (job.calibration) {
-        auto cal_cfg = sim::ScenarioConfig::static_level(
-            job.calibration->duration_s, EulerAngles{});
-        cal_cfg.imu_errors = scfg.imu_errors;
-        cal_cfg.acc_errors = scfg.acc_errors;
-        cal_cfg.vibration = scfg.vibration;
-        cal_cfg.adxl = scfg.adxl;
-        sim::Scenario cal(cal_cfg, seed ^ kSensorStreamSalt);
-        core::CalibrationAccumulator accum;
-        while (auto s = cal.next()) {
-            const auto d = decode_step(cal, *s);
-            accum.add(d.f_body, d.acc_xy);
-        }
-        cfg.calibrated_bias = accum.bias();
-        out.calibrated_bias = accum.bias();
-        out.calibration_noise = accum.noise_sigma();
-        out.calibration_samples = accum.samples();
+        cal_trace = sim::ScenarioTrace::build(
+            calibration_scenario_config(*trace, job.calibration->duration_s),
+            job_sensor_stream(job));
     }
 
-    BoresightSystem sys(cfg);
-    out.envelope = spec.envelope;
-    if (job.processor == BoresightSystem::Processor::kSabre) {
-        out.envelope.roll_deg *= spec.sabre_envelope_scale;
-        out.envelope.pitch_deg *= spec.sabre_envelope_scale;
-        out.envelope.yaw_deg *= spec.sabre_envelope_scale;
-        out.envelope.residual_rms_max *= spec.sabre_envelope_scale;
+    std::vector<FleetSeedResult> seeds;
+    seeds.reserve(job.seeds_per_job);
+    for (std::uint64_t k = 0; k < job.seeds_per_job; ++k) {
+        seeds.push_back(run_fleet_seed(job, spec, trace, cal_trace, k));
     }
-
-    // The bump time tracks a shortened duration override proportionally so
-    // truncated fleet runs still exercise the disturbance path.
-    const double bump_at = spec.bump.enabled()
-                               ? spec.bump.at_s * (duration / spec.duration_s)
-                               : -1.0;
-
-    // Envelope windows: post-settle, and for bump scenarios both the
-    // pre-bump stretch and the re-settled post-bump stretch.
-    const auto checked = [&](double t) {
-        if (bump_at >= 0.0 && t >= bump_at) {
-            return t >= bump_at + out.envelope.settle_s;
-        }
-        return t >= out.envelope.settle_s && (bump_at < 0.0 || t < bump_at);
-    };
-
-    bool bumped = false;
-    while (auto s = sc.next()) {
-        sys.feed(sc, *s);
-        ++out.trace.epochs;
-        if (checked(s->t)) {
-            const auto st = sys.status();
-            const auto truth = sc.true_misalignment();
-            ++out.trace.checked_points;
-            out.trace.worst_roll_err_deg =
-                std::max(out.trace.worst_roll_err_deg,
-                         std::abs(rad2deg(st.estimate.roll - truth.roll)));
-            out.trace.worst_pitch_err_deg =
-                std::max(out.trace.worst_pitch_err_deg,
-                         std::abs(rad2deg(st.estimate.pitch - truth.pitch)));
-            out.trace.worst_yaw_err_deg =
-                std::max(out.trace.worst_yaw_err_deg,
-                         std::abs(rad2deg(st.estimate.yaw - truth.yaw)));
-        }
-        // Bump after the epoch is consumed and scored: no sample generated
-        // under the old alignment is ever judged against the new truth.
-        if (bump_at >= 0.0 && !bumped && s->t >= bump_at) {
-            sc.bump(spec.bump.delta);
-            bumped = true;
-        }
-    }
-
-    out.final_status = sys.status();
-    out.result.label =
-        job.scenario + "/" + processor_name(job.processor);
-    out.result.truth = sc.true_misalignment();
-    out.result.estimate = out.final_status.estimate;
-    out.result.sigma3_rad = out.final_status.sigma3;
-    out.result.residual_rms = out.final_status.residual_rms;
-    out.result.meas_noise = out.final_status.measurement_noise;
-    out.result.duration_s = sc.duration();
-
-    out.within_envelope =
-        out.trace.checked_points > 0 &&
-        out.trace.worst_roll_err_deg <= out.envelope.roll_deg &&
-        out.trace.worst_pitch_err_deg <= out.envelope.pitch_deg &&
-        (!out.envelope.check_yaw ||
-         out.trace.worst_yaw_err_deg <= out.envelope.yaw_deg) &&
-        out.result.residual_rms <= out.envelope.residual_rms_max;
-    return out;
+    return reduce_job(job, spec, std::move(seeds));
 }
 
 FleetRunner::FleetRunner() : FleetRunner(Config{}) {}
@@ -209,46 +362,210 @@ FleetRunner::FleetRunner() : FleetRunner(Config{}) {}
 FleetRunner::FleetRunner(Config cfg)
     : threads_(cfg.threads != 0
                    ? cfg.threads
-                   : std::max(1u, std::thread::hardware_concurrency())) {}
+                   : std::max(1u, std::thread::hardware_concurrency())),
+      share_traces_(cfg.share_traces) {}
 
 std::vector<FleetResult> FleetRunner::run(
     const std::vector<FleetJob>& jobs) const {
     for (const auto& j : jobs) j.validate();
 
-    std::vector<FleetResult> results(jobs.size());
-    const std::size_t workers = std::min(threads_, jobs.size());
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            results[i] = run_fleet_job(jobs[i]);
-        }
-        return results;
-    }
+    // ---- Plan: group realizations by trace identity. ---------------------
+    // Key: everything ScenarioTrace::build consumes — scenario, base seed,
+    // requested duration and, for calibration traces, the dwell. The
+    // injected misalignment is deliberately NOT part of the identity: a
+    // spec builder affects nothing but `true_misalignment` with it (the
+    // ScenarioSpec::build contract), and the rotation is applied per
+    // realization — so a misalignment sweep shares one trace per scenario.
+    using TraceKey = std::tuple<std::string, std::uint64_t, std::uint64_t,
+                                bool, std::uint64_t>;
+    const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    const auto key_of = [&](const FleetJob& job, const sim::ScenarioSpec& spec,
+                            bool calibration) {
+        return TraceKey{job.scenario,
+                        job.base_seed,
+                        bits(job_duration(job, spec)),
+                        calibration,
+                        calibration ? bits(job.calibration->duration_s) : 0};
+    };
 
-    // Work-stealing off a shared index: scheduling decides only *which
-    // thread* runs a job, never what the job computes, so the results
-    // vector is bitwise identical to the serial loop above.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(jobs.size());
-    const auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size()) return;
-            try {
-                results[i] = run_fleet_job(jobs[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
+    constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    struct TraceSlot {
+        const FleetJob* job = nullptr;  ///< representative for the build
+        bool calibration = false;
+        /// For a calibration slot: the main slot whose built trace supplies
+        /// the instrument error fields (cal slots build in a second wave).
+        std::size_t main_slot_for_cal = kNoSlot;
+        std::shared_ptr<const sim::ScenarioTrace> trace;
+        std::exception_ptr error;
+        std::atomic<std::size_t> remaining{0};
+    };
+
+    std::deque<TraceSlot> slots;  // deque: grows without moving slots
+    std::map<TraceKey, std::size_t> slot_index;
+    std::vector<const sim::ScenarioSpec*> specs(jobs.size());
+    std::vector<std::size_t> main_slot(jobs.size(), kNoSlot);
+    std::vector<std::size_t> cal_slot(jobs.size(), kNoSlot);
+
+    struct Item {
+        std::size_t job = 0;
+        std::uint64_t seed = 0;
+    };
+    std::vector<Item> items;
+    std::vector<std::vector<FleetSeedResult>> outcomes(jobs.size());
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        specs[j] = &sim::ScenarioLibrary::instance().at(jobs[j].scenario);
+        if (share_traces_) {
+            const auto intern = [&](bool calibration) {
+                const TraceKey key = key_of(jobs[j], *specs[j], calibration);
+                auto [it, inserted] = slot_index.try_emplace(key, slots.size());
+                if (inserted) {
+                    slots.emplace_back();
+                    slots.back().job = &jobs[j];
+                    slots.back().calibration = calibration;
+                }
+                return it->second;
+            };
+            main_slot[j] = intern(false);
+            if (jobs[j].calibration) {
+                cal_slot[j] = intern(true);
+                slots[cal_slot[j]].main_slot_for_cal = main_slot[j];
             }
         }
+        outcomes[j].resize(jobs[j].seeds_per_job);
+        for (std::uint64_t k = 0; k < jobs[j].seeds_per_job; ++k) {
+            items.push_back({j, k});
+        }
+    }
+    if (share_traces_) {
+        for (const auto& item : items) {
+            ++slots[main_slot[item.job]].remaining;
+            if (cal_slot[item.job] != kNoSlot) {
+                ++slots[cal_slot[item.job]].remaining;
+            }
+        }
+    }
+
+    // ---- Trace: synthesize each unique trace exactly once. Main traces
+    // build in a first wave; calibration traces in a second, reading their
+    // instrument error fields off the built main trace.
+    const auto build_slot = [&](TraceSlot& slot) {
+        try {
+            const auto& job = *slot.job;
+            if (slot.calibration) {
+                const TraceSlot& main = slots[slot.main_slot_for_cal];
+                if (main.error) std::rethrow_exception(main.error);
+                slot.trace = sim::ScenarioTrace::build(
+                    calibration_scenario_config(*main.trace,
+                                                job.calibration->duration_s),
+                    job_sensor_stream(job));
+            } else {
+                const auto& spec =
+                    sim::ScenarioLibrary::instance().at(job.scenario);
+                slot.trace = sim::ScenarioTrace::build(
+                    main_scenario_config(job, spec), job_sensor_stream(job));
+            }
+        } catch (...) {
+            slot.error = std::current_exception();
+        }
     };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
+    std::vector<std::size_t> main_wave, cal_wave;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        (slots[s].calibration ? cal_wave : main_wave).push_back(s);
+    }
+
+    // ---- Realize: per-seed realization over the shared traces. -----------
+    std::vector<std::exception_ptr> errors(items.size());
+    const auto run_item = [&](std::size_t i) {
+        const Item& item = items[i];
+        const FleetJob& job = jobs[item.job];
+        const sim::ScenarioSpec& spec = *specs[item.job];
+        try {
+            std::shared_ptr<const sim::ScenarioTrace> trace;
+            std::shared_ptr<const sim::ScenarioTrace> cal_trace;
+            if (share_traces_) {
+                TraceSlot& ms = slots[main_slot[item.job]];
+                if (ms.error) std::rethrow_exception(ms.error);
+                trace = ms.trace;
+                if (cal_slot[item.job] != kNoSlot) {
+                    TraceSlot& cs = slots[cal_slot[item.job]];
+                    if (cs.error) std::rethrow_exception(cs.error);
+                    cal_trace = cs.trace;
+                }
+            } else {
+                trace = sim::ScenarioTrace::build(
+                    main_scenario_config(job, spec), job_sensor_stream(job));
+                if (job.calibration) {
+                    cal_trace = sim::ScenarioTrace::build(
+                        calibration_scenario_config(
+                            *trace, job.calibration->duration_s),
+                        job_sensor_stream(job));
+                }
+            }
+            outcomes[item.job][item.seed] =
+                run_fleet_seed(job, spec, trace, cal_trace, item.seed);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+        if (share_traces_) {
+            // Release each trace as its last realization drains so a long
+            // sweep's memory high-water mark follows the active scenarios,
+            // not the whole batch.
+            const auto release = [&](std::size_t s) {
+                if (s == kNoSlot) return;
+                if (slots[s].remaining.fetch_sub(1) == 1) {
+                    slots[s].trace.reset();
+                }
+            };
+            release(main_slot[item.job]);
+            release(cal_slot[item.job]);
+        }
+    };
+
+    const std::size_t workers =
+        std::min(threads_, std::max(items.size(), slots.size()));
+    if (workers <= 1) {
+        for (const std::size_t s : main_wave) build_slot(slots[s]);
+        for (const std::size_t s : cal_wave) build_slot(slots[s]);
+        for (std::size_t i = 0; i < items.size(); ++i) run_item(i);
+    } else {
+        // Work-stealing off shared indices, with barriers between the
+        // Trace waves and the Realize phase: scheduling decides only WHICH
+        // thread runs a unit, never what it computes.
+        const auto run_phase = [&](std::size_t units, auto&& unit) {
+            if (units == 0) return;
+            std::atomic<std::size_t> next{0};
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t w = 0; w < workers; ++w) {
+                pool.emplace_back([&] {
+                    for (;;) {
+                        const std::size_t u = next.fetch_add(1);
+                        if (u >= units) return;
+                        unit(u);
+                    }
+                });
+            }
+            for (auto& th : pool) th.join();
+        };
+        run_phase(main_wave.size(),
+                  [&](std::size_t u) { build_slot(slots[main_wave[u]]); });
+        run_phase(cal_wave.size(),
+                  [&](std::size_t u) { build_slot(slots[cal_wave[u]]); });
+        run_phase(items.size(), [&](std::size_t i) { run_item(i); });
+    }
 
     // Rethrow the lowest-index failure so the surfaced error is as
     // deterministic as the results.
     for (auto& e : errors) {
         if (e) std::rethrow_exception(e);
+    }
+
+    std::vector<FleetResult> results;
+    results.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        results.push_back(
+            reduce_job(jobs[j], *specs[j], std::move(outcomes[j])));
     }
     return results;
 }

@@ -18,6 +18,19 @@ namespace ob::system {
 /// estimate and a sweep cell would be measuring the model, not the tuning.
 inline constexpr double kFleetSmallAngleLimitRad = math::deg2rad(15.0);
 
+/// Upper bound on FleetJob::seeds_per_job: the Monte Carlo sub-seed folds
+/// the realization index into the sensor stream as a 32-bit FNV-1a value,
+/// so indices must fit in 32 bits or distinct seeds would alias.
+inline constexpr std::uint64_t kFleetMaxSeedsPerJob = 1ull << 32;
+
+/// Sensor-stream seed of Monte Carlo realization `index` of a job.
+/// Index 0 returns the seed unchanged — the single-seed (scenario,
+/// base_seed) contract, and the golden corpus pinned to it, is preserved
+/// bit for bit. Higher indices FNV-1a-fold the index into the stream with
+/// a final avalanche so neighboring realizations are uncorrelated.
+[[nodiscard]] std::uint64_t fleet_sub_seed(std::uint64_t sensor_seed,
+                                           std::uint64_t index);
+
 /// The paper's §11.1 pre-run procedure as a fleet phase: before the
 /// scenario starts, the job's instruments (same sensor-seed realization)
 /// sit on a level platform for `duration_s` of static epochs, a
@@ -55,11 +68,18 @@ struct FleetJob {
     /// Initial measurement noise override, 1-sigma m/s² (tuning sweeps);
     /// absent => the spec's recommended value. Applies to both processors.
     std::optional<double> meas_noise_mps2{};
+    /// Monte Carlo axis: number of instrument-seed realizations of this
+    /// job. All realizations share one ScenarioTrace (same road, same
+    /// vibration timeline) and differ only in their sensor draws, derived
+    /// via fleet_sub_seed. 1 (the default) is bitwise the pre-seed-axis
+    /// behavior.
+    std::uint64_t seeds_per_job = 1;
 
     /// Throws std::invalid_argument on an empty/unknown scenario, a
     /// negative duration override, a misalignment override outside the
-    /// small-angle regime, bad calibration/tuner specs, or a non-positive
-    /// measurement-noise override.
+    /// small-angle regime, bad calibration/tuner specs, a non-positive
+    /// measurement-noise override, or a seed count of zero / beyond
+    /// kFleetMaxSeedsPerJob.
     void validate() const;
 };
 
@@ -77,10 +97,50 @@ struct FleetTraceSummary {
     std::size_t checked_points = 0;  ///< samples inside the windows
 };
 
+/// One Monte Carlo realization of a job — the Realize layer's unit of
+/// output. Realization 0 is the historical single-seed run.
+struct FleetSeedResult {
+    std::uint64_t sensor_seed = 0;  ///< fleet_sub_seed(stream, index)
+    core::AlignmentResult result;
+    FleetTraceSummary trace;
+    BoresightSystem::Status final_status{};
+    bool within_envelope = false;
+    // §11.1 calibration-phase outputs (all zero for uncalibrated jobs).
+    math::Vec2 calibrated_bias{};
+    double calibration_noise = 0.0;
+    std::size_t calibration_samples = 0;
+};
+
+/// Mean and sample standard deviation (n-1; zero when n == 1) of one
+/// metric across a job's seed ensemble, accumulated in seed-index order so
+/// the values are bitwise scheduling-independent.
+struct FleetMetricStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+
+    /// 95% normal confidence half-width of the mean (1.96·σ/√n); zero for
+    /// ensembles of fewer than two realizations. Every CI a study report
+    /// or example prints funnels through this one definition.
+    [[nodiscard]] double ci95(std::size_t n) const;
+};
+
+/// Cross-seed ensemble summary of a job: the Monte Carlo evidence behind a
+/// single-realization envelope verdict (Zhong et al., arXiv:2109.06404).
+struct FleetSeedStats {
+    std::size_t seeds = 0;
+    std::size_t within_envelope = 0;  ///< realizations inside the envelope
+    FleetMetricStats roll_err_deg;    ///< worst post-settle excursions
+    FleetMetricStats pitch_err_deg;
+    FleetMetricStats yaw_err_deg;
+    FleetMetricStats residual_rms;
+};
+
 struct FleetResult {
     std::string scenario;
     BoresightSystem::Processor processor =
         BoresightSystem::Processor::kNative;
+    // Primary fields mirror seed realization 0 — bitwise the pre-seed-axis
+    // result, whatever seeds_per_job is.
     core::AlignmentResult result;  ///< Table 1 row shape for this run
     FleetTraceSummary trace;
     BoresightSystem::Status final_status{};
@@ -92,36 +152,62 @@ struct FleetResult {
     math::Vec2 calibrated_bias{};    ///< bias subtracted during the run
     double calibration_noise = 0.0;  ///< per-sample noise at calibration
     std::size_t calibration_samples = 0;
+    /// All realizations in seed-index order (size == job.seeds_per_job;
+    /// seeds[0] repeats the primary fields) plus their ensemble summary.
+    std::vector<FleetSeedResult> seeds;
+    FleetSeedStats seed_stats;
 };
 
 /// Execute one job serially. This is the reference semantics: FleetRunner
 /// must produce, for every job, a result bitwise identical to this call.
 [[nodiscard]] FleetResult run_fleet_job(const FleetJob& job);
 
-/// Batch executor: a fixed pool of worker threads pulls jobs off a shared
-/// index. Because every job is self-contained (see FleetJob), the results
-/// vector — indexed by job position — is bitwise identical whatever the
+/// Batch executor over the Plan/Trace/Realize stack.
+///
+///   Plan:    expand jobs × seeds_per_job into realization work items and
+///            group them by trace identity (scenario, duration, base_seed,
+///            calibration dwell — misalignment is applied per realization,
+///            so a misalignment sweep shares one trace);
+///   Trace:   synthesize each unique ScenarioTrace exactly once, in
+///            parallel (immutable, shared across every realization that
+///            consumes it — all {processor × tuner × seed} variants of a
+///            scenario);
+///   Realize: a fixed pool of worker threads pulls realizations off a
+///            shared index; traces are released as their last realization
+///            drains.
+///
+/// Scheduling decides only WHICH thread runs a work unit, never what it
+/// computes, so the results vector — indexed by job position, seeds in
+/// index order inside each result — is bitwise identical whatever the
 /// thread count, including 1.
 class FleetRunner {
 public:
     struct Config {
         std::size_t threads = 0;  ///< 0 => std::thread::hardware_concurrency
+        /// Share one ScenarioTrace across all realizations with the same
+        /// trace identity. Off = every realization synthesizes its own
+        /// trace (the pre-Plan/Trace/Realize cost model; the fleet bench
+        /// uses it to measure the amortization win). Results are bitwise
+        /// identical either way.
+        bool share_traces = true;
     };
 
     FleetRunner();  ///< default Config (all hardware threads)
     explicit FleetRunner(Config cfg);
 
     /// Runs all jobs, returning results in job order. Validates every job
-    /// before any work starts; a job failure mid-batch (e.g. a Sabre cycle
-    /// budget trap) is rethrown after all workers drain, lowest job index
-    /// first, so the error surfaced is also deterministic.
+    /// before any work starts; a failure mid-batch (e.g. a Sabre cycle
+    /// budget trap) is rethrown after all workers drain, lowest work-item
+    /// index first, so the error surfaced is also deterministic.
     [[nodiscard]] std::vector<FleetResult> run(
         const std::vector<FleetJob>& jobs) const;
 
     [[nodiscard]] std::size_t threads() const { return threads_; }
+    [[nodiscard]] bool share_traces() const { return share_traces_; }
 
 private:
     std::size_t threads_;
+    bool share_traces_;
 };
 
 /// One job per library scenario on the given processor — the standard

@@ -17,7 +17,8 @@ namespace {
 
 SabreFusionSystem::SabreFusionSystem() : SabreFusionSystem(Config{}) {}
 
-SabreFusionSystem::SabreFusionSystem(const Config& cfg) : cfg_(cfg) {
+SabreFusionSystem::SabreFusionSystem(const Config& cfg)
+    : cfg_(cfg), r_sigma_(cfg.r_sigma) {
     const sabre::FirmwareLayout layout;
     cpu_ = std::make_unique<sabre::SabreCpu>(
         sabre::assemble(sabre::boresight_firmware_source(layout)));
@@ -42,6 +43,11 @@ SabreFusionSystem::SabreFusionSystem(const Config& cfg) : cfg_(cfg) {
     // the role the merged BlockRAM image played in the paper's flow.
     cpu_->store_data(layout.q, fbits(cfg_.q_variance));
     cpu_->store_data(layout.r, fbits(cfg_.r_sigma * cfg_.r_sigma));
+    // Boot value of the writable R register: the firmware latches it into
+    // its Kalman R cell every update, so the untouched register must hold
+    // the same bits the data cell was initialized with.
+    control_->write(4 * sabre::ControlPeripheral::kMeasNoiseVar,
+                    fbits(cfg_.r_sigma * cfg_.r_sigma));
     cpu_->store_data(layout.accel_lsb, fbits(cfg_.dmu_scale.accel_lsb_mps2));
     cpu_->store_data(layout.duty_scale,
                      fbits(cfg_.adxl.g / cfg_.adxl.duty_per_g));
@@ -90,7 +96,15 @@ SabreFusionSystem::Estimate SabreFusionSystem::estimate() const {
     out.updates = control_->reg(CR::kUpdateCount);
     out.residual = math::Vec2{control_->angle(CR::kResidualX),
                               control_->angle(CR::kResidualY)};
+    out.innov_sigma3 = math::Vec2{control_->angle(CR::kInnovSigma3X),
+                                  control_->angle(CR::kInnovSigma3Y)};
     return out;
+}
+
+void SabreFusionSystem::set_measurement_noise(double sigma_mps2) {
+    r_sigma_ = sigma_mps2;
+    control_->write(4 * sabre::ControlPeripheral::kMeasNoiseVar,
+                    fbits(sigma_mps2 * sigma_mps2));
 }
 
 SabreFusionSystem::Estimate SabreFusionSystem::run_pending(

@@ -40,6 +40,9 @@ public:
         math::Vec3 sigma3{};
         std::uint32_t updates = 0;
         math::Vec2 residual{};
+        /// Innovation 3-sigma envelope per axis (m/s²) — the exceedance
+        /// statistic the adaptive retune loop consumes.
+        math::Vec2 innov_sigma3{};
     };
 
     /// Run the CPU until every queued sample has been consumed; throws
@@ -49,6 +52,13 @@ public:
 
     /// Current estimate without running (reads the control registers).
     [[nodiscard]] Estimate estimate() const;
+
+    /// Retune the firmware's measurement noise mid-run (1-sigma, m/s²):
+    /// writes the variance into the control block's writable R register,
+    /// which the firmware latches at the top of its next update — the
+    /// runtime knob the §11 manual retune lacked.
+    void set_measurement_noise(double sigma_mps2);
+    [[nodiscard]] double measurement_noise() const { return r_sigma_; }
 
     [[nodiscard]] std::uint64_t cycles() const { return cpu_->cycles(); }
     [[nodiscard]] std::uint64_t instructions() const {
@@ -67,6 +77,7 @@ public:
 
 private:
     Config cfg_;
+    double r_sigma_ = 0.0;  ///< current measurement noise (1-sigma)
     std::unique_ptr<sabre::SabreCpu> cpu_;
     std::shared_ptr<sabre::ControlPeripheral> control_;
     std::shared_ptr<sabre::FpuPeripheral> fpu_;

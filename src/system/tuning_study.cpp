@@ -36,17 +36,11 @@ void TuningStudyConfig::validate() const {
         if (v.use_adaptive_tuner) v.tuner.validate();
     }
     if (processors.empty()) fail("processor axis must not be empty");
-    for (const auto& v : variants) {
-        if (!v.use_adaptive_tuner) continue;
-        for (const auto p : processors) {
-            if (p == BoresightSystem::Processor::kSabre) {
-                fail("adaptive variant '" + v.label +
-                     "' cannot sweep the Sabre processor (the tuner is "
-                     "native-only); split the study");
-            }
-        }
-    }
     if (duration_s < 0.0) fail("duration override must be non-negative");
+    if (seeds_per_cell == 0) fail("seeds_per_cell must be at least 1");
+    if (seeds_per_cell > kFleetMaxSeedsPerJob) {
+        fail("seeds_per_cell exceeds the FNV-1a sub-seed limit");
+    }
     if (calibration) calibration->validate();
 }
 
@@ -73,6 +67,7 @@ TuningStudy::TuningStudy(TuningStudyConfig cfg) : cfg_(std::move(cfg)) {
                         job.misalignment = cfg_.misalignments[mi];
                     }
                     job.calibration = cfg_.calibration;
+                    job.seeds_per_job = cfg_.seeds_per_cell;
                     job.use_adaptive_tuner = variant.use_adaptive_tuner;
                     if (variant.use_adaptive_tuner) {
                         job.tuner = variant.tuner;
@@ -116,6 +111,33 @@ void write_angles_deg(util::JsonWriter& w, const math::EulerAngles& e) {
     w.end_array();
 }
 
+/// Ensemble reduction of one metric: mean, sample σ and the 95%
+/// confidence half-width — the interval the seed axis turns a
+/// single-realization verdict into.
+void write_metric_stats(util::JsonWriter& w, const char* name,
+                        const FleetMetricStats& m, std::size_t n) {
+    w.key(name).begin_object();
+    w.key("mean").value(m.mean);
+    w.key("std").value(m.stddev);
+    w.key("ci95").value(m.ci95(n));
+    w.end_object();
+}
+
+void write_seed_stats(util::JsonWriter& w, const FleetSeedStats& s) {
+    w.key("seed_stats").begin_object();
+    w.key("seeds").value(s.seeds);
+    w.key("within_envelope").value(s.within_envelope);
+    w.key("pass_fraction")
+        .value(s.seeds > 0 ? static_cast<double>(s.within_envelope) /
+                                 static_cast<double>(s.seeds)
+                           : 0.0);
+    write_metric_stats(w, "worst_roll_err_deg", s.roll_err_deg, s.seeds);
+    write_metric_stats(w, "worst_pitch_err_deg", s.pitch_err_deg, s.seeds);
+    write_metric_stats(w, "worst_yaw_err_deg", s.yaw_err_deg, s.seeds);
+    write_metric_stats(w, "residual_rms_mps2", s.residual_rms, s.seeds);
+    w.end_object();
+}
+
 void write_variant(util::JsonWriter& w, const TunerVariant& v) {
     w.begin_object();
     w.key("label").value(v.label);
@@ -144,6 +166,7 @@ std::string TuningStudyReport::to_json() const {
     w.key("study").value(config.label);
     w.key("base_seed").value(config.base_seed);
     w.key("duration_s").value(config.duration_s);
+    w.key("seeds_per_cell").value(config.seeds_per_cell);
     w.key("calibration").begin_object();
     w.key("enabled").value(config.calibration.has_value());
     if (config.calibration) {
@@ -202,14 +225,23 @@ std::string TuningStudyReport::to_json() const {
         w.value(r.calibrated_bias[1]);
         w.end_array();
         w.key("calibration_samples").value(r.calibration_samples);
+        write_seed_stats(w, r.seed_stats);
         w.end_object();
     }
     w.end_array();
 
+    std::size_t all_seeds_ok = 0;
+    for (const auto& c : cells) {
+        if (c.result.seed_stats.within_envelope == c.result.seed_stats.seeds) {
+            ++all_seeds_ok;
+        }
+    }
     w.key("summary").begin_object();
     w.key("cells").value(cells.size());
     w.key("within_envelope").value(within_envelope);
     w.key("outside_envelope").value(cells.size() - within_envelope);
+    w.key("seeds_per_cell").value(config.seeds_per_cell);
+    w.key("all_seeds_within_envelope").value(all_seeds_ok);
     w.end_object();
     w.end_object();
     return w.str();

@@ -42,11 +42,17 @@ struct TuningStudyConfig {
     std::optional<FleetCalibration> calibration{};
     double duration_s = 0.0;  ///< per-job duration override; 0 => spec
     std::uint64_t base_seed = 2026;
+    /// Monte Carlo axis: instrument-seed realizations per grid cell. All
+    /// realizations of a cell share one ScenarioTrace; the report reduces
+    /// each ensemble to mean/σ/95% CI columns next to the primary (seed-0)
+    /// values. 1 keeps the single-realization behavior bit for bit.
+    std::uint64_t seeds_per_cell = 1;
 
     /// Throws std::invalid_argument naming the first bad axis: empty label,
     /// empty/unknown scenario list, empty variant list, duplicate or empty
     /// variant labels, bad variant tuning, empty processor list, negative
-    /// duration — plus everything FleetJob::validate rejects per cell.
+    /// duration, a zero/overflowing seed count — plus everything
+    /// FleetJob::validate rejects per cell.
     void validate() const;
 };
 

@@ -230,16 +230,51 @@ TEST(FleetJobValidation, RejectsTunerOverrideWithoutEnablingTheTuner) {
     EXPECT_THROW(job.validate(), std::invalid_argument);
 }
 
-TEST(FleetJobValidation, RejectsAdaptiveTunerOnTheSabreProcessor) {
+TEST(FleetJobValidation, AcceptsAdaptiveTunerOnTheSabreProcessor) {
     system::FleetJob job;
     job.scenario = "city-drive";
     job.use_adaptive_tuner = true;
     job.processor = system::BoresightSystem::Processor::kSabre;
-    // The firmware has no runtime noise register; a silently static
-    // "adaptive" run would be indistinguishable from real tuner data.
-    EXPECT_THROW(job.validate(), std::invalid_argument);
+    // The firmware gained a writable measurement-noise register: adaptive
+    // jobs run on both fusion processors now.
+    EXPECT_NO_THROW(job.validate());
     job.processor = system::BoresightSystem::Processor::kNative;
     EXPECT_NO_THROW(job.validate());
+}
+
+TEST(FleetJobValidation, RejectsZeroSeedsPerJob) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    job.seeds_per_job = 0;
+    // A job with no realizations has no primary result to report.
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.seeds_per_job = 1;
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(FleetJobValidation, RejectsSeedCountOverflowingTheSubSeedDerivation) {
+    system::FleetJob job;
+    job.scenario = "city-drive";
+    // The FNV-1a sub-seed folds the realization index as 32 bits; a count
+    // beyond 2^32 would alias seed streams instead of extending them.
+    job.seeds_per_job = system::kFleetMaxSeedsPerJob + 1;
+    EXPECT_THROW(job.validate(), std::invalid_argument);
+    job.seeds_per_job = system::kFleetMaxSeedsPerJob;
+    EXPECT_NO_THROW(job.validate());
+    job.seeds_per_job = 8;
+    EXPECT_NO_THROW(job.validate());
+}
+
+TEST(FleetSubSeed, IndexZeroPreservesTheSingleSeedContract) {
+    // fleet_sub_seed(s, 0) == s is what keeps N=1 jobs (and the golden
+    // corpus pinned to them) bitwise identical to the pre-seed-axis runs.
+    EXPECT_EQ(system::fleet_sub_seed(0xDEADBEEFull, 0), 0xDEADBEEFull);
+    // Higher indices must decorrelate: distinct from the stream seed and
+    // from each other.
+    const auto s1 = system::fleet_sub_seed(0xDEADBEEFull, 1);
+    const auto s2 = system::fleet_sub_seed(0xDEADBEEFull, 2);
+    EXPECT_NE(s1, 0xDEADBEEFull);
+    EXPECT_NE(s1, s2);
 }
 
 TEST(FleetJobValidation, RejectsNonPositiveMeasurementNoiseOverride) {

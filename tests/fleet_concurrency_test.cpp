@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/scenario_library.hpp"
+#include "sim/scenario_trace.hpp"
 #include "system/fleet.hpp"
 
 // Concurrency contract of the fleet runner: scheduling decides only WHICH
@@ -69,6 +71,29 @@ std::vector<system::FleetJob> tuned_batch() {
     return std::bit_cast<std::uint64_t>(v);
 }
 
+void expect_seed_bitwise_equal(const system::FleetSeedResult& a,
+                               const system::FleetSeedResult& b) {
+    EXPECT_EQ(a.sensor_seed, b.sensor_seed);
+    EXPECT_EQ(bits(a.result.estimate.roll), bits(b.result.estimate.roll));
+    EXPECT_EQ(bits(a.result.estimate.pitch), bits(b.result.estimate.pitch));
+    EXPECT_EQ(bits(a.result.estimate.yaw), bits(b.result.estimate.yaw));
+    EXPECT_EQ(bits(a.result.residual_rms), bits(b.result.residual_rms));
+    EXPECT_EQ(bits(a.result.meas_noise), bits(b.result.meas_noise));
+    EXPECT_EQ(a.final_status.updates, b.final_status.updates);
+    EXPECT_EQ(a.final_status.tuner_adjustments,
+              b.final_status.tuner_adjustments);
+    EXPECT_EQ(a.trace.epochs, b.trace.epochs);
+    EXPECT_EQ(bits(a.trace.worst_roll_err_deg),
+              bits(b.trace.worst_roll_err_deg));
+    EXPECT_EQ(bits(a.trace.worst_pitch_err_deg),
+              bits(b.trace.worst_pitch_err_deg));
+    EXPECT_EQ(bits(a.trace.worst_yaw_err_deg),
+              bits(b.trace.worst_yaw_err_deg));
+    EXPECT_EQ(bits(a.calibrated_bias[0]), bits(b.calibrated_bias[0]));
+    EXPECT_EQ(bits(a.calibrated_bias[1]), bits(b.calibrated_bias[1]));
+    EXPECT_EQ(a.within_envelope, b.within_envelope);
+}
+
 void expect_bitwise_equal(const system::FleetResult& a,
                           const system::FleetResult& b) {
     SCOPED_TRACE(a.scenario);
@@ -100,6 +125,22 @@ void expect_bitwise_equal(const system::FleetResult& a,
               bits(b.trace.worst_pitch_err_deg));
     EXPECT_EQ(bits(a.trace.worst_yaw_err_deg), bits(b.trace.worst_yaw_err_deg));
     EXPECT_EQ(a.within_envelope, b.within_envelope);
+    // The Monte Carlo seed axis: every realization and the ensemble
+    // reduction must be scheduling-free too.
+    ASSERT_EQ(a.seeds.size(), b.seeds.size());
+    for (std::size_t i = 0; i < a.seeds.size(); ++i) {
+        expect_seed_bitwise_equal(a.seeds[i], b.seeds[i]);
+    }
+    EXPECT_EQ(a.seed_stats.seeds, b.seed_stats.seeds);
+    EXPECT_EQ(a.seed_stats.within_envelope, b.seed_stats.within_envelope);
+    EXPECT_EQ(bits(a.seed_stats.roll_err_deg.mean),
+              bits(b.seed_stats.roll_err_deg.mean));
+    EXPECT_EQ(bits(a.seed_stats.roll_err_deg.stddev),
+              bits(b.seed_stats.roll_err_deg.stddev));
+    EXPECT_EQ(bits(a.seed_stats.residual_rms.mean),
+              bits(b.seed_stats.residual_rms.mean));
+    EXPECT_EQ(bits(a.seed_stats.residual_rms.stddev),
+              bits(b.seed_stats.residual_rms.stddev));
 }
 
 void expect_batches_equal(const std::vector<system::FleetResult>& a,
@@ -136,6 +177,156 @@ TEST(FleetConcurrency, CalibratedAndTunedJobsMatchSerialBitwise) {
     // The overrides must actually have engaged, or this test proves nothing.
     EXPECT_GT(serial[0].calibration_samples, 0u);
     EXPECT_GT(serial[2].final_status.tuner_adjustments, 0u);
+}
+
+/// Seed-axis batch: several scenarios at 4 realizations each, with the
+/// calibrated/tuned/sabre paths represented, all sharing per-scenario
+/// traces.
+std::vector<system::FleetJob> seeded_batch() {
+    std::vector<system::FleetJob> jobs;
+    const char* scenarios[] = {"city-drive", "static-level", "carpark-bump"};
+    for (const char* name : scenarios) {
+        system::FleetJob job;
+        job.scenario = name;
+        job.duration_s = 20.0;
+        job.seeds_per_job = 4;
+        jobs.push_back(job);
+    }
+    jobs[0].calibration = system::FleetCalibration{10.0};
+    jobs[1].processor = Processor::kSabre;
+    jobs[2].use_adaptive_tuner = true;
+    core::AdaptiveTunerConfig tuner;
+    tuner.min_samples = 100;
+    jobs[2].tuner = tuner;
+    // Two jobs on the same scenario/seed: they share one trace and must
+    // still realize independently.
+    {
+        system::FleetJob job;
+        job.scenario = "city-drive";
+        job.duration_s = 20.0;
+        job.seeds_per_job = 2;
+        job.processor = Processor::kSabre;
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+TEST(FleetConcurrency, MultiSeedAggregateMatchesSerialBitwise) {
+    // The seed-axis contract: an N-seed job's realizations and ensemble
+    // statistics are identical whether the (job, seed) work items ran on
+    // one thread or eight.
+    const auto jobs = seeded_batch();
+    const auto serial = system::FleetRunner({.threads = 1}).run(jobs);
+    const auto parallel = system::FleetRunner({.threads = 8}).run(jobs);
+    expect_batches_equal(serial, parallel);
+    // The ensemble must really hold distinct realizations.
+    ASSERT_EQ(serial[0].seeds.size(), 4u);
+    EXPECT_NE(bits(serial[0].seeds[0].result.residual_rms),
+              bits(serial[0].seeds[1].result.residual_rms));
+    EXPECT_GT(serial[0].seed_stats.residual_rms.stddev, 0.0);
+}
+
+TEST(FleetConcurrency, SharedTracesMatchPerRunSynthesisBitwise) {
+    // share_traces=false rebuilds every realization's trace from scratch
+    // (the pre-Plan/Trace/Realize cost model). Sharing is an optimization
+    // only: results must be bit-for-bit the same.
+    const auto jobs = seeded_batch();
+    const auto shared =
+        system::FleetRunner({.threads = 4, .share_traces = true}).run(jobs);
+    const auto unshared =
+        system::FleetRunner({.threads = 4, .share_traces = false}).run(jobs);
+    expect_batches_equal(shared, unshared);
+}
+
+TEST(FleetConcurrency, SeedZeroRealizationEqualsSingleSeedJob) {
+    // fleet_sub_seed(s, 0) == s: realization 0 of a Monte Carlo job IS the
+    // historical single-seed run, bit for bit — which is why the golden
+    // corpus needs no regeneration.
+    system::FleetJob multi;
+    multi.scenario = "highway-drive";
+    multi.duration_s = 20.0;
+    multi.seeds_per_job = 3;
+    system::FleetJob single = multi;
+    single.seeds_per_job = 1;
+
+    const auto multi_r = system::run_fleet_job(multi);
+    const auto single_r = system::run_fleet_job(single);
+    ASSERT_EQ(multi_r.seeds.size(), 3u);
+    ASSERT_EQ(single_r.seeds.size(), 1u);
+    expect_seed_bitwise_equal(multi_r.seeds[0], single_r.seeds[0]);
+    // And the primary fields mirror realization 0 exactly.
+    EXPECT_EQ(bits(multi_r.result.estimate.roll),
+              bits(single_r.result.estimate.roll));
+    EXPECT_EQ(bits(multi_r.result.residual_rms),
+              bits(single_r.result.residual_rms));
+    EXPECT_EQ(multi_r.within_envelope, single_r.within_envelope);
+}
+
+TEST(FleetConcurrency, ScenarioTraceIsImmutableAndShareableAcrossThreads) {
+    // One trace, eight concurrently realizing threads with the same seed:
+    // every thread must decode the identical sensor stream, and the trace
+    // buffers must be byte-identical afterwards — realization never writes
+    // into the Trace layer.
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 2026);
+    const auto trace = sim::ScenarioTrace::build(
+        spec.build(20.0, spec.misalignment, seed), seed ^ 0xA5A55A5AF00DBEEFull);
+
+    // Snapshot a digest of the trace buffers before realization.
+    const auto digest = [&] {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        const auto fold = [&h](double v) {
+            h ^= std::bit_cast<std::uint64_t>(v);
+            h *= 0x100000001b3ull;
+        };
+        for (std::size_t i = 0; i < trace->epochs(); ++i) {
+            fold(trace->t(i));
+            for (std::size_t k = 0; k < 3; ++k) {
+                fold(trace->imu_force(i)[k]);
+                fold(trace->imu_rate(i)[k]);
+                fold(trace->acc_force(i)[k]);
+                fold(trace->f_body_true(i)[k]);
+            }
+            fold(trace->truth(i).speed);
+        }
+        return h;
+    };
+    const std::uint64_t before = digest();
+
+    const auto realize_digest = [&] {
+        sim::Scenario sc(trace, spec.misalignment, 77);
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        while (auto s = sc.next()) {
+            for (std::size_t k = 0; k < 3; ++k) {
+                h ^= static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(s->dmu.accel[k]));
+                h *= 0x100000001b3ull;
+                h ^= static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(s->dmu.gyro[k]));
+                h *= 0x100000001b3ull;
+            }
+            h ^= s->adxl.t1x;
+            h *= 0x100000001b3ull;
+            h ^= s->adxl.t1y;
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    };
+    const std::uint64_t reference = realize_digest();
+
+    std::vector<std::uint64_t> hashes(8);
+    std::vector<std::thread> threads;
+    threads.reserve(hashes.size());
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        threads.emplace_back(
+            [&, i] { hashes[i] = realize_digest(); });
+    }
+    for (auto& th : threads) th.join();
+
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+        EXPECT_EQ(hashes[i], reference) << "thread " << i;
+    }
+    EXPECT_EQ(digest(), before) << "a realization mutated the shared trace";
 }
 
 TEST(FleetConcurrency, RepeatedParallelRunsAreIdentical) {

@@ -144,14 +144,56 @@ TEST(TuningStudyValidation, RejectsBadVariants) {
     EXPECT_NO_THROW(cfg.validate());
 }
 
-TEST(TuningStudyValidation, RejectsAdaptiveVariantOnTheSabreAxis) {
-    // The retune loop is native-only; a study cell labeled "adaptive"
-    // whose tuner silently never ran would poison the report.
+TEST(TuningStudyValidation, AcceptsAdaptiveVariantOnTheSabreAxis) {
+    // The firmware's writable R register closed the "adaptive jobs
+    // rejected on Sabre" gap: an adaptive variant may sweep both fusion
+    // processors in one study.
     auto cfg = small_config();  // processors = {native, sabre}
     cfg.variants[0].use_adaptive_tuner = true;
-    EXPECT_THROW(cfg.validate(), std::invalid_argument);
-    cfg.processors = {Processor::kNative};
     EXPECT_NO_THROW(cfg.validate());
+    EXPECT_NO_THROW((void)system::TuningStudy(cfg));
+}
+
+TEST(TuningStudyValidation, RejectsBadSeedCounts) {
+    auto cfg = small_config();
+    cfg.seeds_per_cell = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.seeds_per_cell = system::kFleetMaxSeedsPerJob + 1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg.seeds_per_cell = 4;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(TuningStudy, AdaptiveRetuneParityAcrossProcessors) {
+    // §11 retune parity between the fusion processors: starting from the
+    // quietest static tuning on the city drive, the adaptive loop must
+    // climb out of the static band on the native EKF AND on the Sabre
+    // firmware (via its writable R register), landing within one
+    // raise-factor step of each other.
+    system::TuningStudyConfig cfg;
+    cfg.label = "retune-parity";
+    cfg.scenarios = {"city-drive"};
+    cfg.variants = {{.label = "adaptive",
+                     .use_adaptive_tuner = true,
+                     .meas_noise_mps2 = 0.003}};
+    cfg.processors = {Processor::kNative, Processor::kSabre};
+    cfg.duration_s = 60.0;
+    const system::TuningStudy study(cfg);
+    const auto report = study.run(system::FleetRunner({.threads = 2}));
+
+    ASSERT_EQ(report.cells.size(), 2u);
+    const auto& native = report.cells[0].result;
+    const auto& sabre = report.cells[1].result;
+    ASSERT_EQ(report.cells[0].processor_index, 0u);
+    EXPECT_GE(native.final_status.tuner_adjustments, 3u);
+    EXPECT_GE(sabre.final_status.tuner_adjustments, 3u);
+    EXPECT_GE(native.result.meas_noise, 0.010);
+    EXPECT_GE(sabre.result.meas_noise, 0.010);
+    // Same exceedance statistic, same ladder: the firmware's landing point
+    // must sit within one raise factor (1.5x) of the native EKF's.
+    const double ratio = sabre.result.meas_noise / native.result.meas_noise;
+    EXPECT_GT(ratio, 1.0 / 1.5);
+    EXPECT_LT(ratio, 1.5);
 }
 
 TEST(TuningStudyValidation, RejectsBadCalibrationAndWideMisalignment) {
@@ -184,12 +226,42 @@ TEST(TuningStudy, ReportJsonIsBitwiseIdenticalAcrossThreadCounts) {
     };
     cfg.calibration = system::FleetCalibration{10.0};
     cfg.duration_s = 30.0;
+    // The Monte Carlo axis must be just as scheduling-free: two seed
+    // realizations per cell ride along, sharing each cell's trace.
+    cfg.seeds_per_cell = 2;
     const system::TuningStudy study(cfg);
     ASSERT_EQ(study.cell_count(), 9u);
 
     const auto serial = study.run(system::FleetRunner({.threads = 1}));
     const auto parallel = study.run(system::FleetRunner({.threads = 8}));
     EXPECT_EQ(serial.to_json(), parallel.to_json());
+}
+
+TEST(TuningStudy, SeedEnsembleReductionsLandInTheReport) {
+    system::TuningStudyConfig cfg;
+    cfg.label = "seed-axis";
+    cfg.scenarios = {"static-level"};
+    cfg.variants = {{.label = "spec"}};
+    cfg.duration_s = 20.0;
+    cfg.seeds_per_cell = 3;
+    const system::TuningStudy study(cfg);
+    ASSERT_EQ(study.jobs().size(), 1u);
+    EXPECT_EQ(study.jobs()[0].seeds_per_job, 3u);
+
+    const auto report = study.run(system::FleetRunner({.threads = 2}));
+    ASSERT_EQ(report.cells.size(), 1u);
+    const auto& stats = report.cells[0].result.seed_stats;
+    EXPECT_EQ(stats.seeds, 3u);
+    // Three distinct instrument realizations: the ensemble spread of the
+    // residual RMS must be a real number (and almost surely nonzero).
+    EXPECT_GT(stats.residual_rms.mean, 0.0);
+    EXPECT_GT(stats.residual_rms.stddev, 0.0);
+
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"seed_stats\""), std::string::npos);
+    EXPECT_NE(json.find("\"ci95\""), std::string::npos);
+    EXPECT_NE(json.find("\"seeds_per_cell\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"all_seeds_within_envelope\""), std::string::npos);
 }
 
 TEST(TuningStudy, ReportCarriesPerCellReductions) {
