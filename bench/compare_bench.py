@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Gate fleet-bench regressions against a committed baseline.
+"""Gate bench regressions against a committed baseline.
 
 Usage:
     compare_bench.py FRESH_JSON BASELINE_JSON [--max-regression 0.20]
     compare_bench.py FRESH_JSON BASELINE_JSON --update
 
-Compares the machine-readable output of bench/fleet_throughput
-(BENCH_fleet.json) against the pinned baseline under bench/baselines/ and
-exits nonzero when:
+The JSON's "bench" key selects the schema (missing key => "fleet", the
+original schema):
+
+fleet (bench/fleet_throughput, BENCH_fleet.json) — exits nonzero when:
 
   * scenarios_per_sec or epochs_per_sec drop more than --max-regression
     (default 20%) below the baseline, or
@@ -18,16 +19,28 @@ exits nonzero when:
   * feed_allocs_per_epoch rises above the baseline at all — the zero-
     allocation steady state is pinned exactly.
 
+fault_campaign (bench/fault_campaign, BENCH_fault.json) — exits nonzero
+when:
+
+  * cells_per_sec or epochs_per_sec drop more than --max-regression
+    below the baseline, or
+  * any deterministic campaign total (cells, realizations, the
+    detection/miss/false-alarm/true-negative outcome counts, the number
+    of demonstrated detection boundaries) differs from the baseline at
+    all — those are functions of the config and the RNG contract, never
+    of the machine, so any drift means the fault envelope itself moved.
+
 --update rewrites the baseline from the fresh run instead of comparing
 (use after an intentional perf change, and commit the result).
 
 Exit codes: 0 ok, 1 regression, 2 malformed/incomplete bench JSON (e.g. a
-baseline missing a required key — reported with a clear message, never a
-KeyError traceback).
+baseline missing a required key, or a fresh/baseline schema mismatch —
+reported with a clear message, never a KeyError traceback).
 
-Baselines are machine-specific: numbers measured on one box do not
-transfer to a different CPU. Refresh the baseline when the benchmark
-host changes.
+Throughput baselines are machine-specific: numbers measured on one box do
+not transfer to a different CPU. Refresh the baseline when the benchmark
+host changes. The fault-campaign outcome totals are the exception — they
+must reproduce everywhere.
 """
 
 import argparse
@@ -37,18 +50,24 @@ import sys
 
 STAGE_NOISE_SLACK_US = 0.1
 
-# Metrics the gate is meaningless without. A baseline (or fresh run) that
-# lacks one of these is a data error — exit 2 with a pointed message, never
-# a silent skip or a KeyError traceback.
-REQUIRED_KEYS = ("scenarios_per_sec", "epochs_per_sec", "per_stage_us",
-                 "feed_allocs_per_epoch", "multi_seed")
+# Metrics each schema's gate is meaningless without. A baseline (or fresh
+# run) that lacks one of these is a data error — exit 2 with a pointed
+# message, never a silent skip or a KeyError traceback.
+FLEET_REQUIRED_KEYS = ("scenarios_per_sec", "epochs_per_sec", "per_stage_us",
+                       "feed_allocs_per_epoch", "multi_seed")
 
 # Sub-keys of the multi_seed section (the 8-seed shared-trace sweep;
 # "runs" are scenario realizations, scenario x tuning x seed); the shared
 # throughput and the shared-vs-per-run-synthesis speedup are gated like
 # the top-level throughput numbers.
-REQUIRED_MULTI_SEED_KEYS = ("shared_runs_per_sec", "unshared_runs_per_sec",
-                            "speedup")
+FLEET_REQUIRED_MULTI_SEED_KEYS = ("shared_runs_per_sec",
+                                  "unshared_runs_per_sec", "speedup")
+
+FAULT_REQUIRED_KEYS = ("cells", "realizations", "cells_per_sec",
+                       "epochs_per_sec", "outcomes",
+                       "boundaries_demonstrated")
+FAULT_REQUIRED_OUTCOME_KEYS = ("detections", "misses", "false_alarms",
+                               "true_negatives")
 
 
 class BenchDataError(Exception):
@@ -65,43 +84,34 @@ def load(path):
         raise BenchDataError(f"{path} is not valid JSON: {e}") from e
 
 
+def schema_of(data):
+    return data.get("bench", "fleet")
+
+
 def require_keys(data, role, path):
-    missing = [k for k in REQUIRED_KEYS if k not in data]
-    missing += [f"multi_seed.{k}" for k in REQUIRED_MULTI_SEED_KEYS
-                if k not in data.get("multi_seed", {})]
+    schema = schema_of(data)
+    if schema == "fleet":
+        missing = [k for k in FLEET_REQUIRED_KEYS if k not in data]
+        missing += [f"multi_seed.{k}" for k in FLEET_REQUIRED_MULTI_SEED_KEYS
+                    if k not in data.get("multi_seed", {})]
+        regen = "bench/fleet_throughput"
+    elif schema == "fault_campaign":
+        missing = [k for k in FAULT_REQUIRED_KEYS if k not in data]
+        missing += [f"outcomes.{k}" for k in FAULT_REQUIRED_OUTCOME_KEYS
+                    if k not in data.get("outcomes", {})]
+        regen = "bench/fault_campaign"
+    else:
+        raise BenchDataError(
+            f"{role} {path} has unknown bench schema '{schema}' (this gate "
+            "understands 'fleet' and 'fault_campaign')")
     if missing:
         raise BenchDataError(
             f"{role} {path} is missing key(s) {missing}; regenerate it with "
-            "bench/fleet_throughput (or refresh the baseline with "
+            f"{regen} (or refresh the baseline with "
             "compare_bench.py fresh baseline --update)")
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("fresh", help="freshly generated BENCH_fleet.json")
-    ap.add_argument("baseline", help="committed baseline JSON")
-    ap.add_argument("--max-regression", type=float, default=0.20,
-                    help="allowed fractional regression (default 0.20)")
-    ap.add_argument("--update", action="store_true",
-                    help="overwrite the baseline with the fresh run")
-    args = ap.parse_args()
-
-    if args.update:
-        # Never pin a malformed run: a truncated or key-missing fresh file
-        # would otherwise get committed and break every subsequent gate.
-        require_keys(load(args.fresh), "fresh run", args.fresh)
-        shutil.copyfile(args.fresh, args.baseline)
-        print(f"baseline updated: {args.baseline}")
-        return 0
-
-    fresh = load(args.fresh)
-    base = load(args.baseline)
-    require_keys(fresh, "fresh run", args.fresh)
-    require_keys(base, "baseline", args.baseline)
-    tol = args.max_regression
-    failures = []
-    rows = []
-
+def check_fleet(fresh, base, fresh_path, tol, rows, failures):
     def check_throughput(key, b, f):
         delta = (f - b) / b if b else 0.0
         rows.append((key, b, f, delta, "higher-is-better"))
@@ -131,7 +141,7 @@ def main():
         # intentional and the baseline must be refreshed first.
         raise BenchDataError(
             f"baseline stage(s) {vanished} missing from the fresh run "
-            f"{args.fresh}; if the stage was removed on purpose, refresh "
+            f"{fresh_path}; if the stage was removed on purpose, refresh "
             "the baseline with --update")
     for key in sorted(set(base_stages) & set(fresh_stages)):
         b, f = base_stages[key], fresh_stages[key]
@@ -148,6 +158,71 @@ def main():
     if f > b + 1e-9:
         failures.append(
             f"feed_allocs_per_epoch: {f} exceeds pinned baseline {b}")
+
+
+def check_fault_campaign(fresh, base, tol, rows, failures):
+    for key in ("cells_per_sec", "epochs_per_sec"):
+        b, f = base[key], fresh[key]
+        delta = (f - b) / b if b else 0.0
+        rows.append((key, b, f, delta, "higher-is-better"))
+        if f < b * (1.0 - tol):
+            failures.append(
+                f"{key}: {f:.2f} is {-delta:.0%} below baseline {b:.2f} "
+                f"(allowed {tol:.0%})")
+
+    # Deterministic campaign totals: functions of the config and the RNG
+    # contract alone, pinned exactly. A changed count is a changed fault
+    # envelope, not machine noise.
+    pinned = [("cells", base["cells"], fresh["cells"]),
+              ("realizations", base["realizations"], fresh["realizations"])]
+    pinned += [(f"outcomes.{k}", base["outcomes"][k], fresh["outcomes"][k])
+               for k in FAULT_REQUIRED_OUTCOME_KEYS]
+    pinned.append(("boundaries_demonstrated", base["boundaries_demonstrated"],
+                   fresh["boundaries_demonstrated"]))
+    for key, b, f in pinned:
+        rows.append((key, b, f, 0.0, "pinned"))
+        if f != b:
+            failures.append(
+                f"{key}: {f} differs from pinned baseline {b} — the "
+                "deterministic fault envelope moved (if intentional, "
+                "refresh the baseline with --update)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated bench JSON")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the fresh run")
+    args = ap.parse_args()
+
+    if args.update:
+        # Never pin a malformed run: a truncated or key-missing fresh file
+        # would otherwise get committed and break every subsequent gate.
+        require_keys(load(args.fresh), "fresh run", args.fresh)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    require_keys(fresh, "fresh run", args.fresh)
+    require_keys(base, "baseline", args.baseline)
+    if schema_of(fresh) != schema_of(base):
+        raise BenchDataError(
+            f"schema mismatch: fresh run {args.fresh} is "
+            f"'{schema_of(fresh)}' but baseline {args.baseline} is "
+            f"'{schema_of(base)}'")
+    tol = args.max_regression
+    failures = []
+    rows = []
+
+    if schema_of(fresh) == "fleet":
+        check_fleet(fresh, base, args.fresh, tol, rows, failures)
+    else:
+        check_fault_campaign(fresh, base, tol, rows, failures)
 
     width = max(len(r[0]) for r in rows) if rows else 20
     print(f"{'metric':<{width}} {'baseline':>12} {'fresh':>12} {'delta':>8}")

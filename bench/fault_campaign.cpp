@@ -1,0 +1,189 @@
+// Fault-injection campaign: expand {scenario x fault type x intensity x
+// processor} into FleetJob batches, run them through the FleetRunner
+// thread pool, and score every Monte Carlo realization on two independent
+// verdicts — did the estimate diverge from the trace truth, and did the
+// always-on ResidualMonitor flag it? The cross of the two is the fault
+// envelope: detections, misses (diverged unflagged — the dangerous
+// quadrant), false alarms and true negatives, plus the per-group detection
+// boundary (the intensity below which the monitor goes blind).
+//
+// Wall-clock throughput goes to BENCH_fault.json (gated by
+// compare_bench.py's fault_campaign schema, which also pins the
+// deterministic outcome totals exactly); the full deterministic campaign
+// report — identical bytes at any thread count — goes to STUDY_fault.json.
+
+#include <chrono>
+#include <cstdio>
+
+#include "system/fault_campaign.hpp"
+#include "system/fleet.hpp"
+#include "util/artifacts.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ob;
+using Clock = std::chrono::steady_clock;
+using Processor = system::BoresightSystem::Processor;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+system::FaultCampaignConfig campaign_config() {
+    system::FaultCampaignConfig cfg;
+    cfg.label = "fault-envelope";
+    // One quiet and one dynamic scene: link starvation is silent when the
+    // platform is static (clean residuals, nothing to diverge from) and
+    // dangerous when it moves; stuck sensors are the reverse.
+    cfg.scenarios = {"static-level", "city-drive"};
+    cfg.faults = {
+        system::FaultType::kUartDropout,
+        system::FaultType::kUartCorruption,
+        system::FaultType::kCanBurstLoss,
+        system::FaultType::kAccStuck,
+        system::FaultType::kImuFrozen,
+    };
+    // 0.0 is the exact control row; the positive rungs straddle the
+    // measured corruption boundary (found empirically on this grid): at
+    // 0.14 corrupted-but-passing measurements excite the residuals and
+    // the divergence is flagged, at 0.4 the links starve, the monitor
+    // loses its sample feed and the same divergence goes silent.
+    cfg.intensities = {0.0, 0.02, 0.14, 0.4};
+    cfg.processors = {Processor::kNative, Processor::kSabre};
+    cfg.seeds_per_cell = 3;
+    // Long enough for a 30 s checked window past static-level's 120 s
+    // envelope settle (city-drive settles at 90 s and gets 60 s), short
+    // enough that the Sabre half of the grid stays CI-sized.
+    cfg.duration_s = 150.0;
+    return cfg;
+}
+
+struct CampaignRun {
+    system::FaultCampaignReport report;
+    double elapsed_s = 0.0;
+    std::size_t epochs = 0;
+};
+
+CampaignRun execute(const system::FaultCampaignConfig& cfg,
+                    const system::FleetRunner& runner) {
+    const system::FaultCampaign campaign(cfg);
+    CampaignRun out;
+    const auto t0 = Clock::now();
+    out.report = campaign.run(runner);
+    out.elapsed_s = seconds_since(t0);
+    for (const auto& c : out.report.cells) {
+        for (const auto& s : c.result.seeds) out.epochs += s.trace.epochs;
+    }
+
+    std::printf("campaign '%s': %zu cells x %zu seed(s), %.2f s\n",
+                cfg.label.c_str(), out.report.cells.size(),
+                cfg.seeds_per_cell, out.elapsed_s);
+    std::printf("  %-14s %-15s %-9s %-7s | %3s %4s %3s %3s | %s\n",
+                "scenario", "fault", "intensity", "proc", "det", "miss",
+                "fa", "tn", "latency");
+    for (const auto& c : out.report.cells) {
+        const auto& o = c.outcomes;
+        std::printf("  %-14s %-15s %9.3f %-7s | %3zu %4zu %3zu %3zu |",
+                    c.result.scenario.c_str(),
+                    system::fault_type_name(cfg.faults[c.fault_index]),
+                    cfg.intensities[c.intensity_index],
+                    system::processor_name(c.result.processor), o.detections,
+                    o.misses, o.false_alarms, o.true_negatives);
+        if (o.detections > 0) {
+            std::printf(" %.2f s\n", o.mean_detection_latency_s);
+        } else {
+            std::printf(" -\n");
+        }
+    }
+    std::printf("\n  detection boundaries (lowest caught / highest "
+                "missed intensity):\n");
+    for (const auto& b : out.report.boundaries) {
+        std::printf("  %-14s %-15s %-7s | %9.3f / %9.3f | %s\n",
+                    cfg.scenarios[b.scenario_index].c_str(),
+                    system::fault_type_name(cfg.faults[b.fault_index]),
+                    system::processor_name(cfg.processors[b.processor_index]),
+                    b.lowest_detected_intensity, b.highest_missed_intensity,
+                    b.boundary_demonstrated ? "boundary mapped" : "-");
+    }
+    std::printf("\n");
+    return out;
+}
+
+void write_bench_json(const system::FleetRunner& runner,
+                      const CampaignRun& run) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("fault_campaign");
+    w.key("threads").value(runner.threads());
+    w.key("cells").value(run.report.cells.size());
+    w.key("seeds_per_cell").value(run.report.config.seeds_per_cell);
+    w.key("realizations").value(run.report.cells.size() *
+                                run.report.config.seeds_per_cell);
+    w.key("elapsed_s").value(run.elapsed_s);
+    w.key("cells_per_sec").value(
+        static_cast<double>(run.report.cells.size()) / run.elapsed_s);
+    w.key("epochs_per_sec").value(static_cast<double>(run.epochs) /
+                                  run.elapsed_s);
+    // Deterministic outcome totals: the gate pins these exactly — any
+    // drift means the fault envelope itself moved, not the machine.
+    std::size_t demonstrated = 0;
+    for (const auto& b : run.report.boundaries) {
+        if (b.boundary_demonstrated) ++demonstrated;
+    }
+    w.key("outcomes").begin_object();
+    w.key("detections").value(run.report.detections);
+    w.key("misses").value(run.report.misses);
+    w.key("false_alarms").value(run.report.false_alarms);
+    w.key("true_negatives").value(run.report.true_negatives);
+    w.end_object();
+    w.key("boundaries_demonstrated").value(demonstrated);
+    w.end_object();
+    const std::string path = util::artifact_path("BENCH_fault.json");
+    util::write_file(path, w.str());
+    std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+    const system::FleetRunner runner;
+    std::printf("fault-campaign runner: %zu worker thread(s)\n\n",
+                runner.threads());
+
+    const auto run = execute(campaign_config(), runner);
+
+    write_bench_json(runner, run);
+    const std::string study_path = util::artifact_path("STUDY_fault.json");
+    util::write_file(study_path, run.report.to_json());
+    std::printf("wrote %s\n", study_path.c_str());
+
+    // Self-checks: the campaign is only evidence if its controls are clean
+    // and it actually maps a boundary.
+    int failures = 0;
+    for (const auto& c : run.report.cells) {
+        if (run.report.config.intensities[c.intensity_index] > 0.0) continue;
+        if (c.outcomes.true_negatives != c.outcomes.seeds) {
+            std::printf("FAIL: zero-intensity control cell (%s, %s, %s) is "
+                        "not all-true-negative\n",
+                        c.result.scenario.c_str(),
+                        system::fault_type_name(
+                            run.report.config.faults[c.fault_index]),
+                        system::processor_name(c.result.processor));
+            ++failures;
+        }
+    }
+    std::size_t demonstrated = 0;
+    for (const auto& b : run.report.boundaries) {
+        if (b.boundary_demonstrated) ++demonstrated;
+    }
+    if (demonstrated == 0) {
+        std::printf("FAIL: no {scenario x fault x processor} group "
+                    "demonstrated a detection boundary\n");
+        ++failures;
+    }
+    if (failures > 0) return 1;
+    std::printf("PASS: controls clean, %zu detection boundaries mapped\n",
+                demonstrated);
+    return 0;
+}

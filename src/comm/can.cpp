@@ -252,7 +252,21 @@ std::size_t CanBus::cached_wire_bits(const CanFrame& f) {
 
 void CanBus::send(const CanFrame& frame, double t_request) {
     if (!frame.valid()) throw std::invalid_argument("CanBus::send: invalid frame");
-    queue_.push_back({frame, t_request, cached_wire_bits(frame)});
+    const std::uint64_t index = frame_index_++;
+    bool lost = false;
+    if (faults_enabled_) {
+        if (burst_remaining_ > 0) {
+            lost = true;
+            --burst_remaining_;
+        } else if (util::CounterRng(faults_.seed, index)
+                       .chance(faults_.burst_probability)) {
+            lost = true;
+            burst_remaining_ =
+                faults_.burst_frames > 0 ? faults_.burst_frames - 1 : 0;
+        }
+        if (lost) ++frames_lost_;
+    }
+    queue_.push_back({frame, t_request, cached_wire_bits(frame), lost});
 }
 
 void CanBus::advance_to(double t) {
@@ -287,6 +301,7 @@ void CanBus::advance_to(double t) {
         }
         busy_until_ = t_done;
         max_latency_ = std::max(max_latency_, t_done - p.t_request);
+        if (p.lost) continue;  // wire time consumed, never delivered
         if (direct_fn_ != nullptr) direct_fn_(direct_ctx_, p.frame, t_done);
         for (const auto& cb : receivers_) cb(p.frame, t_done);
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
 
 namespace ob::comm {
 
@@ -46,6 +47,23 @@ struct CanFrame {
 /// five identical bits in SOF..CRC, applied iteratively).
 [[nodiscard]] std::size_t can_stuff_bits(std::span<const std::uint8_t> bits);
 
+/// Bursty frame-erasure fault model for the bus (EMI hits, marginal
+/// transceivers): each sent frame has `burst_probability` of opening a
+/// loss burst that erases it and the next `burst_frames - 1` frames. Lost
+/// frames still occupy the wire for their full transmission time — the
+/// error frames of a real bus — but are never delivered to receivers, so
+/// timing and arbitration are identical to the fault-free bus. Draws are
+/// keyed on (seed, frame index); the index counts every sent frame whether
+/// or not faults are enabled, so toggling the fault mid-run cannot shift
+/// the draws later frames see.
+struct CanFaults {
+    double burst_probability = 0.0;  ///< per-frame chance a burst starts
+    std::size_t burst_frames = 8;    ///< frames erased per burst (>= 1)
+    std::uint64_t seed = 0x0CA2;
+
+    [[nodiscard]] bool any() const { return burst_probability > 0.0; }
+};
+
 /// Event-driven single-bus model with priority arbitration and 500 kbit/s
 /// (configurable) timing. Senders enqueue frames with a request timestamp;
 /// the bus serializes them in arbitration order and invokes the delivery
@@ -63,7 +81,21 @@ public:
     using DirectDelivery = void (*)(void* ctx, const CanFrame&,
                                     double t_delivered);
 
-    explicit CanBus(double bitrate_bps = 500000.0) : bitrate_(bitrate_bps) {}
+    explicit CanBus(double bitrate_bps = 500000.0, CanFaults faults = {})
+        : bitrate_(bitrate_bps),
+          faults_(faults),
+          faults_enabled_(faults.any()) {}
+
+    /// Replace the fault configuration mid-run (counter-keyed draws keep
+    /// later frames' fates independent of when this happens).
+    void set_faults(const CanFaults& faults) {
+        faults_ = faults;
+        faults_enabled_ = faults.any();
+    }
+    [[nodiscard]] const CanFaults& faults() const { return faults_; }
+
+    /// Frames erased by burst loss so far.
+    [[nodiscard]] std::size_t frames_lost() const { return frames_lost_; }
 
     /// Register a receiver; every delivered frame is fanned out to all.
     void on_delivery(DeliveryCallback cb) { receivers_.push_back(std::move(cb)); }
@@ -98,6 +130,7 @@ private:
         CanFrame frame;
         double t_request = 0.0;
         std::size_t wire_bits = 0;  ///< resolved once at send time
+        bool lost = false;  ///< erased by a burst; occupies the wire only
     };
 
     /// Direct-mapped cache of frame shape -> wire bits. 64 entries cover
@@ -110,6 +143,11 @@ private:
     };
 
     double bitrate_;
+    CanFaults faults_;
+    bool faults_enabled_;  ///< skip RNG draws entirely when probability is 0
+    std::uint64_t frame_index_ = 0;  ///< counts every sent frame, always
+    std::size_t burst_remaining_ = 0;
+    std::size_t frames_lost_ = 0;
     double busy_until_ = 0.0;
     double max_latency_ = 0.0;
     ob::util::RingBuffer<Pending> queue_;

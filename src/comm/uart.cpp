@@ -9,22 +9,26 @@ void UartLink::send(std::uint8_t byte, double t_request) {
     const double t_done = t_start + byte_time();
     line_busy_until_ = t_done;
 
+    const std::uint64_t index = byte_index_++;
+
     UartByte rx;
     rx.value = byte;
     rx.t = t_done;
-    // With all fault probabilities zero the RNG stream is unobservable, so
-    // the draws can be skipped wholesale; with any fault enabled the exact
-    // three-draws-per-byte sequence is preserved for reproducibility.
+    // Each byte's fate comes from its own counter-keyed stream — a pure
+    // function of (fault_seed, byte index) — so the zero-fault fast path
+    // advances only the index, and enabling faults later leaves every
+    // byte's draws identical to a link faulted from byte 0.
     if (faults_enabled_) {
-        if (rng_.chance(faults_.drop_probability)) {
+        util::CounterRng draws(fault_seed_, index);
+        if (draws.chance(faults_.drop_probability)) {
             ++dropped_;
             return;  // byte never arrives; line time is still consumed
         }
-        if (rng_.chance(faults_.bit_flip_probability)) {
-            rx.value ^= static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+        if (draws.chance(faults_.bit_flip_probability)) {
+            rx.value ^= static_cast<std::uint8_t>(1u << (draws.bits64() & 7));
             ++corrupted_;
         }
-        rx.framing_error = rng_.chance(faults_.framing_error_probability);
+        rx.framing_error = draws.chance(faults_.framing_error_probability);
     }
     in_flight_.push_back(rx);
 }

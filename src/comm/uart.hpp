@@ -22,6 +22,11 @@ struct UartFaults {
     double drop_probability = 0.0;      ///< byte silently lost
     double bit_flip_probability = 0.0;  ///< one random data bit inverted
     double framing_error_probability = 0.0;  ///< stop-bit violation flagged
+
+    [[nodiscard]] bool any() const {
+        return drop_probability > 0.0 || bit_flip_probability > 0.0 ||
+               framing_error_probability > 0.0;
+    }
 };
 
 /// Point-to-point asynchronous serial link (8N1 framing: 1 start, 8 data,
@@ -40,10 +45,20 @@ public:
                       std::uint64_t fault_seed = 1)
         : baud_(baud),
           faults_(faults),
-          faults_enabled_(faults.drop_probability > 0.0 ||
-                          faults.bit_flip_probability > 0.0 ||
-                          faults.framing_error_probability > 0.0),
-          rng_(fault_seed) {}
+          faults_enabled_(faults.any()),
+          fault_seed_(fault_seed) {}
+
+    /// Replace the fault configuration mid-stream. Fault draws are keyed
+    /// on (fault_seed, byte index) — not an advancing generator — and the
+    /// byte index counts every sent byte, faults enabled or not, so
+    /// toggling a fault type here never shifts the draws any later byte
+    /// sees: byte N suffers exactly the fate it would on a link configured
+    /// this way from construction.
+    void set_faults(const UartFaults& faults) {
+        faults_ = faults;
+        faults_enabled_ = faults.any();
+    }
+    [[nodiscard]] const UartFaults& faults() const { return faults_; }
 
     /// Queue one byte for transmission at time `t_request` (seconds). The
     /// byte starts after both `t_request` and the previous byte's end.
@@ -81,7 +96,8 @@ private:
     double baud_;
     UartFaults faults_;
     bool faults_enabled_;  ///< skip RNG draws entirely when all probs are 0
-    ob::util::Rng rng_;
+    std::uint64_t fault_seed_;
+    std::uint64_t byte_index_ = 0;  ///< counts every sent byte, always
     double line_busy_until_ = 0.0;
     ob::util::RingBuffer<UartByte> in_flight_;
     std::size_t dropped_ = 0;

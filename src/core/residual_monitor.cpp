@@ -1,25 +1,34 @@
 #include "core/residual_monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ob::core {
 
+void ResidualMonitor::push(const bool exceeded) {
+    ++total_;
+    if (exceeded) ++exceeded_;
+    if (count_ == window_) {
+        recent_exceeded_ -= recent_[head_];
+    } else {
+        ++count_;
+    }
+    recent_[head_] = exceeded ? 1 : 0;
+    if (exceeded) ++recent_exceeded_;
+    head_ = head_ + 1 == window_ ? 0 : head_ + 1;
+    if (!flagged_ && total_ >= alarm_min_samples_ &&
+        windowed_rate() > alarm_rate_) {
+        flagged_ = true;
+        flagged_at_ = total_;
+    }
+}
+
 void ResidualMonitor::add(const math::Vec2& residual,
                           const math::Vec2& sigma3) {
-    const bool over[2] = {std::abs(residual[0]) > sigma3[0],
-                          std::abs(residual[1]) > sigma3[1]};
     stats_x_.add(residual[0]);
     stats_y_.add(residual[1]);
-    for (const bool o : over) {
-        ++total_;
-        if (o) ++exceeded_;
-        recent_.push_back(o);
-        if (o) ++recent_exceeded_;
-        if (recent_.size() > window_) {
-            if (recent_.front()) --recent_exceeded_;
-            recent_.pop_front();
-        }
-    }
+    push(std::abs(residual[0]) > sigma3[0]);
+    push(std::abs(residual[1]) > sigma3[1]);
 }
 
 double ResidualMonitor::exceedance_rate() const {
@@ -29,11 +38,22 @@ double ResidualMonitor::exceedance_rate() const {
 }
 
 double ResidualMonitor::windowed_rate() const {
-    return recent_.empty() ? 0.0
-                           : static_cast<double>(recent_exceeded_) /
-                                 static_cast<double>(recent_.size());
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(recent_exceeded_) /
+                             static_cast<double>(count_);
 }
 
-void ResidualMonitor::reset() { *this = ResidualMonitor(window_); }
+void ResidualMonitor::reset() {
+    total_ = 0;
+    exceeded_ = 0;
+    std::fill(recent_.begin(), recent_.end(), 0);
+    head_ = 0;
+    count_ = 0;
+    recent_exceeded_ = 0;
+    flagged_ = false;
+    flagged_at_ = 0;
+    stats_x_ = util::RunningStats{};
+    stats_y_ = util::RunningStats{};
+}
 
 }  // namespace ob::core

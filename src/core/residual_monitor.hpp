@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <vector>
 
 #include "math/matrix.hpp"
 #include "util/stats.hpp"
@@ -12,10 +12,30 @@ namespace ob::core {
 /// the paper's §11 health criterion: "the residuals should only exceed the
 /// 3-sigma value about once every 100 samples". A well-tuned filter sits
 /// near that rate; an under-tuned one (static R while driving) far above.
+///
+/// Besides the raw rates, the monitor exposes a latched health flag for
+/// fault-detection campaigns: once at least `alarm_min_samples` axis
+/// samples are in and the windowed rate exceeds `alarm_rate`, `flagged()`
+/// latches true (until reset) and `flagged_at()` records the axis-sample
+/// count at which it tripped. The sliding window lives in a ring buffer
+/// preallocated at construction, so steady-state `add` never touches the
+/// heap — the monitor can sit on the zero-allocation fusion hot path.
 class ResidualMonitor {
 public:
-    /// `window` bounds the sliding-rate memory (samples per axis).
-    explicit ResidualMonitor(std::size_t window = 2000) : window_(window) {}
+    /// Default alarm threshold: ~18x the healthy 0.0027 exceedance rate,
+    /// far above tuning jitter but well below what a stuck sensor or a
+    /// mistuned R produces within one window.
+    static constexpr double kDefaultAlarmRate = 0.05;
+
+    /// `window` bounds the sliding-rate memory (samples per axis);
+    /// `alarm_rate` and `alarm_min_samples` parameterize the latched flag.
+    explicit ResidualMonitor(std::size_t window = 2000,
+                             double alarm_rate = kDefaultAlarmRate,
+                             std::size_t alarm_min_samples = 200)
+        : window_(window > 0 ? window : 1),
+          alarm_rate_(alarm_rate),
+          alarm_min_samples_(alarm_min_samples),
+          recent_(window_, 0) {}
 
     void add(const math::Vec2& residual, const math::Vec2& sigma3);
 
@@ -26,6 +46,12 @@ public:
     [[nodiscard]] std::size_t samples() const { return total_; }
     [[nodiscard]] std::size_t exceedances() const { return exceeded_; }
 
+    /// Latched health alarm: windowed rate exceeded `alarm_rate` after at
+    /// least `alarm_min_samples` axis samples. Stays true until reset().
+    [[nodiscard]] bool flagged() const { return flagged_; }
+    /// Axis-sample count when the alarm latched; 0 when never flagged.
+    [[nodiscard]] std::size_t flagged_at() const { return flagged_at_; }
+
     /// Residual magnitude statistics (for Table/Figure harnesses).
     [[nodiscard]] const util::RunningStats& stats_x() const { return stats_x_; }
     [[nodiscard]] const util::RunningStats& stats_y() const { return stats_y_; }
@@ -33,14 +59,23 @@ public:
     /// Theoretical exceedance probability of |N(0,σ)| > 3σ.
     [[nodiscard]] static constexpr double expected_rate() { return 0.0027; }
 
+    /// Clears counters, window and the latch in place (no reallocation).
     void reset();
 
 private:
+    void push(bool exceeded);
+
     std::size_t window_;
+    double alarm_rate_;
+    std::size_t alarm_min_samples_;
     std::size_t total_ = 0;
     std::size_t exceeded_ = 0;
-    std::deque<bool> recent_;
+    std::vector<unsigned char> recent_;  ///< ring, preallocated to window_
+    std::size_t head_ = 0;               ///< next ring slot to write
+    std::size_t count_ = 0;              ///< valid ring entries
     std::size_t recent_exceeded_ = 0;
+    bool flagged_ = false;
+    std::size_t flagged_at_ = 0;
     util::RunningStats stats_x_;
     util::RunningStats stats_y_;
 };

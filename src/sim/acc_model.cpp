@@ -44,7 +44,6 @@ comm::AdxlTiming AccModel::sample(const Vec3& f_body, const Vec3& omega,
 
 comm::AdxlTiming AccModel::sample_traced(const Vec3& f_in, double t,
                                          double dt) {
-    (void)t;
     (void)dt;
     const Vec3 f_sensor = c_sensor_body_ * f_in;
 
@@ -55,7 +54,23 @@ comm::AdxlTiming AccModel::sample_traced(const Vec3& f_in, double t,
     const double ay = ay0 * (1.0 + scale_[1]) + cross_axis_ * ax0 + bias_[1] +
                       rng_.gaussian(noise_sigma_);
 
-    return comm::adxl_encode(ax, ay, seq_++, adxl_);
+    comm::AdxlTiming out = comm::adxl_encode(ax, ay, seq_++, adxl_);
+
+    // Stuck-output fault: the noise draws above always happen, only the
+    // emitted duty-cycle timings are replaced; seq stays live so every
+    // packet remains wire-valid (and undetectable by protocol checks).
+    if (fault_.active(t)) {
+        if (!holding_) {
+            held_ = out;
+            holding_ = true;
+        }
+        out.t1x = held_.t1x;
+        out.t1y = held_.t1y;
+        out.t2 = held_.t2;
+    } else {
+        holding_ = false;
+    }
+    return out;
 }
 
 }  // namespace ob::sim

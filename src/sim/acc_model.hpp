@@ -3,6 +3,7 @@
 #include "comm/codec.hpp"
 #include "math/matrix.hpp"
 #include "math/rotation.hpp"
+#include "sim/sensor_fault.hpp"
 #include "sim/vibration.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +61,13 @@ public:
     /// to the true misalignment mid-run.
     void bump(const math::EulerAngles& delta);
 
+    /// Arm a stuck-output fault: inside the window the PWM duty-cycle
+    /// timings repeat their last healthy values while the sequence counter
+    /// keeps counting (packets stay wire-valid and plausible). Instrument
+    /// draws still happen, so the RNG stream — and every sample outside
+    /// the window — is bitwise the fault-free run's.
+    void set_fault(const SensorFault& fault) { fault_ = fault; }
+
     [[nodiscard]] const math::EulerAngles& true_misalignment() const {
         return misalignment_;
     }
@@ -79,6 +87,9 @@ private:
     double cross_axis_;
     double noise_sigma_;
     std::uint8_t seq_ = 0;
+    SensorFault fault_{};
+    comm::AdxlTiming held_{};  ///< last healthy timings during a freeze
+    bool holding_ = false;
 };
 
 }  // namespace ob::sim

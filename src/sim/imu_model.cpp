@@ -56,6 +56,20 @@ comm::DmuSample ImuModel::sample_traced(const Vec3& f_in, const Vec3& w_in,
         s.accel[i] = scale_.accel_to_raw(f);
         s.gyro[i] = scale_.rate_to_raw(w);
     }
+
+    // Frozen-register fault: the draws above always happen (stuck
+    // transducer, live model), only the emitted registers are replaced.
+    // Sequence and timestamp stay current — the wire protocol is valid.
+    if (fault_.active(t)) {
+        if (!holding_) {
+            held_ = s;
+            holding_ = true;
+        }
+        s.accel = held_.accel;
+        s.gyro = held_.gyro;
+    } else {
+        holding_ = false;
+    }
     return s;
 }
 

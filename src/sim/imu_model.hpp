@@ -3,6 +3,7 @@
 #include "comm/codec.hpp"
 #include "math/matrix.hpp"
 #include "math/rotation.hpp"
+#include "sim/sensor_fault.hpp"
 #include "sim/vibration.hpp"
 #include "util/rng.hpp"
 
@@ -51,6 +52,13 @@ public:
                                                 const math::Vec3& w_in,
                                                 double t, double dt);
 
+    /// Arm a frozen-register fault: inside the window the raw accel/gyro
+    /// registers repeat their last healthy values while the sequence
+    /// counter and timestamps stay live (the wire protocol remains valid).
+    /// All instrument draws still happen, so the RNG stream — and every
+    /// sample outside the window — is bitwise the fault-free run's.
+    void set_fault(const SensorFault& fault) { fault_ = fault; }
+
     [[nodiscard]] const comm::DmuScale& scale() const { return scale_; }
 
     /// Truth accessors for tests (what the filter is trying to see through).
@@ -70,6 +78,9 @@ private:
     double accel_noise_sigma_;
     double gyro_noise_sigma_;
     std::uint8_t seq_ = 0;
+    SensorFault fault_{};
+    comm::DmuSample held_{};  ///< last healthy sample during a freeze
+    bool holding_ = false;
 };
 
 }  // namespace ob::sim

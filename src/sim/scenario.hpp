@@ -100,6 +100,14 @@ public:
     /// Inject a mounting disturbance mid-run (paper: "car park bumps").
     void bump(const math::EulerAngles& delta) { acc_.bump(delta); }
 
+    /// Arm a frozen-register fault window on the DMU realization (see
+    /// ImuModel::set_fault; no effect on the RNG streams).
+    void inject_imu_fault(const SensorFault& fault) { imu_.set_fault(fault); }
+
+    /// Arm a stuck-output fault window on the ACC realization (see
+    /// AccModel::set_fault; no effect on the RNG streams).
+    void inject_acc_fault(const SensorFault& fault) { acc_.set_fault(fault); }
+
     [[nodiscard]] const comm::DmuScale& dmu_scale() const {
         return imu_.scale();
     }

@@ -1,0 +1,25 @@
+#pragma once
+
+namespace ob::sim {
+
+/// Frozen-value ("stuck") transducer fault window: between `start_s` and
+/// `start_s + duration_s` the analog front-end repeats its last healthy
+/// output while the digital wrapper — sequence numbers, checksums, the
+/// ADXL PWM clock — keeps running. This is the hard automotive failure
+/// mode: every packet on the wire stays perfectly valid while the data
+/// underneath goes stale, so only the fusion residuals can notice.
+///
+/// Instrument-noise draws continue during the freeze (the transducer is
+/// stuck, not the model), so arming a fault never perturbs a realization's
+/// RNG stream: samples outside the window are bitwise those of a
+/// fault-free run, and a zero-length window is exactly no fault.
+struct SensorFault {
+    double start_s = 0.0;
+    double duration_s = 0.0;  ///< 0 disables the fault entirely
+
+    [[nodiscard]] bool active(double t) const {
+        return duration_s > 0.0 && t >= start_s && t < start_s + duration_s;
+    }
+};
+
+}  // namespace ob::sim

@@ -20,6 +20,19 @@ void require_probability(double p, const char* what) {
     require(p >= 0.0 && p <= 1.0, what);
 }
 
+/// Legacy fixed fault seeds of the two serial links (the pre-campaign
+/// behavior every golden run is pinned to), and the salts separating the
+/// two links' counter-keyed streams when a campaign supplies a base seed.
+constexpr std::uint64_t kLegacyDmuLinkSeed = 11;
+constexpr std::uint64_t kLegacyAccLinkSeed = 12;
+constexpr std::uint64_t kDmuLinkSalt = 0xD1115EEDull;
+constexpr std::uint64_t kAccLinkSalt = 0xACC5EEDull;
+
+[[nodiscard]] std::uint64_t link_seed(std::uint64_t base, std::uint64_t salt,
+                                      std::uint64_t legacy) {
+    return base != 0 ? base ^ salt : legacy;
+}
+
 }  // namespace
 
 void BoresightSystem::Config::validate() const {
@@ -49,15 +62,30 @@ void BoresightSystem::Config::validate() const {
         require_probability(faults->framing_error_probability,
                             "link framing-error probability must be in [0, 1]");
     }
+    require_probability(can_faults.burst_probability,
+                        "CAN burst probability must be in [0, 1]");
+    require(can_faults.burst_frames >= 1,
+            "CAN burst length must be at least one frame");
+    require(monitor_window >= 1, "monitor window must be at least 1");
+    require(monitor_alarm_rate > 0.0 && monitor_alarm_rate <= 1.0,
+            "monitor alarm rate must be in (0, 1]");
+    require(monitor_min_samples >= 1,
+            "monitor minimum sample count must be at least 1");
 }
 
 BoresightSystem::BoresightSystem(const Config& cfg)
     : cfg_((cfg.validate(), cfg)),
-      can_(cfg.can_bitrate),
-      dmu_uart_(cfg.uart_baud, cfg.dmu_link_faults, /*fault_seed=*/11),
-      acc_uart_(cfg.uart_baud, cfg.acc_link_faults, /*fault_seed=*/12),
+      can_(cfg.can_bitrate, cfg.can_faults),
+      dmu_uart_(cfg.uart_baud, cfg.dmu_link_faults,
+                link_seed(cfg.link_fault_seed, kDmuLinkSalt,
+                          kLegacyDmuLinkSeed)),
+      acc_uart_(cfg.uart_baud, cfg.acc_link_faults,
+                link_seed(cfg.link_fault_seed, kAccLinkSalt,
+                          kLegacyAccLinkSeed)),
       bridge_(dmu_uart_),
       tuner_(cfg.tuner),
+      monitor_(cfg.monitor_window, cfg.monitor_alarm_rate,
+               cfg.monitor_min_samples),
       apply_acc_bias_(cfg.calibrated_bias[0] != 0.0 ||
                       cfg.calibrated_bias[1] != 0.0) {
     // Single-listener fast path: a raw trampoline instead of std::function.
@@ -143,6 +171,10 @@ void BoresightSystem::process_pair(const comm::DmuSample& dmu,
         const auto est = sabre_->run_pending();
         residual_stats_.add(est.residual[0]);
         residual_stats_.add(est.residual[1]);
+        monitor_.add(est.residual, est.innov_sigma3);
+        if (monitor_.flagged() && monitor_flag_t_ < 0.0) {
+            monitor_flag_t_ = dmu.t;
+        }
         if (cfg_.use_adaptive_tuner) {
             // The same §11 retune loop as the native path, driven by the
             // firmware-published innovation statistics; a recommendation
@@ -162,6 +194,10 @@ void BoresightSystem::process_pair(const comm::DmuSample& dmu,
     const auto up = native_->step(f_body, z);
     residual_stats_.add(up.residual[0]);
     residual_stats_.add(up.residual[1]);
+    monitor_.add(up.residual, up.sigma3);
+    if (monitor_.flagged() && monitor_flag_t_ < 0.0) {
+        monitor_flag_t_ = dmu.t;
+    }
     if (cfg_.use_adaptive_tuner) {
         const double rec =
             tuner_.observe(up.residual, up.sigma3, native_->measurement_noise());
@@ -188,6 +224,10 @@ BoresightSystem::Status BoresightSystem::status() const {
     s.worst_transport_latency = can_.max_latency();
     s.residual_rms = residual_stats_.rms();
     s.tuner_adjustments = tuner_.adjustments();
+    s.residual_flagged = monitor_.flagged();
+    s.residual_flag_s = monitor_flag_t_;
+    s.residual_windowed_rate = monitor_.windowed_rate();
+    s.residual_exceedances = monitor_.exceedances();
     return s;
 }
 

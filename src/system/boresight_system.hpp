@@ -46,9 +46,21 @@ public:
         double uart_baud = 115200.0;
         comm::UartFaults dmu_link_faults{};
         comm::UartFaults acc_link_faults{};
+        comm::CanFaults can_faults{};  ///< burst loss on the DMU CAN bus
+        /// Seed base for the serial links' counter-keyed fault streams.
+        /// 0 keeps the legacy fixed per-link seeds, preserving every
+        /// pre-campaign run bit for bit; fault campaigns derive a nonzero
+        /// base per realization so fault draws vary across the seed axis.
+        std::uint64_t link_fault_seed = 0;
         bool use_adaptive_tuner = false;
         core::AdaptiveTunerConfig tuner{};
         math::Vec2 calibrated_bias{};  ///< subtracted from ACC readings
+        /// Residual-health monitor (always on; the campaign's detector):
+        /// sliding window per axis, latched-alarm rate and the minimum
+        /// axis-sample count before the alarm may trip.
+        std::size_t monitor_window = 2000;
+        double monitor_alarm_rate = core::ResidualMonitor::kDefaultAlarmRate;
+        std::size_t monitor_min_samples = 200;
 
         /// Throws std::invalid_argument naming the first bad field. Called
         /// by the BoresightSystem constructor: a zero bitrate or a
@@ -86,6 +98,11 @@ public:
         double measurement_noise = 0.0;        ///< current filter R sigma
         double residual_rms = 0.0;  ///< innovation RMS over both axes (m/s²)
         std::size_t tuner_adjustments = 0;  ///< adaptive R changes applied
+        // Residual-health monitor outputs (the fault-campaign detector).
+        bool residual_flagged = false;  ///< latched 3-sigma-rate alarm
+        double residual_flag_s = -1.0;  ///< receive time of the latch; -1 never
+        double residual_windowed_rate = 0.0;  ///< exceedance rate, window
+        std::size_t residual_exceedances = 0;  ///< lifetime axis exceedances
     };
     [[nodiscard]] Status status() const;
 
@@ -131,6 +148,8 @@ private:
     std::unique_ptr<core::BoresightEkf> native_;
     std::unique_ptr<SabreFusionSystem> sabre_;
     core::AdaptiveNoiseTuner tuner_;
+    core::ResidualMonitor monitor_;  ///< always-on health detector
+    double monitor_flag_t_ = -1.0;   ///< receive time when the alarm latched
     util::RunningStats residual_stats_;  ///< innovation samples, both axes
     std::size_t updates_ = 0;
     /// True when a nonzero calibrated bias must be folded into the raw ACC

@@ -1,0 +1,314 @@
+#include "system/fault_campaign.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace ob::system {
+
+void FaultCampaignConfig::validate() const {
+    const auto fail = [](const std::string& what) {
+        throw std::invalid_argument("FaultCampaignConfig: " + what);
+    };
+    if (label.empty()) fail("label must not be empty");
+    if (scenarios.empty()) fail("scenario axis must not be empty");
+    for (const auto& name : scenarios) {
+        if (!sim::ScenarioLibrary::instance().find(name)) {
+            fail("unknown scenario '" + name + "'");
+        }
+    }
+    if (faults.empty()) fail("fault axis must not be empty");
+    std::set<FaultType> seen;
+    for (const auto t : faults) {
+        if (!seen.insert(t).second) {
+            fail(std::string("duplicate fault type '") + fault_type_name(t) +
+                 "'");
+        }
+    }
+    if (intensities.empty()) fail("intensity axis must not be empty");
+    for (std::size_t i = 0; i < intensities.size(); ++i) {
+        if (intensities[i] < 0.0 || intensities[i] > 1.0) {
+            fail("intensities must be in [0, 1]");
+        }
+        if (i > 0 && intensities[i] <= intensities[i - 1]) {
+            fail("intensities must be strictly increasing");
+        }
+    }
+    if (processors.empty()) fail("processor axis must not be empty");
+    if (seeds_per_cell == 0) fail("seeds_per_cell must be at least 1");
+    if (seeds_per_cell > kFleetMaxSeedsPerJob) {
+        fail("seeds_per_cell exceeds the FNV-1a sub-seed limit");
+    }
+    if (duration_s < 0.0) fail("duration override must be non-negative");
+    if (burst_frames == 0) fail("burst length must be at least one frame");
+}
+
+FaultOutcome classify_fault_outcome(const FleetSeedResult& s) {
+    const bool diverged = s.trace.first_divergence_s >= 0.0;
+    const bool flagged = s.final_status.residual_flagged;
+    if (diverged) {
+        return flagged ? FaultOutcome::kDetection : FaultOutcome::kMiss;
+    }
+    return flagged ? FaultOutcome::kFalseAlarm : FaultOutcome::kTrueNegative;
+}
+
+const char* fault_outcome_name(const FaultOutcome o) {
+    switch (o) {
+        case FaultOutcome::kDetection: return "detection";
+        case FaultOutcome::kMiss: return "miss";
+        case FaultOutcome::kFalseAlarm: return "false-alarm";
+        case FaultOutcome::kTrueNegative: return "true-negative";
+    }
+    return "?";
+}
+
+FaultCampaign::FaultCampaign(FaultCampaignConfig cfg) : cfg_(std::move(cfg)) {
+    cfg_.validate();
+    // Scenario-major expansion, fault > intensity > processor innermost.
+    // Order is part of the campaign's contract: report cells, job indices
+    // and the boundary scan all key off it.
+    jobs_.reserve(cfg_.scenarios.size() * cfg_.faults.size() *
+                  cfg_.intensities.size() * cfg_.processors.size());
+    for (std::size_t si = 0; si < cfg_.scenarios.size(); ++si) {
+        for (std::size_t fi = 0; fi < cfg_.faults.size(); ++fi) {
+            for (std::size_t ii = 0; ii < cfg_.intensities.size(); ++ii) {
+                for (std::size_t pi = 0; pi < cfg_.processors.size(); ++pi) {
+                    FleetJob job;
+                    job.scenario = cfg_.scenarios[si];
+                    job.processor = cfg_.processors[pi];
+                    job.base_seed = cfg_.base_seed;
+                    job.duration_s = cfg_.duration_s;
+                    job.seeds_per_job = cfg_.seeds_per_cell;
+                    // The fault axis is always present — a zero-intensity
+                    // cell is an exact control (bitwise the un-faulted
+                    // run), which is what lets the report separate the
+                    // monitor's baseline false-alarm rate from its
+                    // fault response.
+                    job.fault = FleetFault{cfg_.faults[fi],
+                                           cfg_.intensities[ii],
+                                           cfg_.burst_frames};
+                    job.validate();
+                    FaultCampaignCell cell;
+                    cell.scenario_index = si;
+                    cell.fault_index = fi;
+                    cell.intensity_index = ii;
+                    cell.processor_index = pi;
+                    shape_.push_back(cell);
+                    jobs_.push_back(std::move(job));
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+/// Reduce one cell's seed ensemble, in seed-index order, to its outcome
+/// tally and mean detection latency.
+[[nodiscard]] FaultCellOutcomes reduce_cell(const FleetResult& r) {
+    FaultCellOutcomes o;
+    double latency_sum = 0.0;
+    for (const auto& s : r.seeds) {
+        ++o.seeds;
+        switch (classify_fault_outcome(s)) {
+            case FaultOutcome::kDetection:
+                ++o.detections;
+                latency_sum += s.final_status.residual_flag_s -
+                               s.trace.first_divergence_s;
+                break;
+            case FaultOutcome::kMiss: ++o.misses; break;
+            case FaultOutcome::kFalseAlarm: ++o.false_alarms; break;
+            case FaultOutcome::kTrueNegative: ++o.true_negatives; break;
+        }
+    }
+    if (o.detections > 0) {
+        o.mean_detection_latency_s =
+            latency_sum / static_cast<double>(o.detections);
+    }
+    return o;
+}
+
+}  // namespace
+
+FaultCampaignReport FaultCampaign::run(const FleetRunner& runner) const {
+    FaultCampaignReport report;
+    report.config = cfg_;
+    auto results = runner.run(jobs_);
+    report.cells = shape_;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        auto& cell = report.cells[i];
+        cell.result = std::move(results[i]);
+        cell.outcomes = reduce_cell(cell.result);
+        report.detections += cell.outcomes.detections;
+        report.misses += cell.outcomes.misses;
+        report.false_alarms += cell.outcomes.false_alarms;
+        report.true_negatives += cell.outcomes.true_negatives;
+    }
+
+    // Boundary scan per {scenario × fault × processor} group over the
+    // (strictly increasing) intensity axis. Zero-intensity control cells
+    // never count: a latched alarm there is baseline false-alarm behavior,
+    // not a fault response, and an un-faulted divergence is a scenario
+    // problem the intensity axis can't map.
+    const std::size_t ni = cfg_.intensities.size();
+    const std::size_t np = cfg_.processors.size();
+    for (std::size_t si = 0; si < cfg_.scenarios.size(); ++si) {
+        for (std::size_t fi = 0; fi < cfg_.faults.size(); ++fi) {
+            for (std::size_t pi = 0; pi < np; ++pi) {
+                FaultBoundary b;
+                b.scenario_index = si;
+                b.fault_index = fi;
+                b.processor_index = pi;
+                double lowest_miss = -1.0;
+                double lowest_clean_detect = -1.0;
+                double highest_clean_detect = -1.0;
+                for (std::size_t ii = 0; ii < ni; ++ii) {
+                    if (cfg_.intensities[ii] <= 0.0) continue;
+                    const double intensity = cfg_.intensities[ii];
+                    const std::size_t idx =
+                        ((si * cfg_.faults.size() + fi) * ni + ii) * np + pi;
+                    const auto& o = report.cells[idx].outcomes;
+                    if (o.detections > 0 &&
+                        b.lowest_detected_intensity < 0.0) {
+                        b.lowest_detected_intensity = intensity;
+                    }
+                    if (o.misses > 0) {
+                        b.highest_missed_intensity = intensity;
+                        if (lowest_miss < 0.0) lowest_miss = intensity;
+                    }
+                    if (o.detections > 0 && o.misses == 0) {
+                        if (lowest_clean_detect < 0.0) {
+                            lowest_clean_detect = intensity;
+                        }
+                        highest_clean_detect = intensity;
+                    }
+                }
+                // Demonstrated boundary: a miss-regime cell and a
+                // clean-detection cell at different intensities in the
+                // same group. The orientation records which side the
+                // blind region sits on.
+                if (lowest_miss >= 0.0 && highest_clean_detect >= 0.0) {
+                    b.boundary_demonstrated = true;
+                    b.miss_region_above =
+                        lowest_miss > highest_clean_detect;
+                }
+                report.boundaries.push_back(b);
+            }
+        }
+    }
+    return report;
+}
+
+std::string FaultCampaignReport::to_json() const {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("fault_campaign");
+    w.key("campaign").value(config.label);
+    w.key("base_seed").value(config.base_seed);
+    w.key("duration_s").value(config.duration_s);
+    w.key("seeds_per_cell").value(config.seeds_per_cell);
+    w.key("burst_frames").value(config.burst_frames);
+
+    w.key("axes").begin_object();
+    w.key("scenarios").begin_array();
+    for (const auto& s : config.scenarios) w.value(s);
+    w.end_array();
+    w.key("faults").begin_array();
+    for (const auto t : config.faults) w.value(fault_type_name(t));
+    w.end_array();
+    w.key("intensities").begin_array();
+    for (const auto i : config.intensities) w.value(i);
+    w.end_array();
+    w.key("processors").begin_array();
+    for (const auto p : config.processors) w.value(processor_name(p));
+    w.end_array();
+    w.end_object();
+
+    w.key("cells").begin_array();
+    for (const auto& c : cells) {
+        const auto& r = c.result;
+        const auto& o = c.outcomes;
+        w.begin_object();
+        w.key("scenario").value(r.scenario);
+        w.key("fault").value(fault_type_name(config.faults[c.fault_index]));
+        w.key("intensity").value(config.intensities[c.intensity_index]);
+        w.key("processor").value(processor_name(r.processor));
+        w.key("indices").begin_array();
+        w.value(c.scenario_index);
+        w.value(c.fault_index);
+        w.value(c.intensity_index);
+        w.value(c.processor_index);
+        w.end_array();
+        w.key("seeds").value(o.seeds);
+        w.key("detections").value(o.detections);
+        w.key("misses").value(o.misses);
+        w.key("false_alarms").value(o.false_alarms);
+        w.key("true_negatives").value(o.true_negatives);
+        w.key("mean_detection_latency_s").value(o.mean_detection_latency_s);
+        w.key("epochs").value(r.trace.epochs);
+        w.key("realizations").begin_array();
+        for (const auto& s : r.seeds) {
+            w.begin_object();
+            w.key("outcome").value(
+                fault_outcome_name(classify_fault_outcome(s)));
+            w.key("diverged").value(s.trace.first_divergence_s >= 0.0);
+            w.key("first_divergence_s").value(s.trace.first_divergence_s);
+            w.key("flagged").value(s.final_status.residual_flagged);
+            w.key("flag_s").value(s.final_status.residual_flag_s);
+            w.key("windowed_rate").value(s.final_status.residual_windowed_rate);
+            w.key("exceedances").value(s.final_status.residual_exceedances);
+            w.key("dmu_frames_lost").value(s.final_status.dmu_frames_lost);
+            w.key("acc_packets_lost").value(s.final_status.acc_packets_lost);
+            w.key("fault_window_s").begin_array();
+            w.value(s.trace.fault_window_start_s);
+            w.value(s.trace.fault_window_duration_s);
+            w.end_array();
+            w.key("worst_err_deg").begin_array();
+            w.value(s.trace.worst_roll_err_deg);
+            w.value(s.trace.worst_pitch_err_deg);
+            w.value(s.trace.worst_yaw_err_deg);
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("boundaries").begin_array();
+    for (const auto& b : boundaries) {
+        w.begin_object();
+        w.key("scenario").value(config.scenarios[b.scenario_index]);
+        w.key("fault").value(fault_type_name(config.faults[b.fault_index]));
+        w.key("processor").value(
+            processor_name(config.processors[b.processor_index]));
+        w.key("lowest_detected_intensity")
+            .value(b.lowest_detected_intensity);
+        w.key("highest_missed_intensity").value(b.highest_missed_intensity);
+        w.key("boundary_demonstrated").value(b.boundary_demonstrated);
+        w.key("miss_region_above").value(b.miss_region_above);
+        w.end_object();
+    }
+    w.end_array();
+
+    std::size_t demonstrated = 0;
+    for (const auto& b : boundaries) {
+        if (b.boundary_demonstrated) ++demonstrated;
+    }
+    w.key("summary").begin_object();
+    w.key("cells").value(cells.size());
+    w.key("realizations").value(cells.size() * config.seeds_per_cell);
+    w.key("detections").value(detections);
+    w.key("misses").value(misses);
+    w.key("false_alarms").value(false_alarms);
+    w.key("true_negatives").value(true_negatives);
+    w.key("boundaries_demonstrated").value(demonstrated);
+    w.end_object();
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace ob::system

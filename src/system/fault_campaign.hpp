@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/fleet.hpp"
+
+namespace ob::system {
+
+/// Declarative fault-injection sweep: the campaign expands
+/// {scenario × fault type × intensity × processor} into one FleetJob per
+/// cell (each carrying `seeds_per_cell` Monte Carlo realizations) and
+/// scores, per realization, whether the estimate diverged from the trace
+/// truth and whether the always-on ResidualMonitor flagged it. Include
+/// intensity 0.0 to get control cells that are bitwise the un-faulted
+/// fleet runs.
+struct FaultCampaignConfig {
+    std::string label = "fault-campaign";
+    std::vector<std::string> scenarios;  ///< ScenarioLibrary names
+    std::vector<FaultType> faults;
+    /// Severity axis, strictly increasing, each in [0, 1] (the strict
+    /// order keeps detection-boundary scans over the axis meaningful).
+    std::vector<double> intensities;
+    std::vector<BoresightSystem::Processor> processors = {
+        BoresightSystem::Processor::kNative,
+        BoresightSystem::Processor::kSabre};
+    /// Monte Carlo realizations per cell; fault draws differ per
+    /// realization (fleet_sub_seed over the fault stream).
+    std::uint64_t seeds_per_cell = 1;
+    std::uint64_t base_seed = 2026;
+    double duration_s = 0.0;       ///< per-job duration override; 0 => spec
+    std::size_t burst_frames = 8;  ///< burst length for kCanBurstLoss cells
+
+    /// Throws std::invalid_argument naming the first bad axis: empty
+    /// label/scenario/fault/intensity/processor axis, unknown scenario,
+    /// duplicate fault type, an intensity outside [0, 1] or not strictly
+    /// increasing, a zero/overflowing seed count, a negative duration, a
+    /// zero burst length — plus everything FleetJob::validate rejects.
+    void validate() const;
+};
+
+/// How one realization ended, crossing ground truth (did the estimate
+/// leave the envelope?) with the detector (did the monitor latch?).
+enum class FaultOutcome {
+    kDetection,     ///< diverged and flagged
+    kMiss,          ///< diverged, never flagged — the dangerous quadrant
+    kFalseAlarm,    ///< flagged without divergence
+    kTrueNegative,  ///< neither
+};
+
+[[nodiscard]] FaultOutcome classify_fault_outcome(const FleetSeedResult& s);
+[[nodiscard]] const char* fault_outcome_name(FaultOutcome o);
+
+/// Outcome tally of one cell's seed ensemble, accumulated in seed-index
+/// order so every number is scheduling-independent.
+struct FaultCellOutcomes {
+    std::size_t seeds = 0;
+    std::size_t detections = 0;
+    std::size_t misses = 0;
+    std::size_t false_alarms = 0;
+    std::size_t true_negatives = 0;
+    /// Mean (flag time - divergence time) over the detections, seconds;
+    /// 0 when the cell has no detection.
+    double mean_detection_latency_s = 0.0;
+};
+
+/// One completed grid cell: its axis indices, the full fleet result and
+/// the outcome tally.
+struct FaultCampaignCell {
+    std::size_t scenario_index = 0;
+    std::size_t fault_index = 0;
+    std::size_t intensity_index = 0;
+    std::size_t processor_index = 0;
+    FleetResult result;
+    FaultCellOutcomes outcomes;
+};
+
+/// Detection boundary of one {scenario × fault × processor} group, scanned
+/// over the (strictly increasing) intensity axis. The scan is
+/// orientation-agnostic: residual-exciting faults (stuck sensors) miss at
+/// LOW intensity when anything misses at all, while starvation faults
+/// (heavy corruption) invert — moderate intensity excites residuals and
+/// is detected, but past a point the link starves, the monitor loses its
+/// sample feed and the divergence goes silent. Both edges are real
+/// boundaries of the monitor's coverage.
+struct FaultBoundary {
+    std::size_t scenario_index = 0;
+    std::size_t fault_index = 0;
+    std::size_t processor_index = 0;
+    /// Lowest positive intensity with at least one detection; -1 if none.
+    double lowest_detected_intensity = -1.0;
+    /// Highest positive intensity with at least one missed divergence;
+    /// -1 if none.
+    double highest_missed_intensity = -1.0;
+    /// A measured boundary: the group holds both a missed divergence at
+    /// one intensity and a clean detection (no misses) at another — the
+    /// monitor's blind region has a mapped edge on this axis.
+    bool boundary_demonstrated = false;
+    /// True when the miss region sits above the detected region (the
+    /// starvation inversion); meaningful only when demonstrated.
+    bool miss_region_above = false;
+};
+
+/// Machine-readable campaign outcome. Every field is a deterministic
+/// function of the config — no wall-clock, no thread count — so
+/// `to_json()` is byte-identical however the batch was scheduled.
+struct FaultCampaignReport {
+    FaultCampaignConfig config;
+    std::vector<FaultCampaignCell> cells;
+    std::vector<FaultBoundary> boundaries;
+    std::size_t detections = 0;
+    std::size_t misses = 0;
+    std::size_t false_alarms = 0;
+    std::size_t true_negatives = 0;
+
+    /// Render the full report (axes, per-cell outcomes and per-seed
+    /// verdicts, boundaries, summary) via util::JsonWriter.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Campaign generator and reducer: expands the config into FleetJob
+/// batches (reusing the Plan/Trace/Realize stack — all cells of a scenario
+/// share one trace), runs them through a FleetRunner and reduces every
+/// realization to a detection/miss/false-alarm verdict.
+class FaultCampaign {
+public:
+    /// Validates the config (and every expanded job) up front.
+    explicit FaultCampaign(FaultCampaignConfig cfg);
+
+    /// The expanded batch, in deterministic grid order: scenario-major,
+    /// then fault, intensity, processor.
+    [[nodiscard]] const std::vector<FleetJob>& jobs() const { return jobs_; }
+    [[nodiscard]] std::size_t cell_count() const { return jobs_.size(); }
+
+    /// Execute the batch on the given runner and reduce the results.
+    [[nodiscard]] FaultCampaignReport run(const FleetRunner& runner) const;
+
+private:
+    FaultCampaignConfig cfg_;
+    std::vector<FleetJob> jobs_;
+    std::vector<FaultCampaignCell> shape_;  ///< axis indices per job
+};
+
+}  // namespace ob::system

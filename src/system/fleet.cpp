@@ -13,7 +13,9 @@
 
 #include "core/calibration.hpp"
 #include "sim/scenario_trace.hpp"
+#include "sim/sensor_fault.hpp"
 #include "system/experiment.hpp"
+#include "util/rng.hpp"
 
 namespace ob::system {
 
@@ -89,6 +91,7 @@ constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
     const std::uint64_t sensor_seed =
         fleet_sub_seed(job_sensor_stream(job), seed_index);
     sim::Scenario sc(trace, job_truth(job, spec), sensor_seed);
+    const sim::ScenarioEnvelope envelope = job_envelope(job, spec);
 
     const double meas_noise =
         job.meas_noise_mps2 ? *job.meas_noise_mps2 : spec.meas_noise_mps2;
@@ -104,6 +107,56 @@ constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
 
     FleetSeedResult out;
     out.sensor_seed = sensor_seed;
+
+    // Fault-injection axis. Zero intensity takes the un-faulted path
+    // wholesale — no config change, no extra draw anywhere — so control
+    // cells are bitwise the reference runs. Fault draws live on their own
+    // per-realization stream (kFleetFaultStreamSalt), never touching the
+    // instrument-noise stream the sensor realization consumes.
+    if (job.fault && job.fault->intensity > 0.0) {
+        const double intensity = job.fault->intensity;
+        const std::uint64_t fault_seed = fleet_sub_seed(
+            job_sensor_stream(job) ^ kFleetFaultStreamSalt, seed_index);
+        switch (job.fault->type) {
+            case FaultType::kUartDropout:
+                cfg.dmu_link_faults.drop_probability = intensity;
+                cfg.acc_link_faults.drop_probability = intensity;
+                cfg.link_fault_seed = fault_seed;
+                break;
+            case FaultType::kUartCorruption:
+                cfg.dmu_link_faults.bit_flip_probability = intensity;
+                cfg.acc_link_faults.bit_flip_probability = intensity;
+                cfg.link_fault_seed = fault_seed;
+                break;
+            case FaultType::kCanBurstLoss:
+                cfg.can_faults.burst_probability = intensity;
+                cfg.can_faults.burst_frames = job.fault->burst_frames;
+                cfg.can_faults.seed = fault_seed;
+                break;
+            case FaultType::kAccStuck:
+            case FaultType::kImuFrozen: {
+                // Freeze `intensity` of the run; the window starts at a
+                // fault-stream-drawn point inside the post-settle stretch
+                // so divergence is attributable to the fault, not to the
+                // filter still converging.
+                const double run_s = sc.duration();
+                sim::SensorFault fault;
+                fault.duration_s = intensity * run_s;
+                const double lo = std::min(envelope.settle_s, run_s);
+                const double hi = std::max(lo, run_s - fault.duration_s);
+                fault.start_s =
+                    lo + util::CounterRng(fault_seed, 0).u01() * (hi - lo);
+                if (job.fault->type == FaultType::kAccStuck) {
+                    sc.inject_acc_fault(fault);
+                } else {
+                    sc.inject_imu_fault(fault);
+                }
+                out.trace.fault_window_start_s = fault.start_s;
+                out.trace.fault_window_duration_s = fault.duration_s;
+                break;
+            }
+        }
+    }
 
     // §11.1 calibration phase: this realization's instruments (same
     // sensor-seed draws and error magnitudes) against the shared
@@ -126,7 +179,6 @@ constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
     }
 
     BoresightSystem sys(cfg);
-    const sim::ScenarioEnvelope envelope = job_envelope(job, spec);
 
     // The bump time tracks a shortened duration override proportionally so
     // truncated fleet runs still exercise the disturbance path.
@@ -154,15 +206,27 @@ constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
             const auto st = sys.status();
             const auto truth = sc.true_misalignment();
             ++out.trace.checked_points;
+            const double roll_err =
+                std::abs(rad2deg(st.estimate.roll - truth.roll));
+            const double pitch_err =
+                std::abs(rad2deg(st.estimate.pitch - truth.pitch));
+            const double yaw_err =
+                std::abs(rad2deg(st.estimate.yaw - truth.yaw));
             out.trace.worst_roll_err_deg =
-                std::max(out.trace.worst_roll_err_deg,
-                         std::abs(rad2deg(st.estimate.roll - truth.roll)));
+                std::max(out.trace.worst_roll_err_deg, roll_err);
             out.trace.worst_pitch_err_deg =
-                std::max(out.trace.worst_pitch_err_deg,
-                         std::abs(rad2deg(st.estimate.pitch - truth.pitch)));
+                std::max(out.trace.worst_pitch_err_deg, pitch_err);
             out.trace.worst_yaw_err_deg =
-                std::max(out.trace.worst_yaw_err_deg,
-                         std::abs(rad2deg(st.estimate.yaw - truth.yaw)));
+                std::max(out.trace.worst_yaw_err_deg, yaw_err);
+            // Divergence instant: the first checked sample whose error
+            // leaves the envelope — the truth the ResidualMonitor's flag
+            // time is scored against in fault campaigns.
+            if (out.trace.first_divergence_s < 0.0 &&
+                (roll_err > envelope.roll_deg ||
+                 pitch_err > envelope.pitch_deg ||
+                 (envelope.check_yaw && yaw_err > envelope.yaw_deg))) {
+                out.trace.first_divergence_s = t;
+            }
         }
         // Bump after the epoch is consumed and scored: no sample generated
         // under the old alignment is ever judged against the new truth.
@@ -278,6 +342,33 @@ const char* processor_name(BoresightSystem::Processor p) {
     return p == BoresightSystem::Processor::kNative ? "native" : "sabre";
 }
 
+const char* fault_type_name(FaultType t) {
+    switch (t) {
+        case FaultType::kUartDropout:
+            return "uart-dropout";
+        case FaultType::kUartCorruption:
+            return "uart-corruption";
+        case FaultType::kCanBurstLoss:
+            return "can-burst-loss";
+        case FaultType::kAccStuck:
+            return "acc-stuck";
+        case FaultType::kImuFrozen:
+            return "imu-frozen";
+    }
+    return "unknown";
+}
+
+void FleetFault::validate() const {
+    if (!(intensity >= 0.0 && intensity <= 1.0)) {
+        throw std::invalid_argument(
+            "FleetFault: intensity must be in [0, 1]");
+    }
+    if (burst_frames == 0) {
+        throw std::invalid_argument(
+            "FleetFault: burst length must be at least one frame");
+    }
+}
+
 void FleetCalibration::validate() const {
     if (!(duration_s > 0.0)) {
         throw std::invalid_argument(
@@ -321,6 +412,7 @@ void FleetJob::validate() const {
         throw std::invalid_argument(
             "FleetJob: measurement-noise override must be positive");
     }
+    if (fault) fault->validate();
     if (seeds_per_job == 0) {
         throw std::invalid_argument(
             "FleetJob: seeds_per_job must be at least 1");

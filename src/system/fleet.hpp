@@ -31,6 +31,43 @@ inline constexpr std::uint64_t kFleetMaxSeedsPerJob = 1ull << 32;
 [[nodiscard]] std::uint64_t fleet_sub_seed(std::uint64_t sensor_seed,
                                            std::uint64_t index);
 
+/// Salt separating a realization's fault-draw stream from its
+/// instrument-noise stream: the fault seed is
+/// fleet_sub_seed(sensor_stream ^ salt, index), so arming a fault draws
+/// nothing from the instrument stream (samples stay bitwise identical)
+/// and each Monte Carlo realization faults differently.
+inline constexpr std::uint64_t kFleetFaultStreamSalt = 0xFA17517EC7EDull;
+
+/// Fault taxonomy of the injection campaigns: which first-class hook a
+/// FleetFault drives.
+enum class FaultType {
+    kUartDropout,     ///< per-byte loss on both serial links
+    kUartCorruption,  ///< per-byte bit flips on both serial links
+    kCanBurstLoss,    ///< bursty frame erasure on the DMU CAN bus
+    kAccStuck,        ///< ACC duty-cycle outputs frozen at last value
+    kImuFrozen,       ///< DMU accel/gyro registers frozen at last value
+};
+
+[[nodiscard]] const char* fault_type_name(FaultType t);
+
+/// Fault axis of a fleet job. Intensity is a single [0, 1] severity knob
+/// whose meaning follows the type: the per-byte probability for link
+/// faults, the per-frame burst-start probability for CAN burst loss, and
+/// the frozen fraction of the run for stuck-sensor faults (the window's
+/// start is drawn from the fault stream, inside the post-settle stretch).
+/// Intensity 0 bypasses the fault machinery entirely — the realization is
+/// bitwise the un-faulted run, which is what makes zero-intensity campaign
+/// cells exact controls.
+struct FleetFault {
+    FaultType type = FaultType::kUartDropout;
+    double intensity = 0.0;
+    std::size_t burst_frames = 8;  ///< burst length for kCanBurstLoss
+
+    /// Throws std::invalid_argument on an intensity outside [0, 1] or a
+    /// zero burst length.
+    void validate() const;
+};
+
 /// The paper's §11.1 pre-run procedure as a fleet phase: before the
 /// scenario starts, the job's instruments (same sensor-seed realization)
 /// sit on a level platform for `duration_s` of static epochs, a
@@ -74,6 +111,12 @@ struct FleetJob {
     /// via fleet_sub_seed. 1 (the default) is bitwise the pre-seed-axis
     /// behavior.
     std::uint64_t seeds_per_job = 1;
+    /// Fault-injection axis: when set with a positive intensity, the
+    /// realization runs with the fault armed, its draws on a dedicated
+    /// per-realization stream (kFleetFaultStreamSalt) independent of the
+    /// instrument-noise stream. Absent or zero-intensity is bitwise the
+    /// un-faulted run.
+    std::optional<FleetFault> fault{};
 
     /// Throws std::invalid_argument on an empty/unknown scenario, a
     /// negative duration override, a misalignment override outside the
@@ -95,6 +138,14 @@ struct FleetTraceSummary {
     double worst_pitch_err_deg = 0.0;
     double worst_yaw_err_deg = 0.0;
     std::size_t checked_points = 0;  ///< samples inside the windows
+    /// First checked-window time the estimate left the envelope (the
+    /// ground-truth divergence instant fault campaigns compare the
+    /// ResidualMonitor's flag against); -1 when it never did.
+    double first_divergence_s = -1.0;
+    /// Start/length of the stuck-sensor window realized for this seed
+    /// (zero length for other fault types and un-faulted runs).
+    double fault_window_start_s = 0.0;
+    double fault_window_duration_s = 0.0;
 };
 
 /// One Monte Carlo realization of a job — the Realize layer's unit of

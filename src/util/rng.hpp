@@ -59,4 +59,45 @@ private:
     std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };
 
+/// Stateless counter-keyed generator: a splitmix64 stream addressed by
+/// (seed, index). Unlike `Rng`, whose position depends on every draw made
+/// before, a `CounterRng` stream is a pure function of its address — draw
+/// k for index n is the same value whether or not any other index was
+/// ever sampled. Fault-injection paths key one stream per wire unit (byte,
+/// frame) so that toggling a fault type mid-run cannot shift the draws any
+/// other unit sees.
+class CounterRng {
+public:
+    CounterRng(std::uint64_t seed, std::uint64_t index) {
+        // Avalanche the counter before folding it into the seed: without
+        // it, neighboring indices would start at offset positions of one
+        // shared splitmix sequence (state = seed + index·γ), correlating
+        // draw k of index n with draw k-1 of index n+1.
+        std::uint64_t h = index + 0x9E3779B97F4A7C15ull;
+        h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+        h ^= h >> 31;
+        state_ = seed ^ h;
+    }
+
+    /// Next raw 64-bit word of the stream (splitmix64 step).
+    [[nodiscard]] std::uint64_t bits64() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform double in [0, 1) with 53 random bits.
+    [[nodiscard]] double u01() {
+        return static_cast<double>(bits64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with probability `p` of returning true.
+    [[nodiscard]] bool chance(double p) { return u01() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
 }  // namespace ob::util

@@ -1,19 +1,31 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "comm/bridge.hpp"
 #include "comm/can.hpp"
 #include "comm/codec.hpp"
 #include "comm/slip.hpp"
+#include "comm/uart.hpp"
+#include "sim/scenario.hpp"
+#include "sim/scenario_library.hpp"
+#include "util/alloc_counter.hpp"
 #include "util/rng.hpp"
 
 // Fuzz-style round-trip properties for the byte-level protocols. All
 // randomness comes from the project Rng with fixed seeds, so every "fuzz"
 // case is a deterministic regression: encode(decode) identity for random
 // payloads, and corrupted-byte injection that must be rejected — and must
-// never crash or wedge the decoder.
+// never crash or wedge the decoder. The fault-campaign injection paths
+// (CAN burst loss, stuck sensors, serial corruption) get the same
+// treatment: accounting stays consistent, surviving traffic stays intact,
+// and the receive chain never touches the heap in steady state.
+
+OB_DEFINE_COUNTING_OPERATOR_NEW
 
 namespace {
 
@@ -281,6 +293,252 @@ TEST(AdxlFuzz, PlausibilityFilterCatchesWildTimings) {
     AdxlTiming stretched = comm::adxl_encode(0.0, 0.0, 0, cfg);
     stretched.t2 *= 3;  // PWM period far off nominal
     EXPECT_FALSE(comm::adxl_plausible(stretched, cfg));
+}
+
+// --- CAN burst loss ----------------------------------------------------------
+
+/// Unique-id frame carrying its own index in data[0..1], so a delivery can
+/// be matched back to the send regardless of what the bus did in between.
+CanFrame indexed_frame(util::Rng& rng, std::uint16_t index) {
+    CanFrame f;
+    f.id = index;  // unique id: arbitration order is deterministic
+    f.dlc = 8;
+    f.data[0] = static_cast<std::uint8_t>(index >> 8);
+    f.data[1] = static_cast<std::uint8_t>(index & 0xFF);
+    for (std::size_t i = 2; i < 8; ++i)
+        f.data[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    return f;
+}
+
+std::uint16_t frame_index(const CanFrame& f) {
+    return static_cast<std::uint16_t>((f.data[0] << 8) | f.data[1]);
+}
+
+TEST(CanBurstLossFuzz, LossAccountingAndDeliveredIntegrity) {
+    // Across the whole intensity range: every sent frame is either
+    // delivered bit-exact or counted in frames_lost(), never both, never
+    // neither — and burst loss erases, it does not corrupt or reorder.
+    for (const double p : {0.0, 0.01, 0.08, 1.0}) {
+        util::Rng rng(0xB0057);
+        comm::CanBus bus(500000.0,
+                         comm::CanFaults{.burst_probability = p,
+                                         .burst_frames = 4,
+                                         .seed = 0xB0057});
+        std::vector<CanFrame> sent;
+        std::vector<CanFrame> delivered;
+        bus.on_delivery([&](const CanFrame& f, double) {
+            delivered.push_back(f);
+        });
+        for (std::uint16_t i = 0; i < 400; ++i) {
+            sent.push_back(indexed_frame(rng, i));
+            bus.send(sent.back(), i * 1e-3);
+        }
+        bus.advance_to(1.0);
+
+        EXPECT_EQ(delivered.size() + bus.frames_lost(), sent.size())
+            << "p=" << p;
+        if (p == 0.0) {
+            EXPECT_EQ(bus.frames_lost(), 0u);
+        }
+        if (p == 1.0) {
+            EXPECT_TRUE(delivered.empty());
+        }
+        std::uint32_t prev = 0;
+        bool first = true;
+        for (const auto& f : delivered) {
+            const auto idx = frame_index(f);
+            ASSERT_LT(idx, sent.size());
+            EXPECT_EQ(f, sent[idx]) << "delivered frame corrupted, p=" << p;
+            if (!first) {
+                EXPECT_GT(idx, prev) << "reordered, p=" << p;
+            }
+            prev = idx;
+            first = false;
+        }
+    }
+}
+
+TEST(CanBurstLossFuzz, LostFramesStillOccupyTheWire) {
+    // Fault-model contract: an erased frame consumes its full transmission
+    // time (a real bus still carries the error frames), so every surviving
+    // frame is delivered at exactly the clean bus's timestamp even under
+    // queueing pressure.
+    util::Rng rng(0x0CCC);
+    comm::CanBus clean;
+    comm::CanBus faulted(500000.0,
+                         comm::CanFaults{.burst_probability = 0.1,
+                                         .burst_frames = 3,
+                                         .seed = 0x0CCC});
+    std::vector<double> clean_t(300, -1.0);
+    clean.on_delivery([&](const CanFrame& f, double t) {
+        clean_t[frame_index(f)] = t;
+    });
+    std::size_t survivors = 0;
+    faulted.on_delivery([&](const CanFrame& f, double t) {
+        ++survivors;
+        EXPECT_DOUBLE_EQ(t, clean_t[frame_index(f)])
+            << "frame " << frame_index(f);
+    });
+    // Bursts of contending frames so the queue is rarely empty.
+    double t = 0.0;
+    std::uint16_t index = 0;
+    while (index < 300) {
+        const int n = static_cast<int>(rng.uniform_int(1, 8));
+        for (int i = 0; i < n && index < 300; ++i) {
+            const auto f = indexed_frame(rng, index++);
+            clean.send(f, t);
+            faulted.send(f, t);
+        }
+        t += rng.uniform(0.0, 0.001);
+    }
+    clean.advance_to(10.0);
+    faulted.advance_to(10.0);
+    ASSERT_GT(survivors, 0u);
+    ASSERT_GT(faulted.frames_lost(), 0u);
+}
+
+// --- stuck / frozen sensors --------------------------------------------------
+
+TEST(StuckSensorFuzz, FrozenSensorsStayWireValid) {
+    // A stuck fault freezes analog registers, not the digital back end:
+    // every packet emitted during the frozen window must still be a fully
+    // valid wire packet — CRC-clean CAN frames, in-sequence ADXL packets,
+    // plausible timings — or the fault would be trivially detectable at
+    // the transport layer instead of the fusion layer.
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 7);
+    sim::Scenario sc(spec.build(12.0, spec.misalignment, seed), seed);
+    const sim::SensorFault fault{.start_s = 3.0, .duration_s = 4.0};
+    sc.inject_imu_fault(fault);
+    sc.inject_acc_fault(fault);
+
+    comm::DmuCodec dmu_codec;
+    comm::AdxlDeserializer adxl_des;
+    const comm::AdxlConfig cfg;
+    double t = 0.0;
+    DmuSample d;
+    AdxlTiming a;
+    std::size_t frozen = 0, total = 0;
+    while (sc.next_wire(t, d, a)) {
+        ++total;
+        if (fault.active(t)) ++frozen;
+        // DMU: both halves encode as valid frames and round-trip through
+        // one long-lived decoder (seq continuity across the freeze).
+        const auto [gyro, accel] = comm::DmuCodec::encode(d);
+        ASSERT_TRUE(gyro.valid());
+        ASSERT_TRUE(accel.valid());
+        ASSERT_FALSE(dmu_codec.feed(gyro, t).has_value());
+        const auto rt = dmu_codec.feed(accel, t);
+        ASSERT_TRUE(rt.has_value()) << "t=" << t;
+        EXPECT_EQ(*rt, d) << "t=" << t;
+        // ADXL: serial round trip plus the plausibility screen a corrupted
+        // (as opposed to frozen) packet would fail.
+        std::optional<AdxlTiming> out;
+        for (const auto b : comm::adxl_serialize(a)) {
+            if (auto v = adxl_des.feed(b, t)) out = *v;
+        }
+        ASSERT_TRUE(out.has_value()) << "t=" << t;
+        EXPECT_TRUE(*out == a) << "t=" << t;
+        EXPECT_TRUE(comm::adxl_plausible(a, cfg)) << "t=" << t;
+    }
+    EXPECT_EQ(dmu_codec.bad_checksum(), 0u);
+    EXPECT_EQ(dmu_codec.seq_mismatches(), 0u);
+    EXPECT_EQ(adxl_des.bad_checksum(), 0u);
+    EXPECT_EQ(adxl_des.resyncs(), 0u);
+    ASSERT_GT(frozen, 0u);
+    ASSERT_GT(total, frozen);
+}
+
+// --- corruption vs the heap --------------------------------------------------
+
+TEST(CorruptionFuzz, ReceiveChainSteadyStateNeverAllocates) {
+    // The campaign's corruption faults hammer the deframer with dropped,
+    // flipped and framing-errored bytes for minutes of simulated time. The
+    // receive chain (UART drain -> SLIP deframe -> CAN reassembly -> DMU
+    // decode, plus the ADXL deserializer) must stay allocation-free once
+    // warm, no matter what the corrupted stream looks like — merged
+    // frames, poisoned frames, truncated packets included.
+    util::Rng rng(0xA110C);
+    comm::UartLink link(115200.0,
+                        comm::UartFaults{.drop_probability = 0.02,
+                                         .bit_flip_probability = 0.05,
+                                         .framing_error_probability = 0.02},
+                        /*fault_seed=*/99);
+    comm::CanSerialBridge bridge(link);
+    comm::CanSerialDeframer deframer;
+    comm::DmuCodec dmu_codec;
+    comm::AdxlDeserializer adxl_des;
+    std::array<std::uint8_t, comm::kAdxlPacketSize> adxl_buf{};
+    const comm::AdxlConfig cfg_;
+
+    std::size_t frames_out = 0, samples_out = 0, adxl_out = 0;
+    const auto pump = [&](int iters, double t0) {
+        double t = t0;
+        for (int i = 0; i < iters; ++i) {
+            // DMU leg: two CAN frames per epoch through bridge + UART.
+            const auto [gyro, accel] = comm::DmuCodec::encode(
+                random_dmu(rng));
+            bridge.forward(gyro, t);
+            bridge.forward(accel, t);
+            link.drain_until(t + 0.01, [&](const comm::UartByte& b) {
+                if (const auto f = deframer.feed(b)) {
+                    ++frames_out;
+                    if (dmu_codec.feed(*f, b.t)) ++samples_out;
+                }
+            });
+            // ADXL leg: corrupt one byte of every third packet in place.
+            const auto timing = comm::adxl_encode(
+                rng.uniform(-15.0, 15.0), rng.uniform(-15.0, 15.0),
+                static_cast<std::uint8_t>(i & 0xFF), cfg_);
+            comm::adxl_serialize_into(timing, adxl_buf);
+            if (i % 3 == 0) {
+                const auto pos = static_cast<std::size_t>(
+                    rng.uniform_int(0, comm::kAdxlPacketSize - 1));
+                adxl_buf[pos] ^=
+                    static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+            }
+            for (const auto b : adxl_buf) {
+                if (adxl_des.feed(b, t)) ++adxl_out;
+            }
+            t += 0.01;
+        }
+    };
+
+    // Warm-up: ring buffers and SLIP scratch reach their high-water sizes.
+    // Corruption can glue an arbitrary run of frames into one giant SLIP
+    // frame (every END delimiter in the run flipped), so the decoder's
+    // scratch is pre-grown with one worst-case frame far beyond any
+    // realistic merge instead of hoping the warm-up traffic hits one.
+    {
+        const std::vector<std::uint8_t> big(2048, 0x55);
+        for (const auto b : comm::slip::encode(big)) {
+            (void)deframer.feed(comm::UartByte{.value = b, .t = 0.0});
+        }
+        // Likewise the send side: an all-delimiter payload is the worst
+        // SLIP expansion a CAN frame can suffer, and 64 back-to-back bytes
+        // exceed any two-frame epoch's peak UART occupancy.
+        CanFrame worst;
+        worst.id = 0x1C0;
+        worst.dlc = 8;
+        worst.data.fill(comm::slip::kEnd);
+        bridge.forward(worst, 0.0);
+        for (int i = 0; i < 64; ++i) link.send(comm::slip::kEsc, 0.0);
+        link.drain_until(1.0, [&](const comm::UartByte& b) {
+            (void)deframer.feed(b);
+        });
+    }
+    pump(400, 0.0);
+    const std::uint64_t before = ob::util::alloc_count();
+    pump(1000, 100.0);
+    EXPECT_EQ(ob::util::alloc_count() - before, 0u)
+        << "corrupted-stream receive chain touched the heap";
+    // The chain still does its job while being starved/corrupted.
+    EXPECT_GT(frames_out, 0u);
+    EXPECT_GT(samples_out, 0u);
+    EXPECT_GT(adxl_out, 0u);
+    EXPECT_GT(link.bytes_corrupted(), 0u);
+    EXPECT_GT(link.bytes_dropped(), 0u);
+    EXPECT_GT(deframer.malformed(), 0u);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -405,6 +407,150 @@ TEST(ChainHotPath, DrainChainMatchesReceiveChainUnderFaults) {
     ASSERT_FALSE(a.empty());
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// --- Mid-stream fault toggles -------------------------------------------------
+
+/// The fault campaigns arm faults on links that have already carried clean
+/// traffic. Draws are keyed on (fault_seed, byte index) and the zero-fault
+/// fast path still advances the index, so a link toggled mid-stream must
+/// give every post-toggle byte exactly the fate a link faulted from byte 0
+/// gives it — values, timestamps, framing flags and loss counters alike.
+TEST(UartFaultToggle, MidStreamEnableMatchesConstructedFaultedLink) {
+    UartFaults faults;
+    faults.drop_probability = 0.05;
+    faults.bit_flip_probability = 0.05;
+    faults.framing_error_probability = 0.05;
+    constexpr std::uint64_t kSeed = 42;
+    UartLink from_start(115200.0, faults, kSeed);
+    UartLink toggled(115200.0, {}, kSeed);  // clean fast path first
+
+    Rng sched(7);
+    double t = 0.0;
+    const auto send_burst = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            const auto byte =
+                static_cast<std::uint8_t>(sched.uniform_int(0, 255));
+            from_start.send(byte, t);
+            toggled.send(byte, t);
+        }
+        t += sched.uniform(0.001, 0.05);
+    };
+
+    // Phase 1: both links carry the same pre-toggle traffic (and consume
+    // the same line time — dropped bytes still occupy the wire).
+    for (int burst = 0; burst < 20; ++burst) send_burst(
+        static_cast<int>(sched.uniform_int(1, 30)));
+    from_start.drain_until(1e9, [](const UartByte&) {});
+    toggled.drain_until(1e9, [](const UartByte&) {});
+    ASSERT_EQ(toggled.bytes_dropped(), 0u);
+    ASSERT_EQ(toggled.bytes_corrupted(), 0u);
+    const std::size_t dropped_before = from_start.bytes_dropped();
+    const std::size_t corrupted_before = from_start.bytes_corrupted();
+
+    // Phase 2: arm the faults mid-stream and compare byte for byte.
+    toggled.set_faults(faults);
+    std::vector<UartByte> via_start, via_toggle;
+    for (int burst = 0; burst < 40; ++burst) {
+        send_burst(static_cast<int>(sched.uniform_int(1, 30)));
+        from_start.drain_until(t, [&](const UartByte& b) {
+            via_start.push_back(b);
+        });
+        toggled.drain_until(t, [&](const UartByte& b) {
+            via_toggle.push_back(b);
+        });
+    }
+    from_start.drain_until(1e9, [&](const UartByte& b) {
+        via_start.push_back(b);
+    });
+    toggled.drain_until(1e9, [&](const UartByte& b) {
+        via_toggle.push_back(b);
+    });
+
+    ASSERT_EQ(via_start.size(), via_toggle.size());
+    for (std::size_t i = 0; i < via_start.size(); ++i) {
+        EXPECT_EQ(via_start[i].value, via_toggle[i].value) << "byte " << i;
+        EXPECT_DOUBLE_EQ(via_start[i].t, via_toggle[i].t) << "byte " << i;
+        EXPECT_EQ(via_start[i].framing_error, via_toggle[i].framing_error)
+            << "byte " << i;
+    }
+    EXPECT_EQ(toggled.bytes_dropped(),
+              from_start.bytes_dropped() - dropped_before);
+    EXPECT_EQ(toggled.bytes_corrupted(),
+              from_start.bytes_corrupted() - corrupted_before);
+    // The faults actually bit in phase 2 — the equality above is not
+    // vacuous.
+    ASSERT_GT(toggled.bytes_dropped(), 0u);
+    ASSERT_GT(toggled.bytes_corrupted(), 0u);
+}
+
+/// CAN analogue: burst-loss draws are keyed on (seed, frame index) and the
+/// index counts every sent frame, so past any point no burst straddles,
+/// frame fates after a mid-run toggle match a bus faulted from frame 0.
+TEST(CanFaultToggle, MidRunEnableMatchesConstructedFaultedBus) {
+    const CanFaults faults{.burst_probability = 0.08,
+                           .burst_frames = 3,
+                           .seed = 0xC4A};
+    constexpr std::uint16_t kFrames = 300;
+    Rng rng(0x70661E);
+    std::vector<CanFrame> frames;
+    std::vector<double> times;
+    double t = 0.0;
+    for (std::uint16_t i = 0; i < kFrames; ++i) {
+        CanFrame f;
+        f.id = i;
+        f.dlc = 8;
+        f.data[0] = static_cast<std::uint8_t>(i >> 8);
+        f.data[1] = static_cast<std::uint8_t>(i & 0xFF);
+        for (std::size_t k = 2; k < 8; ++k)
+            f.data[k] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        frames.push_back(f);
+        times.push_back(t);
+        t += rng.uniform(0.0, 0.001);
+    }
+    const auto index_of = [](const CanFrame& f) {
+        return static_cast<std::size_t>((f.data[0] << 8) | f.data[1]);
+    };
+
+    // Reference: faulted from frame 0. Record each frame's fate and time.
+    CanBus from_start(500000.0, faults);
+    std::vector<double> fate(kFrames, -1.0);  // delivery time, -1 = lost
+    from_start.on_delivery(
+        [&](const CanFrame& f, double td) { fate[index_of(f)] = td; });
+    for (std::uint16_t i = 0; i < kFrames; ++i)
+        from_start.send(frames[i], times[i]);
+    from_start.advance_to(10.0);
+    ASSERT_GT(from_start.frames_lost(), 0u);
+
+    // Toggle at a point no loss burst straddles: both frames right before
+    // it were delivered, so any burst covering the toggle frame would have
+    // to start there — a draw both buses share.
+    std::size_t toggle = kFrames / 2;
+    while (toggle < kFrames && (fate[toggle - 1] < 0 || fate[toggle - 2] < 0))
+        ++toggle;
+    ASSERT_LT(toggle, static_cast<std::size_t>(kFrames));
+
+    CanBus toggled;  // clean until the toggle
+    std::vector<double> fate2(kFrames, -1.0);
+    toggled.on_delivery(
+        [&](const CanFrame& f, double td) { fate2[index_of(f)] = td; });
+    for (std::size_t i = 0; i < toggle; ++i)
+        toggled.send(frames[i], times[i]);
+    toggled.set_faults(faults);
+    for (std::size_t i = toggle; i < kFrames; ++i)
+        toggled.send(frames[i], times[i]);
+    toggled.advance_to(10.0);
+
+    EXPECT_EQ(toggled.frames_lost(),
+              from_start.frames_lost() -
+                  static_cast<std::size_t>(std::count(
+                      fate.begin(), fate.begin() + toggle, -1.0)));
+    for (std::size_t i = toggle; i < kFrames; ++i) {
+        EXPECT_EQ(fate2[i] < 0, fate[i] < 0) << "frame " << i;
+        if (fate[i] >= 0) {
+            EXPECT_DOUBLE_EQ(fate2[i], fate[i]) << "frame " << i;
+        }
+    }
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// FaultCampaign contract tests: config validation, grid expansion order,
+// outcome classification, the determinism guarantees the campaign report
+// rides on (byte-identical at any thread count; zero-intensity cells
+// bitwise equal to un-faulted fleet runs) and the independence of the
+// fault-draw stream from the instrument-noise stream.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scenario_library.hpp"
+#include "system/fault_campaign.hpp"
+#include "system/fleet.hpp"
+
+namespace {
+
+using namespace ob;
+using system::FaultCampaign;
+using system::FaultCampaignConfig;
+using system::FaultOutcome;
+using system::FaultType;
+using system::FleetJob;
+using system::FleetRunner;
+using system::FleetSeedResult;
+using Processor = system::BoresightSystem::Processor;
+
+/// Smallest meaningful campaign: one scenario past its envelope settle,
+/// native only, a starvation fault and a stuck fault, one zero-intensity
+/// control rung. Everything below keys off this grid.
+FaultCampaignConfig small_config() {
+    FaultCampaignConfig cfg;
+    cfg.scenarios = {"static-level"};
+    cfg.faults = {FaultType::kUartDropout, FaultType::kAccStuck};
+    cfg.intensities = {0.0, 0.3};
+    cfg.processors = {Processor::kNative};
+    cfg.seeds_per_cell = 2;
+    cfg.duration_s = 130.0;  // static-level settles at 120 s
+    return cfg;
+}
+
+// --- validation --------------------------------------------------------------
+
+TEST(FaultCampaignConfig, RejectsBadAxes) {
+    const auto expect_throw = [](auto&& mutate) {
+        auto cfg = small_config();
+        mutate(cfg);
+        EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    };
+    expect_throw([](auto& c) { c.label.clear(); });
+    expect_throw([](auto& c) { c.scenarios.clear(); });
+    expect_throw([](auto& c) { c.scenarios = {"no-such-scenario"}; });
+    expect_throw([](auto& c) { c.faults.clear(); });
+    expect_throw([](auto& c) {
+        c.faults = {FaultType::kAccStuck, FaultType::kAccStuck};
+    });
+    expect_throw([](auto& c) { c.intensities.clear(); });
+    expect_throw([](auto& c) { c.intensities = {0.0, 1.5}; });
+    expect_throw([](auto& c) { c.intensities = {-0.1, 0.5}; });
+    expect_throw([](auto& c) { c.intensities = {0.3, 0.3}; });  // not strict
+    expect_throw([](auto& c) { c.intensities = {0.3, 0.1}; });
+    expect_throw([](auto& c) { c.processors.clear(); });
+    expect_throw([](auto& c) { c.seeds_per_cell = 0; });
+    expect_throw([](auto& c) { c.duration_s = -1.0; });
+    expect_throw([](auto& c) { c.burst_frames = 0; });
+    EXPECT_NO_THROW(small_config().validate());
+}
+
+TEST(FaultCampaign, ExpandsScenarioMajorGrid) {
+    auto cfg = small_config();
+    cfg.processors = {Processor::kNative, Processor::kSabre};
+    const FaultCampaign campaign(cfg);
+    // scenario-major, then fault, intensity, processor.
+    ASSERT_EQ(campaign.cell_count(), 1u * 2u * 2u * 2u);
+    const auto& jobs = campaign.jobs();
+    EXPECT_EQ(jobs[0].processor, Processor::kNative);
+    EXPECT_EQ(jobs[1].processor, Processor::kSabre);
+    for (const auto& job : jobs) {
+        EXPECT_EQ(job.scenario, "static-level");
+        EXPECT_FALSE(job.use_adaptive_tuner);
+        EXPECT_EQ(job.seeds_per_job, cfg.seeds_per_cell);
+        // The fault axis is always materialized, even at intensity zero.
+        ASSERT_TRUE(job.fault.has_value());
+    }
+    EXPECT_EQ(jobs[0].fault->type, FaultType::kUartDropout);
+    EXPECT_EQ(jobs[0].fault->intensity, 0.0);
+    EXPECT_EQ(jobs[2].fault->intensity, 0.3);
+    EXPECT_EQ(jobs[4].fault->type, FaultType::kAccStuck);
+}
+
+// --- outcome classification --------------------------------------------------
+
+TEST(FaultOutcomes, ClassifiesAllFourQuadrants) {
+    FleetSeedResult s;
+    s.trace.first_divergence_s = -1.0;
+    s.final_status.residual_flagged = false;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kTrueNegative);
+    s.final_status.residual_flagged = true;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kFalseAlarm);
+    s.trace.first_divergence_s = 125.0;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kDetection);
+    s.final_status.residual_flagged = false;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kMiss);
+    // Divergence at t=0 exactly still counts as diverged.
+    s.trace.first_divergence_s = 0.0;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kMiss);
+
+    EXPECT_STREQ(fault_outcome_name(FaultOutcome::kDetection), "detection");
+    EXPECT_STREQ(fault_outcome_name(FaultOutcome::kMiss), "miss");
+    EXPECT_STREQ(fault_outcome_name(FaultOutcome::kFalseAlarm),
+                 "false-alarm");
+    EXPECT_STREQ(fault_outcome_name(FaultOutcome::kTrueNegative),
+                 "true-negative");
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(FaultCampaign, ReportBytesIdenticalAcrossThreadCounts) {
+    const FaultCampaign campaign(small_config());
+    const FleetRunner serial(FleetRunner::Config{.threads = 1});
+    const FleetRunner pooled(FleetRunner::Config{.threads = 8});
+    const auto a = campaign.run(serial).to_json();
+    const auto b = campaign.run(pooled).to_json();
+    EXPECT_EQ(a, b) << "campaign report must not depend on scheduling";
+}
+
+TEST(FaultCampaign, ZeroIntensityCellsMatchUnfaultedFleetRuns) {
+    const auto cfg = small_config();
+    const FaultCampaign campaign(cfg);
+    const FleetRunner runner(FleetRunner::Config{.threads = 2});
+    const auto report = campaign.run(runner);
+
+    for (const auto& cell : report.cells) {
+        if (cfg.intensities[cell.intensity_index] > 0.0) continue;
+        // The exact same job with the fault axis absent entirely.
+        FleetJob job;
+        job.scenario = cfg.scenarios[cell.scenario_index];
+        job.processor = cfg.processors[cell.processor_index];
+        job.base_seed = cfg.base_seed;
+        job.duration_s = cfg.duration_s;
+        job.seeds_per_job = cfg.seeds_per_cell;
+        const auto plain = system::run_fleet_job(job);
+
+        const auto& faulted = cell.result;
+        ASSERT_EQ(faulted.seeds.size(), plain.seeds.size());
+        for (std::size_t i = 0; i < plain.seeds.size(); ++i) {
+            const auto& f = faulted.seeds[i];
+            const auto& p = plain.seeds[i];
+            EXPECT_EQ(f.sensor_seed, p.sensor_seed);
+            // Bitwise equality: a zero-intensity cell must be the
+            // un-faulted run, not merely close to it.
+            EXPECT_EQ(f.result.estimate.roll, p.result.estimate.roll);
+            EXPECT_EQ(f.result.estimate.pitch, p.result.estimate.pitch);
+            EXPECT_EQ(f.result.estimate.yaw, p.result.estimate.yaw);
+            EXPECT_EQ(f.result.residual_rms, p.result.residual_rms);
+            EXPECT_EQ(f.trace.epochs, p.trace.epochs);
+            EXPECT_EQ(f.trace.worst_roll_err_deg, p.trace.worst_roll_err_deg);
+            EXPECT_EQ(f.trace.worst_pitch_err_deg,
+                      p.trace.worst_pitch_err_deg);
+            EXPECT_EQ(f.trace.first_divergence_s, p.trace.first_divergence_s);
+            EXPECT_EQ(f.trace.fault_window_duration_s, 0.0);
+            EXPECT_EQ(f.final_status.updates, p.final_status.updates);
+            EXPECT_EQ(f.final_status.dmu_frames_lost,
+                      p.final_status.dmu_frames_lost);
+            EXPECT_EQ(f.final_status.acc_packets_lost,
+                      p.final_status.acc_packets_lost);
+            EXPECT_EQ(f.final_status.residual_flagged,
+                      p.final_status.residual_flagged);
+            EXPECT_EQ(f.final_status.residual_exceedances,
+                      p.final_status.residual_exceedances);
+            EXPECT_EQ(f.within_envelope, p.within_envelope);
+        }
+    }
+}
+
+// --- fault-stream independence ----------------------------------------------
+
+/// Arming a stuck-sensor fault must not consume instrument-noise draws:
+/// the faulted realization's samples are bitwise identical outside the
+/// frozen window, including AFTER it ends (the model keeps drawing during
+/// the freeze; only the analog registers are held).
+TEST(FaultStream, StuckFaultLeavesInstrumentStreamUntouched) {
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 2026);
+    sim::Scenario plain(spec.build(20.0, spec.misalignment, seed), seed);
+    sim::Scenario faulted(spec.build(20.0, spec.misalignment, seed), seed);
+    const sim::SensorFault fault{.start_s = 5.0, .duration_s = 3.0};
+    faulted.inject_imu_fault(fault);
+    faulted.inject_acc_fault(fault);
+
+    double tp = 0.0, tf = 0.0;
+    comm::DmuSample dp, df;
+    comm::AdxlTiming ap, af;
+    std::size_t inside = 0, outside = 0;
+    while (plain.next_wire(tp, dp, ap)) {
+        ASSERT_TRUE(faulted.next_wire(tf, df, af));
+        ASSERT_EQ(tp, tf);
+        // Sequence numbers and timestamps stay live even while frozen —
+        // the wire protocol never reveals the fault.
+        EXPECT_EQ(dp.seq, df.seq);
+        EXPECT_EQ(ap.seq, af.seq);
+        if (fault.active(tp)) {
+            ++inside;
+            continue;  // analog registers held; values may differ
+        }
+        ++outside;
+        EXPECT_EQ(dp, df) << "t=" << tp;
+        EXPECT_TRUE(ap == af) << "t=" << tp;
+    }
+    EXPECT_FALSE(faulted.next_wire(tf, df, af));
+    ASSERT_GT(inside, 0u);
+    ASSERT_GT(outside, 0u);
+}
+
+/// The frozen window is drawn from the per-realization fault stream, so
+/// two Monte Carlo realizations of one cell freeze at different times,
+/// and the window always starts inside the post-settle stretch.
+TEST(FaultStream, StuckWindowsVaryPerRealizationWithinPostSettle) {
+    FaultCampaignConfig cfg = small_config();
+    cfg.faults = {FaultType::kAccStuck};
+    cfg.intensities = {0.05};
+    cfg.seeds_per_cell = 3;
+    const FaultCampaign campaign(cfg);
+    const FleetRunner runner(FleetRunner::Config{.threads = 1});
+    const auto report = campaign.run(runner);
+    ASSERT_EQ(report.cells.size(), 1u);
+    const auto& seeds = report.cells[0].result.seeds;
+    ASSERT_EQ(seeds.size(), 3u);
+    const double settle =
+        sim::ScenarioLibrary::instance().at("static-level").envelope.settle_s;
+    for (const auto& s : seeds) {
+        EXPECT_NEAR(s.trace.fault_window_duration_s,
+                    0.05 * cfg.duration_s, 1e-12);
+        EXPECT_GE(s.trace.fault_window_start_s, settle);
+        EXPECT_LE(s.trace.fault_window_start_s, cfg.duration_s);
+    }
+    EXPECT_NE(seeds[0].trace.fault_window_start_s,
+              seeds[1].trace.fault_window_start_s);
+    EXPECT_NE(seeds[1].trace.fault_window_start_s,
+              seeds[2].trace.fault_window_start_s);
+}
+
+}  // namespace

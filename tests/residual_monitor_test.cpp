@@ -1,0 +1,155 @@
+// Direct unit coverage of the ResidualMonitor — the fault campaigns'
+// detector. The fleet and system suites only see it end to end; here the
+// threshold comparison, the sliding-window ring, the latched alarm and the
+// in-place reset are pinned one behavior at a time.
+
+#include <gtest/gtest.h>
+
+#include "core/residual_monitor.hpp"
+#include "math/matrix.hpp"
+#include "util/alloc_counter.hpp"
+
+OB_DEFINE_COUNTING_OPERATOR_NEW
+
+namespace {
+
+using ob::core::ResidualMonitor;
+using ob::math::Vec2;
+
+constexpr Vec2 kSigma3{0.3, 0.3};
+
+/// One add() = two axis samples; `hot` pushes both axes past 3-sigma.
+void add_samples(ResidualMonitor& m, std::size_t n, bool hot) {
+    const Vec2 r = hot ? Vec2{1.0, 1.0} : Vec2{0.01, 0.01};
+    for (std::size_t i = 0; i < n; ++i) m.add(r, kSigma3);
+}
+
+TEST(ResidualMonitor, CountsPerAxisExceedances) {
+    ResidualMonitor m;
+    // x over, y under: exactly one exceedance out of two axis samples.
+    m.add(Vec2{0.5, 0.1}, kSigma3);
+    EXPECT_EQ(m.samples(), 2u);
+    EXPECT_EQ(m.exceedances(), 1u);
+    EXPECT_DOUBLE_EQ(m.exceedance_rate(), 0.5);
+    // Exactly at the threshold is not an exceedance (strict compare).
+    m.add(Vec2{0.3, -0.3}, kSigma3);
+    EXPECT_EQ(m.exceedances(), 1u);
+    // Negative residuals count by magnitude.
+    m.add(Vec2{-0.5, -0.5}, kSigma3);
+    EXPECT_EQ(m.exceedances(), 3u);
+    EXPECT_EQ(m.samples(), 6u);
+}
+
+TEST(ResidualMonitor, WindowedRateForgetsOldExceedances) {
+    ResidualMonitor m(/*window=*/100, /*alarm_rate=*/0.99,
+                      /*alarm_min_samples=*/1);
+    add_samples(m, 50, /*hot=*/true);  // 100 hot axis samples fill the ring
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 1.0);
+    add_samples(m, 50, /*hot=*/false);  // evict them all
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);
+    // Lifetime counters keep the full history.
+    EXPECT_EQ(m.exceedances(), 100u);
+    EXPECT_EQ(m.samples(), 200u);
+    EXPECT_DOUBLE_EQ(m.exceedance_rate(), 0.5);
+}
+
+TEST(ResidualMonitor, WindowedRateBeforeWindowFills) {
+    ResidualMonitor m(/*window=*/1000, /*alarm_rate=*/0.99,
+                      /*alarm_min_samples=*/1);
+    add_samples(m, 5, /*hot=*/true);
+    // 10 samples in a 1000-slot ring: the rate divides by the fill count,
+    // not the capacity.
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 1.0);
+}
+
+TEST(ResidualMonitor, AlarmWaitsForMinSamples) {
+    ResidualMonitor m(/*window=*/2000, /*alarm_rate=*/0.05,
+                      /*alarm_min_samples=*/200);
+    // 99 all-hot axis samples: rate 100% but below the sample floor.
+    add_samples(m, 49, /*hot=*/true);
+    m.add(Vec2{1.0, 0.0}, kSigma3);  // 99th/100th samples, x hot
+    EXPECT_FALSE(m.flagged());
+    add_samples(m, 51, /*hot=*/true);
+    EXPECT_TRUE(m.flagged());
+    // flagged_at records the axis-sample count at the latch: the first
+    // add() at or past the floor with the rate already over.
+    EXPECT_EQ(m.flagged_at(), 200u);
+}
+
+TEST(ResidualMonitor, AlarmIgnoresHealthyRate) {
+    ResidualMonitor m(/*window=*/2000, /*alarm_rate=*/0.05,
+                      /*alarm_min_samples=*/200);
+    // Healthy tuning: ~0.27% exceedances, two orders below the alarm.
+    for (std::size_t i = 0; i < 5000; ++i) {
+        const bool spike = i % 370 == 0;
+        m.add(spike ? Vec2{1.0, 0.0} : Vec2{0.01, 0.01}, kSigma3);
+    }
+    EXPECT_FALSE(m.flagged());
+    EXPECT_EQ(m.flagged_at(), 0u);
+    EXPECT_LT(m.windowed_rate(), 0.05);
+}
+
+TEST(ResidualMonitor, AlarmLatchesUntilReset) {
+    ResidualMonitor m(/*window=*/100, /*alarm_rate=*/0.05,
+                      /*alarm_min_samples=*/10);
+    add_samples(m, 50, /*hot=*/true);
+    ASSERT_TRUE(m.flagged());
+    const std::size_t at = m.flagged_at();
+    // A long healthy stretch empties the window, but the latch holds.
+    add_samples(m, 1000, /*hot=*/false);
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);
+    EXPECT_TRUE(m.flagged());
+    EXPECT_EQ(m.flagged_at(), at);
+
+    m.reset();
+    EXPECT_FALSE(m.flagged());
+    EXPECT_EQ(m.flagged_at(), 0u);
+    EXPECT_EQ(m.samples(), 0u);
+    EXPECT_EQ(m.exceedances(), 0u);
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);
+    EXPECT_EQ(m.stats_x().count(), 0u);
+    // The reset monitor behaves like a fresh one (same floor, same latch).
+    add_samples(m, 50, /*hot=*/true);
+    EXPECT_TRUE(m.flagged());
+    EXPECT_EQ(m.flagged_at(), at);
+}
+
+TEST(ResidualMonitor, SteadyStateAddNeverAllocates) {
+    // The monitor sits on the zero-allocation fusion hot path: after
+    // construction preallocates the ring, add() must not touch the heap —
+    // including across ring wraparound and the alarm latch.
+    ResidualMonitor m(/*window=*/64, /*alarm_rate=*/0.05,
+                      /*alarm_min_samples=*/10);
+    const std::uint64_t before = ob::util::alloc_count();
+    add_samples(m, 10000, /*hot=*/true);
+    add_samples(m, 10000, /*hot=*/false);
+    m.reset();
+    add_samples(m, 100, /*hot=*/true);
+    EXPECT_EQ(ob::util::alloc_count() - before, 0u);
+    EXPECT_TRUE(m.flagged());
+}
+
+TEST(ResidualMonitor, ZeroWindowClampsToOne) {
+    ResidualMonitor m(/*window=*/0, /*alarm_rate=*/0.5,
+                      /*alarm_min_samples=*/1);
+    m.add(Vec2{1.0, 0.01}, kSigma3);  // x hot lands first, y healthy evicts
+    // Window of one slot: only the last axis sample (healthy y) remains.
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);
+    m.add(Vec2{0.01, 1.0}, kSigma3);
+    EXPECT_DOUBLE_EQ(m.windowed_rate(), 1.0);
+}
+
+TEST(ResidualMonitor, StatsTrackSignedResiduals) {
+    // The per-axis RunningStats see the raw signed residuals (a biased
+    // filter shows up as a shifted mean), while the exceedance compare
+    // uses the magnitude.
+    ResidualMonitor m;
+    m.add(Vec2{0.1, -0.2}, kSigma3);
+    m.add(Vec2{0.3, 0.4}, kSigma3);
+    EXPECT_EQ(m.stats_x().count(), 2u);
+    EXPECT_EQ(m.stats_y().count(), 2u);
+    EXPECT_NEAR(m.stats_x().mean(), 0.2, 1e-12);
+    EXPECT_NEAR(m.stats_y().mean(), 0.1, 1e-12);
+}
+
+}  // namespace
