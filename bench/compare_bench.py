@@ -56,6 +56,13 @@ STAGE_NOISE_SLACK_US = 0.1
 FLEET_REQUIRED_KEYS = ("scenarios_per_sec", "epochs_per_sec", "per_stage_us",
                        "feed_allocs_per_epoch", "multi_seed")
 
+# Stages of per_stage_us that the gate is meaningless without. Most stages
+# are discovered dynamically (new ones are reported, vanished ones error),
+# but these are load-bearing capabilities: sabre_step pins the predecoded
+# ISS dispatch cost so a regression back toward per-instruction decode is
+# caught.
+FLEET_REQUIRED_STAGE_KEYS = ("sabre_step",)
+
 # Sub-keys of the multi_seed section (the 8-seed shared-trace sweep;
 # "runs" are scenario realizations, scenario x tuning x seed); the shared
 # throughput and the shared-vs-per-run-synthesis speedup are gated like
@@ -94,6 +101,8 @@ def require_keys(data, role, path):
         missing = [k for k in FLEET_REQUIRED_KEYS if k not in data]
         missing += [f"multi_seed.{k}" for k in FLEET_REQUIRED_MULTI_SEED_KEYS
                     if k not in data.get("multi_seed", {})]
+        missing += [f"per_stage_us.{k}" for k in FLEET_REQUIRED_STAGE_KEYS
+                    if k not in data.get("per_stage_us", {})]
         regen = "bench/fleet_throughput"
     elif schema == "fault_campaign":
         missing = [k for k in FAULT_REQUIRED_KEYS if k not in data]

@@ -24,6 +24,7 @@
 #include "system/boresight_system.hpp"
 #include "system/experiment.hpp"
 #include "system/fleet.hpp"
+#include "system/sabre_runner.hpp"
 #include "util/alloc_counter.hpp"
 #include "util/artifacts.hpp"
 #include "util/json.hpp"
@@ -49,6 +50,7 @@ struct StageCosts {
     double synthesis_us = 0.0;     ///< per-seed realization over the trace
     double transport_feed_us = 0.0;
     double fusion_update_us = 0.0;
+    double sabre_step_us = 0.0;  ///< Sabre ISS fusion (push + pump) per epoch
     // Breakdown of the transport feed, measured on a manually assembled
     // chain mirroring BoresightSystem::feed stage by stage.
     double encode_send_us = 0.0;  ///< codec encode + bus/uart enqueue
@@ -213,6 +215,29 @@ StageCosts measure_stages() {
         out.feed_allocs_per_epoch =
             static_cast<double>(util::alloc_count() - allocs0) / counted;
     }
+    {  // the same epochs through the Sabre ISS: wire-format push + pumping
+       // the core until the firmware has folded each pair in — the cost a
+       // fleet sabre run pays on top of transport
+        sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
+        system::SabreFusionSystem::Config scfg;
+        scfg.r_sigma = spec.meas_noise_mps2;
+        scfg.q_variance = spec.angle_process_noise * spec.angle_process_noise;
+        system::SabreFusionSystem sys(scfg);
+        std::vector<sim::Scenario::Step> steps;
+        while (auto s = sc.next()) steps.push_back(*s);
+        const std::size_t warmup = std::min<std::size_t>(200, steps.size());
+        for (std::size_t i = 0; i < warmup; ++i) {
+            sys.push(steps[i].dmu, steps[i].adxl);
+            (void)sys.run_pending();
+        }
+        const auto t0 = Clock::now();
+        for (std::size_t i = warmup; i < steps.size(); ++i) {
+            sys.push(steps[i].dmu, steps[i].adxl);
+            (void)sys.run_pending();
+        }
+        out.sabre_step_us = 1e6 * seconds_since(t0) /
+                            static_cast<double>(steps.size() - warmup);
+    }
     {  // bare fusion update on decoded measurements
         sim::Scenario sc(spec.build(60.0, spec.misalignment, seed), seed);
         core::BoresightConfig fcfg;
@@ -350,10 +375,11 @@ int main() {
                 static_cast<double>(total_epochs) / elapsed);
     std::printf("per-stage cost (city drive): sim %.2f us/epoch "
                 "(trace build %.2f + realization %.2f), "
-                "transport+fusion %.2f us/epoch, bare EKF %.2f us/update\n",
+                "transport+fusion %.2f us/epoch, bare EKF %.2f us/update, "
+                "sabre step %.2f us/epoch\n",
                 stages.sim_epoch_us, stages.trace_build_us,
                 stages.synthesis_us, stages.transport_feed_us,
-                stages.fusion_update_us);
+                stages.fusion_update_us, stages.sabre_step_us);
     std::printf("multi-seed sweep (%zu scenarios x %zu tunings x %zu seeds): "
                 "shared trace %.2f runs/s, per-run synthesis %.2f runs/s "
                 "-> %.2fx\n",
@@ -382,6 +408,7 @@ int main() {
     w.key("synthesis").value(stages.synthesis_us);
     w.key("transport_feed").value(stages.transport_feed_us);
     w.key("fusion_update").value(stages.fusion_update_us);
+    w.key("sabre_step").value(stages.sabre_step_us);
     w.key("uart_drain").value(stages.uart_drain_us);
     w.key("can_advance").value(stages.can_advance_us);
     w.key("codec").value(stages.codec_us);

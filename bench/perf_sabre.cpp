@@ -31,12 +31,15 @@ loop:
     halt
 )";
 
-void BM_IssIntegerLoop(benchmark::State& state) {
-    const Program program = assemble(kDhrystoneish);
+void run_integer_loop(benchmark::State& state, DispatchMode mode) {
+    // One predecode shared across iterations, like the fleet shares the
+    // firmware image across scenario realizations.
+    const auto image =
+        std::make_shared<const DecodedProgram>(assemble(kDhrystoneish));
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     for (auto _ : state) {
-        SabreCpu cpu(program);
+        SabreCpu cpu(image, mode);
         cpu.run(100'000'000);
         cycles = cpu.cycles();
         instructions = cpu.instructions();
@@ -48,7 +51,16 @@ void BM_IssIntegerLoop(benchmark::State& state) {
     state.counters["arch_cpi"] =
         static_cast<double>(cycles) / static_cast<double>(instructions);
 }
+
+void BM_IssIntegerLoop(benchmark::State& state) {
+    run_integer_loop(state, DispatchMode::kCached);
+}
 BENCHMARK(BM_IssIntegerLoop);
+
+void BM_IssIntegerLoopInterpreter(benchmark::State& state) {
+    run_integer_loop(state, DispatchMode::kInterpreter);
+}
+BENCHMARK(BM_IssIntegerLoopInterpreter);
 
 void BM_AssembleFirmware(benchmark::State& state) {
     const std::string src = boresight_firmware_source();

@@ -299,4 +299,19 @@ std::string boresight_firmware_source(const FirmwareLayout& l) {
     return e.source();
 }
 
+std::shared_ptr<const DecodedProgram> boresight_firmware_image(
+    const FirmwareLayout& layout) {
+    if (layout == FirmwareLayout{}) {
+        // Function-local static: the one-shot assemble + predecode of the
+        // production firmware is thread-safe and shared for process
+        // lifetime (fleet workers construct CPUs concurrently).
+        static const std::shared_ptr<const DecodedProgram> cached =
+            std::make_shared<const DecodedProgram>(
+                assemble(boresight_firmware_source()));
+        return cached;
+    }
+    return std::make_shared<const DecodedProgram>(
+        assemble(boresight_firmware_source(layout)));
+}
+
 }  // namespace ob::sabre

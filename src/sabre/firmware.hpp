@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "sabre/cpu.hpp"
 
 namespace ob::sabre {
 
@@ -31,6 +34,9 @@ struct FirmwareLayout {
     std::uint32_t nu = 0x0E8;   ///< 2 floats: innovation
     std::uint32_t tmp = 0x0F0;  ///< scratch floats
     std::uint32_t newp = 0x110; ///< 9 floats: updated covariance
+
+    friend bool operator==(const FirmwareLayout&,
+                           const FirmwareLayout&) = default;
 };
 
 /// Generate the Sabre-32 assembly source of the boresight fusion firmware.
@@ -52,6 +58,14 @@ struct FirmwareLayout {
 /// All floating-point arithmetic goes through the memory-mapped softfloat
 /// FPU peripheral, so results are bit-faithful IEEE binary32.
 [[nodiscard]] std::string boresight_firmware_source(
+    const FirmwareLayout& layout = {});
+
+/// Assembled and predecoded boresight firmware. The default-layout image
+/// is built exactly once per process and shared — a fleet sweep constructs
+/// one SabreCpu per scenario realization, and they all dispatch from the
+/// same DecodedInst array instead of re-assembling and re-decoding the
+/// firmware per run. A non-default layout assembles a fresh image.
+[[nodiscard]] std::shared_ptr<const DecodedProgram> boresight_firmware_image(
     const FirmwareLayout& layout = {});
 
 }  // namespace ob::sabre

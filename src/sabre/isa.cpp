@@ -107,6 +107,16 @@ Instruction decode(std::uint32_t word) {
                                 std::to_string(opv));
 }
 
+DecodedInst predecode(std::uint32_t word) {
+    DecodedInst di;
+    di.ins = decode(word);
+    di.opid = static_cast<std::uint8_t>(di.ins.op);
+    di.cost = static_cast<std::uint8_t>(base_cycles(di.ins.op));
+    di.worst_cost = static_cast<std::uint8_t>(
+        di.cost + (is_b_type(di.ins.op) ? kBranchTakenExtra : 0));
+    return di;
+}
+
 std::string_view mnemonic(Op op) {
     switch (op) {
         case Op::kAdd: return "add";

@@ -85,12 +85,32 @@ struct Instruction {
     friend bool operator==(const Instruction&, const Instruction&) = default;
 };
 
+/// One predecoded program word: the exact `decode()` result plus the
+/// dispatch index and cycle costs `step()` would otherwise recompute for
+/// every instruction of every epoch. Built once at program load.
+/// 16-byte aligned so the executor's fetch indexes the predecoded stream
+/// with a single shift (a 12-byte stride costs an extra multiply on the
+/// fetch's critical path) and every instruction sits in one cache line.
+struct alignas(16) DecodedInst {
+    Instruction ins{};         ///< fields extracted, imm sign-extended
+    std::uint8_t opid = 0;     ///< raw 6-bit opcode: dispatch-table index
+    std::uint8_t cost = 1;     ///< base_cycles(ins.op)
+    std::uint8_t worst_cost = 1;  ///< cost + taken-branch penalty if branch
+};
+
+/// The opcode field is 6 bits, so dispatch tables have 64 slots.
+inline constexpr std::size_t kOpcodeSlots = 64;
+
 /// Encode to the 32-bit word; throws std::invalid_argument on field
 /// overflow (register index > 15, immediate out of range).
 [[nodiscard]] std::uint32_t encode(const Instruction& ins);
 
 /// Decode a word; throws std::invalid_argument on an unknown opcode.
 [[nodiscard]] Instruction decode(std::uint32_t word);
+
+/// Decode one word into its cached-dispatch form (opcode id and cycle
+/// costs precomputed); throws std::invalid_argument like `decode()`.
+[[nodiscard]] DecodedInst predecode(std::uint32_t word);
 
 /// Mnemonic for diagnostics/disassembly.
 [[nodiscard]] std::string_view mnemonic(Op op);

@@ -7,27 +7,16 @@ namespace ob::sabre {
 void SabreBus::attach(std::uint32_t base, std::shared_ptr<Peripheral> dev) {
     if (base % kWindowBytes != 0)
         throw std::invalid_argument("SabreBus: window-misaligned base");
-    if (!devices_.emplace(base, std::move(dev)).second)
+    const std::uint32_t window = base / kWindowBytes;
+    if (window >= windows_.size()) windows_.resize(window + 1, nullptr);
+    if (windows_[window] != nullptr)
         throw std::invalid_argument("SabreBus: base already occupied");
-}
-
-Peripheral& SabreBus::device_at(std::uint32_t address, std::uint32_t& offset) {
-    const std::uint32_t base = address & ~(kWindowBytes - 1);
-    const auto it = devices_.find(base);
-    if (it == devices_.end())
-        throw std::out_of_range("SabreBus: no device at address");
-    offset = address - base;
-    return *it->second;
-}
-
-std::uint32_t SabreBus::read(std::uint32_t address) {
-    std::uint32_t offset = 0;
-    return device_at(address, offset).read(offset);
-}
-
-void SabreBus::write(std::uint32_t address, std::uint32_t value) {
-    std::uint32_t offset = 0;
-    device_at(address, offset).write(offset, value);
+    windows_[window] = dev.get();
+    if (auto* fpu = dynamic_cast<FpuPeripheral*>(dev.get())) {
+        fpu_ = fpu;
+        fpu_window_ = window;
+    }
+    owners_.push_back(std::move(dev));
 }
 
 std::uint32_t TouchscreenPeripheral::read(std::uint32_t offset) {
@@ -98,51 +87,6 @@ std::uint32_t ControlPeripheral::read(std::uint32_t offset) {
 void ControlPeripheral::write(std::uint32_t offset, std::uint32_t value) {
     const std::uint32_t idx = offset / 4;
     if (idx < kRegisters) regs_[idx] = value;
-}
-
-std::uint32_t FpuPeripheral::read(std::uint32_t offset) {
-    switch (offset) {
-        case 0x0: return a_;
-        case 0x4: return b_;
-        case 0xC: return result_;
-        case 0x10: return ctx_.flags;
-        default: return 0;
-    }
-}
-
-void FpuPeripheral::write(std::uint32_t offset, std::uint32_t value) {
-    namespace sf = ob::softfloat;
-    switch (offset) {
-        case 0x0: a_ = value; return;
-        case 0x4: b_ = value; return;
-        case 0x10: ctx_.flags = value; return;
-        case 0x8: break;  // command: fall through to execute
-        default: return;
-    }
-    const sf::F32 a{a_};
-    const sf::F32 b{b_};
-    ++ops_;
-    switch (static_cast<Cmd>(value)) {
-        case kAdd: result_ = sf::add(a, b, ctx_).bits; break;
-        case kSub: result_ = sf::sub(a, b, ctx_).bits; break;
-        case kMul: result_ = sf::mul(a, b, ctx_).bits; break;
-        case kDiv: result_ = sf::div(a, b, ctx_).bits; break;
-        case kSqrt: result_ = sf::sqrt(a, ctx_).bits; break;
-        case kI2F:
-            result_ = sf::from_i32(static_cast<std::int32_t>(a_), ctx_).bits;
-            break;
-        case kF2I:
-            result_ = static_cast<std::uint32_t>(sf::to_i32(a, ctx_));
-            break;
-        case kCmpLt: result_ = sf::lt(a, b, ctx_) ? 1 : 0; break;
-        case kCmpLe: result_ = sf::le(a, b, ctx_) ? 1 : 0; break;
-        case kCmpEq: result_ = sf::eq(a, b, ctx_) ? 1 : 0; break;
-        case kNeg: result_ = sf::neg(a).bits; break;
-        case kAbs: result_ = sf::abs(a).bits; break;
-        default:
-            --ops_;
-            throw std::invalid_argument("FpuPeripheral: unknown command");
-    }
 }
 
 std::uint32_t DmuPortPeripheral::read(std::uint32_t offset) {

@@ -2,8 +2,8 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sabre/isa.hpp"
@@ -23,6 +23,13 @@ public:
 
 /// The bus fabric of Figure 6: fixed-size windows, Sabre as bus master.
 /// Unmapped accesses throw (the hardware would bus-error).
+///
+/// Window decode is a flat table indexed by address/kWindowBytes, not a
+/// map search: the firmware reaches the bus on every peripheral lw/sw
+/// (four per FPU operation), so device lookup sits on the ISS hot path
+/// alongside the predecoded dispatch table.
+class FpuPeripheral;
+
 class SabreBus {
 public:
     static constexpr std::uint32_t kWindowBytes = 0x100;
@@ -31,13 +38,29 @@ public:
     /// must be window-aligned).
     void attach(std::uint32_t base, std::shared_ptr<Peripheral> dev);
 
+    // Defined after FpuPeripheral below: the FPU window gets a
+    // devirtualized fast lane (the firmware has no hardware FPU, so every
+    // flop is four bus transactions — by far the hottest device).
     [[nodiscard]] std::uint32_t read(std::uint32_t address);
     void write(std::uint32_t address, std::uint32_t value);
 
+    /// Fast-lane routing state for the CPU's batched executor: the bus
+    /// topology is frozen after construction, so the executor may cache
+    /// these across a whole run. Null/size-max until an FPU is attached.
+    [[nodiscard]] FpuPeripheral* fpu() const { return fpu_; }
+    [[nodiscard]] std::uint32_t fpu_window() const { return fpu_window_; }
+
 private:
-    [[nodiscard]] Peripheral& device_at(std::uint32_t address,
-                                        std::uint32_t& offset);
-    std::map<std::uint32_t, std::shared_ptr<Peripheral>> devices_;
+    [[nodiscard]] Peripheral& device_at(std::uint32_t address) {
+        const std::uint32_t window = address / kWindowBytes;
+        if (window >= windows_.size() || windows_[window] == nullptr)
+            throw std::out_of_range("SabreBus: no device at address");
+        return *windows_[window];
+    }
+    std::vector<Peripheral*> windows_;  ///< flat decode, parallel to owners_
+    std::vector<std::shared_ptr<Peripheral>> owners_;
+    FpuPeripheral* fpu_ = nullptr;  ///< non-null once an FPU is attached
+    std::uint32_t fpu_window_ = 0xFFFFFFFFu;
 };
 
 // --- Concrete peripherals (the blocks of Figures 6/7) ------------------------
@@ -202,12 +225,35 @@ public:
         kAbs = 11,
     };
 
-    std::uint32_t read(std::uint32_t offset) override;
-    void write(std::uint32_t offset, std::uint32_t value) override;
+    std::uint32_t read(std::uint32_t offset) override {
+        switch (offset) {
+            case 0x0: return a_;
+            case 0x4: return b_;
+            case 0xC: return result_;
+            case 0x10: return ctx_.flags;
+            default: return 0;
+        }
+    }
+    void write(std::uint32_t offset, std::uint32_t value) override {
+        switch (offset) {
+            case 0x0: a_ = value; return;
+            case 0x4: b_ = value; return;
+            case 0x8: execute(value); return;
+            case 0x10: ctx_.flags = value; return;
+            default: return;
+        }
+    }
 
     [[nodiscard]] std::uint64_t operations() const { return ops_; }
 
 private:
+    /// Run one command against the latched operands. Defined inline at
+    /// the end of this header: the boresight firmware issues ~185 FPU
+    /// commands per epoch, and keeping the command switch inline on the
+    /// bus fast lane leaves the softfloat call as the only out-of-line
+    /// step per operation.
+    void execute(std::uint32_t cmd);
+
     std::uint32_t a_ = 0;
     std::uint32_t b_ = 0;
     std::uint32_t result_ = 0;
@@ -265,5 +311,54 @@ public:
 private:
     ob::util::RingBuffer<Sample> fifo_;
 };
+
+// SabreBus access: flat window decode, with the FPU window checked first
+// and dispatched without the vtable — FpuPeripheral is final and fully
+// visible here, so operand latches and result reads inline straight into
+// the CPU's load/store handlers. Every other device takes the generic
+// virtual path.
+inline std::uint32_t SabreBus::read(std::uint32_t address) {
+    const std::uint32_t window = address / kWindowBytes;
+    if (window == fpu_window_)
+        return fpu_->FpuPeripheral::read(address & (kWindowBytes - 1));
+    return device_at(address).read(address & (kWindowBytes - 1));
+}
+
+inline void SabreBus::write(std::uint32_t address, std::uint32_t value) {
+    const std::uint32_t window = address / kWindowBytes;
+    if (window == fpu_window_) {
+        fpu_->FpuPeripheral::write(address & (kWindowBytes - 1), value);
+        return;
+    }
+    device_at(address).write(address & (kWindowBytes - 1), value);
+}
+
+inline void FpuPeripheral::execute(std::uint32_t value) {
+    namespace sf = ob::softfloat;
+    const sf::F32 a{a_};
+    const sf::F32 b{b_};
+    ++ops_;
+    switch (static_cast<Cmd>(value)) {
+        case kAdd: result_ = sf::add(a, b, ctx_).bits; break;
+        case kSub: result_ = sf::sub(a, b, ctx_).bits; break;
+        case kMul: result_ = sf::mul(a, b, ctx_).bits; break;
+        case kDiv: result_ = sf::div(a, b, ctx_).bits; break;
+        case kSqrt: result_ = sf::sqrt(a, ctx_).bits; break;
+        case kI2F:
+            result_ = sf::from_i32(static_cast<std::int32_t>(a_), ctx_).bits;
+            break;
+        case kF2I:
+            result_ = static_cast<std::uint32_t>(sf::to_i32(a, ctx_));
+            break;
+        case kCmpLt: result_ = sf::lt(a, b, ctx_) ? 1 : 0; break;
+        case kCmpLe: result_ = sf::le(a, b, ctx_) ? 1 : 0; break;
+        case kCmpEq: result_ = sf::eq(a, b, ctx_) ? 1 : 0; break;
+        case kNeg: result_ = sf::neg(a).bits; break;
+        case kAbs: result_ = sf::abs(a).bits; break;
+        default:
+            --ops_;
+            throw std::invalid_argument("FpuPeripheral: unknown command");
+    }
+}
 
 }  // namespace ob::sabre

@@ -3,8 +3,6 @@
 #include <bit>
 #include <stdexcept>
 
-#include "sabre/assembler.hpp"
-
 namespace ob::system {
 
 namespace {
@@ -21,7 +19,7 @@ SabreFusionSystem::SabreFusionSystem(const Config& cfg)
     : cfg_(cfg), r_sigma_(cfg.r_sigma) {
     const sabre::FirmwareLayout layout;
     cpu_ = std::make_unique<sabre::SabreCpu>(
-        sabre::assemble(sabre::boresight_firmware_source(layout)));
+        sabre::boresight_firmware_image(layout), cfg.dispatch);
 
     control_ = std::make_shared<sabre::ControlPeripheral>();
     fpu_ = std::make_shared<sabre::FpuPeripheral>();
@@ -112,10 +110,20 @@ SabreFusionSystem::Estimate SabreFusionSystem::run_pending(
     const std::uint64_t deadline = cpu_->cycles() + max_cycles;
     while (control_->reg(sabre::ControlPeripheral::kUpdateCount) <
            expected_updates_) {
-        if (cpu_->cycles() >= deadline)
+        if (cpu_->halted())
+            throw std::runtime_error(
+                "SabreFusionSystem: core halted before folding all samples");
+        // Stop-at-or-before the deadline: the next instruction issues only
+        // if even its worst-case cost fits, so cycles() never overshoots
+        // the budget (the old loop let the last instruction run past it).
+        if (cpu_->cycles() + cpu_->next_step_worst_cycles() > deadline)
             throw std::runtime_error(
                 "SabreFusionSystem: cycle budget exhausted");
-        cpu_->step();
+        // kUpdateCount only changes when the firmware stores into the
+        // control window, so re-polling after each such store observes
+        // exactly the same stop instruction as polling every step — while
+        // the core stays in its batched dispatch loop in between.
+        (void)cpu_->run_until_bus_write(sabre::periph::kControl, deadline);
     }
     return estimate();
 }

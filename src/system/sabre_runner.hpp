@@ -27,6 +27,10 @@ public:
         double q_variance = 4e-14;      ///< per-step angle process noise
         double r_sigma = 0.0075;        ///< measurement noise (m/s²)
         double p0_sigma = math::deg2rad(5.0);
+        /// How the ISS executes firmware: cached predecoded dispatch
+        /// (production) or the reference per-step interpreter (kept for
+        /// differential testing of the two paths).
+        sabre::DispatchMode dispatch = sabre::DispatchMode::kCached;
     };
 
     explicit SabreFusionSystem(const Config& cfg);
@@ -47,7 +51,9 @@ public:
 
     /// Run the CPU until every queued sample has been consumed; throws
     /// SabreTrap-derived errors on firmware faults and std::runtime_error
-    /// if the cycle budget expires first.
+    /// if the cycle budget expires first. Stop-at-or-before semantics: an
+    /// instruction only issues when its worst-case cost fits the budget,
+    /// so the CPU never consumes more than `max_cycles` cycles here.
     Estimate run_pending(std::uint64_t max_cycles = 100'000'000);
 
     /// Current estimate without running (reads the control registers).

@@ -187,6 +187,84 @@ TEST(SabreCpu, TrapOnRunawayPc) {
     EXPECT_THROW(cpu.run(), SabreTrap);
 }
 
+TEST(SabreCpu, JalTargetOutOfProgramTrapsAtExecute) {
+    // Forward jump past the end: the trap fires at the jump itself, with
+    // the jump's pc, not on the next fetch.
+    auto cpu = make_cpu(R"(
+        jal r2, 100
+        halt
+    )");
+    try {
+        cpu.run();
+        FAIL() << "expected SabreTrap";
+    } catch (const SabreTrap& trap) {
+        EXPECT_EQ(trap.pc(), 0u);
+        EXPECT_NE(std::string(trap.what()).find("jump target out of program"),
+                  std::string::npos);
+    }
+    // The faulting jump must not have written its link register.
+    EXPECT_EQ(cpu.reg(2), 0u);
+}
+
+TEST(SabreCpu, JalrWrappedTargetTraps) {
+    // rs1 + imm wraps the 32-bit space; the old pipeline computed the
+    // target modulo 2^32 and could land in-program silently. The target
+    // is now evaluated exactly, so the wrap traps.
+    auto cpu = make_cpu(R"(
+        addi r1, zero, 1
+        jalr r2, r1, -2    ; exact target -1: out of program
+        halt
+    )");
+    try {
+        cpu.run();
+        FAIL() << "expected SabreTrap";
+    } catch (const SabreTrap& trap) {
+        EXPECT_EQ(trap.pc(), 1u);
+        EXPECT_NE(std::string(trap.what()).find("jump target out of program"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(cpu.reg(2), 0u);
+
+    auto big = make_cpu(R"(
+        li r1, 0xFFFFFFFF
+        jalr r2, r1, 3     ; wrapped 32-bit arithmetic would give pc 2
+        halt
+    )");
+    EXPECT_THROW(big.run(), SabreTrap);
+}
+
+TEST(SabreCpu, InvalidWordRejectedAtLoadWithIndex) {
+    // A word with an unknown opcode is rejected when the program is
+    // loaded (predecode), with the offending word index — not at runtime
+    // with a context-free invalid_argument.
+    Program p = assemble("addi r1, zero, 1\nhalt\n");
+    p.words.insert(p.words.begin() + 1, 0x3Eu << 26);
+    try {
+        SabreCpu cpu(p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("program word 1"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("unknown opcode"),
+                  std::string::npos);
+    }
+}
+
+TEST(SabreCpu, RunStopsAtOrBeforeBudget) {
+    // mul costs 3 cycles; a budget of 7 fits two muls (6 cycles) and must
+    // not issue the third.
+    auto cpu = make_cpu(R"(
+        mul r1, r2, r3
+        mul r1, r2, r3
+        mul r1, r2, r3
+        halt
+    )");
+    const std::size_t executed = cpu.run(/*max_cycles=*/7);
+    EXPECT_EQ(executed, 2u);
+    EXPECT_EQ(cpu.cycles(), 6u);
+    EXPECT_FALSE(cpu.halted());
+}
+
 TEST(SabreCpu, TraceHookObservesExecution) {
     auto cpu = make_cpu(R"(
         addi r1, zero, 1

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/codec.hpp"
+#include "math/rotation.hpp"
+#include "sabre/assembler.hpp"
+#include "sabre/cpu.hpp"
+#include "sabre/firmware.hpp"
+#include "sim/scenario_library.hpp"
+#include "system/sabre_runner.hpp"
+#include "util/rng.hpp"
+
+// Differential tests of the predecoded cached-dispatch path against the
+// reference per-step interpreter: on randomized instruction streams and on
+// the real boresight firmware, architectural state (registers, data
+// memory, cycles, retired count, trace-hook call sequence, trap behaviour)
+// must be bit-identical between the two dispatch modes.
+
+namespace {
+
+using namespace ob;
+using namespace ob::sabre;
+using ob::util::Rng;
+
+struct TraceEvent {
+    std::uint32_t pc;
+    Instruction ins;
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct RunOutcome {
+    std::vector<std::uint32_t> regs;
+    std::vector<std::uint32_t> data;  ///< sampled data words
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint32_t pc = 0;
+    bool halted = false;
+    std::optional<std::string> trap;
+    std::vector<TraceEvent> trace;
+};
+
+/// Run `program` to completion (or trap, or the cycle budget) in the given
+/// mode and capture every architectural observable.
+RunOutcome execute(const Program& program, DispatchMode mode,
+                   std::uint64_t max_cycles = 200'000) {
+    SabreCpu cpu(program, mode);
+    RunOutcome out;
+    cpu.set_trace([&](std::uint32_t pc, const Instruction& ins) {
+        out.trace.push_back({pc, ins});
+    });
+    try {
+        cpu.run(max_cycles);
+    } catch (const SabreTrap& trap) {
+        out.trap = trap.what();
+    }
+    for (std::size_t i = 0; i < kNumRegisters; ++i)
+        out.regs.push_back(cpu.reg(i));
+    for (std::uint32_t addr = 0; addr < 0x400; addr += 4)
+        out.data.push_back(cpu.load_data(addr));
+    out.cycles = cpu.cycles();
+    out.retired = cpu.instructions();
+    out.pc = cpu.pc();
+    out.halted = cpu.halted();
+    return out;
+}
+
+void expect_identical(const RunOutcome& cached, const RunOutcome& interp) {
+    EXPECT_EQ(cached.regs, interp.regs);
+    EXPECT_EQ(cached.data, interp.data);
+    EXPECT_EQ(cached.cycles, interp.cycles);
+    EXPECT_EQ(cached.retired, interp.retired);
+    EXPECT_EQ(cached.pc, interp.pc);
+    EXPECT_EQ(cached.halted, interp.halted);
+    EXPECT_EQ(cached.trap, interp.trap);
+    ASSERT_EQ(cached.trace.size(), interp.trace.size());
+    EXPECT_EQ(cached.trace, interp.trace);
+}
+
+/// Random-but-structured program: straight-line arithmetic/logic over all
+/// R/I ops, loads and stores against an in-range buffer, short forward
+/// branches of every flavour, the occasional call/ret pair, and a bounded
+/// countdown loop — every control transfer stays in-program so streams
+/// run to halt deterministically.
+std::string random_program(Rng& rng) {
+    std::string src;
+    src += "li sp, 0x10000\n";
+    src += "addi r1, zero, 0x200\n";  // data buffer base
+    const char* rops[] = {"add", "sub", "and", "or",  "xor", "sll",
+                          "srl", "sra", "mul", "slt", "sltu"};
+    // I-type ops and whether their imm18 is unsigned (logical/shift) or
+    // sign-extended — the encoder rejects a negative unsigned immediate.
+    struct IOp {
+        const char* name;
+        bool unsigned_imm;
+    };
+    const IOp iops[] = {{"addi", false}, {"andi", true}, {"ori", true},
+                        {"xori", true},  {"slli", true}, {"srli", true},
+                        {"srai", true},  {"slti", false}};
+    const char* bops[] = {"beq", "bne", "blt", "bge", "bltu", "bgeu"};
+    char line[80];
+    const int body = 120;
+    for (int i = 0; i < body; ++i) {
+        // r2..r11 are fuzz registers; r1 stays the buffer base.
+        const auto rd = static_cast<int>(rng.uniform_int(2, 11));
+        const auto ra = static_cast<int>(rng.uniform_int(2, 11));
+        const auto rb = static_cast<int>(rng.uniform_int(2, 11));
+        const double roll = rng.uniform(0.0, 1.0);
+        if (roll < 0.45) {
+            std::snprintf(line, sizeof line, "%s r%d, r%d, r%d",
+                          rops[rng.uniform_int(0, 10)], rd, ra, rb);
+        } else if (roll < 0.70) {
+            const IOp& op = iops[rng.uniform_int(0, 7)];
+            const int imm =
+                op.unsigned_imm
+                    ? static_cast<int>(rng.uniform_int(0, 1000))
+                    : static_cast<int>(rng.uniform_int(-500, 500));
+            std::snprintf(line, sizeof line, "%s r%d, r%d, %d", op.name, rd,
+                          ra, imm);
+        } else if (roll < 0.82) {
+            const int off = static_cast<int>(rng.uniform_int(0, 63)) * 4;
+            if (rng.chance(0.5))
+                std::snprintf(line, sizeof line, "sw r%d, %d(r1)", rd, off);
+            else
+                std::snprintf(line, sizeof line, "lw r%d, %d(r1)", rd, off);
+        } else if (roll < 0.94) {
+            // Forward branch over the next instruction: always in-program.
+            std::snprintf(line, sizeof line, "%s r%d, r%d, 1\naddi r%d, r%d, 7",
+                          bops[rng.uniform_int(0, 5)], ra, rb, rd, rd);
+        } else {
+            std::snprintf(line, sizeof line, "lui r%d, %d", rd,
+                          static_cast<int>(rng.uniform_int(0, 0x3FFFF)));
+        }
+        src += line;
+        src += '\n';
+    }
+    // A bounded loop with a call inside, exercising jal/jalr both ways.
+    src += R"(
+        addi r12, zero, 5
+    fuzz_loop:
+        call fuzz_fn
+        addi r12, r12, -1
+        bne r12, zero, fuzz_loop
+        halt
+    fuzz_fn:
+        add r13, r12, r12
+        ret
+    )";
+    return src;
+}
+
+class SabreDispatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SabreDispatchFuzz, CachedMatchesInterpreter) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+    const Program program = assemble(random_program(rng));
+    expect_identical(execute(program, DispatchMode::kCached),
+                     execute(program, DispatchMode::kInterpreter));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SabreDispatchFuzz, ::testing::Range(0, 25));
+
+TEST(SabreDispatch, FaultingProgramsMatch) {
+    // Traps must fire at the same instruction with the same message and
+    // leave identical state in both modes.
+    const char* faulty[] = {
+        // Misaligned load.
+        "addi r1, zero, 2\nlw r2, 0(r1)\nhalt\n",
+        // Data access out of range.
+        "lui r1, 0x1F\nlw r2, 0(r1)\nhalt\n",
+        // Jump target out of program (jal).
+        "jal r2, 100\nhalt\n",
+        // Wrapped jalr target.
+        "li r1, 0xFFFFFFFF\njalr r2, r1, 3\nhalt\n",
+        // Runaway pc off the end.
+        "addi r1, zero, 1\naddi r2, zero, 2\n",
+        // Misaligned store.
+        "addi r1, zero, 6\nsw r1, 0(r1)\nhalt\n",
+    };
+    for (const char* src : faulty) {
+        SCOPED_TRACE(src);
+        const Program program = assemble(src);
+        const auto cached = execute(program, DispatchMode::kCached);
+        const auto interp = execute(program, DispatchMode::kInterpreter);
+        EXPECT_TRUE(cached.trap.has_value());
+        expect_identical(cached, interp);
+    }
+}
+
+TEST(SabreDispatch, CycleBudgetStopsIdentically) {
+    // Stop-at-or-before must cut both modes at the same instruction for
+    // budgets landing on every phase of the loop.
+    const Program program = assemble(R"(
+        addi r2, zero, 1000
+    spin:
+        mul r3, r2, r2
+        addi r2, r2, -1
+        bne r2, zero, spin
+        halt
+    )");
+    for (std::uint64_t budget : {0ull, 1ull, 2ull, 7ull, 100ull, 101ull,
+                                 102ull, 103ull, 5000ull}) {
+        SCOPED_TRACE(budget);
+        expect_identical(execute(program, DispatchMode::kCached, budget),
+                         execute(program, DispatchMode::kInterpreter, budget));
+    }
+}
+
+// --- The full firmware, both modes, real scenario wire data -----------------
+
+/// Push `epochs` epochs of city-drive wire samples through a
+/// SabreFusionSystem and capture the architectural fingerprint.
+struct FirmwareOutcome {
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::vector<std::uint32_t> control;  ///< raw control register bits
+    std::vector<std::uint32_t> data;     ///< full firmware data cells
+    friend bool operator==(const FirmwareOutcome&,
+                           const FirmwareOutcome&) = default;
+};
+
+FirmwareOutcome run_firmware(DispatchMode mode, int epochs) {
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t seed = sim::scenario_seed(spec.name, 3);
+    sim::Scenario sc(spec.build(10.0, spec.misalignment, seed), seed);
+
+    system::SabreFusionSystem::Config cfg;
+    cfg.r_sigma = spec.meas_noise_mps2;
+    cfg.q_variance = spec.angle_process_noise * spec.angle_process_noise;
+    cfg.dispatch = mode;
+    system::SabreFusionSystem sys(cfg);
+
+    int fed = 0;
+    while (auto s = sc.next()) {
+        sys.push(s->dmu, s->adxl);
+        (void)sys.run_pending();
+        if (++fed >= epochs) break;
+    }
+    FirmwareOutcome out;
+    out.cycles = sys.cycles();
+    out.retired = sys.instructions();
+    using CR = sabre::ControlPeripheral;
+    for (std::uint32_t r = 0; r <= CR::kInnovSigma3Y; ++r)
+        out.control.push_back(
+            sys.control().reg(static_cast<CR::Reg>(r)));
+    for (std::uint32_t addr = 0; addr < 0x140; addr += 4)
+        out.data.push_back(sys.cpu().load_data(addr));
+    return out;
+}
+
+TEST(SabreDispatch, FirmwareBitIdenticalAcrossModes) {
+    const auto cached = run_firmware(DispatchMode::kCached, 300);
+    const auto interp = run_firmware(DispatchMode::kInterpreter, 300);
+    EXPECT_EQ(cached.cycles, interp.cycles);
+    EXPECT_EQ(cached.retired, interp.retired);
+    EXPECT_EQ(cached.control, interp.control);
+    EXPECT_EQ(cached.data, interp.data);
+}
+
+TEST(SabreDispatch, FirmwareImageIsSharedAcrossSystems) {
+    // Two fusion systems built back to back reference the same predecoded
+    // firmware image (one assemble+predecode per process, fleet-wide).
+    const auto a = boresight_firmware_image();
+    const auto b = boresight_firmware_image();
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_GT(a->size(), 500u);
+}
+
+}  // namespace
