@@ -25,10 +25,12 @@ when:
   * cells_per_sec or epochs_per_sec drop more than --max-regression
     below the baseline, or
   * any deterministic campaign total (cells, realizations, the
-    detection/miss/false-alarm/true-negative outcome counts, the number
-    of demonstrated detection boundaries) differs from the baseline at
-    all — those are functions of the config and the RNG contract, never
-    of the machine, so any drift means the fault envelope itself moved.
+    detection/miss/false-alarm/true-negative outcome counts, the
+    per-detector residual/supervisor detection columns, the number of
+    demonstrated detection boundaries, and the boundary-search
+    refinement/probe counts) differs from the baseline at all — those
+    are functions of the config and the RNG contract, never of the
+    machine, so any drift means the fault envelope itself moved.
 
 --update rewrites the baseline from the fresh run instead of comparing
 (use after an intentional perf change, and commit the result).
@@ -72,9 +74,15 @@ FLEET_REQUIRED_MULTI_SEED_KEYS = ("shared_runs_per_sec",
 
 FAULT_REQUIRED_KEYS = ("cells", "realizations", "cells_per_sec",
                        "epochs_per_sec", "outcomes",
-                       "boundaries_demonstrated")
+                       "boundaries_demonstrated", "boundary_search")
 FAULT_REQUIRED_OUTCOME_KEYS = ("detections", "misses", "false_alarms",
-                               "true_negatives")
+                               "true_negatives", "residual_detections",
+                               "supervisor_detections")
+
+# Sub-keys of the boundary_search section (the adaptive bisection pass
+# that narrows every demonstrated detection boundary to the configured
+# intensity tolerance); both are deterministic and pinned exactly.
+FAULT_REQUIRED_BOUNDARY_KEYS = ("boundaries_refined", "probes")
 
 
 class BenchDataError(Exception):
@@ -108,6 +116,9 @@ def require_keys(data, role, path):
         missing = [k for k in FAULT_REQUIRED_KEYS if k not in data]
         missing += [f"outcomes.{k}" for k in FAULT_REQUIRED_OUTCOME_KEYS
                     if k not in data.get("outcomes", {})]
+        missing += [f"boundary_search.{k}"
+                    for k in FAULT_REQUIRED_BOUNDARY_KEYS
+                    if k not in data.get("boundary_search", {})]
         regen = "bench/fault_campaign"
     else:
         raise BenchDataError(
@@ -188,6 +199,9 @@ def check_fault_campaign(fresh, base, tol, rows, failures):
                for k in FAULT_REQUIRED_OUTCOME_KEYS]
     pinned.append(("boundaries_demonstrated", base["boundaries_demonstrated"],
                    fresh["boundaries_demonstrated"]))
+    pinned += [(f"boundary_search.{k}", base["boundary_search"][k],
+                fresh["boundary_search"][k])
+               for k in FAULT_REQUIRED_BOUNDARY_KEYS]
     for key, b, f in pinned:
         rows.append((key, b, f, 0.0, "pinned"))
         if f != b:

@@ -56,6 +56,11 @@ system::FaultCampaignConfig campaign_config() {
     // envelope settle (city-drive settles at 90 s and gets 60 s), short
     // enough that the Sabre half of the grid stays CI-sized.
     cfg.duration_s = 150.0;
+    // Adaptive boundary search: bisect every demonstrated boundary to a
+    // 0.02-wide intensity bracket (the rung grid alone leaves 0.26-wide
+    // gaps between 0.14 and 0.4).
+    cfg.boundary_tolerance = 0.02;
+    cfg.boundary_max_probes = 8;
     return cfg;
 }
 
@@ -74,6 +79,9 @@ CampaignRun execute(const system::FaultCampaignConfig& cfg,
     out.elapsed_s = seconds_since(t0);
     for (const auto& c : out.report.cells) {
         for (const auto& s : c.result.seeds) out.epochs += s.trace.epochs;
+    }
+    for (const auto& r : out.report.refinements) {
+        for (const auto& p : r.probes) out.epochs += p.epochs;
     }
 
     std::printf("campaign '%s': %zu cells x %zu seed(s), %.2f s\n",
@@ -106,6 +114,20 @@ CampaignRun execute(const system::FaultCampaignConfig& cfg,
                     b.lowest_detected_intensity, b.highest_missed_intensity,
                     b.boundary_demonstrated ? "boundary mapped" : "-");
     }
+    if (!out.report.refinements.empty()) {
+        std::printf("\n  bisected boundary edges (detect edge / miss edge, "
+                    "tolerance %.3f):\n",
+                    cfg.boundary_tolerance);
+        for (const auto& r : out.report.refinements) {
+            std::printf("  %-14s %-15s %-7s | %9.4f / %9.4f | %zu probe(s)%s\n",
+                        cfg.scenarios[r.scenario_index].c_str(),
+                        system::fault_type_name(cfg.faults[r.fault_index]),
+                        system::processor_name(
+                            cfg.processors[r.processor_index]),
+                        r.detect_edge, r.miss_edge, r.probes.size(),
+                        r.converged ? "" : " (budget hit)");
+        }
+    }
     std::printf("\n");
     return out;
 }
@@ -136,8 +158,16 @@ void write_bench_json(const system::FleetRunner& runner,
     w.key("misses").value(run.report.misses);
     w.key("false_alarms").value(run.report.false_alarms);
     w.key("true_negatives").value(run.report.true_negatives);
+    w.key("residual_detections").value(run.report.residual_detections);
+    w.key("supervisor_detections").value(run.report.supervisor_detections);
     w.end_object();
     w.key("boundaries_demonstrated").value(demonstrated);
+    std::size_t probes = 0;
+    for (const auto& r : run.report.refinements) probes += r.probes.size();
+    w.key("boundary_search").begin_object();
+    w.key("boundaries_refined").value(run.report.refinements.size());
+    w.key("probes").value(probes);
+    w.end_object();
     w.end_object();
     const std::string path = util::artifact_path("BENCH_fault.json");
     util::write_file(path, w.str());

@@ -148,4 +148,13 @@ void BoresightEkf::set_measurement_noise(double sigma_mps2) {
     meas_sigma_ = sigma_mps2;
 }
 
+void BoresightEkf::grow_angle_covariance(double angle_variance) {
+    if (angle_variance < 0.0)
+        throw std::invalid_argument("coast variance must be non-negative");
+    if (angle_variance == 0.0) return;
+    Mat<5, 5> p = ekf_.covariance();
+    for (std::size_t i = 0; i < 3; ++i) p(i, i) += angle_variance;
+    ekf_.set_covariance(p);
+}
+
 }  // namespace ob::core

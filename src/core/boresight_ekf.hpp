@@ -94,6 +94,14 @@ public:
     void set_measurement_noise(double sigma_mps2);
     [[nodiscard]] double measurement_noise() const { return meas_sigma_; }
 
+    /// Honest coast mode: add `angle_variance` (rad²) to each misalignment
+    /// angle's covariance. Called by a supervisor while measurement updates
+    /// stall, so the reported 3σ grows with the stale time instead of
+    /// freezing at its last confident value — and the larger gain on the
+    /// first post-outage updates speeds re-convergence. Throws
+    /// std::invalid_argument on a negative variance.
+    void grow_angle_covariance(double angle_variance);
+
     /// Number of accepted measurement updates so far.
     [[nodiscard]] std::size_t updates() const { return updates_; }
 

@@ -1,5 +1,6 @@
 #include "system/boresight_system.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -71,6 +72,7 @@ void BoresightSystem::Config::validate() const {
             "monitor alarm rate must be in (0, 1]");
     require(monitor_min_samples >= 1,
             "monitor minimum sample count must be at least 1");
+    supervisor.validate();
 }
 
 BoresightSystem::BoresightSystem(const Config& cfg)
@@ -86,6 +88,7 @@ BoresightSystem::BoresightSystem(const Config& cfg)
       tuner_(cfg.tuner),
       monitor_(cfg.monitor_window, cfg.monitor_alarm_rate,
                cfg.monitor_min_samples),
+      supervisor_(cfg.supervisor),
       apply_acc_bias_(cfg.calibrated_bias[0] != 0.0 ||
                       cfg.calibrated_bias[1] != 0.0) {
     // Single-listener fast path: a raw trampoline instead of std::function.
@@ -101,10 +104,18 @@ BoresightSystem::BoresightSystem(const Config& cfg)
     }
 }
 
+void BoresightSystem::set_link_faults(const comm::UartFaults& dmu,
+                                      const comm::UartFaults& acc) {
+    dmu_uart_.set_faults(dmu);
+    acc_uart_.set_faults(acc);
+}
+
 void BoresightSystem::feed(const sim::ScenarioTrace& trace, const double t,
                            const comm::DmuSample& dmu,
                            const comm::AdxlTiming& adxl) {
     adxl_ = trace.adxl();
+    epoch_dmu_delivered_ = false;
+    epoch_acc_delivered_ = false;
 
     // IMU -> two CAN frames onto the shared bus (encoded into scratch).
     comm::DmuCodec::encode_into(dmu, scratch_.gyro_frame,
@@ -125,6 +136,7 @@ void BoresightSystem::feed(const sim::ScenarioTrace& trace, const double t,
         if (auto frame = deframer_.feed(byte)) {
             if (auto sample = dmu_codec_.feed(*frame, byte.t)) {
                 pending_dmu_ = sample;
+                epoch_dmu_delivered_ = true;
             }
         }
     });
@@ -136,6 +148,7 @@ void BoresightSystem::feed(const sim::ScenarioTrace& trace, const double t,
             // the physical duty-cycle band.
             if (comm::adxl_plausible(*timing, adxl_)) {
                 pending_acc_ = timing;
+                epoch_acc_delivered_ = true;
             } else {
                 ++implausible_acc_;
             }
@@ -144,10 +157,51 @@ void BoresightSystem::feed(const sim::ScenarioTrace& trace, const double t,
 
     // Fuse whenever a synchronized pair is ready. (Pairs are matched by
     // arrival; sequence slips from lost frames simply drop an epoch.)
+    bool fused = false;
     if (pending_dmu_ && pending_acc_) {
         process_pair(*pending_dmu_, *pending_acc_);
         pending_dmu_.reset();
         pending_acc_.reset();
+        fused = true;
+    }
+
+    // Liveness watchdogs see every epoch, delivered or not — that is the
+    // whole point: starvation regimes produce no residuals for the monitor,
+    // but they still produce (empty) epochs here.
+    HealthSupervisor::Event ev;
+    ev.t = t;
+    ev.dt_s = 1.0 / trace.sample_rate_hz();
+    ev.dmu_delivered = epoch_dmu_delivered_;
+    ev.acc_delivered = epoch_acc_delivered_;
+    ev.fused = fused;
+    const auto verdict = supervisor_.observe(ev);
+
+    // Honest coast mode: while updates stall, the angle uncertainty grows
+    // as a random walk of the configured intensity instead of freezing at
+    // its last confident value. Natively the EKF covariance itself grows
+    // (so post-outage gains are honest too); on the Sabre path the
+    // covariance lives inside the firmware, so the growth accumulates
+    // host-side and is folded into the reported 3σ.
+    const double rate = cfg_.supervisor.coast_sigma_rate;
+    if (verdict.coast_dt_s > 0.0 && rate > 0.0) {
+        const double var = rate * rate * verdict.coast_dt_s;
+        if (native_) {
+            native_->grow_angle_covariance(var);
+        } else {
+            coast_var_ += var;
+        }
+    }
+
+    if (verdict.recovered) {
+        // Sustained-clean return to nominal: re-arm the residual monitor
+        // so its exceedance window starts fresh on the recovered link
+        // (the Status latch keeps any earlier alarm visible), and retire
+        // the Sabre-side coast inflation — the estimate has demonstrably
+        // re-converged. The native EKF needs nothing: its grown covariance
+        // contracts through the resumed updates on its own.
+        monitor_latched_ = monitor_latched_ || monitor_.flagged();
+        monitor_.reset();
+        coast_var_ = 0.0;
     }
 }
 
@@ -215,6 +269,15 @@ BoresightSystem::Status BoresightSystem::status() const {
         const auto est = sabre_->estimate();
         s.estimate = est.angles;
         s.sigma3 = est.sigma3;
+        if (coast_var_ > 0.0) {
+            // Fold the host-side coast variance into the firmware's
+            // reported 3σ (guarded so a never-coasted run keeps the
+            // register bits untouched).
+            for (std::size_t i = 0; i < 3; ++i) {
+                const double sigma = s.sigma3[i] / 3.0;
+                s.sigma3[i] = 3.0 * std::sqrt(sigma * sigma + coast_var_);
+            }
+        }
         s.measurement_noise = sabre_->measurement_noise();
     }
     s.updates = updates_;
@@ -224,10 +287,20 @@ BoresightSystem::Status BoresightSystem::status() const {
     s.worst_transport_latency = can_.max_latency();
     s.residual_rms = residual_stats_.rms();
     s.tuner_adjustments = tuner_.adjustments();
-    s.residual_flagged = monitor_.flagged();
+    s.residual_flagged = monitor_.flagged() || monitor_latched_;
     s.residual_flag_s = monitor_flag_t_;
     s.residual_windowed_rate = monitor_.windowed_rate();
     s.residual_exceedances = monitor_.exceedances();
+    s.health = supervisor_.state();
+    s.worst_health = supervisor_.worst_state();
+    s.supervisor_alarmed = supervisor_.alarmed();
+    s.supervisor_alarm_s = supervisor_.alarm_s();
+    s.dmu_delivery_rate = supervisor_.dmu_delivery_rate();
+    s.acc_delivery_rate = supervisor_.acc_delivery_rate();
+    s.coast_s = supervisor_.coast_s();
+    s.recoveries = supervisor_.recoveries();
+    s.reconvergence_s = supervisor_.last_recovery_s();
+    s.acc_implausible = implausible_acc_;
     return s;
 }
 

@@ -12,6 +12,7 @@
 #include "core/boresight_ekf.hpp"
 #include "math/rotation.hpp"
 #include "sim/scenario.hpp"
+#include "system/health_supervisor.hpp"
 #include "system/sabre_runner.hpp"
 #include "util/stats.hpp"
 
@@ -61,6 +62,12 @@ public:
         std::size_t monitor_window = 2000;
         double monitor_alarm_rate = core::ResidualMonitor::kDefaultAlarmRate;
         std::size_t monitor_min_samples = 200;
+        /// Liveness watchdogs + latched health state machine + coast-mode
+        /// covariance growth (always on; the residual monitor's complement
+        /// for the starvation regimes where no residuals arrive at all).
+        /// The defaults never trip on an un-faulted run, so arming the
+        /// supervisor perturbs nothing.
+        HealthSupervisorConfig supervisor{};
 
         /// Throws std::invalid_argument naming the first bad field. Called
         /// by the BoresightSystem constructor: a zero bitrate or a
@@ -103,6 +110,22 @@ public:
         double residual_flag_s = -1.0;  ///< receive time of the latch; -1 never
         double residual_windowed_rate = 0.0;  ///< exceedance rate, window
         std::size_t residual_exceedances = 0;  ///< lifetime axis exceedances
+        // Health-supervisor outputs (the second, residual-free detector:
+        // liveness watchdogs + latched state machine + coast accounting).
+        HealthState health = HealthState::kNominal;  ///< current state
+        HealthState worst_health = HealthState::kNominal;  ///< lifetime worst
+        bool supervisor_alarmed = false;  ///< latched liveness alarm
+        double supervisor_alarm_s = -1.0;  ///< latch receive time; -1 never
+        double dmu_delivery_rate = 1.0;  ///< windowed per-link delivery rate
+        double acc_delivery_rate = 1.0;
+        double coast_s = 0.0;  ///< lifetime seconds spent coasting
+        std::size_t recoveries = 0;  ///< completed post-episode recoveries
+        /// Resume→recovered time of the most recent post-coast recovery
+        /// (the re-convergence report); -1 until one completes.
+        double reconvergence_s = -1.0;
+        /// ACC packets that passed the checksum but failed the physical
+        /// duty-cycle plausibility gate (counted since construction).
+        std::size_t acc_implausible = 0;
     };
     [[nodiscard]] Status status() const;
 
@@ -113,6 +136,16 @@ public:
     [[nodiscard]] SabreFusionSystem* sabre_system() {
         return sabre_ ? sabre_.get() : nullptr;
     }
+    [[nodiscard]] const HealthSupervisor& supervisor() const {
+        return supervisor_;
+    }
+
+    /// Swap both serial links' fault models mid-run (outage/recovery
+    /// drills). The links' fault draws are counter-keyed on byte index, so
+    /// the swap is position-independent: the same epochs fault whether the
+    /// model was set at construction or here.
+    void set_link_faults(const comm::UartFaults& dmu,
+                         const comm::UartFaults& acc);
 
 private:
     void process_pair(const comm::DmuSample& dmu, const comm::AdxlTiming& acc);
@@ -143,6 +176,11 @@ private:
     std::optional<comm::AdxlTiming> pending_acc_;
     std::uint8_t acc_seq_ = 0;
     std::size_t sent_epochs_ = 0;
+    /// Per-epoch liveness flags the drain sinks raise for the supervisor:
+    /// a decoded DMU sample / plausibility-clean ACC timing landed during
+    /// this feed call.
+    bool epoch_dmu_delivered_ = false;
+    bool epoch_acc_delivered_ = false;
 
     // Fusion processors.
     std::unique_ptr<core::BoresightEkf> native_;
@@ -150,6 +188,16 @@ private:
     core::AdaptiveNoiseTuner tuner_;
     core::ResidualMonitor monitor_;  ///< always-on health detector
     double monitor_flag_t_ = -1.0;   ///< receive time when the alarm latched
+    /// The monitor re-arms (reset) when the supervisor declares recovery;
+    /// this latch keeps Status::residual_flagged true for the system's
+    /// life once the alarm has tripped, re-arm or not.
+    bool monitor_latched_ = false;
+    HealthSupervisor supervisor_;
+    /// Host-side accumulated coast variance (rad²) folded into the
+    /// reported 3σ on the Sabre path, where the covariance lives inside
+    /// the firmware; cleared when the supervisor declares recovery. The
+    /// native path grows the EKF covariance directly instead.
+    double coast_var_ = 0.0;
     util::RunningStats residual_stats_;  ///< innovation samples, both axes
     std::size_t updates_ = 0;
     /// True when a nonzero calibrated bias must be folded into the raw ACC

@@ -1,5 +1,6 @@
 #include "system/fault_campaign.hpp"
 
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -44,15 +45,36 @@ void FaultCampaignConfig::validate() const {
     }
     if (duration_s < 0.0) fail("duration override must be non-negative");
     if (burst_frames == 0) fail("burst length must be at least one frame");
+    if (boundary_tolerance < 0.0) {
+        fail("boundary tolerance must be non-negative");
+    }
+    if (boundary_tolerance > 0.0 && boundary_max_probes == 0) {
+        fail("boundary probe budget must be at least 1");
+    }
 }
 
 FaultOutcome classify_fault_outcome(const FleetSeedResult& s) {
     const bool diverged = s.trace.first_divergence_s >= 0.0;
-    const bool flagged = s.final_status.residual_flagged;
+    const bool alarmed = s.final_status.residual_flagged ||
+                         s.final_status.supervisor_alarmed;
     if (diverged) {
-        return flagged ? FaultOutcome::kDetection : FaultOutcome::kMiss;
+        return alarmed ? FaultOutcome::kDetection : FaultOutcome::kMiss;
     }
-    return flagged ? FaultOutcome::kFalseAlarm : FaultOutcome::kTrueNegative;
+    return alarmed ? FaultOutcome::kFalseAlarm : FaultOutcome::kTrueNegative;
+}
+
+double fault_detection_time_s(const FleetSeedResult& s) {
+    double t = -1.0;
+    if (s.final_status.residual_flagged &&
+        s.final_status.residual_flag_s >= 0.0) {
+        t = s.final_status.residual_flag_s;
+    }
+    if (s.final_status.supervisor_alarmed &&
+        s.final_status.supervisor_alarm_s >= 0.0 &&
+        (t < 0.0 || s.final_status.supervisor_alarm_s < t)) {
+        t = s.final_status.supervisor_alarm_s;
+    }
+    return t;
 }
 
 const char* fault_outcome_name(const FaultOutcome o) {
@@ -116,7 +138,11 @@ namespace {
         switch (classify_fault_outcome(s)) {
             case FaultOutcome::kDetection:
                 ++o.detections;
-                latency_sum += s.final_status.residual_flag_s -
+                if (s.final_status.residual_flagged) ++o.residual_detections;
+                if (s.final_status.supervisor_alarmed) {
+                    ++o.supervisor_detections;
+                }
+                latency_sum += fault_detection_time_s(s) -
                                s.trace.first_divergence_s;
                 break;
             case FaultOutcome::kMiss: ++o.misses; break;
@@ -146,6 +172,8 @@ FaultCampaignReport FaultCampaign::run(const FleetRunner& runner) const {
         report.misses += cell.outcomes.misses;
         report.false_alarms += cell.outcomes.false_alarms;
         report.true_negatives += cell.outcomes.true_negatives;
+        report.residual_detections += cell.outcomes.residual_detections;
+        report.supervisor_detections += cell.outcomes.supervisor_detections;
     }
 
     // Boundary scan per {scenario × fault × processor} group over the
@@ -199,7 +227,138 @@ FaultCampaignReport FaultCampaign::run(const FleetRunner& runner) const {
             }
         }
     }
+
+    if (cfg_.boundary_tolerance > 0.0) refine_boundaries(report, runner);
     return report;
+}
+
+FleetJob FaultCampaign::probe_job(const std::size_t scenario_index,
+                                  const std::size_t fault_index,
+                                  const std::size_t processor_index,
+                                  const double intensity) const {
+    FleetJob job;
+    job.scenario = cfg_.scenarios[scenario_index];
+    job.processor = cfg_.processors[processor_index];
+    job.base_seed = cfg_.base_seed;
+    job.duration_s = cfg_.duration_s;
+    job.seeds_per_job = cfg_.seeds_per_cell;
+    job.fault = FleetFault{cfg_.faults[fault_index], intensity,
+                           cfg_.burst_frames};
+    job.validate();
+    return job;
+}
+
+void FaultCampaign::refine_boundaries(FaultCampaignReport& report,
+                                      const FleetRunner& runner) const {
+    // Classification of a rung/probe ensemble along the search axis: any
+    // missed divergence puts the intensity on the miss side; everything
+    // else (clean detection, or no divergence at all) on the detect side.
+    // The refined edge is therefore "where silent misses begin", whichever
+    // orientation the group showed on the rung grid.
+    const auto missed = [](const FaultCellOutcomes& o) {
+        return o.misses > 0;
+    };
+
+    struct Search {
+        FaultBoundaryRefinement out;
+        bool active = true;
+    };
+    std::vector<Search> searches;
+
+    const std::size_t ni = cfg_.intensities.size();
+    const std::size_t np = cfg_.processors.size();
+    for (const auto& b : report.boundaries) {
+        if (!b.boundary_demonstrated) continue;
+        // Bracket: the first adjacent pair of classified rungs (in axis
+        // order) whose miss-side classification flips.
+        Search s;
+        s.out.scenario_index = b.scenario_index;
+        s.out.fault_index = b.fault_index;
+        s.out.processor_index = b.processor_index;
+        s.out.miss_region_above = b.miss_region_above;
+        bool have_prev = false;
+        bool prev_missed = false;
+        double prev_intensity = 0.0;
+        bool bracketed = false;
+        for (std::size_t ii = 0; ii < ni && !bracketed; ++ii) {
+            if (cfg_.intensities[ii] <= 0.0) continue;
+            const std::size_t idx =
+                ((b.scenario_index * cfg_.faults.size() + b.fault_index) *
+                     ni +
+                 ii) *
+                    np +
+                b.processor_index;
+            const auto& o = report.cells[idx].outcomes;
+            // Rungs with neither a miss nor a detection carry no boundary
+            // evidence (the fault never diverged the estimate); skip them
+            // so the bracket ends on informative rungs.
+            if (o.misses == 0 && o.detections == 0) continue;
+            const bool m = missed(o);
+            if (have_prev && m != prev_missed) {
+                s.out.miss_edge = m ? cfg_.intensities[ii] : prev_intensity;
+                s.out.detect_edge =
+                    m ? prev_intensity : cfg_.intensities[ii];
+                bracketed = true;
+            }
+            have_prev = true;
+            prev_missed = m;
+            prev_intensity = cfg_.intensities[ii];
+        }
+        if (bracketed) searches.push_back(std::move(s));
+    }
+
+    // Bisect all active groups in lockstep rounds: one fleet batch per
+    // round, consumed in group order — the refinement is a pure function
+    // of deterministic probe outcomes, so it is as thread-count-
+    // independent as the rung grid.
+    const auto width = [](const Search& s) {
+        return std::abs(s.out.miss_edge - s.out.detect_edge);
+    };
+    for (;;) {
+        std::vector<std::size_t> active;
+        std::vector<FleetJob> batch;
+        for (std::size_t k = 0; k < searches.size(); ++k) {
+            auto& s = searches[k];
+            if (!s.active) continue;
+            if (width(s) <= cfg_.boundary_tolerance) {
+                s.out.converged = true;
+                s.active = false;
+                continue;
+            }
+            if (s.out.probes.size() >= cfg_.boundary_max_probes) {
+                s.active = false;
+                continue;
+            }
+            const double mid =
+                0.5 * (s.out.detect_edge + s.out.miss_edge);
+            active.push_back(k);
+            batch.push_back(probe_job(s.out.scenario_index,
+                                      s.out.fault_index,
+                                      s.out.processor_index, mid));
+        }
+        if (batch.empty()) break;
+        auto results = runner.run(batch);
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            auto& s = searches[active[j]];
+            FaultBoundaryProbe probe;
+            probe.intensity = batch[j].fault->intensity;
+            probe.outcomes = reduce_cell(results[j]);
+            for (const auto& seed : results[j].seeds) {
+                probe.epochs += seed.trace.epochs;
+            }
+            if (missed(probe.outcomes)) {
+                s.out.miss_edge = probe.intensity;
+            } else {
+                s.out.detect_edge = probe.intensity;
+            }
+            s.out.probes.push_back(std::move(probe));
+        }
+    }
+
+    report.refinements.reserve(searches.size());
+    for (auto& s : searches) {
+        report.refinements.push_back(std::move(s.out));
+    }
 }
 
 std::string FaultCampaignReport::to_json() const {
@@ -247,6 +406,8 @@ std::string FaultCampaignReport::to_json() const {
         w.key("misses").value(o.misses);
         w.key("false_alarms").value(o.false_alarms);
         w.key("true_negatives").value(o.true_negatives);
+        w.key("residual_detections").value(o.residual_detections);
+        w.key("supervisor_detections").value(o.supervisor_detections);
         w.key("mean_detection_latency_s").value(o.mean_detection_latency_s);
         w.key("epochs").value(r.trace.epochs);
         w.key("realizations").begin_array();
@@ -260,6 +421,20 @@ std::string FaultCampaignReport::to_json() const {
             w.key("flag_s").value(s.final_status.residual_flag_s);
             w.key("windowed_rate").value(s.final_status.residual_windowed_rate);
             w.key("exceedances").value(s.final_status.residual_exceedances);
+            w.key("health").value(
+                health_state_name(s.final_status.worst_health));
+            w.key("supervisor_alarmed").value(
+                s.final_status.supervisor_alarmed);
+            w.key("supervisor_alarm_s").value(
+                s.final_status.supervisor_alarm_s);
+            w.key("delivery_rates").begin_array();
+            w.value(s.final_status.dmu_delivery_rate);
+            w.value(s.final_status.acc_delivery_rate);
+            w.end_array();
+            w.key("coast_s").value(s.final_status.coast_s);
+            w.key("recoveries").value(s.final_status.recoveries);
+            w.key("reconvergence_s").value(s.final_status.reconvergence_s);
+            w.key("acc_implausible").value(s.final_status.acc_implausible);
             w.key("dmu_frames_lost").value(s.final_status.dmu_frames_lost);
             w.key("acc_packets_lost").value(s.final_status.acc_packets_lost);
             w.key("fault_window_s").begin_array();
@@ -294,10 +469,42 @@ std::string FaultCampaignReport::to_json() const {
     }
     w.end_array();
 
+    w.key("boundary_search").begin_object();
+    w.key("tolerance").value(config.boundary_tolerance);
+    w.key("max_probes").value(config.boundary_max_probes);
+    w.key("refinements").begin_array();
+    for (const auto& r : refinements) {
+        w.begin_object();
+        w.key("scenario").value(config.scenarios[r.scenario_index]);
+        w.key("fault").value(fault_type_name(config.faults[r.fault_index]));
+        w.key("processor").value(
+            processor_name(config.processors[r.processor_index]));
+        w.key("miss_region_above").value(r.miss_region_above);
+        w.key("detect_edge").value(r.detect_edge);
+        w.key("miss_edge").value(r.miss_edge);
+        w.key("converged").value(r.converged);
+        w.key("probes").begin_array();
+        for (const auto& p : r.probes) {
+            w.begin_object();
+            w.key("intensity").value(p.intensity);
+            w.key("detections").value(p.outcomes.detections);
+            w.key("misses").value(p.outcomes.misses);
+            w.key("false_alarms").value(p.outcomes.false_alarms);
+            w.key("true_negatives").value(p.outcomes.true_negatives);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
     std::size_t demonstrated = 0;
     for (const auto& b : boundaries) {
         if (b.boundary_demonstrated) ++demonstrated;
     }
+    std::size_t probe_count = 0;
+    for (const auto& r : refinements) probe_count += r.probes.size();
     w.key("summary").begin_object();
     w.key("cells").value(cells.size());
     w.key("realizations").value(cells.size() * config.seeds_per_cell);
@@ -305,7 +512,11 @@ std::string FaultCampaignReport::to_json() const {
     w.key("misses").value(misses);
     w.key("false_alarms").value(false_alarms);
     w.key("true_negatives").value(true_negatives);
+    w.key("residual_detections").value(residual_detections);
+    w.key("supervisor_detections").value(supervisor_detections);
     w.key("boundaries_demonstrated").value(demonstrated);
+    w.key("boundaries_refined").value(refinements.size());
+    w.key("boundary_probes").value(probe_count);
     w.end_object();
     w.end_object();
     return w.str();

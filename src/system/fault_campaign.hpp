@@ -31,26 +31,46 @@ struct FaultCampaignConfig {
     std::uint64_t base_seed = 2026;
     double duration_s = 0.0;       ///< per-job duration override; 0 => spec
     std::size_t burst_frames = 8;  ///< burst length for kCanBurstLoss cells
+    /// Adaptive boundary search: when positive, every {scenario × fault ×
+    /// processor} group whose rung grid demonstrated a boundary is bisected
+    /// down to this intensity tolerance — extra probe cells run between the
+    /// bracketing rungs until the clean-detection edge and the miss edge
+    /// are within the tolerance. 0 keeps the fixed-rung grid only. The
+    /// search is a pure function of the (deterministic) probe outcomes, so
+    /// the refined edges are as thread-count-independent as the grid.
+    double boundary_tolerance = 0.0;
+    /// Probe budget per refined group (bisection halves the bracket per
+    /// probe, so 16 resolves any [0,1] bracket below 2e-5).
+    std::size_t boundary_max_probes = 16;
 
     /// Throws std::invalid_argument naming the first bad axis: empty
     /// label/scenario/fault/intensity/processor axis, unknown scenario,
     /// duplicate fault type, an intensity outside [0, 1] or not strictly
     /// increasing, a zero/overflowing seed count, a negative duration, a
-    /// zero burst length — plus everything FleetJob::validate rejects.
+    /// zero burst length, a negative boundary tolerance or a zero probe
+    /// budget — plus everything FleetJob::validate rejects.
     void validate() const;
 };
 
 /// How one realization ended, crossing ground truth (did the estimate
-/// leave the envelope?) with the detector (did the monitor latch?).
+/// leave the envelope?) with the combined detector: the ResidualMonitor's
+/// latched 3σ-rate alarm OR the HealthSupervisor's latched liveness alarm.
+/// The two detectors cover complementary regimes — residuals catch a
+/// plausibly-delivered-but-wrong feed, the liveness watchdogs catch the
+/// starved feed that delivers no residuals at all.
 enum class FaultOutcome {
-    kDetection,     ///< diverged and flagged
-    kMiss,          ///< diverged, never flagged — the dangerous quadrant
-    kFalseAlarm,    ///< flagged without divergence
+    kDetection,     ///< diverged and alarmed (either detector)
+    kMiss,          ///< diverged, neither alarmed — the dangerous quadrant
+    kFalseAlarm,    ///< alarmed without divergence
     kTrueNegative,  ///< neither
 };
 
 [[nodiscard]] FaultOutcome classify_fault_outcome(const FleetSeedResult& s);
 [[nodiscard]] const char* fault_outcome_name(FaultOutcome o);
+
+/// Earliest fired alarm time of a realization across both detectors;
+/// -1 when neither alarmed.
+[[nodiscard]] double fault_detection_time_s(const FleetSeedResult& s);
 
 /// Outcome tally of one cell's seed ensemble, accumulated in seed-index
 /// order so every number is scheduling-independent.
@@ -60,8 +80,14 @@ struct FaultCellOutcomes {
     std::size_t misses = 0;
     std::size_t false_alarms = 0;
     std::size_t true_negatives = 0;
-    /// Mean (flag time - divergence time) over the detections, seconds;
-    /// 0 when the cell has no detection.
+    /// Per-detector columns of the detections row: which detector caught
+    /// each diverged realization (they overlap when both fired).
+    std::size_t residual_detections = 0;
+    std::size_t supervisor_detections = 0;
+    /// Mean (earliest alarm time - divergence time) over the detections,
+    /// seconds; 0 when the cell has no detection. Negative means the
+    /// detector alarmed before the estimate left the envelope — the
+    /// liveness watchdogs routinely do on a starved link.
     double mean_detection_latency_s = 0.0;
 };
 
@@ -102,6 +128,31 @@ struct FaultBoundary {
     bool miss_region_above = false;
 };
 
+/// One probe of the adaptive boundary search: a bisected intensity with
+/// the outcome tally of its seed ensemble.
+struct FaultBoundaryProbe {
+    double intensity = 0.0;
+    std::size_t epochs = 0;  ///< scenario epochs run for this probe
+    FaultCellOutcomes outcomes;
+};
+
+/// Bisection refinement of one demonstrated boundary. The search narrows
+/// the FIRST classification flip along the intensity axis: `detect_edge`
+/// is the refined clean-detection side, `miss_edge` the miss side (a probe
+/// without misses — clean detection or no divergence at all — moves the
+/// detect edge, a probe with misses moves the miss edge). The two straddle
+/// the rung grid's bracket in whichever orientation the group showed.
+struct FaultBoundaryRefinement {
+    std::size_t scenario_index = 0;
+    std::size_t fault_index = 0;
+    std::size_t processor_index = 0;
+    bool miss_region_above = false;  ///< orientation, from the rung grid
+    double detect_edge = 0.0;
+    double miss_edge = 0.0;
+    bool converged = false;  ///< bracket reached the tolerance in budget
+    std::vector<FaultBoundaryProbe> probes;  ///< in bisection order
+};
+
 /// Machine-readable campaign outcome. Every field is a deterministic
 /// function of the config — no wall-clock, no thread count — so
 /// `to_json()` is byte-identical however the batch was scheduled.
@@ -109,10 +160,13 @@ struct FaultCampaignReport {
     FaultCampaignConfig config;
     std::vector<FaultCampaignCell> cells;
     std::vector<FaultBoundary> boundaries;
+    std::vector<FaultBoundaryRefinement> refinements;
     std::size_t detections = 0;
     std::size_t misses = 0;
     std::size_t false_alarms = 0;
     std::size_t true_negatives = 0;
+    std::size_t residual_detections = 0;
+    std::size_t supervisor_detections = 0;
 
     /// Render the full report (axes, per-cell outcomes and per-seed
     /// verdicts, boundaries, summary) via util::JsonWriter.
@@ -133,10 +187,20 @@ public:
     [[nodiscard]] const std::vector<FleetJob>& jobs() const { return jobs_; }
     [[nodiscard]] std::size_t cell_count() const { return jobs_.size(); }
 
-    /// Execute the batch on the given runner and reduce the results.
+    /// Execute the batch on the given runner and reduce the results. With
+    /// a positive boundary_tolerance, follow-up probe batches refine every
+    /// demonstrated boundary by bisection (one batch per round — all
+    /// active groups probe concurrently, results consumed in group order).
     [[nodiscard]] FaultCampaignReport run(const FleetRunner& runner) const;
 
 private:
+    void refine_boundaries(FaultCampaignReport& report,
+                           const FleetRunner& runner) const;
+    [[nodiscard]] FleetJob probe_job(std::size_t scenario_index,
+                                     std::size_t fault_index,
+                                     std::size_t processor_index,
+                                     double intensity) const;
+
     FaultCampaignConfig cfg_;
     std::vector<FleetJob> jobs_;
     std::vector<FaultCampaignCell> shape_;  ///< axis indices per job

@@ -102,6 +102,26 @@ TEST(BoresightSystemConfigValidation, RejectsOutOfRangeFaultProbabilities) {
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(BoresightSystemConfigValidation, RejectsBadSupervisor) {
+    // System validation must reach the nested supervisor knobs: a broken
+    // staleness ladder or a dead delivery window fails at construction,
+    // not as a watchdog that silently never trips.
+    auto cfg = valid_system_config();
+    cfg.supervisor.delivery_window = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.supervisor.coast_staleness_epochs =
+        cfg.supervisor.degrade_staleness_epochs;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.supervisor.fail_staleness_epochs =
+        cfg.supervisor.coast_staleness_epochs;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    cfg = valid_system_config();
+    cfg.supervisor.coast_sigma_rate = -1e-9;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 // --- ExperimentConfig -------------------------------------------------------
 
 system::ExperimentConfig valid_experiment_config() {

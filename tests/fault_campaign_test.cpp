@@ -63,7 +63,16 @@ TEST(FaultCampaignConfig, RejectsBadAxes) {
     expect_throw([](auto& c) { c.seeds_per_cell = 0; });
     expect_throw([](auto& c) { c.duration_s = -1.0; });
     expect_throw([](auto& c) { c.burst_frames = 0; });
+    expect_throw([](auto& c) { c.boundary_tolerance = -0.01; });
+    expect_throw([](auto& c) {
+        c.boundary_tolerance = 0.05;
+        c.boundary_max_probes = 0;
+    });
     EXPECT_NO_THROW(small_config().validate());
+    // A zero probe budget is fine while the search itself is off.
+    auto off = small_config();
+    off.boundary_max_probes = 0;
+    EXPECT_NO_THROW(off.validate());
 }
 
 TEST(FaultCampaign, ExpandsScenarioMajorGrid) {
@@ -113,6 +122,37 @@ TEST(FaultOutcomes, ClassifiesAllFourQuadrants) {
                  "true-negative");
 }
 
+/// The campaign detector is the OR of the two independent alarms: a
+/// diverged realization the residual monitor never saw (starvation) is
+/// still a detection when the supervisor's liveness alarm latched.
+TEST(FaultOutcomes, SupervisorAlarmAloneCountsAsDetection) {
+    FleetSeedResult s;
+    s.trace.first_divergence_s = 100.0;
+    s.final_status.residual_flagged = false;
+    s.final_status.supervisor_alarmed = true;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kDetection);
+    s.trace.first_divergence_s = -1.0;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kFalseAlarm);
+    s.final_status.supervisor_alarmed = false;
+    EXPECT_EQ(classify_fault_outcome(s), FaultOutcome::kTrueNegative);
+}
+
+/// Detection time is the earliest fired alarm across both detectors.
+TEST(FaultOutcomes, DetectionTimeIsTheEarliestAlarm) {
+    FleetSeedResult s;
+    EXPECT_DOUBLE_EQ(system::fault_detection_time_s(s), -1.0);
+    s.final_status.residual_flagged = true;
+    s.final_status.residual_flag_s = 40.0;
+    EXPECT_DOUBLE_EQ(system::fault_detection_time_s(s), 40.0);
+    s.final_status.supervisor_alarmed = true;
+    s.final_status.supervisor_alarm_s = 12.5;
+    EXPECT_DOUBLE_EQ(system::fault_detection_time_s(s), 12.5);
+    s.final_status.supervisor_alarm_s = 90.0;
+    EXPECT_DOUBLE_EQ(system::fault_detection_time_s(s), 40.0);
+    s.final_status.residual_flagged = false;
+    EXPECT_DOUBLE_EQ(system::fault_detection_time_s(s), 90.0);
+}
+
 // --- determinism -------------------------------------------------------------
 
 TEST(FaultCampaign, ReportBytesIdenticalAcrossThreadCounts) {
@@ -122,6 +162,99 @@ TEST(FaultCampaign, ReportBytesIdenticalAcrossThreadCounts) {
     const auto a = campaign.run(serial).to_json();
     const auto b = campaign.run(pooled).to_json();
     EXPECT_EQ(a, b) << "campaign report must not depend on scheduling";
+}
+
+/// The grid on which static-level acc-stuck demonstrates a boundary (a
+/// miss at 0.14, a clean detection at 0.40 — measured, stable under the
+/// deterministic seed contract). Bisection must refine it inside the rung
+/// bracket, converge within tolerance, and stay byte-identical however
+/// the probe batches were scheduled.
+FaultCampaignConfig boundary_config() {
+    FaultCampaignConfig cfg;
+    cfg.scenarios = {"static-level"};
+    cfg.faults = {FaultType::kAccStuck};
+    cfg.intensities = {0.14, 0.4};
+    cfg.processors = {Processor::kNative};
+    cfg.seeds_per_cell = 3;
+    cfg.duration_s = 150.0;
+    cfg.boundary_tolerance = 0.02;
+    cfg.boundary_max_probes = 8;
+    return cfg;
+}
+
+TEST(FaultBoundarySearch, BisectsInsideTheRungBracketAndConverges) {
+    const auto cfg = boundary_config();
+    const FaultCampaign campaign(cfg);
+    const FleetRunner serial(FleetRunner::Config{.threads = 1});
+    const auto report = campaign.run(serial);
+
+    ASSERT_EQ(report.boundaries.size(), 1u);
+    ASSERT_TRUE(report.boundaries[0].boundary_demonstrated);
+    ASSERT_EQ(report.refinements.size(), 1u);
+    const auto& r = report.refinements[0];
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.probes.size(), cfg.boundary_max_probes);
+    EXPECT_GE(r.probes.size(), 1u);
+    // Both edges live strictly inside the rung bracket, in the measured
+    // orientation (miss region below the clean-detection region), and the
+    // final bracket is within tolerance.
+    EXPECT_FALSE(r.miss_region_above);
+    EXPECT_GE(r.miss_edge, 0.14);
+    EXPECT_LE(r.detect_edge, 0.4);
+    EXPECT_LT(r.miss_edge, r.detect_edge);
+    EXPECT_LE(r.detect_edge - r.miss_edge, cfg.boundary_tolerance);
+    // Every probe sits inside the original bracket, and each one moved
+    // exactly one edge: probes with misses set the miss edge, the rest
+    // the detect edge.
+    for (const auto& p : r.probes) {
+        EXPECT_GT(p.intensity, 0.14);
+        EXPECT_LT(p.intensity, 0.4);
+        EXPECT_GT(p.epochs, 0u);
+        EXPECT_EQ(p.outcomes.seeds, cfg.seeds_per_cell);
+    }
+}
+
+TEST(FaultBoundarySearch, RefinementIsByteIdenticalAcrossThreadCounts) {
+    const FaultCampaign campaign(boundary_config());
+    const FleetRunner serial(FleetRunner::Config{.threads = 1});
+    const FleetRunner pooled(FleetRunner::Config{.threads = 8});
+    const auto a = campaign.run(serial).to_json();
+    const auto b = campaign.run(pooled).to_json();
+    EXPECT_EQ(a, b) << "bisection must not depend on probe scheduling";
+    EXPECT_NE(a.find("\"boundary_search\""), std::string::npos);
+}
+
+/// PR-6's dangerous quadrant: a heavy uart dropout on a moving platform
+/// diverges the estimate while starving the residual monitor blind. The
+/// supervisor's liveness alarm must reclassify it as a detection, carried
+/// by the supervisor column.
+TEST(FaultCampaign, SupervisorConvertsStarvationMissesIntoDetections) {
+    FaultCampaignConfig cfg;
+    cfg.scenarios = {"city-drive"};
+    cfg.faults = {FaultType::kUartDropout};
+    cfg.intensities = {0.4};
+    cfg.processors = {Processor::kNative};
+    cfg.seeds_per_cell = 3;
+    cfg.duration_s = 150.0;
+    const FaultCampaign campaign(cfg);
+    const FleetRunner runner(FleetRunner::Config{.threads = 2});
+    const auto report = campaign.run(runner);
+
+    ASSERT_EQ(report.cells.size(), 1u);
+    const auto& o = report.cells[0].outcomes;
+    EXPECT_EQ(o.misses, 0u) << "the silent-miss quadrant must be closed";
+    EXPECT_EQ(o.detections, cfg.seeds_per_cell);
+    EXPECT_EQ(o.supervisor_detections, cfg.seeds_per_cell);
+    for (const auto& s : report.cells[0].result.seeds) {
+        EXPECT_TRUE(s.final_status.supervisor_alarmed);
+        EXPECT_GE(s.final_status.worst_health,
+                  system::HealthState::kCoasting);
+        EXPECT_LT(s.final_status.dmu_delivery_rate, 0.9);
+    }
+    // The per-detector columns partition nothing — they overlap — but
+    // each is bounded by the detections row they annotate.
+    EXPECT_LE(o.residual_detections, o.detections);
+    EXPECT_LE(o.supervisor_detections, o.detections);
 }
 
 TEST(FaultCampaign, ZeroIntensityCellsMatchUnfaultedFleetRuns) {

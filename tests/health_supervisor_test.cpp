@@ -1,0 +1,451 @@
+// HealthSupervisor contract tests: config validation, the staleness and
+// windowed-rate watchdogs, latched state-machine transitions with
+// hysteresis, coast-time accounting, recovery bookkeeping — and the
+// system-level wiring: starvation detection under total dropout, honest
+// coast-mode sigma growth on both processors, re-convergence after an
+// outage/recovery drill, and the Status exports the fault campaign reads.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "math/rotation.hpp"
+#include "sim/scenario.hpp"
+#include "system/boresight_system.hpp"
+#include "system/health_supervisor.hpp"
+
+namespace {
+
+using namespace ob;
+using math::EulerAngles;
+using system::HealthState;
+using system::HealthSupervisor;
+using system::HealthSupervisorConfig;
+
+/// Small thresholds so transition arithmetic stays readable: degrade after
+/// 2 stale epochs, coast after 4, fail after 8; alarm confirm 3; recovery
+/// after 4 clean epochs; rate watchdog over an 8-epoch window armed after
+/// 4 epochs.
+HealthSupervisorConfig small_config() {
+    HealthSupervisorConfig cfg;
+    cfg.delivery_window = 8;
+    cfg.min_window_epochs = 4;
+    cfg.degrade_delivery_rate = 0.75;
+    cfg.degrade_staleness_epochs = 2;
+    cfg.coast_staleness_epochs = 4;
+    cfg.fail_staleness_epochs = 8;
+    cfg.alarm_confirm_epochs = 3;
+    cfg.recovery_epochs = 4;
+    return cfg;
+}
+
+constexpr double kDt = 0.01;
+
+HealthSupervisor::Event event(double t, bool delivered, bool fused) {
+    return {t, kDt, delivered, delivered, fused};
+}
+
+/// Drive `n` epochs, all delivered+fused or all starved, returning the
+/// last verdict. Time continues from `t0`.
+HealthSupervisor::Verdict drive(HealthSupervisor& sup, double& t0,
+                                std::size_t n, bool delivered) {
+    HealthSupervisor::Verdict v;
+    for (std::size_t i = 0; i < n; ++i) {
+        t0 += kDt;
+        v = sup.observe(event(t0, delivered, delivered));
+    }
+    return v;
+}
+
+// --- config validation --------------------------------------------------------
+
+TEST(HealthSupervisorConfig, RejectsBadKnobs) {
+    const auto expect_throw = [](auto&& mutate) {
+        auto cfg = small_config();
+        mutate(cfg);
+        EXPECT_THROW(cfg.validate(), std::invalid_argument);
+    };
+    expect_throw([](auto& c) { c.delivery_window = 0; });
+    expect_throw([](auto& c) { c.min_window_epochs = 0; });
+    expect_throw([](auto& c) { c.min_window_epochs = c.delivery_window + 1; });
+    expect_throw([](auto& c) { c.degrade_delivery_rate = 0.0; });
+    expect_throw([](auto& c) { c.degrade_delivery_rate = 1.1; });
+    expect_throw([](auto& c) { c.degrade_staleness_epochs = 0; });
+    // The staleness ladder must be strictly increasing.
+    expect_throw([](auto& c) {
+        c.coast_staleness_epochs = c.degrade_staleness_epochs;
+    });
+    expect_throw([](auto& c) {
+        c.fail_staleness_epochs = c.coast_staleness_epochs;
+    });
+    expect_throw([](auto& c) { c.alarm_confirm_epochs = 0; });
+    expect_throw([](auto& c) { c.recovery_epochs = 0; });
+    expect_throw([](auto& c) { c.coast_sigma_rate = -1e-6; });
+    EXPECT_NO_THROW(small_config().validate());
+    EXPECT_NO_THROW(HealthSupervisorConfig{}.validate());
+    // The constructor runs validation too.
+    auto bad = small_config();
+    bad.delivery_window = 0;
+    EXPECT_THROW(HealthSupervisor sup(bad), std::invalid_argument);
+}
+
+// --- staleness ladder and latching --------------------------------------------
+
+TEST(HealthSupervisor, EscalatesThroughTheStalenessLadder) {
+    HealthSupervisor sup(small_config());
+    double t = 0.0;
+    drive(sup, t, 8, true);
+    EXPECT_EQ(sup.state(), HealthState::kNominal);
+
+    // 1 stale epoch: below every threshold.
+    drive(sup, t, 1, false);
+    EXPECT_EQ(sup.state(), HealthState::kNominal);
+    // 2nd stale epoch: degrade threshold.
+    drive(sup, t, 1, false);
+    EXPECT_EQ(sup.state(), HealthState::kDegraded);
+    // 4th stale epoch: coast threshold.
+    drive(sup, t, 2, false);
+    EXPECT_EQ(sup.state(), HealthState::kCoasting);
+    // 8th stale epoch: fail threshold.
+    drive(sup, t, 4, false);
+    EXPECT_EQ(sup.state(), HealthState::kFailed);
+    EXPECT_EQ(sup.worst_state(), HealthState::kFailed);
+}
+
+TEST(HealthSupervisor, StateIsLatchedUntilTheCleanStreakCompletes) {
+    HealthSupervisor sup(small_config());
+    double t = 0.0;
+    drive(sup, t, 8, true);
+    drive(sup, t, 4, false);  // -> coasting
+    ASSERT_EQ(sup.state(), HealthState::kCoasting);
+
+    // Delivered epochs whose window is still lossy are NOT clean: the
+    // state must hold (no silent de-escalation through a degraded target).
+    // Window after 3 delivered epochs: {0,0,0,0,1,1,1} of 8 -> rate 0.5.
+    drive(sup, t, 3, true);
+    EXPECT_EQ(sup.state(), HealthState::kCoasting);
+
+    // Once the window clears the rate threshold, 4 consecutive clean
+    // epochs take the state straight back to nominal — not via degraded.
+    HealthSupervisor::Verdict v;
+    std::size_t clean_needed = 0;
+    while (sup.state() != HealthState::kNominal) {
+        v = drive(sup, t, 1, true);
+        ASSERT_LT(++clean_needed, 64u) << "recovery must complete";
+        if (sup.state() != HealthState::kNominal) {
+            EXPECT_EQ(sup.state(), HealthState::kCoasting);
+        }
+    }
+    EXPECT_TRUE(v.recovered);
+    EXPECT_EQ(sup.recoveries(), 1u);
+    // Lifetime-worst never de-escalates.
+    EXPECT_EQ(sup.worst_state(), HealthState::kCoasting);
+}
+
+TEST(HealthSupervisor, BrokenCleanStreakRestartsTheHysteresisCount) {
+    auto cfg = small_config();
+    // Disarm the rate watchdog so "delivered" epochs right after the stale
+    // burst count as clean and the test isolates the streak counter.
+    cfg.min_window_epochs = cfg.delivery_window;
+    cfg.degrade_delivery_rate = 1e-9;
+    HealthSupervisor sup(cfg);
+    double t = 0.0;
+    drive(sup, t, 2, false);  // -> degraded
+    ASSERT_EQ(sup.state(), HealthState::kDegraded);
+
+    // 3 clean epochs (one short of recovery), then a stale epoch: the
+    // streak must restart from zero.
+    drive(sup, t, 3, true);
+    EXPECT_EQ(sup.state(), HealthState::kDegraded);
+    drive(sup, t, 1, false);
+    EXPECT_EQ(sup.state(), HealthState::kDegraded);
+    auto v = drive(sup, t, 3, true);
+    EXPECT_FALSE(v.recovered);
+    EXPECT_EQ(sup.state(), HealthState::kDegraded);
+    v = drive(sup, t, 1, true);
+    EXPECT_TRUE(v.recovered);
+    EXPECT_EQ(sup.state(), HealthState::kNominal);
+}
+
+// --- alarm latch ---------------------------------------------------------------
+
+TEST(HealthSupervisor, DegradedAlarmsOnlyAfterTheConfirmDwell) {
+    auto cfg = small_config();
+    // Degrade on the first stale epoch, and push coast far out so the
+    // state dwells in kDegraded long enough to exercise the confirm count.
+    cfg.degrade_staleness_epochs = 1;
+    cfg.coast_staleness_epochs = 16;
+    cfg.fail_staleness_epochs = 17;
+    cfg.min_window_epochs = cfg.delivery_window;
+    cfg.degrade_delivery_rate = 1e-9;
+    HealthSupervisor sup(cfg);
+    double t = 0.0;
+
+    // Two degraded epochs: one short of the confirm dwell of 3.
+    drive(sup, t, 2, false);
+    ASSERT_EQ(sup.state(), HealthState::kDegraded);
+    EXPECT_FALSE(sup.alarmed());
+    drive(sup, t, 1, false);  // 3rd consecutive degraded epoch: dwell met
+    EXPECT_TRUE(sup.alarmed());
+    EXPECT_DOUBLE_EQ(sup.alarm_s(), t);
+
+    // The alarm stays latched for life, through a full recovery.
+    drive(sup, t, 16, true);
+    EXPECT_EQ(sup.state(), HealthState::kNominal);
+    EXPECT_TRUE(sup.alarmed());
+}
+
+TEST(HealthSupervisor, CoastingLatchesTheAlarmImmediately) {
+    auto cfg = small_config();
+    cfg.degrade_staleness_epochs = 3;  // reach coast on the 4th epoch,
+    cfg.alarm_confirm_epochs = 100;    // long before any degrade dwell
+    HealthSupervisor sup(cfg);
+    double t = 0.0;
+    drive(sup, t, 3, false);
+    EXPECT_FALSE(sup.alarmed());
+    drive(sup, t, 1, false);
+    ASSERT_EQ(sup.state(), HealthState::kCoasting);
+    EXPECT_TRUE(sup.alarmed());
+}
+
+// --- windowed delivery-rate watchdog -------------------------------------------
+
+TEST(HealthSupervisor, WindowedRateDegradesWithoutConsecutiveStaleness) {
+    auto cfg = small_config();
+    cfg.degrade_staleness_epochs = 3;  // alternation never reaches 3
+    cfg.coast_staleness_epochs = 4;
+    cfg.fail_staleness_epochs = 8;
+    HealthSupervisor sup(cfg);
+    double t = 0.0;
+    // Alternate delivered/starved: staleness never exceeds 1 epoch, but
+    // the windowed rate settles at 0.5 < 0.75. Before min_window_epochs=4
+    // the rate may not judge.
+    drive(sup, t, 1, false);
+    drive(sup, t, 1, true);
+    drive(sup, t, 1, false);
+    EXPECT_EQ(sup.state(), HealthState::kNominal) << "window not armed yet";
+    drive(sup, t, 1, true);  // 4th epoch: armed, rate 0.5
+    EXPECT_EQ(sup.state(), HealthState::kDegraded);
+    EXPECT_NEAR(sup.dmu_delivery_rate(), 0.5, 1e-12);
+    EXPECT_NEAR(sup.acc_delivery_rate(), 0.5, 1e-12);
+}
+
+TEST(HealthSupervisor, RateIsPerChannelAndOneBadChannelSuffices) {
+    HealthSupervisor sup(small_config());
+    double t = 0.0;
+    // ACC delivers every epoch; DMU only every other epoch.
+    for (std::size_t i = 0; i < 8; ++i) {
+        t += kDt;
+        sup.observe({t, kDt, i % 2 == 0, true, i % 2 == 0});
+    }
+    EXPECT_EQ(sup.state(), HealthState::kDegraded);
+    EXPECT_NEAR(sup.dmu_delivery_rate(), 0.5, 1e-12);
+    EXPECT_NEAR(sup.acc_delivery_rate(), 1.0, 1e-12);
+}
+
+// --- coast accounting ----------------------------------------------------------
+
+TEST(HealthSupervisor, CoastEntryCarriesTheAccumulatedStaleness) {
+    HealthSupervisor sup(small_config());
+    double t = 0.0;
+    drive(sup, t, 8, true);
+
+    // Epochs 1..3 stale: below the coast threshold, no coast time.
+    auto v = drive(sup, t, 3, false);
+    EXPECT_DOUBLE_EQ(v.coast_dt_s, 0.0);
+    EXPECT_DOUBLE_EQ(sup.coast_s(), 0.0);
+
+    // 4th stale epoch trips coast: the entry verdict carries the FULL 4
+    // epochs of staleness, so covariance growth is continuous with the
+    // real time spent blind.
+    v = drive(sup, t, 1, false);
+    EXPECT_TRUE(v.entered_coast);
+    EXPECT_NEAR(v.coast_dt_s, 4 * kDt, 1e-12);
+
+    // Each further blind epoch adds exactly one dt.
+    v = drive(sup, t, 1, false);
+    EXPECT_FALSE(v.entered_coast);
+    EXPECT_NEAR(v.coast_dt_s, kDt, 1e-12);
+    EXPECT_NEAR(sup.coast_s(), 5 * kDt, 1e-12);
+}
+
+TEST(HealthSupervisor, RecoveryReportsTheReconvergenceTime) {
+    HealthSupervisor sup(small_config());
+    double t = 0.0;
+    drive(sup, t, 8, true);
+    EXPECT_DOUBLE_EQ(sup.last_recovery_s(), -1.0);
+
+    drive(sup, t, 4, false);  // -> coasting
+    ASSERT_EQ(sup.state(), HealthState::kCoasting);
+
+    // First fused epoch after the episode: the resume marker.
+    auto v = drive(sup, t, 1, true);
+    EXPECT_TRUE(v.resumed);
+    const double resume_t = t;
+
+    // Recovery completes once the window clears and the clean streak
+    // finishes; the report spans resume -> recovered.
+    std::size_t guard = 0;
+    while (sup.state() != HealthState::kNominal) {
+        v = drive(sup, t, 1, true);
+        ASSERT_LT(++guard, 64u);
+    }
+    EXPECT_TRUE(v.recovered);
+    EXPECT_NEAR(sup.last_recovery_s(), t - resume_t, 1e-12);
+    EXPECT_GT(sup.last_recovery_s(), 0.0);
+}
+
+// --- system wiring: starvation, coast sigma, recovery, exports -----------------
+
+using SysConfig = system::BoresightSystem::Config;
+using Processor = system::BoresightSystem::Processor;
+
+sim::Scenario quiet_scenario(double duration_s, std::uint64_t seed) {
+    auto scfg = sim::ScenarioConfig::static_level(
+        duration_s, EulerAngles::from_deg(1.0, -0.8, 0.0));
+    scfg.acc_errors.bias_sigma = 0.0;
+    scfg.imu_errors.accel_bias_sigma = 0.0;
+    return sim::Scenario(scfg, seed);
+}
+
+/// Total DMU dropout from t=0: no epoch ever pairs, the residual monitor
+/// never sees a sample — exactly PR-6's silent-miss regime. The
+/// supervisor must alarm and reach kFailed (10 s at 100 Hz = 1000 stale
+/// epochs > the 400-epoch fail threshold) while the residual detector
+/// stays quiet.
+TEST(BoresightSystemSupervision, DetectsTotalStarvationTheMonitorCannot) {
+    auto sc = quiet_scenario(10.0, 11);
+    SysConfig cfg;
+    cfg.dmu_link_faults.drop_probability = 1.0;
+    system::BoresightSystem sys(cfg);
+    while (auto s = sc.next()) sys.feed(sc, *s);
+
+    const auto st = sys.status();
+    EXPECT_EQ(st.updates, 0u);
+    EXPECT_FALSE(st.residual_flagged) << "starved monitor has no samples";
+    EXPECT_TRUE(st.supervisor_alarmed);
+    EXPECT_GT(st.supervisor_alarm_s, 0.0);
+    EXPECT_EQ(st.worst_health, system::HealthState::kFailed);
+    EXPECT_EQ(st.health, system::HealthState::kFailed);
+    EXPECT_NEAR(st.dmu_delivery_rate, 0.0, 1e-12);
+    EXPECT_GT(st.acc_delivery_rate, 0.9);
+    EXPECT_GT(st.coast_s, 9.0) << "nearly the whole run was blind";
+}
+
+/// Honest coast mode: once the supervisor coasts, the reported 3-sigma
+/// must grow monotonically with stale time instead of freezing at its
+/// last confident value — on both processor paths.
+class CoastSigmaGrowth : public ::testing::TestWithParam<Processor> {};
+
+TEST_P(CoastSigmaGrowth, ReportedSigmaGrowsMonotonicallyWhileBlind) {
+    auto sc = quiet_scenario(8.0, 12);
+    SysConfig cfg;
+    cfg.processor = GetParam();
+    cfg.acc_link_faults.drop_probability = 1.0;
+    system::BoresightSystem sys(cfg);
+
+    std::vector<double> sigma;
+    while (auto s = sc.next()) {
+        sys.feed(sc, *s);
+        sigma.push_back(sys.status().sigma3[0]);
+    }
+    ASSERT_GT(sigma.size(), 400u);
+    for (std::size_t i = 1; i < sigma.size(); ++i) {
+        ASSERT_GE(sigma[i], sigma[i - 1]) << "sigma shrank at epoch " << i;
+    }
+    // Strict growth once coasting (default threshold: 25 stale epochs).
+    EXPECT_GT(sigma[400], sigma[100]);
+    EXPECT_GT(sigma.back(), sigma[400]);
+    const auto st = sys.status();
+    EXPECT_GE(st.worst_health, system::HealthState::kCoasting);
+    EXPECT_GT(st.coast_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProcessors, CoastSigmaGrowth,
+                         ::testing::Values(Processor::kNative,
+                                           Processor::kSabre),
+                         [](const auto& param_info) {
+                             return param_info.param == Processor::kNative
+                                        ? "native"
+                                        : "sabre";
+                         });
+
+/// Outage/recovery drill via the mid-run fault swap: clean convergence,
+/// a 5 s total outage on both links, then a clean tail. The supervisor
+/// must coast through the outage (sigma grows), then declare recovery —
+/// re-armed residual monitor, re-converged estimate, shrunk sigma — and
+/// report the re-convergence time.
+TEST(BoresightSystemSupervision, RecoversAndReportsReconvergence) {
+    auto sc = quiet_scenario(60.0, 13);
+    SysConfig cfg;
+    cfg.filter.meas_noise_mps2 = 0.0075;
+    system::BoresightSystem sys(cfg);
+
+    const comm::UartFaults outage{.drop_probability = 1.0};
+    double sigma_pre = 0.0, sigma_blind = 0.0;
+    while (auto s = sc.next()) {
+        if (s->t >= 20.0 && s->t < 25.0) {
+            sys.set_link_faults(outage, outage);
+        } else {
+            sys.set_link_faults({}, {});
+        }
+        sys.feed(sc, *s);
+        if (s->t < 20.0) sigma_pre = sys.status().sigma3[0];
+        if (s->t < 25.0) sigma_blind = sys.status().sigma3[0];
+    }
+
+    const auto st = sys.status();
+    EXPECT_GT(sigma_blind, 2.0 * sigma_pre)
+        << "coast mode must have inflated sigma during the outage";
+    EXPECT_EQ(st.health, system::HealthState::kNominal);
+    EXPECT_GE(st.worst_health, system::HealthState::kCoasting);
+    EXPECT_TRUE(st.supervisor_alarmed);
+    EXPECT_GE(st.recoveries, 1u);
+    EXPECT_GT(st.reconvergence_s, 0.0);
+    EXPECT_LT(st.reconvergence_s, 20.0);
+    // The estimate and its uncertainty both re-converged after the outage,
+    // and the re-armed residual monitor stayed quiet on the clean tail.
+    EXPECT_FALSE(st.residual_flagged);
+    EXPECT_LT(st.sigma3[0], 2.0 * sigma_pre);
+    EXPECT_NEAR(math::rad2deg(st.estimate.roll), 1.0, 0.3);
+    EXPECT_NEAR(math::rad2deg(st.estimate.pitch), -0.8, 0.3);
+}
+
+/// The plausibility-gate counter must surface in Status: heavy ACC
+/// corruption produces packets that pass the additive checksum by
+/// accident and are rejected only by the physical duty-cycle band.
+TEST(BoresightSystemSupervision, ExportsImplausibleAccCount) {
+    auto sc = quiet_scenario(60.0, 14);
+    SysConfig cfg;
+    cfg.acc_link_faults.bit_flip_probability = 0.4;
+    system::BoresightSystem sys(cfg);
+    while (auto s = sc.next()) sys.feed(sc, *s);
+
+    const auto st = sys.status();
+    EXPECT_GT(st.acc_implausible, 0u)
+        << "checksum-passing corrupt packets must hit the plausibility "
+           "gate";
+    EXPECT_LT(st.acc_delivery_rate, 0.9);
+}
+
+/// The supervisor defaults must be invisible on a healthy run: state
+/// nominal throughout, no alarm, no coast time, delivery rates at 1 —
+/// the bitwise-compatibility contract the golden corpus rides on.
+TEST(BoresightSystemSupervision, QuietOnAHealthyRun) {
+    auto sc = quiet_scenario(30.0, 15);
+    system::BoresightSystem sys(SysConfig{});
+    while (auto s = sc.next()) sys.feed(sc, *s);
+
+    const auto st = sys.status();
+    EXPECT_EQ(st.health, system::HealthState::kNominal);
+    EXPECT_EQ(st.worst_health, system::HealthState::kNominal);
+    EXPECT_FALSE(st.supervisor_alarmed);
+    EXPECT_DOUBLE_EQ(st.coast_s, 0.0);
+    EXPECT_EQ(st.recoveries, 0u);
+    EXPECT_DOUBLE_EQ(st.reconvergence_s, -1.0);
+    EXPECT_GT(st.dmu_delivery_rate, 0.99);
+    EXPECT_GT(st.acc_delivery_rate, 0.99);
+}
+
+}  // namespace
