@@ -32,6 +32,22 @@ when:
     are functions of the config and the RNG contract, never of the
     machine, so any drift means the fault envelope itself moved.
 
+serve (bench/fleet_serve, BENCH_serve.json) — exits nonzero when:
+
+  * ping or fleet requests_per_sec drop more than --max-regression
+    below the baseline, or
+  * a latency percentile (p50/p95/p99 of either phase) rises more than
+    --max-regression above the baseline AND by more than a per-
+    percentile absolute slack — tail latency on a shared runner is
+    noisy, so tiny absolute shifts must not trip the gate, or
+  * the protocol version, client count, request counts or per-request
+    job shape differ from the baseline at all (pinned: the bench
+    config and wire contract, not the machine).
+
+An unknown "bench" schema name in either file is a hard error (exit 2)
+naming the known schemas — a typo'd or future schema must never be
+silently waved through.
+
 --update rewrites the baseline from the fresh run instead of comparing
 (use after an intentional perf change, and commit the result).
 
@@ -84,6 +100,15 @@ FAULT_REQUIRED_OUTCOME_KEYS = ("detections", "misses", "false_alarms",
 # intensity tolerance); both are deterministic and pinned exactly.
 FAULT_REQUIRED_BOUNDARY_KEYS = ("boundaries_refined", "probes")
 
+SERVE_REQUIRED_KEYS = ("protocol_version", "clients", "ping", "fleet",
+                       "fleet_jobs_per_request")
+SERVE_PHASE_KEYS = ("requests", "requests_per_sec", "p50_ms", "p95_ms",
+                    "p99_ms")
+# Absolute latency slack per percentile (ms): a percentile only fails the
+# gate when it exceeds BOTH the ratio bound and baseline + slack. The tail
+# gets more room — p99 of a 4-client phase is a handful of samples.
+SERVE_LATENCY_SLACK_MS = {"p50_ms": 20.0, "p95_ms": 50.0, "p99_ms": 100.0}
+
 
 class BenchDataError(Exception):
     """Malformed or incomplete bench JSON (distinct from a regression)."""
@@ -103,31 +128,45 @@ def schema_of(data):
     return data.get("bench", "fleet")
 
 
+def missing_fleet_keys(data):
+    missing = [k for k in FLEET_REQUIRED_KEYS if k not in data]
+    missing += [f"multi_seed.{k}" for k in FLEET_REQUIRED_MULTI_SEED_KEYS
+                if k not in data.get("multi_seed", {})]
+    missing += [f"per_stage_us.{k}" for k in FLEET_REQUIRED_STAGE_KEYS
+                if k not in data.get("per_stage_us", {})]
+    return missing
+
+
+def missing_fault_keys(data):
+    missing = [k for k in FAULT_REQUIRED_KEYS if k not in data]
+    missing += [f"outcomes.{k}" for k in FAULT_REQUIRED_OUTCOME_KEYS
+                if k not in data.get("outcomes", {})]
+    missing += [f"boundary_search.{k}" for k in FAULT_REQUIRED_BOUNDARY_KEYS
+                if k not in data.get("boundary_search", {})]
+    return missing
+
+
+def missing_serve_keys(data):
+    missing = [k for k in SERVE_REQUIRED_KEYS if k not in data]
+    for phase in ("ping", "fleet"):
+        missing += [f"{phase}.{k}" for k in SERVE_PHASE_KEYS
+                    if k not in data.get(phase, {})]
+    return missing
+
+
 def require_keys(data, role, path):
     schema = schema_of(data)
-    if schema == "fleet":
-        missing = [k for k in FLEET_REQUIRED_KEYS if k not in data]
-        missing += [f"multi_seed.{k}" for k in FLEET_REQUIRED_MULTI_SEED_KEYS
-                    if k not in data.get("multi_seed", {})]
-        missing += [f"per_stage_us.{k}" for k in FLEET_REQUIRED_STAGE_KEYS
-                    if k not in data.get("per_stage_us", {})]
-        regen = "bench/fleet_throughput"
-    elif schema == "fault_campaign":
-        missing = [k for k in FAULT_REQUIRED_KEYS if k not in data]
-        missing += [f"outcomes.{k}" for k in FAULT_REQUIRED_OUTCOME_KEYS
-                    if k not in data.get("outcomes", {})]
-        missing += [f"boundary_search.{k}"
-                    for k in FAULT_REQUIRED_BOUNDARY_KEYS
-                    if k not in data.get("boundary_search", {})]
-        regen = "bench/fault_campaign"
-    else:
+    spec = SCHEMAS.get(schema)
+    if spec is None:
+        known = ", ".join(f"'{s}'" for s in sorted(SCHEMAS))
         raise BenchDataError(
             f"{role} {path} has unknown bench schema '{schema}' (this gate "
-            "understands 'fleet' and 'fault_campaign')")
+            f"understands {known})")
+    missing = spec["missing"](data)
     if missing:
         raise BenchDataError(
             f"{role} {path} is missing key(s) {missing}; regenerate it with "
-            f"{regen} (or refresh the baseline with "
+            f"{spec['regen']} (or refresh the baseline with "
             "compare_bench.py fresh baseline --update)")
 
 
@@ -211,6 +250,66 @@ def check_fault_campaign(fresh, base, tol, rows, failures):
                 "refresh the baseline with --update)")
 
 
+def check_serve(fresh, base, tol, rows, failures):
+    for phase in ("ping", "fleet"):
+        b, f = base[phase]["requests_per_sec"], fresh[phase]["requests_per_sec"]
+        delta = (f - b) / b if b else 0.0
+        rows.append((f"{phase}.requests_per_sec", b, f, delta,
+                     "higher-is-better"))
+        if f < b * (1.0 - tol):
+            failures.append(
+                f"{phase}.requests_per_sec: {f:.1f} is {-delta:.0%} below "
+                f"baseline {b:.1f} (allowed {tol:.0%})")
+        for pct, slack_ms in SERVE_LATENCY_SLACK_MS.items():
+            b, f = base[phase][pct], fresh[phase][pct]
+            delta = (f - b) / b if b else 0.0
+            rows.append((f"{phase}.{pct}", b, f, delta, "lower-is-better"))
+            if f > max(b * (1.0 + tol), b + slack_ms):
+                failures.append(
+                    f"{phase}.{pct}: {f:.3f} ms is {delta:.0%} above "
+                    f"baseline {b:.3f} ms (allowed {tol:.0%} + "
+                    f"{slack_ms:.0f} ms slack)")
+
+    # Bench shape and wire contract, pinned exactly: a changed request
+    # count or protocol version means the two runs measured different
+    # things, not that one of them is slower.
+    pinned = [("protocol_version", base["protocol_version"],
+               fresh["protocol_version"]),
+              ("clients", base["clients"], fresh["clients"]),
+              ("ping.requests", base["ping"]["requests"],
+               fresh["ping"]["requests"]),
+              ("fleet.requests", base["fleet"]["requests"],
+               fresh["fleet"]["requests"]),
+              ("fleet_jobs_per_request", base["fleet_jobs_per_request"],
+               fresh["fleet_jobs_per_request"])]
+    for key, b, f in pinned:
+        rows.append((key, b, f, 0.0, "pinned"))
+        if f != b:
+            failures.append(
+                f"{key}: {f} differs from pinned baseline {b} — the bench "
+                "config or wire contract changed (if intentional, refresh "
+                "the baseline with --update)")
+
+
+# Registry dispatching the "bench" key to required-key validation and the
+# gate itself. Adding a bench schema = one bench binary, one baseline
+# file, one entry here (documented in docs/REPORTS.md).
+SCHEMAS = {
+    "fleet": {
+        "missing": missing_fleet_keys,
+        "regen": "bench/fleet_throughput",
+    },
+    "fault_campaign": {
+        "missing": missing_fault_keys,
+        "regen": "bench/fault_campaign",
+    },
+    "serve": {
+        "missing": missing_serve_keys,
+        "regen": "bench/fleet_serve",
+    },
+}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", help="freshly generated bench JSON")
@@ -242,10 +341,13 @@ def main():
     failures = []
     rows = []
 
-    if schema_of(fresh) == "fleet":
+    schema = schema_of(fresh)
+    if schema == "fleet":
         check_fleet(fresh, base, args.fresh, tol, rows, failures)
-    else:
+    elif schema == "fault_campaign":
         check_fault_campaign(fresh, base, tol, rows, failures)
+    else:
+        check_serve(fresh, base, tol, rows, failures)
 
     width = max(len(r[0]) for r in rows) if rows else 20
     print(f"{'metric':<{width}} {'baseline':>12} {'fresh':>12} {'delta':>8}")

@@ -318,6 +318,130 @@ template <class Get>
 
 }  // namespace
 
+FleetResult reduce_fleet_job(const FleetJob& job,
+                             std::vector<FleetSeedResult> seeds) {
+    if (seeds.size() != job.seeds_per_job) {
+        throw std::invalid_argument(
+            "reduce_fleet_job: " + std::to_string(seeds.size()) +
+            " seed result(s) for a job with seeds_per_job " +
+            std::to_string(job.seeds_per_job));
+    }
+    const auto& spec = sim::ScenarioLibrary::instance().at(job.scenario);
+    return reduce_job(job, spec, std::move(seeds));
+}
+
+void encode_fleet_job(util::ByteWriter& w, const FleetJob& job) {
+    w.str(job.scenario);
+    w.u8(job.processor == BoresightSystem::Processor::kNative ? 0 : 1);
+    w.u64(job.base_seed);
+    w.f64(job.duration_s);
+    w.boolean(job.misalignment.has_value());
+    if (job.misalignment) {
+        w.f64(job.misalignment->roll);
+        w.f64(job.misalignment->pitch);
+        w.f64(job.misalignment->yaw);
+    }
+    w.boolean(job.calibration.has_value());
+    if (job.calibration) w.f64(job.calibration->duration_s);
+    w.boolean(job.use_adaptive_tuner);
+    w.boolean(job.tuner.has_value());
+    if (job.tuner) {
+        w.f64(job.tuner->floor_mps2);
+        w.f64(job.tuner->ceiling_mps2);
+        w.f64(job.tuner->raise_threshold);
+        w.f64(job.tuner->lower_threshold);
+        w.f64(job.tuner->raise_factor);
+        w.f64(job.tuner->lower_factor);
+        w.u64(job.tuner->window);
+        w.u64(job.tuner->min_samples);
+    }
+    w.boolean(job.meas_noise_mps2.has_value());
+    if (job.meas_noise_mps2) w.f64(*job.meas_noise_mps2);
+    w.u64(job.seeds_per_job);
+    w.boolean(job.fault.has_value());
+    if (job.fault) {
+        w.u8(static_cast<std::uint8_t>(job.fault->type));
+        w.f64(job.fault->intensity);
+        w.u64(job.fault->burst_frames);
+    }
+}
+
+FleetJob decode_fleet_job(util::ByteReader& r) {
+    FleetJob job;
+    job.scenario = r.str();
+    const std::uint8_t proc = r.u8();
+    if (proc > 1) {
+        throw util::WireError("fleet job: processor byte " +
+                              std::to_string(proc) + " is not 0 or 1");
+    }
+    job.processor = proc == 0 ? BoresightSystem::Processor::kNative
+                              : BoresightSystem::Processor::kSabre;
+    job.base_seed = r.u64();
+    job.duration_s = r.f64();
+    if (r.boolean()) {
+        math::EulerAngles mis;
+        mis.roll = r.f64();
+        mis.pitch = r.f64();
+        mis.yaw = r.f64();
+        job.misalignment = mis;
+    }
+    if (r.boolean()) {
+        FleetCalibration cal;
+        cal.duration_s = r.f64();
+        job.calibration = cal;
+    }
+    job.use_adaptive_tuner = r.boolean();
+    if (r.boolean()) {
+        core::AdaptiveTunerConfig tuner;
+        tuner.floor_mps2 = r.f64();
+        tuner.ceiling_mps2 = r.f64();
+        tuner.raise_threshold = r.f64();
+        tuner.lower_threshold = r.f64();
+        tuner.raise_factor = r.f64();
+        tuner.lower_factor = r.f64();
+        tuner.window = static_cast<std::size_t>(r.u64());
+        tuner.min_samples = static_cast<std::size_t>(r.u64());
+        job.tuner = tuner;
+    }
+    if (r.boolean()) job.meas_noise_mps2 = r.f64();
+    job.seeds_per_job = r.u64();
+    if (r.boolean()) {
+        FleetFault fault;
+        const std::uint8_t type = r.u8();
+        if (type > static_cast<std::uint8_t>(FaultType::kImuFrozen)) {
+            throw util::WireError("fleet job: fault type byte " +
+                                  std::to_string(type) + " is out of range");
+        }
+        fault.type = static_cast<FaultType>(type);
+        fault.intensity = r.f64();
+        fault.burst_frames = static_cast<std::size_t>(r.u64());
+        job.fault = fault;
+    }
+    return job;
+}
+
+FleetPlan make_fleet_plan(const std::vector<FleetJob>& jobs) {
+    FleetPlan plan;
+    util::ByteWriter bytes;
+    bytes.u64(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        jobs[j].validate();
+        encode_fleet_job(bytes, jobs[j]);
+        for (std::uint64_t k = 0; k < jobs[j].seeds_per_job; ++k) {
+            plan.items.push_back({j, k});
+        }
+    }
+    // FNV-1a over the canonical job encodings: the digest pins the batch
+    // identity a shard artifact claims membership of.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint8_t b : bytes.data()) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    plan.digest = h;
+    return plan;
+}
+
 double FleetMetricStats::ci95(std::size_t n) const {
     if (n < 2) return 0.0;
     return 1.96 * stddev / std::sqrt(static_cast<double>(n));
@@ -459,6 +583,33 @@ FleetRunner::FleetRunner(Config cfg)
 
 std::vector<FleetResult> FleetRunner::run(
     const std::vector<FleetJob>& jobs) const {
+    std::size_t total = 0;
+    for (const auto& j : jobs) {
+        j.validate();
+        total += static_cast<std::size_t>(j.seeds_per_job);
+    }
+    // Realize the full plan, then slice the flat plan-order results back
+    // into per-job ensembles and reduce. fleet_shard runs the same
+    // run_items over a subrange and fleet_merge applies the same reduce,
+    // which is what makes a merged shard set bitwise this call.
+    std::vector<FleetSeedResult> flat = run_items(jobs, 0, total);
+    std::vector<FleetResult> results;
+    results.reserve(jobs.size());
+    std::size_t pos = 0;
+    for (const auto& job : jobs) {
+        const auto n = static_cast<std::size_t>(job.seeds_per_job);
+        std::vector<FleetSeedResult> seeds(
+            std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(pos)),
+            std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(pos + n)));
+        pos += n;
+        results.push_back(reduce_fleet_job(job, std::move(seeds)));
+    }
+    return results;
+}
+
+std::vector<FleetSeedResult> FleetRunner::run_items(
+    const std::vector<FleetJob>& jobs, std::size_t first,
+    std::size_t count) const {
     for (const auto& j : jobs) j.validate();
 
     // ---- Plan: group realizations by trace identity. ---------------------
@@ -503,31 +654,52 @@ std::vector<FleetResult> FleetRunner::run(
         std::uint64_t seed = 0;
     };
     std::vector<Item> items;
-    std::vector<std::vector<FleetSeedResult>> outcomes(jobs.size());
+    items.reserve(count);
+    std::vector<FleetSeedResult> outcomes(count);
 
+    // Walk the jobs in plan order (job-major, seed-minor), keeping only
+    // the items whose global plan index lands in [first, first + count).
+    // Traces are interned only for jobs the slice actually touches, so a
+    // shard never synthesizes a trace it has no work for.
+    const std::size_t slice_end = first + count;
+    std::size_t base = 0;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         specs[j] = &sim::ScenarioLibrary::instance().at(jobs[j].scenario);
-        if (share_traces_) {
-            const auto intern = [&](bool calibration) {
-                const TraceKey key = key_of(jobs[j], *specs[j], calibration);
-                auto [it, inserted] = slot_index.try_emplace(key, slots.size());
-                if (inserted) {
-                    slots.emplace_back();
-                    slots.back().job = &jobs[j];
-                    slots.back().calibration = calibration;
+        const std::size_t seeds =
+            static_cast<std::size_t>(jobs[j].seeds_per_job);
+        const std::size_t lo = std::max(first, base);
+        const std::size_t hi = std::min(slice_end, base + seeds);
+        if (lo < hi) {
+            if (share_traces_) {
+                const auto intern = [&](bool calibration) {
+                    const TraceKey key =
+                        key_of(jobs[j], *specs[j], calibration);
+                    auto [it, inserted] =
+                        slot_index.try_emplace(key, slots.size());
+                    if (inserted) {
+                        slots.emplace_back();
+                        slots.back().job = &jobs[j];
+                        slots.back().calibration = calibration;
+                    }
+                    return it->second;
+                };
+                main_slot[j] = intern(false);
+                if (jobs[j].calibration) {
+                    cal_slot[j] = intern(true);
+                    slots[cal_slot[j]].main_slot_for_cal = main_slot[j];
                 }
-                return it->second;
-            };
-            main_slot[j] = intern(false);
-            if (jobs[j].calibration) {
-                cal_slot[j] = intern(true);
-                slots[cal_slot[j]].main_slot_for_cal = main_slot[j];
+            }
+            for (std::size_t g = lo; g < hi; ++g) {
+                items.push_back({j, static_cast<std::uint64_t>(g - base)});
             }
         }
-        outcomes[j].resize(jobs[j].seeds_per_job);
-        for (std::uint64_t k = 0; k < jobs[j].seeds_per_job; ++k) {
-            items.push_back({j, k});
-        }
+        base += seeds;
+    }
+    if (slice_end > base || first > base) {
+        throw std::out_of_range(
+            "FleetRunner::run_items: slice [" + std::to_string(first) +
+            ", " + std::to_string(slice_end) + ") overruns the " +
+            std::to_string(base) + "-item plan");
     }
     if (share_traces_) {
         for (const auto& item : items) {
@@ -594,7 +766,7 @@ std::vector<FleetResult> FleetRunner::run(
                         job_sensor_stream(job));
                 }
             }
-            outcomes[item.job][item.seed] =
+            outcomes[i] =
                 run_fleet_seed(job, spec, trace, cal_trace, item.seed);
         } catch (...) {
             errors[i] = std::current_exception();
@@ -653,13 +825,7 @@ std::vector<FleetResult> FleetRunner::run(
         if (e) std::rethrow_exception(e);
     }
 
-    std::vector<FleetResult> results;
-    results.reserve(jobs.size());
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-        results.push_back(
-            reduce_job(jobs[j], *specs[j], std::move(outcomes[j])));
-    }
-    return results;
+    return outcomes;
 }
 
 std::vector<FleetJob> full_library_jobs(BoresightSystem::Processor processor,

@@ -9,6 +9,7 @@
 #include "math/rotation.hpp"
 #include "sim/scenario_library.hpp"
 #include "system/boresight_system.hpp"
+#include "util/wire.hpp"
 
 namespace ob::system {
 
@@ -213,6 +214,44 @@ struct FleetResult {
 /// must produce, for every job, a result bitwise identical to this call.
 [[nodiscard]] FleetResult run_fleet_job(const FleetJob& job);
 
+/// Fold a job's seed ensemble (seed-index order, size == seeds_per_job)
+/// into its FleetResult: primary fields mirror realization 0 bit for bit,
+/// the ensemble summary accumulates in seed order. This is the Reduce step
+/// FleetRunner and run_fleet_job share — fleet_merge applies it to seed
+/// results recombined from shard artifacts, which is why a merged batch is
+/// bitwise the single-process run.
+[[nodiscard]] FleetResult reduce_fleet_job(const FleetJob& job,
+                                           std::vector<FleetSeedResult> seeds);
+
+/// Canonical byte encoding of a FleetJob (little-endian, every field,
+/// optionals as presence flags). Two uses, which must never diverge: the
+/// fleet plan digest hashes these bytes, and the shard artifact embeds
+/// them so `fleet_merge` is self-describing (docs/ARCHITECTURE.md §
+/// "Sharding"). decode_fleet_job(encode_fleet_job(j)) == j field for field.
+void encode_fleet_job(util::ByteWriter& w, const FleetJob& job);
+[[nodiscard]] FleetJob decode_fleet_job(util::ByteReader& r);
+
+/// One realization work item of the deterministic (job × seed) plan.
+struct FleetPlanItem {
+    std::size_t job = 0;        ///< index into the batch's job vector
+    std::uint64_t seed = 0;     ///< realization index within the job
+};
+
+/// The expanded plan of a batch: work items in plan order (job-major,
+/// seed-minor — exactly the order FleetRunner realizes and reduces), plus
+/// a digest over the canonical job encodings. The digest is the identity
+/// two shard artifacts must share before their ranges may be merged: equal
+/// digests mean equal jobs, equal plan, equal item indices.
+struct FleetPlan {
+    std::vector<FleetPlanItem> items;
+    std::uint64_t digest = 0;
+};
+
+/// Expand and digest the plan for a batch. Validates every job first, so
+/// a plan (and therefore a shard artifact) can only exist for a runnable
+/// batch.
+[[nodiscard]] FleetPlan make_fleet_plan(const std::vector<FleetJob>& jobs);
+
 /// Batch executor over the Plan/Trace/Realize stack.
 ///
 ///   Plan:    expand jobs × seeds_per_job into realization work items and
@@ -252,6 +291,18 @@ public:
     /// index first, so the error surfaced is also deterministic.
     [[nodiscard]] std::vector<FleetResult> run(
         const std::vector<FleetJob>& jobs) const;
+
+    /// Realize a contiguous plan-order slice [first, first + count) of
+    /// make_fleet_plan(jobs).items, returning the seed results in plan
+    /// order. This is the shard substrate: what a work item computes is a
+    /// function of (job, seed index) alone, so a slice realized here is
+    /// bitwise the same items realized by run() — whatever the partition,
+    /// whatever the thread count. run() itself is run_items over the full
+    /// range followed by reduce_fleet_job per job. Throws
+    /// std::out_of_range when the slice overruns the plan.
+    [[nodiscard]] std::vector<FleetSeedResult> run_items(
+        const std::vector<FleetJob>& jobs, std::size_t first,
+        std::size_t count) const;
 
     [[nodiscard]] std::size_t threads() const { return threads_; }
     [[nodiscard]] bool share_traces() const { return share_traces_; }

@@ -1,0 +1,120 @@
+#include "system/fleet_client.hpp"
+
+#include <utility>
+
+namespace ob::system {
+
+namespace {
+
+[[noreturn]] void throw_error_frame(const Frame& frame) {
+    auto r = frame.reader();
+    const ErrorMessage err = decode_error(r);
+    throw FleetServeError(err.code, err.message);
+}
+
+}  // namespace
+
+FleetServeClient FleetServeClient::connect(const std::string& socket_path) {
+    FleetServeClient client(util::UnixSocket::connect(socket_path));
+    HelloRequest hello;
+    write_frame(client.sock_, MessageType::kHello, 0, encode_hello(hello));
+    const Frame frame = client.expect_frame();
+    if (frame.type() == MessageType::kError) throw_error_frame(frame);
+    if (frame.type() != MessageType::kHelloOk) {
+        throw util::WireError("handshake: expected HelloOk, got type " +
+                              std::to_string(frame.header.type));
+    }
+    auto r = frame.reader();
+    const HelloOk ok = decode_hello_ok(r);
+    if (ok.session == 0) {
+        throw util::WireError("handshake: server granted session id 0");
+    }
+    client.session_ = ok.session;
+    client.version_ = ok.version;
+    return client;
+}
+
+Frame FleetServeClient::expect_frame() {
+    Frame frame;
+    if (!read_frame(sock_, frame)) {
+        throw util::SocketError(
+            "server closed the connection mid-conversation");
+    }
+    return frame;
+}
+
+std::uint64_t FleetServeClient::ping(std::uint64_t token) {
+    PingMessage msg;
+    msg.token = token;
+    write_frame(sock_, MessageType::kPing, session_, encode_ping(msg));
+    const Frame frame = expect_frame();
+    if (frame.type() == MessageType::kError) throw_error_frame(frame);
+    if (frame.type() != MessageType::kPong) {
+        throw util::WireError("ping: expected Pong, got type " +
+                              std::to_string(frame.header.type));
+    }
+    auto r = frame.reader();
+    return decode_ping(r).token;
+}
+
+FleetRunOutcome FleetServeClient::run_streaming(
+    MessageType type, const std::vector<std::uint8_t>& payload,
+    const std::function<void(const JobResultMessage&)>& on_result) {
+    write_frame(sock_, type, session_, payload);
+    FleetRunOutcome out;
+    for (;;) {
+        const Frame frame = expect_frame();
+        switch (frame.type()) {
+            case MessageType::kJobResult: {
+                auto r = frame.reader();
+                JobResultMessage job = decode_job_result(r);
+                if (on_result) on_result(job);
+                out.results.push_back(std::move(job));
+                break;
+            }
+            case MessageType::kDone: {
+                auto r = frame.reader();
+                out.done = decode_done(r);
+                return out;
+            }
+            case MessageType::kError:
+                throw_error_frame(frame);
+            default:
+                throw util::WireError(
+                    "streaming: expected JobResult/Done/Error, got type " +
+                    std::to_string(frame.header.type));
+        }
+    }
+}
+
+FleetRunOutcome FleetServeClient::run_fleet(
+    const FleetRequest& req,
+    const std::function<void(const JobResultMessage&)>& on_result) {
+    return run_streaming(MessageType::kFleetRequest,
+                         encode_fleet_request(req), on_result);
+}
+
+FleetRunOutcome FleetServeClient::run_study(
+    const StudyRequest& req,
+    const std::function<void(const JobResultMessage&)>& on_result) {
+    return run_streaming(MessageType::kStudyRequest,
+                         encode_study_request(req), on_result);
+}
+
+void FleetServeClient::goodbye() {
+    if (!sock_.valid()) return;
+    write_frame(sock_, MessageType::kGoodbye, session_);
+    sock_.close();
+}
+
+void FleetServeClient::shutdown_server() {
+    write_frame(sock_, MessageType::kShutdown, session_);
+    const Frame frame = expect_frame();
+    if (frame.type() == MessageType::kError) throw_error_frame(frame);
+    if (frame.type() != MessageType::kShutdownAck) {
+        throw util::WireError("shutdown: expected ShutdownAck, got type " +
+                              std::to_string(frame.header.type));
+    }
+}
+
+}  // namespace ob::system

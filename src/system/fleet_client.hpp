@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "system/fleet_protocol.hpp"
+#include "util/socket.hpp"
+
+namespace ob::system {
+
+/// A kError frame surfaced client-side: the server rejected or failed the
+/// request. The session (and connection) remain usable afterwards unless
+/// the error was a framing/handshake fault.
+class FleetServeError : public std::runtime_error {
+public:
+    FleetServeError(ErrorCode code, const std::string& message)
+        : std::runtime_error(std::string(error_code_name(code)) + ": " +
+                             message),
+          code_(code) {}
+
+    [[nodiscard]] ErrorCode code() const { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+/// Everything a streaming request produced, collected.
+struct FleetRunOutcome {
+    std::vector<JobResultMessage> results;  ///< stream order
+    DoneMessage done;
+};
+
+/// Client side of the fleet_serve protocol (docs/PROTOCOL.md): connects,
+/// performs the Hello handshake, then issues requests over the session.
+/// Not thread-safe — one client per thread; open several clients for
+/// concurrent load (that is what bench/fleet_serve.cpp does).
+class FleetServeClient {
+public:
+    /// Connect to the daemon's socket and complete the version handshake.
+    /// Throws util::SocketError (no daemon), util::WireError (framing),
+    /// or FleetServeError (version refused).
+    [[nodiscard]] static FleetServeClient connect(
+        const std::string& socket_path);
+
+    /// Server-assigned session id (nonzero after connect).
+    [[nodiscard]] std::uint32_t session() const { return session_; }
+    /// Negotiated protocol version.
+    [[nodiscard]] std::uint16_t version() const { return version_; }
+
+    /// Round-trip a ping; returns the echoed token (== `token`).
+    [[nodiscard]] std::uint64_t ping(std::uint64_t token);
+
+    /// Run a fleet request, invoking `on_result` (when set) for each
+    /// streamed job frame as it arrives, and returning everything
+    /// collected. Throws FleetServeError when the server answers kError.
+    [[nodiscard]] FleetRunOutcome run_fleet(
+        const FleetRequest& req,
+        const std::function<void(const JobResultMessage&)>& on_result = {});
+
+    /// Run the built-in tuning-study panel; same streaming contract.
+    [[nodiscard]] FleetRunOutcome run_study(
+        const StudyRequest& req,
+        const std::function<void(const JobResultMessage&)>& on_result = {});
+
+    /// End the session politely and close the connection.
+    void goodbye();
+
+    /// Ask the daemon to stop; returns once the kShutdownAck arrives.
+    void shutdown_server();
+
+private:
+    explicit FleetServeClient(util::UnixSocket sock)
+        : sock_(std::move(sock)) {}
+
+    [[nodiscard]] FleetRunOutcome run_streaming(
+        MessageType type, const std::vector<std::uint8_t>& payload,
+        const std::function<void(const JobResultMessage&)>& on_result);
+    /// Read the next frame; throws on EOF (the caller expected an answer).
+    [[nodiscard]] Frame expect_frame();
+
+    util::UnixSocket sock_;
+    std::uint32_t session_ = 0;
+    std::uint16_t version_ = 0;
+};
+
+}  // namespace ob::system

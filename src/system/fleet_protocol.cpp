@@ -1,0 +1,279 @@
+#include "system/fleet_protocol.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace ob::system {
+
+namespace {
+
+[[nodiscard]] std::vector<std::uint8_t> finish(util::ByteWriter& w,
+                                               std::size_t expected,
+                                               const char* what) {
+    if (w.size() != expected) {
+        throw util::WireError(std::string("encode ") + what + ": produced " +
+                              std::to_string(w.size()) + " byte(s), layout " +
+                              "says " + std::to_string(expected));
+    }
+    return w.data();
+}
+
+[[nodiscard]] std::uint8_t decode_processor(util::ByteReader& r,
+                                            bool allow_both) {
+    const std::uint8_t p = r.u8();
+    const std::uint8_t limit =
+        allow_both ? kProcessorBoth : kProcessorSabre;
+    if (p > limit) {
+        throw util::WireError("processor byte " + std::to_string(p) +
+                              " out of range");
+    }
+    return p;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode c) {
+    switch (c) {
+        case ErrorCode::kBadMagic: return "bad-magic";
+        case ErrorCode::kBadVersion: return "bad-version";
+        case ErrorCode::kBadFrame: return "bad-frame";
+        case ErrorCode::kBadSession: return "bad-session";
+        case ErrorCode::kBadRequest: return "bad-request";
+        case ErrorCode::kUnknownScenario: return "unknown-scenario";
+        case ErrorCode::kInternal: return "internal";
+        case ErrorCode::kShuttingDown: return "shutting-down";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloRequest& m) {
+    util::ByteWriter w;
+    w.u16(m.min_version);
+    w.u16(m.max_version);
+    w.u32(0);
+    return finish(w, kHelloRequestSize, "HelloRequest");
+}
+
+HelloRequest decode_hello(util::ByteReader& r) {
+    HelloRequest m;
+    m.min_version = r.u16();
+    m.max_version = r.u16();
+    (void)r.u32();
+    r.expect_end();
+    if (m.min_version > m.max_version) {
+        throw util::WireError("hello: min_version > max_version");
+    }
+    return m;
+}
+
+std::vector<std::uint8_t> encode_hello_ok(const HelloOk& m) {
+    util::ByteWriter w;
+    w.u16(m.version);
+    w.u16(0);
+    w.u32(m.session);
+    return finish(w, kHelloOkSize, "HelloOk");
+}
+
+HelloOk decode_hello_ok(util::ByteReader& r) {
+    HelloOk m;
+    m.version = r.u16();
+    (void)r.u16();
+    m.session = r.u32();
+    r.expect_end();
+    return m;
+}
+
+std::vector<std::uint8_t> encode_ping(const PingMessage& m) {
+    util::ByteWriter w;
+    w.u64(m.token);
+    return finish(w, kPingSize, "Ping");
+}
+
+PingMessage decode_ping(util::ByteReader& r) {
+    PingMessage m;
+    m.token = r.u64();
+    r.expect_end();
+    return m;
+}
+
+std::vector<std::uint8_t> encode_fleet_request(const FleetRequest& m) {
+    util::ByteWriter w;
+    w.fixed_str(m.scenario, kScenarioFieldWidth);
+    w.u8(m.processor);
+    w.boolean(m.use_adaptive_tuner);
+    w.u16(m.seeds_per_job);
+    w.u32(0);
+    w.u64(m.base_seed);
+    w.f64(m.duration_s);
+    w.f64(m.meas_noise_mps2);
+    return finish(w, kFleetRequestSize, "FleetRequest");
+}
+
+FleetRequest decode_fleet_request(util::ByteReader& r) {
+    FleetRequest m;
+    m.scenario = r.fixed_str(kScenarioFieldWidth);
+    m.processor = decode_processor(r, /*allow_both=*/true);
+    m.use_adaptive_tuner = r.boolean();
+    m.seeds_per_job = r.u16();
+    (void)r.u32();
+    m.base_seed = r.u64();
+    m.duration_s = r.f64();
+    m.meas_noise_mps2 = r.f64();
+    r.expect_end();
+    return m;
+}
+
+std::vector<std::uint8_t> encode_study_request(const StudyRequest& m) {
+    util::ByteWriter w;
+    w.fixed_str(m.scenario, kScenarioFieldWidth);
+    w.u8(m.processor);
+    w.u8(0);
+    w.u16(m.seeds_per_cell);
+    w.u32(0);
+    w.u64(m.base_seed);
+    return finish(w, kStudyRequestSize, "StudyRequest");
+}
+
+StudyRequest decode_study_request(util::ByteReader& r) {
+    StudyRequest m;
+    m.scenario = r.fixed_str(kScenarioFieldWidth);
+    m.processor = decode_processor(r, /*allow_both=*/true);
+    (void)r.u8();
+    m.seeds_per_cell = r.u16();
+    (void)r.u32();
+    m.base_seed = r.u64();
+    r.expect_end();
+    return m;
+}
+
+std::vector<std::uint8_t> encode_job_result(const JobResultMessage& m) {
+    util::ByteWriter w;
+    w.u32(m.job_index);
+    w.u32(m.job_count);
+    w.fixed_str(m.scenario, kScenarioFieldWidth);
+    w.u8(m.processor);
+    w.boolean(m.within_envelope);
+    w.u16(m.seeds);
+    w.u32(m.seeds_within_envelope);
+    for (double v : m.estimate_rad) w.f64(v);
+    for (double v : m.sigma3_rad) w.f64(v);
+    w.f64(m.residual_rms);
+    w.f64(m.meas_noise);
+    w.f64(m.duration_s);
+    for (double v : m.worst_err_deg) w.f64(v);
+    w.u64(m.tuner_adjustments);
+    return finish(w, kJobResultSize, "JobResult");
+}
+
+JobResultMessage decode_job_result(util::ByteReader& r) {
+    JobResultMessage m;
+    m.job_index = r.u32();
+    m.job_count = r.u32();
+    m.scenario = r.fixed_str(kScenarioFieldWidth);
+    m.processor = decode_processor(r, /*allow_both=*/false);
+    m.within_envelope = r.boolean();
+    m.seeds = r.u16();
+    m.seeds_within_envelope = r.u32();
+    for (double& v : m.estimate_rad) v = r.f64();
+    for (double& v : m.sigma3_rad) v = r.f64();
+    m.residual_rms = r.f64();
+    m.meas_noise = r.f64();
+    m.duration_s = r.f64();
+    for (double& v : m.worst_err_deg) v = r.f64();
+    m.tuner_adjustments = r.u64();
+    r.expect_end();
+    return m;
+}
+
+std::vector<std::uint8_t> encode_done(const DoneMessage& m) {
+    util::ByteWriter w;
+    w.u32(m.jobs);
+    w.u32(m.within_envelope);
+    w.f64(m.wall_s);
+    w.u64(0);
+    return finish(w, kDoneSize, "Done");
+}
+
+DoneMessage decode_done(util::ByteReader& r) {
+    DoneMessage m;
+    m.jobs = r.u32();
+    m.within_envelope = r.u32();
+    m.wall_s = r.f64();
+    (void)r.u64();
+    r.expect_end();
+    return m;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorMessage& m) {
+    util::ByteWriter w;
+    w.u16(static_cast<std::uint16_t>(m.code));
+    w.u16(0);
+    w.u32(0);
+    std::string msg = m.message;
+    if (msg.size() >= kErrorMessageWidth) {
+        msg.resize(kErrorMessageWidth - 1);
+    }
+    w.fixed_str(msg, kErrorMessageWidth);
+    return finish(w, kErrorSize, "Error");
+}
+
+ErrorMessage decode_error(util::ByteReader& r) {
+    ErrorMessage m;
+    const std::uint16_t code = r.u16();
+    if (code < static_cast<std::uint16_t>(ErrorCode::kBadMagic) ||
+        code > static_cast<std::uint16_t>(ErrorCode::kShuttingDown)) {
+        throw util::WireError("error frame: code " + std::to_string(code) +
+                              " out of range");
+    }
+    m.code = static_cast<ErrorCode>(code);
+    (void)r.u16();
+    (void)r.u32();
+    m.message = r.fixed_str(kErrorMessageWidth);
+    r.expect_end();
+    return m;
+}
+
+void write_frame(util::UnixSocket& sock, MessageType type,
+                 std::uint32_t session,
+                 const std::vector<std::uint8_t>& payload) {
+    util::ByteWriter w;
+    w.u32(kProtocolMagic);
+    w.u16(kProtocolVersion);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.u32(session);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    // One send for header + payload: a frame is never visible half-written
+    // to a peer reading with read_exact.
+    w.bytes(payload.data(), payload.size());
+    sock.write_all(w.data().data(), w.size());
+}
+
+bool read_frame(util::UnixSocket& sock, Frame& out) {
+    std::uint8_t raw[kFrameHeaderSize];
+    if (!sock.read_exact(raw, sizeof raw)) return false;
+    util::ByteReader r(raw, sizeof raw);
+    out.header.magic = r.u32();
+    out.header.version = r.u16();
+    out.header.type = r.u16();
+    out.header.session = r.u32();
+    out.header.payload_size = r.u32();
+    if (out.header.magic != kProtocolMagic) {
+        char hex[16];
+        std::snprintf(hex, sizeof hex, "%08x", out.header.magic);
+        throw util::WireError(std::string("frame: bad magic 0x") + hex);
+    }
+    if (out.header.payload_size > kMaxPayloadSize) {
+        throw util::WireError("frame: payload length " +
+                              std::to_string(out.header.payload_size) +
+                              " exceeds the " +
+                              std::to_string(kMaxPayloadSize) + "-byte cap");
+    }
+    out.payload.resize(out.header.payload_size);
+    if (out.header.payload_size > 0 &&
+        !sock.read_exact(out.payload.data(), out.payload.size())) {
+        throw util::SocketError("peer closed between header and payload");
+    }
+    return true;
+}
+
+}  // namespace ob::system

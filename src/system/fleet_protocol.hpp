@@ -1,0 +1,264 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/socket.hpp"
+#include "util/wire.hpp"
+
+namespace ob::system {
+
+/// fleet_serve wire protocol, version 1.
+///
+/// The NORMATIVE specification — byte offsets, handshake rules, session
+/// lifecycle, error codes, a worked hex dump — is docs/PROTOCOL.md. This
+/// header and that document describe the same bytes; CI greps the version
+/// and magic constants out of both and fails on drift. The framing follows
+/// the fixed-size request/response struct idiom of whisper's TCP server
+/// (Server.cpp / WhisperMessage.h): every frame is a 16-byte header plus a
+/// payload whose size is fixed per message type, so a reader never parses
+/// ahead of what it has validated.
+
+/// Frame magic, "OBFS" read as a little-endian u32.
+inline constexpr std::uint32_t kProtocolMagic = 0x5346424Fu;
+
+/// Protocol version carried in every frame header. A server speaks exactly
+/// one version; the Hello handshake is where a client learns to walk away.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Frame header size on the wire; payload sizes are per message type.
+inline constexpr std::size_t kFrameHeaderSize = 16;
+
+/// Hard upper bound a reader accepts for the header's payload_size field,
+/// whatever the type — a corrupt length cannot make a peer allocate or
+/// wait for gigabytes.
+inline constexpr std::size_t kMaxPayloadSize = 4096;
+
+/// Message types. Requests are 1..99, responses 101..199; a peer that sees
+/// the wrong parity knows immediately the conversation is out of step.
+enum class MessageType : std::uint16_t {
+    // client -> server
+    kHello = 1,         ///< open a session (must be the first frame)
+    kPing = 2,          ///< liveness probe, echoed token
+    kFleetRequest = 3,  ///< run fleet job(s), stream results
+    kStudyRequest = 4,  ///< run the §11 tuning-study panel on a scenario
+    kGoodbye = 5,       ///< end the session; server closes the connection
+    kShutdown = 6,      ///< ack, then stop the whole daemon
+    // server -> client
+    kHelloOk = 101,      ///< session granted
+    kJobResult = 102,    ///< one completed job (streamed as they finish)
+    kDone = 103,         ///< request complete, summary attached
+    kPong = 104,         ///< ping echo
+    kError = 105,        ///< request rejected / failed; session survives
+    kShutdownAck = 106,  ///< daemon is stopping
+};
+
+/// Error codes carried by kError frames.
+enum class ErrorCode : std::uint16_t {
+    kBadMagic = 1,         ///< header magic != kProtocolMagic
+    kBadVersion = 2,       ///< client and server versions disagree
+    kBadFrame = 3,         ///< unknown type / wrong payload size
+    kBadSession = 4,       ///< frame before Hello or wrong session id
+    kBadRequest = 5,       ///< request field failed validation
+    kUnknownScenario = 6,  ///< scenario name not in the library
+    kInternal = 7,         ///< server-side failure while running
+    kShuttingDown = 8,     ///< daemon is stopping, request refused
+};
+
+[[nodiscard]] const char* error_code_name(ErrorCode c);
+
+/// 16-byte frame header (all integers little-endian):
+///   off 0  u32  magic        kProtocolMagic
+///   off 4  u16  version      kProtocolVersion
+///   off 6  u16  type         MessageType
+///   off 8  u32  session      0 before Hello, server-assigned after
+///   off 12 u32  payload_size bytes that follow the header
+struct FrameHeader {
+    std::uint32_t magic = kProtocolMagic;
+    std::uint16_t version = kProtocolVersion;
+    std::uint16_t type = 0;
+    std::uint32_t session = 0;
+    std::uint32_t payload_size = 0;
+};
+
+/// kHello payload (8 bytes): the version range the client can speak.
+///   off 0 u16 min_version
+///   off 2 u16 max_version
+///   off 4 u32 reserved (0)
+struct HelloRequest {
+    std::uint16_t min_version = kProtocolVersion;
+    std::uint16_t max_version = kProtocolVersion;
+};
+inline constexpr std::size_t kHelloRequestSize = 8;
+
+/// kHelloOk payload (8 bytes): the version the session will speak and the
+/// session id every subsequent frame must carry.
+///   off 0 u16 version
+///   off 2 u16 reserved (0)
+///   off 4 u32 session
+struct HelloOk {
+    std::uint16_t version = kProtocolVersion;
+    std::uint32_t session = 0;
+};
+inline constexpr std::size_t kHelloOkSize = 8;
+
+/// kPing / kPong payload (8 bytes): an opaque token the server echoes.
+///   off 0 u64 token
+struct PingMessage {
+    std::uint64_t token = 0;
+};
+inline constexpr std::size_t kPingSize = 8;
+
+/// Processor selector in requests.
+inline constexpr std::uint8_t kProcessorNative = 0;
+inline constexpr std::uint8_t kProcessorSabre = 1;
+inline constexpr std::uint8_t kProcessorBoth = 2;  ///< expand to two jobs
+
+/// kFleetRequest payload (64 bytes): one scenario — or "*" for the full
+/// 13-scenario library — run through the fleet stack.
+///   off 0  char[32] scenario   NUL-padded; "*" = full library
+///   off 32 u8       processor  kProcessorNative/Sabre/Both
+///   off 33 u8       use_adaptive_tuner (0/1)
+///   off 34 u16      seeds_per_job      (0 => 1)
+///   off 36 u32      reserved (0)
+///   off 40 u64      base_seed          (0 => 2026, the library default)
+///   off 48 f64      duration_s         (0 => the scenario spec's default)
+///   off 56 f64      meas_noise_mps2    (0 => the spec's recommended value)
+struct FleetRequest {
+    std::string scenario = "*";
+    std::uint8_t processor = kProcessorNative;
+    bool use_adaptive_tuner = false;
+    std::uint16_t seeds_per_job = 1;
+    std::uint64_t base_seed = 2026;
+    double duration_s = 0.0;
+    double meas_noise_mps2 = 0.0;
+};
+inline constexpr std::size_t kFleetRequestSize = 64;
+inline constexpr std::size_t kScenarioFieldWidth = 32;
+
+/// kStudyRequest payload (48 bytes): run the built-in §11 retune panel
+/// (static-0.003, retuned-0.015, adaptive-from-0.003; level-platform
+/// calibration) over one scenario. One kJobResult per cell.
+///   off 0  char[32] scenario   NUL-padded library name
+///   off 32 u8       processor  kProcessorNative/Sabre/Both
+///   off 33 u8       reserved (0)
+///   off 34 u16      seeds_per_cell (0 => 1)
+///   off 36 u32      reserved (0)
+///   off 40 u64      base_seed      (0 => 2026)
+struct StudyRequest {
+    std::string scenario;
+    std::uint8_t processor = kProcessorNative;
+    std::uint16_t seeds_per_cell = 1;
+    std::uint64_t base_seed = 2026;
+};
+inline constexpr std::size_t kStudyRequestSize = 48;
+
+/// kJobResult payload (152 bytes): one job's reduced result, streamed the
+/// moment the job finishes. Doubles are the exact IEEE-754 bit patterns of
+/// the server-side FleetResult fields — a client comparing against a local
+/// run of the same job compares bitwise.
+///   off 0   u32      job_index        0-based position in this request
+///   off 4   u32      job_count        total jobs this request expands to
+///   off 8   char[32] scenario
+///   off 40  u8       processor        kProcessorNative or kProcessorSabre
+///   off 41  u8       within_envelope  (0/1, seed-0 verdict)
+///   off 42  u16      seeds            realizations run for this job
+///   off 44  u32      seeds_within_envelope
+///   off 48  f64[3]   estimate_rad     converged boresight (roll,pitch,yaw)
+///   off 72  f64[3]   sigma3_rad       converged 3-sigma per axis
+///   off 96  f64      residual_rms
+///   off 104 f64      meas_noise       final measurement noise (post-tuner)
+///   off 112 f64      duration_s
+///   off 120 f64[3]   worst_err_deg    worst excursions (roll,pitch,yaw)
+///   off 144 u64      tuner_adjustments
+struct JobResultMessage {
+    std::uint32_t job_index = 0;
+    std::uint32_t job_count = 0;
+    std::string scenario;
+    std::uint8_t processor = kProcessorNative;
+    bool within_envelope = false;
+    std::uint16_t seeds = 0;
+    std::uint32_t seeds_within_envelope = 0;
+    double estimate_rad[3] = {0.0, 0.0, 0.0};
+    double sigma3_rad[3] = {0.0, 0.0, 0.0};
+    double residual_rms = 0.0;
+    double meas_noise = 0.0;
+    double duration_s = 0.0;
+    double worst_err_deg[3] = {0.0, 0.0, 0.0};
+    std::uint64_t tuner_adjustments = 0;
+};
+inline constexpr std::size_t kJobResultSize = 152;
+
+/// kDone payload (24 bytes): request summary after the last kJobResult.
+///   off 0  u32 jobs
+///   off 4  u32 within_envelope
+///   off 8  f64 wall_s          server-side wall time (informational)
+///   off 16 u64 reserved (0)
+struct DoneMessage {
+    std::uint32_t jobs = 0;
+    std::uint32_t within_envelope = 0;
+    double wall_s = 0.0;
+};
+inline constexpr std::size_t kDoneSize = 24;
+
+/// kError payload (96 bytes): code plus a short NUL-padded explanation.
+///   off 0 u16      code      ErrorCode
+///   off 2 u16      reserved (0)
+///   off 4 u32      reserved (0)
+///   off 8 char[88] message   NUL-padded, truncated to fit
+struct ErrorMessage {
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;
+};
+inline constexpr std::size_t kErrorSize = 96;
+inline constexpr std::size_t kErrorMessageWidth = 88;
+
+// kGoodbye, kShutdown and kShutdownAck carry no payload.
+
+/// Encode/decode one payload struct. decode_* validates ranges (processor
+/// byte, error code, payload consumed exactly) and throws util::WireError.
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloRequest& m);
+[[nodiscard]] HelloRequest decode_hello(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_ok(const HelloOk& m);
+[[nodiscard]] HelloOk decode_hello_ok(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(const PingMessage& m);
+[[nodiscard]] PingMessage decode_ping(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_fleet_request(
+    const FleetRequest& m);
+[[nodiscard]] FleetRequest decode_fleet_request(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_study_request(
+    const StudyRequest& m);
+[[nodiscard]] StudyRequest decode_study_request(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_job_result(
+    const JobResultMessage& m);
+[[nodiscard]] JobResultMessage decode_job_result(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_done(const DoneMessage& m);
+[[nodiscard]] DoneMessage decode_done(util::ByteReader& r);
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorMessage& m);
+[[nodiscard]] ErrorMessage decode_error(util::ByteReader& r);
+
+/// One frame as read off the wire: validated header + raw payload.
+struct Frame {
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+
+    [[nodiscard]] MessageType type() const {
+        return static_cast<MessageType>(header.type);
+    }
+    [[nodiscard]] util::ByteReader reader() const {
+        return util::ByteReader(payload.data(), payload.size());
+    }
+};
+
+/// Write one frame (header + payload) to the socket.
+void write_frame(util::UnixSocket& sock, MessageType type,
+                 std::uint32_t session,
+                 const std::vector<std::uint8_t>& payload = {});
+
+/// Read one frame. Returns false on clean EOF between frames. Throws
+/// util::WireError on a bad magic, an unsupported version, or a payload
+/// length beyond kMaxPayloadSize; util::SocketError on transport failure.
+[[nodiscard]] bool read_frame(util::UnixSocket& sock, Frame& out);
+
+}  // namespace ob::system

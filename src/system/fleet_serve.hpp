@@ -1,0 +1,105 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "system/fleet.hpp"
+#include "system/fleet_protocol.hpp"
+#include "util/socket.hpp"
+
+namespace ob::system {
+
+/// Expand a FleetRequest into the FleetJob batch the server will run, in
+/// response-stream order (processor-major for kProcessorBoth, library
+/// order for scenario "*"). Exposed so a client-side test can run the
+/// identical batch locally and compare the streamed doubles bitwise.
+/// Throws std::invalid_argument on a bad request (unknown scenario, zero
+/// seeds after defaulting, out-of-range knobs).
+[[nodiscard]] std::vector<FleetJob> expand_fleet_request(
+    const FleetRequest& req);
+
+/// Expand a StudyRequest into the built-in §11 retune panel's jobs, one
+/// per (variant × processor) cell, and the label streamed for cell `i`
+/// ("<scenario>/<variant>"). Same contract as expand_fleet_request.
+struct StudyExpansion {
+    std::vector<FleetJob> jobs;
+    std::vector<std::string> labels;  ///< one per job, <= 31 bytes each
+};
+[[nodiscard]] StudyExpansion expand_study_request(const StudyRequest& req);
+
+/// Reduce one finished job to its wire frame. The doubles land as the
+/// exact bit patterns of the FleetResult fields.
+[[nodiscard]] JobResultMessage make_job_result(std::uint32_t index,
+                                               std::uint32_t count,
+                                               const std::string& label,
+                                               const FleetJob& job,
+                                               const FleetResult& r);
+
+/// The fleet_serve daemon: accepts sessions on an AF_UNIX stream socket
+/// and executes fleet / tuning-study requests on a FleetRunner, streaming
+/// one kJobResult frame per job as it completes (docs/PROTOCOL.md has the
+/// wire contract). One thread per connection; the runner is stateless, so
+/// concurrent sessions simply share the machine. Results a client receives
+/// are bitwise the results a local FleetRunner::run of the same expansion
+/// would produce — the daemon adds transport, never arithmetic.
+class FleetServer {
+public:
+    struct Config {
+        std::string socket_path;  ///< AF_UNIX path to bind
+        FleetRunner::Config runner{};
+        /// Accept-poll period: the latency bound on noticing
+        /// request_stop() while idle.
+        int accept_poll_ms = 100;
+    };
+
+    explicit FleetServer(Config cfg);
+    ~FleetServer();
+
+    FleetServer(const FleetServer&) = delete;
+    FleetServer& operator=(const FleetServer&) = delete;
+
+    /// Bind the socket and serve until request_stop() (or a kShutdown
+    /// frame) — then drain: join every connection thread before
+    /// returning. Throws util::SocketError when the bind fails.
+    void serve();
+
+    /// Ask the serve loop to exit. Safe from any thread and from signal
+    /// context-adjacent code (it only stores an atomic).
+    void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+    [[nodiscard]] bool stopping() const {
+        return stop_.load(std::memory_order_relaxed);
+    }
+    /// True once serve() has the socket bound and is accepting.
+    [[nodiscard]] bool listening() const {
+        return listening_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] const std::string& socket_path() const {
+        return cfg_.socket_path;
+    }
+    /// Sessions granted so far (HelloOk frames sent).
+    [[nodiscard]] std::uint64_t sessions_served() const {
+        return next_session_.load(std::memory_order_relaxed) - 1;
+    }
+
+private:
+    void handle_connection(util::UnixSocket sock);
+    void send_error(util::UnixSocket& sock, std::uint32_t session,
+                    ErrorCode code, const std::string& message);
+    /// Run an expanded batch job by job, streaming a kJobResult per job
+    /// and a kDone summary. Returns false when the connection should end.
+    bool run_streaming(util::UnixSocket& sock, std::uint32_t session,
+                       const std::vector<FleetJob>& jobs,
+                       const std::vector<std::string>& labels);
+
+    Config cfg_;
+    FleetRunner runner_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> listening_{false};
+    std::atomic<std::uint32_t> next_session_{1};
+};
+
+}  // namespace ob::system

@@ -1,0 +1,354 @@
+#include "system/fleet_shard.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace ob::system {
+
+namespace {
+
+void encode_euler(util::ByteWriter& w, const math::EulerAngles& e) {
+    w.f64(e.roll);
+    w.f64(e.pitch);
+    w.f64(e.yaw);
+}
+
+[[nodiscard]] math::EulerAngles decode_euler(util::ByteReader& r) {
+    math::EulerAngles e;
+    e.roll = r.f64();
+    e.pitch = r.f64();
+    e.yaw = r.f64();
+    return e;
+}
+
+void encode_status(util::ByteWriter& w, const BoresightSystem::Status& st) {
+    encode_euler(w, st.estimate);
+    for (std::size_t i = 0; i < 3; ++i) w.f64(st.sigma3[i]);
+    w.u64(st.updates);
+    w.u64(st.dmu_frames_lost);
+    w.u64(st.acc_packets_lost);
+    w.f64(st.worst_transport_latency);
+    w.f64(st.measurement_noise);
+    w.f64(st.residual_rms);
+    w.u64(st.tuner_adjustments);
+    w.boolean(st.residual_flagged);
+    w.f64(st.residual_flag_s);
+    w.f64(st.residual_windowed_rate);
+    w.u64(st.residual_exceedances);
+    w.u8(static_cast<std::uint8_t>(st.health));
+    w.u8(static_cast<std::uint8_t>(st.worst_health));
+    w.boolean(st.supervisor_alarmed);
+    w.f64(st.supervisor_alarm_s);
+    w.f64(st.dmu_delivery_rate);
+    w.f64(st.acc_delivery_rate);
+    w.f64(st.coast_s);
+    w.u64(st.recoveries);
+    w.f64(st.reconvergence_s);
+    w.u64(st.acc_implausible);
+}
+
+[[nodiscard]] BoresightSystem::Status decode_status(util::ByteReader& r) {
+    BoresightSystem::Status st;
+    st.estimate = decode_euler(r);
+    for (std::size_t i = 0; i < 3; ++i) st.sigma3[i] = r.f64();
+    st.updates = static_cast<std::size_t>(r.u64());
+    st.dmu_frames_lost = static_cast<std::size_t>(r.u64());
+    st.acc_packets_lost = static_cast<std::size_t>(r.u64());
+    st.worst_transport_latency = r.f64();
+    st.measurement_noise = r.f64();
+    st.residual_rms = r.f64();
+    st.tuner_adjustments = static_cast<std::size_t>(r.u64());
+    st.residual_flagged = r.boolean();
+    st.residual_flag_s = r.f64();
+    st.residual_windowed_rate = r.f64();
+    st.residual_exceedances = static_cast<std::size_t>(r.u64());
+    const std::uint8_t health = r.u8();
+    const std::uint8_t worst = r.u8();
+    if (health > static_cast<std::uint8_t>(HealthState::kFailed) ||
+        worst > static_cast<std::uint8_t>(HealthState::kFailed)) {
+        throw util::WireError("seed result: health state byte out of range");
+    }
+    st.health = static_cast<HealthState>(health);
+    st.worst_health = static_cast<HealthState>(worst);
+    st.supervisor_alarmed = r.boolean();
+    st.supervisor_alarm_s = r.f64();
+    st.dmu_delivery_rate = r.f64();
+    st.acc_delivery_rate = r.f64();
+    st.coast_s = r.f64();
+    st.recoveries = static_cast<std::size_t>(r.u64());
+    st.reconvergence_s = r.f64();
+    st.acc_implausible = static_cast<std::size_t>(r.u64());
+    return st;
+}
+
+}  // namespace
+
+ShardRange shard_range(std::size_t total_items, std::size_t index,
+                       std::size_t count) {
+    if (count == 0) {
+        throw std::invalid_argument("shard_range: shard count must be >= 1");
+    }
+    if (index >= count) {
+        throw std::invalid_argument(
+            "shard_range: shard index " + std::to_string(index) +
+            " out of range for " + std::to_string(count) + " shard(s)");
+    }
+    const std::size_t base = total_items / count;
+    const std::size_t rem = total_items % count;
+    ShardRange r;
+    r.begin = index * base + std::min(index, rem);
+    r.end = r.begin + base + (index < rem ? 1 : 0);
+    return r;
+}
+
+void encode_seed_result(util::ByteWriter& w, const FleetSeedResult& s) {
+    w.u64(s.sensor_seed);
+    // core::AlignmentResult — the Table 1 row.
+    w.str(s.result.label);
+    encode_euler(w, s.result.truth);
+    encode_euler(w, s.result.estimate);
+    for (std::size_t i = 0; i < 3; ++i) w.f64(s.result.sigma3_rad[i]);
+    w.f64(s.result.residual_rms);
+    w.f64(s.result.exceedance_rate);
+    w.f64(s.result.meas_noise);
+    w.f64(s.result.duration_s);
+    // FleetTraceSummary.
+    w.u64(s.trace.epochs);
+    w.f64(s.trace.worst_roll_err_deg);
+    w.f64(s.trace.worst_pitch_err_deg);
+    w.f64(s.trace.worst_yaw_err_deg);
+    w.u64(s.trace.checked_points);
+    w.f64(s.trace.first_divergence_s);
+    w.f64(s.trace.fault_window_start_s);
+    w.f64(s.trace.fault_window_duration_s);
+    encode_status(w, s.final_status);
+    w.boolean(s.within_envelope);
+    w.f64(s.calibrated_bias[0]);
+    w.f64(s.calibrated_bias[1]);
+    w.f64(s.calibration_noise);
+    w.u64(s.calibration_samples);
+}
+
+FleetSeedResult decode_seed_result(util::ByteReader& r) {
+    FleetSeedResult s;
+    s.sensor_seed = r.u64();
+    s.result.label = r.str();
+    s.result.truth = decode_euler(r);
+    s.result.estimate = decode_euler(r);
+    for (std::size_t i = 0; i < 3; ++i) s.result.sigma3_rad[i] = r.f64();
+    s.result.residual_rms = r.f64();
+    s.result.exceedance_rate = r.f64();
+    s.result.meas_noise = r.f64();
+    s.result.duration_s = r.f64();
+    s.trace.epochs = static_cast<std::size_t>(r.u64());
+    s.trace.worst_roll_err_deg = r.f64();
+    s.trace.worst_pitch_err_deg = r.f64();
+    s.trace.worst_yaw_err_deg = r.f64();
+    s.trace.checked_points = static_cast<std::size_t>(r.u64());
+    s.trace.first_divergence_s = r.f64();
+    s.trace.fault_window_start_s = r.f64();
+    s.trace.fault_window_duration_s = r.f64();
+    s.final_status = decode_status(r);
+    s.within_envelope = r.boolean();
+    s.calibrated_bias[0] = r.f64();
+    s.calibrated_bias[1] = r.f64();
+    s.calibration_noise = r.f64();
+    s.calibration_samples = static_cast<std::size_t>(r.u64());
+    return s;
+}
+
+std::string encode_shard_artifact(const FleetShardArtifact& a) {
+    util::ByteWriter w;
+    w.bytes(kFleetShardMagic, sizeof kFleetShardMagic);
+    w.u32(kFleetShardFormatVersion);
+    w.u64(a.plan_digest);
+    w.u64(a.total_items);
+    w.u64(a.item_begin);
+    w.u64(a.item_end);
+    w.u64(a.jobs.size());
+    for (const auto& job : a.jobs) encode_fleet_job(w, job);
+    w.u64(a.results.size());
+    for (const auto& s : a.results) encode_seed_result(w, s);
+    return w.take_string();
+}
+
+FleetShardArtifact decode_shard_artifact(std::string_view bytes) {
+    util::ByteReader r(bytes);
+    char magic[sizeof kFleetShardMagic];
+    r.read_bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kFleetShardMagic, sizeof magic) != 0) {
+        throw util::WireError(
+            "shard artifact: bad magic (not an OBSHARD1 file)");
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kFleetShardFormatVersion) {
+        throw util::WireError(
+            "shard artifact: format version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(kFleetShardFormatVersion) + ")");
+    }
+    FleetShardArtifact a;
+    a.plan_digest = r.u64();
+    a.total_items = r.u64();
+    a.item_begin = r.u64();
+    a.item_end = r.u64();
+    if (a.item_begin > a.item_end || a.item_end > a.total_items) {
+        throw util::WireError(
+            "shard artifact: slice [" + std::to_string(a.item_begin) + ", " +
+            std::to_string(a.item_end) + ") is not inside the " +
+            std::to_string(a.total_items) + "-item plan");
+    }
+    const std::uint64_t job_count = r.u64();
+    a.jobs.reserve(static_cast<std::size_t>(job_count));
+    for (std::uint64_t j = 0; j < job_count; ++j) {
+        a.jobs.push_back(decode_fleet_job(r));
+    }
+    const std::uint64_t result_count = r.u64();
+    if (result_count != a.item_end - a.item_begin) {
+        throw util::WireError(
+            "shard artifact: " + std::to_string(result_count) +
+            " result(s) for a slice of " +
+            std::to_string(a.item_end - a.item_begin) + " item(s)");
+    }
+    a.results.reserve(static_cast<std::size_t>(result_count));
+    for (std::uint64_t i = 0; i < result_count; ++i) {
+        a.results.push_back(decode_seed_result(r));
+    }
+    r.expect_end();
+    // Re-derive the plan from the embedded jobs: the digest and total in
+    // the header must be honest, or merge's digest equality check would
+    // accept artifacts that only claim to belong together.
+    const FleetPlan plan = make_fleet_plan(a.jobs);
+    if (plan.digest != a.plan_digest || plan.items.size() != a.total_items) {
+        throw util::WireError(
+            "shard artifact: header plan identity does not match the "
+            "embedded job list (file corrupt or hand-edited)");
+    }
+    return a;
+}
+
+void save_shard_artifact(const std::string& path,
+                         const FleetShardArtifact& a) {
+    util::write_file(path, encode_shard_artifact(a));
+}
+
+FleetShardArtifact load_shard_artifact(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("cannot open shard artifact '" + path + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+        throw std::runtime_error("error reading shard artifact '" + path +
+                                 "'");
+    }
+    return decode_shard_artifact(buf.str());
+}
+
+FleetShardArtifact run_fleet_shard(const std::vector<FleetJob>& jobs,
+                                   std::size_t index, std::size_t count,
+                                   const FleetRunner& runner) {
+    const FleetPlan plan = make_fleet_plan(jobs);
+    const ShardRange range = shard_range(plan.items.size(), index, count);
+    FleetShardArtifact a;
+    a.plan_digest = plan.digest;
+    a.total_items = plan.items.size();
+    a.item_begin = range.begin;
+    a.item_end = range.end;
+    a.jobs = jobs;
+    a.results = runner.run_items(jobs, range.begin, range.size());
+    return a;
+}
+
+FleetShardArtifact merge_shards(
+    const std::vector<FleetShardArtifact>& shards) {
+    if (shards.empty()) {
+        throw std::invalid_argument("fleet_merge: no shard artifacts given");
+    }
+    const FleetShardArtifact& ref = shards.front();
+    for (std::size_t i = 1; i < shards.size(); ++i) {
+        if (shards[i].plan_digest != ref.plan_digest ||
+            shards[i].total_items != ref.total_items) {
+            throw std::invalid_argument(
+                "fleet_merge: shard " + std::to_string(i) +
+                " belongs to a different plan (digest " +
+                std::to_string(shards[i].plan_digest) + " over " +
+                std::to_string(shards[i].total_items) +
+                " item(s); expected digest " + std::to_string(ref.plan_digest) +
+                " over " + std::to_string(ref.total_items) + ")");
+        }
+    }
+
+    // Sort by slice start and require an exact tiling of [0, total).
+    std::vector<const FleetShardArtifact*> order;
+    order.reserve(shards.size());
+    for (const auto& s : shards) order.push_back(&s);
+    std::sort(order.begin(), order.end(),
+              [](const FleetShardArtifact* a, const FleetShardArtifact* b) {
+                  return a->item_begin != b->item_begin
+                             ? a->item_begin < b->item_begin
+                             : a->item_end < b->item_end;
+              });
+
+    FleetShardArtifact merged;
+    merged.plan_digest = ref.plan_digest;
+    merged.total_items = ref.total_items;
+    merged.item_begin = 0;
+    merged.item_end = ref.total_items;
+    merged.jobs = ref.jobs;
+    merged.results.reserve(static_cast<std::size_t>(ref.total_items));
+    std::uint64_t next = 0;
+    for (const FleetShardArtifact* s : order) {
+        if (s->item_begin < next) {
+            throw std::invalid_argument(
+                "fleet_merge: shard slices overlap at item " +
+                std::to_string(s->item_begin) + " (already covered up to " +
+                std::to_string(next) + ")");
+        }
+        if (s->item_begin > next) {
+            throw std::invalid_argument(
+                "fleet_merge: plan items [" + std::to_string(next) + ", " +
+                std::to_string(s->item_begin) +
+                ") are covered by no shard — merge needs the full set");
+        }
+        merged.results.insert(merged.results.end(), s->results.begin(),
+                              s->results.end());
+        next = s->item_end;
+    }
+    if (next != ref.total_items) {
+        throw std::invalid_argument(
+            "fleet_merge: plan items [" + std::to_string(next) + ", " +
+            std::to_string(ref.total_items) +
+            ") are covered by no shard — merge needs the full set");
+    }
+    return merged;
+}
+
+std::vector<FleetResult> realize_shard_results(const FleetShardArtifact& a) {
+    if (!a.covers_full_plan()) {
+        throw std::invalid_argument(
+            "realize_shard_results: artifact covers [" +
+            std::to_string(a.item_begin) + ", " + std::to_string(a.item_end) +
+            ") of " + std::to_string(a.total_items) +
+            " plan item(s); merge all shards first");
+    }
+    std::vector<FleetResult> results;
+    results.reserve(a.jobs.size());
+    std::size_t pos = 0;
+    for (const auto& job : a.jobs) {
+        const auto n = static_cast<std::size_t>(job.seeds_per_job);
+        std::vector<FleetSeedResult> seeds(a.results.begin() + static_cast<std::ptrdiff_t>(pos),
+                                           a.results.begin() + static_cast<std::ptrdiff_t>(pos + n));
+        pos += n;
+        results.push_back(reduce_fleet_job(job, std::move(seeds)));
+    }
+    return results;
+}
+
+}  // namespace ob::system

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "system/fleet.hpp"
+#include "util/wire.hpp"
+
+namespace ob::system {
+
+/// Process-level work partition over the deterministic (job × seed) plan
+/// (docs/ARCHITECTURE.md § "Sharding and the serve layer"). A shard is a
+/// contiguous plan-order slice realized by one process; its output is a
+/// self-describing artifact carrying the full job list, the plan digest,
+/// the slice bounds and the per-item seed results. `merge_shards`
+/// recombines artifacts in plan order, and because a work item's result is
+/// a function of (job, seed index) alone, the merged artifact is bitwise
+/// the artifact of a single 1/1-shard run — asserted across shard counts
+/// in tests/fleet_shard_test.cpp.
+
+/// Artifact wire format version; bumped on any layout change. The format
+/// itself is the canonical ByteWriter encoding described field by field in
+/// docs/ARCHITECTURE.md.
+inline constexpr std::uint32_t kFleetShardFormatVersion = 1;
+
+/// 8-byte artifact magic, "OBSHARD1" in file order.
+inline constexpr char kFleetShardMagic[8] = {'O', 'B', 'S', 'H',
+                                             'A', 'R', 'D', '1'};
+
+/// Contiguous plan-order slice [begin, end) owned by shard `index` of
+/// `count`: the balanced partition (sizes differ by at most one, earlier
+/// shards take the remainder). Shards beyond the item count come out
+/// empty — a plan smaller than the shard count is valid, not an error.
+/// Throws std::invalid_argument on count == 0 or index >= count.
+struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+[[nodiscard]] ShardRange shard_range(std::size_t total_items,
+                                     std::size_t index, std::size_t count);
+
+/// One shard's partial results, or (after merge) the recombined whole.
+struct FleetShardArtifact {
+    std::uint64_t plan_digest = 0;  ///< make_fleet_plan(jobs).digest
+    std::uint64_t total_items = 0;  ///< full plan size, all shards
+    std::uint64_t item_begin = 0;   ///< plan-order slice [begin, end)
+    std::uint64_t item_end = 0;
+    std::vector<FleetJob> jobs;     ///< the full batch, self-describing
+    /// Seed results for plan items [item_begin, item_end), in plan order.
+    std::vector<FleetSeedResult> results;
+
+    [[nodiscard]] bool covers_full_plan() const {
+        return item_begin == 0 && item_end == total_items;
+    }
+};
+
+/// Canonical byte codec for one realization's full output (every field of
+/// the FleetSeedResult, doubles as IEEE-754 bit patterns). Exposed so
+/// tests can pin "merged == single-process" at the byte level.
+void encode_seed_result(util::ByteWriter& w, const FleetSeedResult& s);
+[[nodiscard]] FleetSeedResult decode_seed_result(util::ByteReader& r);
+
+/// Serialize / parse an artifact. decode validates the magic, the format
+/// version, the slice bounds, the result count and — by re-deriving the
+/// plan from the embedded jobs — the plan digest and total item count, so
+/// a corrupt or hand-edited artifact cannot reach merge. Throws
+/// util::WireError with the failing field.
+[[nodiscard]] std::string encode_shard_artifact(const FleetShardArtifact& a);
+[[nodiscard]] FleetShardArtifact decode_shard_artifact(std::string_view bytes);
+
+/// File convenience wrappers (binary, whole-file).
+void save_shard_artifact(const std::string& path,
+                         const FleetShardArtifact& a);
+[[nodiscard]] FleetShardArtifact load_shard_artifact(const std::string& path);
+
+/// Realize shard `index` of `count` over the batch: run_items on the
+/// shard's plan slice, packaged with the plan identity. `run_fleet_shard`
+/// with count 1 is the single-process reference the merged artifacts must
+/// match bitwise.
+[[nodiscard]] FleetShardArtifact run_fleet_shard(
+    const std::vector<FleetJob>& jobs, std::size_t index, std::size_t count,
+    const FleetRunner& runner = FleetRunner{});
+
+/// Recombine shard artifacts (any order) into the full-plan artifact.
+/// Rejects, with a message naming the offending shards: an empty input,
+/// artifacts whose plan digests / totals / job lists disagree, overlapping
+/// slices, and gaps (the union must tile [0, total) exactly). Empty
+/// slices are fine — they are what over-sharded small plans produce.
+/// Throws std::invalid_argument.
+[[nodiscard]] FleetShardArtifact merge_shards(
+    const std::vector<FleetShardArtifact>& shards);
+
+/// Reduce a full-plan artifact to the FleetRunner::run result vector
+/// (reduce_fleet_job per job, plan order). Throws std::invalid_argument
+/// when the artifact does not cover the full plan.
+[[nodiscard]] std::vector<FleetResult> realize_shard_results(
+    const FleetShardArtifact& a);
+
+}  // namespace ob::system

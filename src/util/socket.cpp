@@ -1,0 +1,203 @@
+#include "util/socket.hpp"
+
+#ifndef _WIN32
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ob::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw SocketError(what + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] sockaddr_un make_addr(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof addr.sun_path) {
+        throw SocketError("socket path '" + path +
+                          "' is empty or exceeds sun_path (" +
+                          std::to_string(sizeof addr.sun_path - 1) +
+                          " bytes)");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+}  // namespace
+
+UnixSocket::~UnixSocket() { close(); }
+
+UnixSocket::UnixSocket(UnixSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+UnixSocket UnixSocket::connect(const std::string& path) {
+    const sockaddr_un addr = make_addr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("connect to '" + path + "'");
+    }
+    return UnixSocket(fd);
+}
+
+void UnixSocket::write_all(const void* data, std::size_t n) {
+    const auto* p = static_cast<const char*>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer that hung up surfaces as EPIPE here, not as
+        // a process-killing SIGPIPE.
+        const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("send");
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+}
+
+bool UnixSocket::read_exact(void* out, std::size_t n) {
+    auto* p = static_cast<char*>(out);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("recv");
+        }
+        if (r == 0) {
+            if (got == 0) return false;  // clean EOF between frames
+            throw SocketError("peer closed mid-frame after " +
+                              std::to_string(got) + " of " +
+                              std::to_string(n) + " byte(s)");
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+void UnixSocket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+UnixListener::~UnixListener() { close(); }
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+    }
+    return *this;
+}
+
+UnixListener UnixListener::bind(const std::string& path, int backlog) {
+    const sockaddr_un addr = make_addr(path);
+    ::unlink(path.c_str());  // a stale file from a crashed daemon
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("bind to '" + path + "'");
+    }
+    if (::listen(fd, backlog) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        errno = saved;
+        throw_errno("listen on '" + path + "'");
+    }
+    UnixListener out;
+    out.fd_ = fd;
+    out.path_ = path;
+    return out;
+}
+
+UnixSocket UnixListener::accept(int timeout_ms) {
+    if (fd_ < 0) return UnixSocket{};
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+        if (errno == EINTR) return UnixSocket{};
+        throw_errno("poll");
+    }
+    if (ready == 0) return UnixSocket{};
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) return UnixSocket{};
+        throw_errno("accept");
+    }
+    return UnixSocket(cfd);
+}
+
+void UnixListener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        ::unlink(path_.c_str());
+    }
+}
+
+}  // namespace ob::util
+
+#else  // _WIN32
+
+// The fleet_serve transport is POSIX-only; keep the library linkable on
+// Windows with stubs that fail loudly at first use.
+namespace ob::util {
+
+namespace {
+[[noreturn]] void unsupported() {
+    throw SocketError("AF_UNIX sockets are not supported on this platform");
+}
+}  // namespace
+
+UnixSocket::~UnixSocket() = default;
+UnixSocket::UnixSocket(UnixSocket&&) noexcept {}
+UnixSocket& UnixSocket::operator=(UnixSocket&&) noexcept { return *this; }
+UnixSocket UnixSocket::connect(const std::string&) { unsupported(); }
+void UnixSocket::write_all(const void*, std::size_t) { unsupported(); }
+bool UnixSocket::read_exact(void*, std::size_t) { unsupported(); }
+void UnixSocket::close() {}
+
+UnixListener::~UnixListener() = default;
+UnixListener::UnixListener(UnixListener&&) noexcept {}
+UnixListener& UnixListener::operator=(UnixListener&&) noexcept {
+    return *this;
+}
+UnixListener UnixListener::bind(const std::string&, int) { unsupported(); }
+UnixSocket UnixListener::accept(int) { unsupported(); }
+void UnixListener::close() {}
+
+}  // namespace ob::util
+
+#endif  // _WIN32

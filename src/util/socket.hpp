@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace ob::util {
+
+class SocketError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Thin RAII wrapper over a connected AF_UNIX stream socket — the local
+/// transport under the fleet_serve daemon (docs/PROTOCOL.md). The wrapper
+/// deliberately exposes only whole-buffer operations: the protocol is
+/// fixed-size framed, so partial reads/writes are a transport detail that
+/// must never leak into the framing layer.
+///
+/// Move-only; the descriptor closes on destruction. On Windows every
+/// operation throws SocketError (the daemon is a POSIX-only surface; the
+/// core library and tests build everywhere).
+class UnixSocket {
+public:
+    UnixSocket() = default;
+    /// Adopt an already-connected descriptor (listener accept path).
+    explicit UnixSocket(int fd) : fd_(fd) {}
+    ~UnixSocket();
+
+    UnixSocket(UnixSocket&& other) noexcept;
+    UnixSocket& operator=(UnixSocket&& other) noexcept;
+    UnixSocket(const UnixSocket&) = delete;
+    UnixSocket& operator=(const UnixSocket&) = delete;
+
+    /// Connect to a listening socket at `path`. Throws SocketError with
+    /// errno text on failure.
+    [[nodiscard]] static UnixSocket connect(const std::string& path);
+
+    /// Write the whole buffer, looping over short writes. Throws on error
+    /// (including a peer that closed mid-write).
+    void write_all(const void* data, std::size_t n);
+
+    /// Read exactly `n` bytes. Returns false on a clean EOF before the
+    /// first byte (the peer hung up between frames); throws SocketError on
+    /// an EOF or error mid-buffer (a truncated frame is always a fault).
+    [[nodiscard]] bool read_exact(void* out, std::size_t n);
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] int fd() const { return fd_; }
+    void close();
+
+private:
+    int fd_ = -1;
+};
+
+/// RAII listening socket bound to a filesystem path. The path is unlinked
+/// both before bind (a stale socket file from a crashed daemon must not
+/// block restart) and on destruction.
+class UnixListener {
+public:
+    UnixListener() = default;
+    ~UnixListener();
+
+    UnixListener(UnixListener&& other) noexcept;
+    UnixListener& operator=(UnixListener&& other) noexcept;
+    UnixListener(const UnixListener&) = delete;
+    UnixListener& operator=(const UnixListener&) = delete;
+
+    /// Bind + listen on `path`. Throws SocketError (e.g. a path longer
+    /// than sun_path, or a directory that does not exist).
+    [[nodiscard]] static UnixListener bind(const std::string& path,
+                                           int backlog = 16);
+
+    /// Wait up to `timeout_ms` for a connection. Returns an invalid socket
+    /// on timeout (so an accept loop can poll a stop flag); throws on
+    /// error. A closed listener also returns an invalid socket.
+    [[nodiscard]] UnixSocket accept(int timeout_ms);
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] const std::string& path() const { return path_; }
+    void close();
+
+private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+}  // namespace ob::util

@@ -1,0 +1,61 @@
+#include "util/wire.hpp"
+
+namespace ob::util {
+
+void ByteWriter::str(std::string_view s) {
+    if (s.size() > 0xFFFFFFFFull) {
+        throw std::invalid_argument("ByteWriter::str: string too long");
+    }
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+void ByteWriter::fixed_str(std::string_view s, std::size_t width) {
+    if (s.size() > width) {
+        throw std::invalid_argument(
+            "ByteWriter::fixed_str: '" + std::string(s) + "' exceeds the " +
+            std::to_string(width) + "-byte field");
+    }
+    bytes(s.data(), s.size());
+    for (std::size_t i = s.size(); i < width; ++i) u8(0);
+}
+
+std::string ByteReader::str() {
+    const std::uint32_t n = u32();
+    if (n > remaining()) {
+        throw WireError("wire: string of " + std::to_string(n) +
+                        " bytes overruns the buffer at offset " +
+                        std::to_string(off_));
+    }
+    std::string out(reinterpret_cast<const char*>(take(n)), n);
+    return out;
+}
+
+std::string ByteReader::fixed_str(std::size_t width) {
+    const auto* b = reinterpret_cast<const char*>(take(width));
+    std::size_t len = 0;
+    while (len < width && b[len] != '\0') ++len;
+    return std::string(b, len);
+}
+
+void ByteReader::expect_end() const {
+    if (off_ != size_) {
+        throw WireError("wire: " + std::to_string(size_ - off_) +
+                        " unexpected trailing byte(s) after offset " +
+                        std::to_string(off_));
+    }
+}
+
+const std::uint8_t* ByteReader::take(std::size_t n) {
+    if (n > size_ - off_) {
+        throw WireError("wire: read of " + std::to_string(n) +
+                        " byte(s) at offset " + std::to_string(off_) +
+                        " overruns the " + std::to_string(size_) +
+                        "-byte buffer");
+    }
+    const std::uint8_t* out = p_ + off_;
+    off_ += n;
+    return out;
+}
+
+}  // namespace ob::util

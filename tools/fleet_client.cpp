@@ -1,0 +1,139 @@
+// fleet_client: CLI for the fleet_serve daemon (docs/PROTOCOL.md). Opens a
+// session, issues one request, prints streamed per-job results as they
+// arrive, and exits nonzero when any job lands outside its envelope — so a
+// shell script can use it as a remote regression check.
+//
+//   fleet_client --socket /tmp/fleet.sock --scenario city-drive
+//   fleet_client --socket /tmp/fleet.sock --study city-drive --seeds 3
+//   fleet_client --socket /tmp/fleet.sock --ping
+//   fleet_client --socket /tmp/fleet.sock --shutdown
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "system/fleet_client.hpp"
+
+using namespace ob;
+
+namespace {
+
+void print_result(const system::JobResultMessage& m) {
+    std::printf("[%u/%u] %-28s %-7s seeds %u/%u | residual %9.4f | "
+                "R %7.4f | %s\n",
+                m.job_index + 1, m.job_count, m.scenario.c_str(),
+                m.processor == system::kProcessorSabre ? "sabre" : "native",
+                m.seeds_within_envelope, m.seeds, m.residual_rms,
+                m.meas_noise, m.within_envelope ? "ok" : "outside");
+    std::fflush(stdout);
+}
+
+[[nodiscard]] std::uint8_t parse_processor(const std::string& s) {
+    if (s == "native") return system::kProcessorNative;
+    if (s == "sabre") return system::kProcessorSabre;
+    if (s == "both") return system::kProcessorBoth;
+    throw std::invalid_argument("--processor must be native|sabre|both, got '" +
+                                s + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path = "/tmp/fleet_serve.sock";
+    enum class Mode { kFleet, kStudy, kPing, kShutdown } mode = Mode::kFleet;
+    system::FleetRequest fleet_req;
+    system::StudyRequest study_req;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throw std::invalid_argument(arg + " needs a value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--socket") {
+                socket_path = next();
+            } else if (arg == "--scenario") {
+                fleet_req.scenario = next();
+            } else if (arg == "--study") {
+                mode = Mode::kStudy;
+                study_req.scenario = next();
+            } else if (arg == "--ping") {
+                mode = Mode::kPing;
+            } else if (arg == "--shutdown") {
+                mode = Mode::kShutdown;
+            } else if (arg == "--processor") {
+                const std::uint8_t p = parse_processor(next());
+                fleet_req.processor = p;
+                study_req.processor = p;
+            } else if (arg == "--seeds") {
+                const auto n =
+                    static_cast<std::uint16_t>(std::stoul(next()));
+                fleet_req.seeds_per_job = n;
+                study_req.seeds_per_cell = n;
+            } else if (arg == "--base-seed") {
+                fleet_req.base_seed = study_req.base_seed =
+                    std::stoull(next());
+            } else if (arg == "--duration") {
+                fleet_req.duration_s = std::stod(next());
+            } else if (arg == "--adaptive") {
+                fleet_req.use_adaptive_tuner = true;
+            } else if (arg == "--help" || arg == "-h") {
+                std::printf(
+                    "usage: %s [--socket PATH] [request]\n"
+                    "  --scenario NAME|'*'  fleet request (default '*')\n"
+                    "  --study NAME         run the built-in retune panel\n"
+                    "  --ping               liveness round trip\n"
+                    "  --shutdown           stop the daemon\n"
+                    "  --processor P        native | sabre | both\n"
+                    "  --seeds N  --base-seed N  --duration S  --adaptive\n",
+                    argv[0]);
+                return 0;
+            } else {
+                throw std::invalid_argument("unknown argument '" + arg + "'");
+            }
+        }
+
+        auto client = system::FleetServeClient::connect(socket_path);
+        std::printf("session %u (protocol v%u) on %s\n", client.session(),
+                    static_cast<unsigned>(client.version()),
+                    socket_path.c_str());
+
+        switch (mode) {
+            case Mode::kPing: {
+                const std::uint64_t token = 0x0B5EA11B1u;
+                if (client.ping(token) != token) {
+                    std::fprintf(stderr, "fleet_client: pong token mismatch\n");
+                    return 1;
+                }
+                std::printf("pong\n");
+                client.goodbye();
+                return 0;
+            }
+            case Mode::kShutdown:
+                client.shutdown_server();
+                std::printf("server acknowledged shutdown\n");
+                return 0;
+            case Mode::kFleet:
+            case Mode::kStudy: {
+                const auto outcome =
+                    mode == Mode::kFleet
+                        ? client.run_fleet(fleet_req, print_result)
+                        : client.run_study(study_req, print_result);
+                client.goodbye();
+                std::printf(
+                    "%u job(s), %u within envelope, server wall %.2f s\n",
+                    outcome.done.jobs, outcome.done.within_envelope,
+                    outcome.done.wall_s);
+                return outcome.done.within_envelope == outcome.done.jobs ? 0
+                                                                         : 1;
+            }
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleet_client: %s\n", e.what());
+        return 1;
+    }
+}

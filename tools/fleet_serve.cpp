@@ -1,0 +1,80 @@
+// fleet_serve: the fleet-as-a-service daemon. Binds an AF_UNIX stream
+// socket and executes fleet / tuning-study requests for any number of
+// concurrent clients, streaming per-job results as they complete. The wire
+// contract is docs/PROTOCOL.md; tools/fleet_client.cpp is the matching CLI.
+//
+//   fleet_serve --socket /tmp/fleet.sock
+
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "system/fleet_serve.hpp"
+
+using namespace ob;
+
+namespace {
+
+system::FleetServer* g_server = nullptr;
+
+void on_signal(int) {
+    // Async-signal-safe: request_stop only stores an atomic flag; the
+    // accept loop notices within its poll period.
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    system::FleetServer::Config cfg;
+    cfg.socket_path = "/tmp/fleet_serve.sock";
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throw std::invalid_argument(arg + " needs a value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--socket") {
+                cfg.socket_path = next();
+            } else if (arg == "--threads") {
+                cfg.runner.threads = std::stoul(next());
+            } else if (arg == "--poll-ms") {
+                cfg.accept_poll_ms = std::stoi(next());
+            } else if (arg == "--help" || arg == "-h") {
+                std::printf(
+                    "usage: %s [--socket PATH] [--threads N] [--poll-ms N]\n"
+                    "Serve fleet requests on an AF_UNIX socket "
+                    "(protocol v%u, docs/PROTOCOL.md).\n",
+                    argv[0],
+                    static_cast<unsigned>(system::kProtocolVersion));
+                return 0;
+            } else {
+                throw std::invalid_argument("unknown argument '" + arg + "'");
+            }
+        }
+
+        system::FleetServer server(cfg);
+        g_server = &server;
+        std::signal(SIGINT, on_signal);
+        std::signal(SIGTERM, on_signal);
+
+        std::printf("fleet_serve: protocol v%u on %s\n",
+                    static_cast<unsigned>(system::kProtocolVersion),
+                    cfg.socket_path.c_str());
+        std::fflush(stdout);
+        server.serve();
+        std::printf("fleet_serve: stopped after %llu session(s)\n",
+                    static_cast<unsigned long long>(
+                        server.sessions_served()));
+        g_server = nullptr;
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleet_serve: %s\n", e.what());
+        return 1;
+    }
+}

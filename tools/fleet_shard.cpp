@@ -1,0 +1,121 @@
+// fleet_shard: realize one shard of a deterministic fleet batch and write
+// the partial results as a self-describing artifact (docs/ARCHITECTURE.md
+// § "Sharding and the serve layer"). The plan is the (job × seed) expansion
+// in job-major order; --shard k/N takes the balanced contiguous slice k of
+// N. fleet_merge recombines the artifacts; the merged batch is bitwise the
+// single-process run.
+//
+//   fleet_shard --shard 0/4 --out shard0.bin --scenario '*' --seeds 2
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "system/fleet_serve.hpp"
+#include "system/fleet_shard.hpp"
+
+using namespace ob;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::printf(
+        "usage: %s --shard K/N --out FILE [options]\n"
+        "  --shard K/N          realize slice K of N (K in [0, N))\n"
+        "  --out FILE           artifact path to write\n"
+        "  --scenario NAME      library scenario, or '*' for all (default *)\n"
+        "  --processor P        native | sabre | both (default native)\n"
+        "  --seeds N            Monte Carlo realizations per job (default 1)\n"
+        "  --base-seed N        fleet base seed (default 2026)\n"
+        "  --duration S         per-job duration override in seconds\n"
+        "  --adaptive           enable the adaptive tuner\n"
+        "  --threads N          worker threads (default: all hardware)\n",
+        argv0);
+}
+
+[[nodiscard]] std::uint8_t parse_processor(const std::string& s) {
+    if (s == "native") return system::kProcessorNative;
+    if (s == "sabre") return system::kProcessorSabre;
+    if (s == "both") return system::kProcessorBoth;
+    throw std::invalid_argument("--processor must be native|sabre|both, got '" +
+                                s + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path;
+    std::size_t shard_index = 0, shard_count = 0;
+    system::FleetRequest req;
+    system::FleetRunner::Config runner_cfg;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throw std::invalid_argument(arg + " needs a value");
+                }
+                return argv[++i];
+            };
+            if (arg == "--shard") {
+                const std::string v = next();
+                const auto slash = v.find('/');
+                if (slash == std::string::npos) {
+                    throw std::invalid_argument(
+                        "--shard wants K/N, got '" + v + "'");
+                }
+                shard_index = std::stoul(v.substr(0, slash));
+                shard_count = std::stoul(v.substr(slash + 1));
+            } else if (arg == "--out") {
+                out_path = next();
+            } else if (arg == "--scenario") {
+                req.scenario = next();
+            } else if (arg == "--processor") {
+                req.processor = parse_processor(next());
+            } else if (arg == "--seeds") {
+                req.seeds_per_job =
+                    static_cast<std::uint16_t>(std::stoul(next()));
+            } else if (arg == "--base-seed") {
+                req.base_seed = std::stoull(next());
+            } else if (arg == "--duration") {
+                req.duration_s = std::stod(next());
+            } else if (arg == "--adaptive") {
+                req.use_adaptive_tuner = true;
+            } else if (arg == "--threads") {
+                runner_cfg.threads = std::stoul(next());
+            } else if (arg == "--help" || arg == "-h") {
+                usage(argv[0]);
+                return 0;
+            } else {
+                throw std::invalid_argument("unknown argument '" + arg + "'");
+            }
+        }
+        if (out_path.empty() || shard_count == 0) {
+            usage(argv[0]);
+            return 2;
+        }
+
+        const auto jobs = system::expand_fleet_request(req);
+        const system::FleetRunner runner(runner_cfg);
+        const auto artifact =
+            system::run_fleet_shard(jobs, shard_index, shard_count, runner);
+        system::save_shard_artifact(out_path, artifact);
+        std::printf(
+            "shard %zu/%zu: plan %llu item(s) over %zu job(s), slice "
+            "[%llu, %llu) -> %s (digest %016llx)\n",
+            shard_index, shard_count,
+            static_cast<unsigned long long>(artifact.total_items),
+            artifact.jobs.size(),
+            static_cast<unsigned long long>(artifact.item_begin),
+            static_cast<unsigned long long>(artifact.item_end),
+            out_path.c_str(),
+            static_cast<unsigned long long>(artifact.plan_digest));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "fleet_shard: %s\n", e.what());
+        return 1;
+    }
+}
