@@ -12,6 +12,10 @@ fleet (bench/fleet_throughput, BENCH_fleet.json) — exits nonzero when:
 
   * scenarios_per_sec or epochs_per_sec drop more than --max-regression
     (default 20%) below the baseline, or
+  * multi_seed.shared_runs_per_sec, multi_seed.batched_runs_per_sec or
+    multi_seed.speedup drop more than --max-regression below the
+    baseline (the seed-axis sweep: trace sharing and the SoA ensemble
+    batching are separately gated capabilities), or
   * any per-stage cost in per_stage_us rises more than --max-regression
     above the baseline AND by more than an absolute slack of 0.1 us —
     the slack keeps sub-microsecond stages from tripping on timer
@@ -84,9 +88,12 @@ FLEET_REQUIRED_STAGE_KEYS = ("sabre_step",)
 # Sub-keys of the multi_seed section (the 8-seed shared-trace sweep;
 # "runs" are scenario realizations, scenario x tuning x seed); the shared
 # throughput and the shared-vs-per-run-synthesis speedup are gated like
-# the top-level throughput numbers.
+# the top-level throughput numbers. batched_runs_per_sec is the SoA
+# ensemble path at fixed trace sharing — gated so a regression back
+# toward the per-seed scalar Realize loop is caught on its own axis.
 FLEET_REQUIRED_MULTI_SEED_KEYS = ("shared_runs_per_sec",
-                                  "unshared_runs_per_sec", "speedup")
+                                  "unshared_runs_per_sec", "speedup",
+                                  "batched_runs_per_sec")
 
 FAULT_REQUIRED_KEYS = ("cells", "realizations", "cells_per_sec",
                        "epochs_per_sec", "outcomes",
@@ -184,7 +191,7 @@ def check_fleet(fresh, base, fresh_path, tol, rows, failures):
     # The seed-axis sweep: shared-trace throughput, and the amortization
     # speedup itself so a regression back toward per-run synthesis cost is
     # caught even if absolute throughput moved with the host.
-    for key in ("shared_runs_per_sec", "speedup"):
+    for key in ("shared_runs_per_sec", "speedup", "batched_runs_per_sec"):
         check_throughput(f"multi_seed.{key}", base["multi_seed"][key],
                          fresh["multi_seed"][key])
 

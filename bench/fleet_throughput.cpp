@@ -18,10 +18,13 @@
 #include "comm/codec.hpp"
 #include "comm/uart.hpp"
 #include "core/boresight_ekf.hpp"
+#include "core/ensemble_ekf.hpp"
 #include "math/rotation.hpp"
+#include "sim/ensemble_realizer.hpp"
 #include "sim/scenario_library.hpp"
 #include "sim/scenario_trace.hpp"
 #include "system/boresight_system.hpp"
+#include "system/ensemble_runner.hpp"
 #include "system/experiment.hpp"
 #include "system/fleet.hpp"
 #include "system/sabre_runner.hpp"
@@ -269,14 +272,25 @@ struct MultiSeedSweep {
     std::size_t epochs = 0;
     double shared_elapsed_s = 0.0;
     double unshared_elapsed_s = 0.0;
+    double batched_elapsed_s = 0.0;  ///< shared trace + SoA ensemble batching
+    double scalar_elapsed_s = 0.0;   ///< shared trace, batching disabled
     [[nodiscard]] double shared_runs_per_sec() const {
         return static_cast<double>(runs) / shared_elapsed_s;
     }
     [[nodiscard]] double unshared_runs_per_sec() const {
         return static_cast<double>(runs) / unshared_elapsed_s;
     }
+    [[nodiscard]] double batched_runs_per_sec() const {
+        return static_cast<double>(runs) / batched_elapsed_s;
+    }
+    [[nodiscard]] double scalar_runs_per_sec() const {
+        return static_cast<double>(runs) / scalar_elapsed_s;
+    }
     [[nodiscard]] double speedup() const {
         return unshared_elapsed_s / shared_elapsed_s;
+    }
+    [[nodiscard]] double batch_speedup() const {
+        return scalar_elapsed_s / batched_elapsed_s;
     }
 };
 
@@ -330,6 +344,105 @@ MultiSeedSweep measure_multi_seed() {
                 rep == 0 ? elapsed : std::min(out.unshared_elapsed_s, elapsed);
         }
     }
+    // The batching axis in isolation, at fixed trace sharing: the SoA
+    // ensemble path against the per-seed scalar Realize loop. The default
+    // runner above already batches; this pair pins the attribution.
+    {
+        const system::FleetRunner batched(
+            {.share_traces = true, .batch_realizations = true});
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = Clock::now();
+            (void)batched.run(jobs);
+            const double elapsed = seconds_since(t0);
+            out.batched_elapsed_s =
+                rep == 0 ? elapsed : std::min(out.batched_elapsed_s, elapsed);
+        }
+    }
+    {
+        const system::FleetRunner scalar(
+            {.share_traces = true, .batch_realizations = false});
+        for (int rep = 0; rep < kReps; ++rep) {
+            const auto t0 = Clock::now();
+            (void)scalar.run(jobs);
+            const double elapsed = seconds_since(t0);
+            out.scalar_elapsed_s =
+                rep == 0 ? elapsed : std::min(out.scalar_elapsed_s, elapsed);
+        }
+    }
+    return out;
+}
+
+/// Per-stage cost of one batched lane-epoch, on the bench shape (8 lanes
+/// of the city drive). `realize` and `fusion` are measured directly —
+/// the SoA sampling loop alone, and the lane-array EKF on prebuilt decoded
+/// measurements — while `transport` is derived as full − realize − fusion,
+/// since the analytic transport emulation is interleaved with both in
+/// EnsembleNominalSystem::feed and cannot be timed in isolation without
+/// perturbing the cache behaviour being measured.
+struct BatchedStages {
+    double realize_us = 0.0;    ///< SoA instrument sampling, per lane-epoch
+    double transport_us = 0.0;  ///< analytic CAN/UART emulation (derived)
+    double fusion_us = 0.0;     ///< lane-array EKF step, per lane-update
+    double full_us = 0.0;       ///< whole batched epoch, per lane-epoch
+    std::size_t lanes = 0;
+};
+
+BatchedStages measure_batched_stages() {
+    BatchedStages out;
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t stream = sim::scenario_seed(spec.name, 7);
+    const auto trace = sim::ScenarioTrace::build(
+        spec.build(60.0, spec.misalignment, stream), stream);
+    constexpr std::size_t kLanes = 8;
+    out.lanes = kLanes;
+    std::vector<std::uint64_t> seeds(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l)
+        seeds[l] = system::fleet_sub_seed(stream, l);
+    const double lane_epochs =
+        static_cast<double>(trace->epochs()) * static_cast<double>(kLanes);
+
+    {  // SoA realization alone
+        sim::EnsembleRealizer ens(trace, spec.misalignment, seeds);
+        double t = 0.0;
+        const auto t0 = Clock::now();
+        while (ens.step(t)) {
+        }
+        out.realize_us = 1e6 * seconds_since(t0) / lane_epochs;
+    }
+    {  // the full batched epoch: realization + transport + fusion
+        sim::EnsembleRealizer ens(trace, spec.misalignment, seeds);
+        system::BoresightSystem::Config cfg;
+        cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
+        system::EnsembleNominalSystem sys(cfg, kLanes);
+        double t = 0.0;
+        const auto t0 = Clock::now();
+        while (ens.step(t)) sys.feed(ens.trace(), t, ens.dmu(), ens.adxl());
+        out.full_us = 1e6 * seconds_since(t0) / lane_epochs;
+    }
+    {  // lane-array EKF on decoded measurements (same stream every lane —
+       // the filter arithmetic does not branch on the values)
+        sim::Scenario sc(trace, spec.misalignment, seeds[0]);
+        std::vector<system::DecodedMeasurement> ms;
+        while (auto s = sc.next()) ms.push_back(system::decode_step(sc, *s));
+        core::BoresightConfig fcfg;
+        fcfg.meas_noise_mps2 = spec.meas_noise_mps2;
+        core::EnsembleEkf ekf(fcfg, kLanes);
+        math::Vec3 f_body[kLanes];
+        math::Vec2 z[kLanes];
+        core::BoresightEkf::Update up[kLanes];
+        const auto t0 = Clock::now();
+        for (const auto& m : ms) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+                f_body[l] = m.f_body;
+                z[l] = m.acc_xy;
+            }
+            ekf.step_all(f_body, z, up);
+        }
+        out.fusion_us =
+            1e6 * seconds_since(t0) /
+            (static_cast<double>(ms.size()) * static_cast<double>(kLanes));
+    }
+    out.transport_us = out.full_us - out.realize_us - out.fusion_us;
     return out;
 }
 
@@ -367,6 +480,7 @@ int main() {
     }
 
     const auto stages = measure_stages();
+    const auto batched = measure_batched_stages();
     const auto multi_seed = measure_multi_seed();
     const double scen_per_s = static_cast<double>(results.size()) / elapsed;
     std::printf("\n%zu scenario runs in %.2f s: %.2f scenarios/s, "
@@ -386,6 +500,13 @@ int main() {
                 multi_seed.scenarios, multi_seed.variants,
                 multi_seed.seeds_per_job, multi_seed.shared_runs_per_sec(),
                 multi_seed.unshared_runs_per_sec(), multi_seed.speedup());
+    std::printf("ensemble batching (shared trace): batched %.2f runs/s vs "
+                "scalar %.2f runs/s -> %.2fx; per lane-epoch %.2f us "
+                "(realize %.2f + transport %.2f + fusion %.2f, %zu lanes)\n",
+                multi_seed.batched_runs_per_sec(),
+                multi_seed.scalar_runs_per_sec(), multi_seed.batch_speedup(),
+                batched.full_us, batched.realize_us, batched.transport_us,
+                batched.fusion_us, batched.lanes);
     std::printf("transport breakdown: encode+send %.2f, can_advance %.2f, "
                 "uart_drain %.2f, codec %.2f, fusion %.2f us/epoch; "
                 "steady-state allocs/epoch %.3f\n",
@@ -428,6 +549,19 @@ int main() {
     w.key("shared_runs_per_sec").value(multi_seed.shared_runs_per_sec());
     w.key("unshared_runs_per_sec").value(multi_seed.unshared_runs_per_sec());
     w.key("speedup").value(multi_seed.speedup());
+    // The ensemble-batching axis at fixed trace sharing: the SoA batched
+    // path vs the per-seed scalar loop, plus its per-stage lane-epoch cost
+    // (transport is derived: full - realize - fusion).
+    w.key("batched_runs_per_sec").value(multi_seed.batched_runs_per_sec());
+    w.key("scalar_runs_per_sec").value(multi_seed.scalar_runs_per_sec());
+    w.key("batch_speedup").value(multi_seed.batch_speedup());
+    w.key("batched_stage_us").begin_object();
+    w.key("realize").value(batched.realize_us);
+    w.key("transport").value(batched.transport_us);
+    w.key("fusion").value(batched.fusion_us);
+    w.key("full").value(batched.full_us);
+    w.end_object();
+    w.key("batched_lanes").value(batched.lanes);
     w.end_object();
     w.key("runs").begin_array();
     for (const auto& r : results) {

@@ -196,16 +196,13 @@ std::size_t can_stuff_bits(std::span<const std::uint8_t> bits) {
     return sc.stuffed;
 }
 
-std::size_t can_wire_bits(const CanFrame& f) {
-    if (!f.valid()) throw std::invalid_argument("can_wire_bits: invalid frame");
-    // Pack SOF..data once, run the table-driven CRC over it, extend the
-    // packed stream with the 15 CRC bits, then count stuffing a byte at a
-    // time — the exact stuffed region the wire carries.
-    PackedBits p;
-    pack_frame(f, p);
-    const std::uint16_t crc = crc15_of_packed_frame(p);
-    p.push(crc, 15);
+namespace {
 
+/// Wire-bit count of a packed SOF..data+CRC stream: count stuffing a byte
+/// at a time — the exact stuffed region the wire carries — then add the
+/// unstuffed framing fields.
+[[nodiscard]] std::size_t wire_bits_of_packed(const PackedBits& p,
+                                              std::uint8_t dlc) {
     // Byte 0 bitwise (establishes the first-bit stuffing state), the rest
     // through the state table, the 2-bit tail bitwise again.
     StuffCounter sc;
@@ -225,9 +222,31 @@ std::size_t can_wire_bits(const CanFrame& f) {
         tail.feed(((p.acc >> i) & 1u) != 0);
     stuffed += tail.stuffed;
 
-    const std::size_t data_bits = 19u + 8u * f.dlc + 15u;
+    const std::size_t data_bits = 19u + 8u * dlc + 15u;
     // Stuffed region + CRC delimiter + ACK slot/delimiter + EOF(7) + IFS(3).
     return data_bits + stuffed + 1 + 2 + 7 + 3;
+}
+
+}  // namespace
+
+std::size_t can_wire_bits(const CanFrame& f) {
+    if (!f.valid()) throw std::invalid_argument("can_wire_bits: invalid frame");
+    // Pack SOF..data once, run the table-driven CRC over it, extend the
+    // packed stream with the 15 CRC bits, then count the stuffed region.
+    PackedBits p;
+    pack_frame(f, p);
+    const std::uint16_t crc = crc15_of_packed_frame(p);
+    p.push(crc, 15);
+    return wire_bits_of_packed(p, f.dlc);
+}
+
+CanWireInfo can_wire_info(const CanFrame& f) {
+    if (!f.valid()) throw std::invalid_argument("can_wire_info: invalid frame");
+    PackedBits p;
+    pack_frame(f, p);
+    const std::uint16_t crc = crc15_of_packed_frame(p);
+    p.push(crc, 15);
+    return {wire_bits_of_packed(p, f.dlc), crc};
 }
 
 std::size_t CanBus::cached_wire_bits(const CanFrame& f) {

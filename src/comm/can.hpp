@@ -47,6 +47,19 @@ struct CanFrame {
 /// five identical bits in SOF..CRC, applied iteratively).
 [[nodiscard]] std::size_t can_stuff_bits(std::span<const std::uint8_t> bits);
 
+/// Both per-frame wire facts the transmission models consume, computed in
+/// one pass over the packed frame: the total on-wire bit count (identical
+/// to `can_wire_bits`) and the CRC-15 (identical to `can_frame_crc15`).
+/// The batched ensemble path needs both per frame per epoch — the bit
+/// count for bus timing, the CRC for the serial-bridge payload — and the
+/// CRC is an input to the stuffing count anyway, so sharing the pass
+/// halves the table walks.
+struct CanWireInfo {
+    std::size_t wire_bits = 0;
+    std::uint16_t crc15 = 0;
+};
+[[nodiscard]] CanWireInfo can_wire_info(const CanFrame& f);
+
 /// Bursty frame-erasure fault model for the bus (EMI hits, marginal
 /// transceivers): each sent frame has `burst_probability` of opening a
 /// loss burst that erases it and the next `burst_frames - 1` frames. Lost

@@ -1,0 +1,22 @@
+#include "core/ensemble_ekf.hpp"
+
+#include <stdexcept>
+
+namespace ob::core {
+
+EnsembleEkf::EnsembleEkf(const BoresightConfig& cfg, std::size_t lanes) {
+    if (lanes == 0) {
+        throw std::invalid_argument("EnsembleEkf: at least one lane");
+    }
+    lanes_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) lanes_.emplace_back(cfg);
+}
+
+void EnsembleEkf::step_all(const math::Vec3* f_body, const math::Vec2* z,
+                           BoresightEkf::Update* out) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        out[i] = lanes_[i].step(f_body[i], z[i]);
+    }
+}
+
+}  // namespace ob::core

@@ -1,0 +1,59 @@
+#include "sim/ensemble_realizer.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ob::sim {
+
+EnsembleRealizer::EnsembleRealizer(std::shared_ptr<const ScenarioTrace> trace,
+                                   math::EulerAngles true_misalignment,
+                                   std::span<const std::uint64_t> seeds)
+    : trace_(std::move(trace)) {
+    if (!trace_) {
+        throw std::invalid_argument("EnsembleRealizer: null trace");
+    }
+    if (seeds.empty()) {
+        throw std::invalid_argument("EnsembleRealizer: at least one lane");
+    }
+    imu_.reserve(seeds.size());
+    acc_.reserve(seeds.size());
+    // Per lane, exactly the Scenario trace constructor: the IMU stream is
+    // seeded with the lane seed, the ACC stream with the salted seed, so
+    // lane l's draw sequences match sim::Scenario(trace_, truth, seeds[l]).
+    for (std::uint64_t seed : seeds) {
+        imu_.emplace_back(trace_->imu_errors(), trace_->vibration(),
+                          util::Rng(seed));
+        acc_.emplace_back(true_misalignment, trace_->acc_errors(),
+                          trace_->vibration(),
+                          util::Rng(seed ^ kAccStreamSalt), trace_->adxl(),
+                          trace_->acc_lever_arm());
+    }
+    dmu_.resize(seeds.size());
+    adxl_.resize(seeds.size());
+}
+
+bool EnsembleRealizer::step(double& t) {
+    if (step_ >= trace_->epochs()) return false;
+    const std::size_t i = step_++;
+    const double dt = trace_->dt();
+    t = trace_->t(i);
+    // Load this epoch's trace operands once, then run every lane against
+    // them. Each lane's two sample_traced calls happen in the same order as
+    // Scenario::next_wire, so the per-lane RNG draw sequence is unchanged.
+    const math::Vec3 f = trace_->imu_force(i);
+    const math::Vec3 w = trace_->imu_rate(i);
+    const math::Vec3 fa = trace_->acc_force(i);
+    const std::size_t n = imu_.size();
+    for (std::size_t lane = 0; lane < n; ++lane) {
+        dmu_[lane] = imu_[lane].sample_traced(f, w, t, dt);
+        adxl_[lane] = acc_[lane].sample_traced(fa, t, dt);
+    }
+    return true;
+}
+
+void EnsembleRealizer::bump(const math::EulerAngles& delta) {
+    for (auto& acc : acc_) acc.bump(delta);
+}
+
+}  // namespace ob::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/codec.hpp"
+#include "math/rotation.hpp"
+#include "sim/acc_model.hpp"
+#include "sim/imu_model.hpp"
+#include "sim/scenario_trace.hpp"
+
+namespace ob::sim {
+
+/// Batched Realize layer: N per-seed instrument realizations of ONE shared
+/// ScenarioTrace advanced in lockstep, writing each epoch's wire-format
+/// sensor pairs into lane-indexed structure-of-arrays buffers. One trace
+/// epoch's operands (imu_force / imu_rate / acc_force) are loaded once and
+/// fed to every lane while they are hot, instead of being re-walked per
+/// realization as N sequential Scenario loops would.
+///
+/// Determinism contract: lane `l` produces bitwise the sample stream of
+///
+///     sim::Scenario(trace, true_misalignment, seeds[l])
+///
+/// iterated via next_wire(). Each lane owns its ImuModel/AccModel pair
+/// seeded exactly as the Scenario constructor seeds them (the ACC stream
+/// salted with kAccStreamSalt), and lane sampling stays scalar inside:
+/// the models draw from stateful mt19937_64 normal distributions whose
+/// rejection loops and cached second values make cross-lane SIMD of the
+/// draws order-sensitive, so the batching win is locality, not lane math.
+/// The differential ensemble test pins the equivalence per lane.
+///
+/// Output buffers are sized once at construction; step() never allocates
+/// (pinned by allocation_guard_test).
+class EnsembleRealizer {
+public:
+    EnsembleRealizer(std::shared_ptr<const ScenarioTrace> trace,
+                     math::EulerAngles true_misalignment,
+                     std::span<const std::uint64_t> seeds);
+
+    [[nodiscard]] std::size_t lanes() const { return imu_.size(); }
+
+    /// Advance every lane one epoch: fills the dmu()/adxl() lane arrays
+    /// and reports the epoch timestamp. Returns false once the trace is
+    /// exhausted (no lane state is touched then).
+    [[nodiscard]] bool step(double& t);
+
+    /// Lane-indexed results of the latest step().
+    [[nodiscard]] const comm::DmuSample* dmu() const { return dmu_.data(); }
+    [[nodiscard]] const comm::AdxlTiming* adxl() const {
+        return adxl_.data();
+    }
+
+    /// Inject the mounting disturbance on every lane (paper: "car park
+    /// bumps") — the per-lane equivalent of Scenario::bump.
+    void bump(const math::EulerAngles& delta);
+
+    /// True misalignment currently in effect. Every lane shares the same
+    /// value: all start from the constructor argument and bump() applies
+    /// the same delta through the same arithmetic on each.
+    [[nodiscard]] math::EulerAngles true_misalignment() const {
+        return acc_.front().true_misalignment();
+    }
+
+    [[nodiscard]] const ScenarioTrace& trace() const { return *trace_; }
+    [[nodiscard]] double sample_rate_hz() const {
+        return trace_->sample_rate_hz();
+    }
+    [[nodiscard]] double duration() const { return trace_->duration(); }
+
+private:
+    std::shared_ptr<const ScenarioTrace> trace_;
+    std::vector<ImuModel> imu_;   ///< lane-indexed
+    std::vector<AccModel> acc_;   ///< lane-indexed
+    std::size_t step_ = 0;
+    std::vector<comm::DmuSample> dmu_;    ///< SoA output, lane-indexed
+    std::vector<comm::AdxlTiming> adxl_;  ///< SoA output, lane-indexed
+};
+
+}  // namespace ob::sim

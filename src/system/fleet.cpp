@@ -1,6 +1,7 @@
 #include "system/fleet.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <bit>
 #include <cmath>
@@ -12,8 +13,10 @@
 #include <tuple>
 
 #include "core/calibration.hpp"
+#include "sim/ensemble_realizer.hpp"
 #include "sim/scenario_trace.hpp"
 #include "sim/sensor_fault.hpp"
+#include "system/ensemble_runner.hpp"
 #include "system/experiment.hpp"
 #include "util/rng.hpp"
 
@@ -256,6 +259,161 @@ constexpr std::uint64_t kSensorStreamSalt = 0xA5A55A5AF00DBEEFull;
          out.trace.worst_yaw_err_deg <= envelope.yaw_deg) &&
         out.result.residual_rms <= envelope.residual_rms_max;
     return out;
+}
+
+/// Lane cap of one batched ensemble: bounds the batch's working set (32
+/// EKF lanes plus detector state still fit L1/L2 comfortably) and the
+/// stack-side seed scratch below.
+constexpr std::size_t kMaxBatchLanes = 32;
+
+/// Whether a job's realizations may take the batched ensemble path at all:
+/// native fusion, no active fault (the fault hooks live in the scalar
+/// transport stack). Zero-intensity faults bypass the fault machinery in
+/// run_fleet_seed, so they batch like un-faulted jobs — keeping campaign
+/// control cells on the same code path as the runs they control for.
+[[nodiscard]] bool job_batchable(const FleetJob& job) {
+    return job.processor == BoresightSystem::Processor::kNative &&
+           (!job.fault || job.fault->intensity <= 0.0);
+}
+
+/// Batched Realize: `lane_count` consecutive realizations (seed indices
+/// first_seed .. first_seed + lane_count - 1) of one job step the shared
+/// trace together through EnsembleRealizer + EnsembleNominalSystem,
+/// writing results into out[0 .. lane_count). Every lane is bitwise
+/// run_fleet_seed's result for the same index; a lane the ensemble cannot
+/// carry nominally (transport ran past the epoch horizon) is re-run
+/// through run_fleet_seed itself, so the fallback is the identity.
+void run_fleet_seed_batch(
+    const FleetJob& job, const sim::ScenarioSpec& spec,
+    const std::shared_ptr<const sim::ScenarioTrace>& trace,
+    const std::shared_ptr<const sim::ScenarioTrace>& cal_trace,
+    std::uint64_t first_seed, std::size_t lane_count, FleetSeedResult* out) {
+    const double duration = job_duration(job, spec);
+    const sim::ScenarioEnvelope envelope = job_envelope(job, spec);
+
+    std::array<std::uint64_t, kMaxBatchLanes> seeds{};
+    for (std::size_t l = 0; l < lane_count; ++l) {
+        seeds[l] = fleet_sub_seed(job_sensor_stream(job), first_seed + l);
+    }
+
+    const double meas_noise =
+        job.meas_noise_mps2 ? *job.meas_noise_mps2 : spec.meas_noise_mps2;
+    BoresightSystem::Config cfg;
+    cfg.processor = job.processor;
+    cfg.filter.meas_noise_mps2 = meas_noise;
+    cfg.filter.angle_process_noise = spec.angle_process_noise;
+    cfg.sabre.r_sigma = meas_noise;
+    cfg.sabre.q_variance =
+        spec.angle_process_noise * spec.angle_process_noise;
+    cfg.use_adaptive_tuner = job.use_adaptive_tuner;
+    if (job.tuner) cfg.tuner = *job.tuner;
+
+    sim::EnsembleRealizer ens(trace, job_truth(job, spec),
+                              {seeds.data(), lane_count});
+    EnsembleNominalSystem sys(cfg, lane_count);
+
+    for (std::size_t l = 0; l < lane_count; ++l) {
+        out[l] = FleetSeedResult{};
+        out[l].sensor_seed = seeds[l];
+    }
+
+    // §11.1 calibration stays scalar per lane: the dwell is a fraction of
+    // the run and its transport-free decode path has no batched variant.
+    if (job.calibration) {
+        for (std::size_t l = 0; l < lane_count; ++l) {
+            sim::Scenario cal(cal_trace, EulerAngles{}, seeds[l]);
+            core::CalibrationAccumulator accum;
+            sim::Scenario::Step step;
+            while (cal.next_into(step)) {
+                const auto d = decode_step(cal, step);
+                accum.add(d.f_body, d.acc_xy);
+            }
+            sys.set_calibrated_bias(l, accum.bias());
+            out[l].calibrated_bias = accum.bias();
+            out[l].calibration_noise = accum.noise_sigma();
+            out[l].calibration_samples = accum.samples();
+        }
+    }
+
+    const double bump_at = spec.bump.enabled()
+                               ? spec.bump.at_s * (duration / spec.duration_s)
+                               : -1.0;
+    const auto checked = [&](double t) {
+        if (bump_at >= 0.0 && t >= bump_at) {
+            return t >= bump_at + envelope.settle_s;
+        }
+        return t >= envelope.settle_s && (bump_at < 0.0 || t < bump_at);
+    };
+
+    bool bumped = false;
+    double t = 0.0;
+    std::size_t epochs = 0;
+    while (ens.step(t)) {
+        sys.feed(ens.trace(), t, ens.dmu(), ens.adxl());
+        ++epochs;
+        if (checked(t)) {
+            const EulerAngles truth = ens.true_misalignment();
+            for (std::size_t l = 0; l < lane_count; ++l) {
+                if (!sys.lane_ok(l)) continue;
+                const EulerAngles est = sys.estimate(l);
+                ++out[l].trace.checked_points;
+                const double roll_err =
+                    std::abs(rad2deg(est.roll - truth.roll));
+                const double pitch_err =
+                    std::abs(rad2deg(est.pitch - truth.pitch));
+                const double yaw_err = std::abs(rad2deg(est.yaw - truth.yaw));
+                out[l].trace.worst_roll_err_deg =
+                    std::max(out[l].trace.worst_roll_err_deg, roll_err);
+                out[l].trace.worst_pitch_err_deg =
+                    std::max(out[l].trace.worst_pitch_err_deg, pitch_err);
+                out[l].trace.worst_yaw_err_deg =
+                    std::max(out[l].trace.worst_yaw_err_deg, yaw_err);
+                if (out[l].trace.first_divergence_s < 0.0 &&
+                    (roll_err > envelope.roll_deg ||
+                     pitch_err > envelope.pitch_deg ||
+                     (envelope.check_yaw && yaw_err > envelope.yaw_deg))) {
+                    out[l].trace.first_divergence_s = t;
+                }
+            }
+        }
+        if (bump_at >= 0.0 && !bumped && t >= bump_at) {
+            ens.bump(spec.bump.delta);
+            bumped = true;
+        }
+    }
+
+    const EulerAngles truth = ens.true_misalignment();
+    for (std::size_t l = 0; l < lane_count; ++l) {
+        if (!sys.lane_ok(l)) {
+            // The lane left the nominal transport envelope mid-run; its
+            // batched state is stale. Realize it scalar from scratch — the
+            // always-correct reference — overwriting everything above.
+            out[l] = run_fleet_seed(job, spec, trace, cal_trace,
+                                    first_seed + l);
+            continue;
+        }
+        out[l].trace.epochs = epochs;
+        out[l].final_status = sys.status(l);
+        out[l].result.label =
+            job.scenario + "/" + processor_name(job.processor);
+        if (first_seed + l > 0) {
+            out[l].result.label +=
+                "#seed" + std::to_string(first_seed + l);
+        }
+        out[l].result.truth = truth;
+        out[l].result.estimate = out[l].final_status.estimate;
+        out[l].result.sigma3_rad = out[l].final_status.sigma3;
+        out[l].result.residual_rms = out[l].final_status.residual_rms;
+        out[l].result.meas_noise = out[l].final_status.measurement_noise;
+        out[l].result.duration_s = ens.duration();
+        out[l].within_envelope =
+            out[l].trace.checked_points > 0 &&
+            out[l].trace.worst_roll_err_deg <= envelope.roll_deg &&
+            out[l].trace.worst_pitch_err_deg <= envelope.pitch_deg &&
+            (!envelope.check_yaw ||
+             out[l].trace.worst_yaw_err_deg <= envelope.yaw_deg) &&
+            out[l].result.residual_rms <= envelope.residual_rms_max;
+    }
 }
 
 /// Mean / sample standard deviation in seed-index order (two fixed-order
@@ -579,7 +737,8 @@ FleetRunner::FleetRunner(Config cfg)
     : threads_(cfg.threads != 0
                    ? cfg.threads
                    : std::max(1u, std::thread::hardware_concurrency())),
-      share_traces_(cfg.share_traces) {}
+      share_traces_(cfg.share_traces),
+      batch_realizations_(cfg.batch_realizations) {}
 
 std::vector<FleetResult> FleetRunner::run(
     const std::vector<FleetJob>& jobs) const {
@@ -739,7 +898,46 @@ std::vector<FleetSeedResult> FleetRunner::run_items(
     }
 
     // ---- Realize: per-seed realization over the shared traces. -----------
+    // Work units: by default one item each, but when batching is on,
+    // contiguous plan-order runs of one batchable job's items (consecutive
+    // seed indices by construction of the plan walk) merge into ensemble
+    // units of up to kMaxBatchLanes lanes. A unit is still one scheduling
+    // quantum — which thread runs it never changes what it computes.
+    struct Unit {
+        std::size_t first = 0;  ///< index into items/outcomes/errors
+        std::size_t count = 1;  ///< lanes; 1 => scalar run_fleet_seed
+    };
+    std::vector<Unit> units;
+    units.reserve(items.size());
+    const bool batching = batch_realizations_ && share_traces_;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (batching && !units.empty()) {
+            Unit& u = units.back();
+            const Item& prev = items[i - 1];
+            const Item& cur = items[i];
+            if (cur.job == prev.job && cur.seed == prev.seed + 1 &&
+                u.count < kMaxBatchLanes && job_batchable(jobs[cur.job])) {
+                ++u.count;
+                continue;
+            }
+        }
+        units.push_back({i, 1});
+    }
+
     std::vector<std::exception_ptr> errors(items.size());
+    // Release each trace as its last realization drains so a long sweep's
+    // memory high-water mark follows the active scenarios, not the batch.
+    const auto release_item = [&](std::size_t job_index) {
+        if (!share_traces_) return;
+        const auto release = [&](std::size_t s) {
+            if (s == kNoSlot) return;
+            if (slots[s].remaining.fetch_sub(1) == 1) {
+                slots[s].trace.reset();
+            }
+        };
+        release(main_slot[job_index]);
+        release(cal_slot[job_index]);
+    };
     const auto run_item = [&](std::size_t i) {
         const Item& item = items[i];
         const FleetJob& job = jobs[item.job];
@@ -771,33 +969,49 @@ std::vector<FleetSeedResult> FleetRunner::run_items(
         } catch (...) {
             errors[i] = std::current_exception();
         }
-        if (share_traces_) {
-            // Release each trace as its last realization drains so a long
-            // sweep's memory high-water mark follows the active scenarios,
-            // not the whole batch.
-            const auto release = [&](std::size_t s) {
-                if (s == kNoSlot) return;
-                if (slots[s].remaining.fetch_sub(1) == 1) {
-                    slots[s].trace.reset();
-                }
-            };
-            release(main_slot[item.job]);
-            release(cal_slot[item.job]);
+        release_item(item.job);
+    };
+    const auto run_unit = [&](std::size_t u) {
+        const Unit& unit = units[u];
+        if (unit.count == 1) {
+            run_item(unit.first);
+            return;
         }
+        // Multi-lane units exist only under share_traces_ (see `batching`),
+        // so the slot tables are always populated here.
+        const Item& head = items[unit.first];
+        const FleetJob& job = jobs[head.job];
+        const sim::ScenarioSpec& spec = *specs[head.job];
+        try {
+            TraceSlot& ms = slots[main_slot[head.job]];
+            if (ms.error) std::rethrow_exception(ms.error);
+            std::shared_ptr<const sim::ScenarioTrace> trace = ms.trace;
+            std::shared_ptr<const sim::ScenarioTrace> cal_trace;
+            if (cal_slot[head.job] != kNoSlot) {
+                TraceSlot& cs = slots[cal_slot[head.job]];
+                if (cs.error) std::rethrow_exception(cs.error);
+                cal_trace = cs.trace;
+            }
+            run_fleet_seed_batch(job, spec, trace, cal_trace, head.seed,
+                                 unit.count, &outcomes[unit.first]);
+        } catch (...) {
+            errors[unit.first] = std::current_exception();
+        }
+        for (std::size_t k = 0; k < unit.count; ++k) release_item(head.job);
     };
 
     const std::size_t workers =
-        std::min(threads_, std::max(items.size(), slots.size()));
+        std::min(threads_, std::max(units.size(), slots.size()));
     if (workers <= 1) {
         for (const std::size_t s : main_wave) build_slot(slots[s]);
         for (const std::size_t s : cal_wave) build_slot(slots[s]);
-        for (std::size_t i = 0; i < items.size(); ++i) run_item(i);
+        for (std::size_t u = 0; u < units.size(); ++u) run_unit(u);
     } else {
         // Work-stealing off shared indices, with barriers between the
         // Trace waves and the Realize phase: scheduling decides only WHICH
         // thread runs a unit, never what it computes.
-        const auto run_phase = [&](std::size_t units, auto&& unit) {
-            if (units == 0) return;
+        const auto run_phase = [&](std::size_t n_work, auto&& work) {
+            if (n_work == 0) return;
             std::atomic<std::size_t> next{0};
             std::vector<std::thread> pool;
             pool.reserve(workers);
@@ -805,8 +1019,8 @@ std::vector<FleetSeedResult> FleetRunner::run_items(
                 pool.emplace_back([&] {
                     for (;;) {
                         const std::size_t u = next.fetch_add(1);
-                        if (u >= units) return;
-                        unit(u);
+                        if (u >= n_work) return;
+                        work(u);
                     }
                 });
             }
@@ -816,7 +1030,7 @@ std::vector<FleetSeedResult> FleetRunner::run_items(
                   [&](std::size_t u) { build_slot(slots[main_wave[u]]); });
         run_phase(cal_wave.size(),
                   [&](std::size_t u) { build_slot(slots[cal_wave[u]]); });
-        run_phase(items.size(), [&](std::size_t i) { run_item(i); });
+        run_phase(units.size(), [&](std::size_t u) { run_unit(u); });
     }
 
     // Rethrow the lowest-index failure so the surfaced error is as

@@ -280,6 +280,17 @@ public:
         /// uses it to measure the amortization win). Results are bitwise
         /// identical either way.
         bool share_traces = true;
+        /// Batch the Realize phase across the seed axis: contiguous runs
+        /// of one native, un-faulted job's realizations step their shared
+        /// trace together in SoA lanes (sim::EnsembleRealizer +
+        /// system::EnsembleNominalSystem) instead of N sequential scalar
+        /// loops. Requires share_traces (the batch IS the shared-trace
+        /// fast path; with per-realization traces the pre-amortization
+        /// cost model being measured would disappear). Sabre jobs, jobs
+        /// with an active fault, and lanes that leave the nominal
+        /// transport envelope fall back to the scalar path. Results are
+        /// bitwise identical either way, lane for lane.
+        bool batch_realizations = true;
     };
 
     FleetRunner();  ///< default Config (all hardware threads)
@@ -306,10 +317,14 @@ public:
 
     [[nodiscard]] std::size_t threads() const { return threads_; }
     [[nodiscard]] bool share_traces() const { return share_traces_; }
+    [[nodiscard]] bool batch_realizations() const {
+        return batch_realizations_;
+    }
 
 private:
     std::size_t threads_;
     bool share_traces_;
+    bool batch_realizations_;
 };
 
 /// One job per library scenario on the given processor — the standard

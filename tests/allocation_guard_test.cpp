@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "sim/ensemble_realizer.hpp"
 #include "sim/scenario_library.hpp"
+#include "sim/scenario_trace.hpp"
 #include "system/boresight_system.hpp"
+#include "system/ensemble_runner.hpp"
 #include "util/alloc_counter.hpp"
 
 OB_DEFINE_COUNTING_OPERATOR_NEW
@@ -61,6 +65,52 @@ INSTANTIATE_TEST_SUITE_P(
                    ? "native"
                    : "sabre";
     });
+
+/// The batched ensemble epoch (SoA realization + analytic transport +
+/// lane-array EKF) carries the same guarantee as the scalar system: all
+/// lane buffers, detector rings and filter lanes reach their high-water
+/// size at construction/warm-up, so a steady-state epoch across every lane
+/// touches the heap exactly zero times.
+TEST(AllocationGuard, BatchedEnsembleEpochIsAllocationFreeAfterWarmup) {
+    const auto& spec = sim::ScenarioLibrary::instance().at("city-drive");
+    const std::uint64_t stream = sim::scenario_seed(spec.name, 7);
+    const auto trace = sim::ScenarioTrace::build(
+        spec.build(20.0, spec.misalignment, stream), stream);
+
+    constexpr std::size_t kLanes = 8;
+    std::vector<std::uint64_t> seeds(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l) seeds[l] = stream + l;
+    sim::EnsembleRealizer ens(trace, spec.misalignment, seeds);
+
+    system::BoresightSystem::Config cfg;
+    cfg.filter.meas_noise_mps2 = spec.meas_noise_mps2;
+    system::EnsembleNominalSystem sys(cfg, kLanes);
+
+    constexpr std::size_t kWarmup = 200;
+    double t = 0.0;
+    std::size_t epochs = 0;
+    for (; epochs < kWarmup && ens.step(t); ++epochs) {
+        sys.feed(ens.trace(), t, ens.dmu(), ens.adxl());
+    }
+    ASSERT_EQ(epochs, kWarmup);
+
+    const std::uint64_t before = util::alloc_count();
+    while (ens.step(t)) {
+        sys.feed(ens.trace(), t, ens.dmu(), ens.adxl());
+        ++epochs;
+    }
+    const std::uint64_t allocations = util::alloc_count() - before;
+
+    EXPECT_EQ(allocations, 0u)
+        << allocations << " heap allocation(s) across " << (epochs - kWarmup)
+        << " steady-state batched lane-epochs";
+    ASSERT_GT(epochs, kWarmup + 700u);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        ASSERT_TRUE(sys.lane_ok(l)) << "lane " << l;
+        EXPECT_GT(sys.status(l).updates, (epochs - kWarmup) / 2)
+            << "fusion must actually have run on lane " << l;
+    }
+}
 
 /// The counting hook itself must observe ordinary heap traffic — otherwise
 /// a zero count above would be vacuous.
